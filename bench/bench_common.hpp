@@ -1,0 +1,34 @@
+// Shared helpers for the experiment-reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hw/presets.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workflow/generators.hpp"
+#include "workflow/linalg.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow::bench {
+
+/// The six evaluation workflows used throughout the tables.
+inline std::vector<workflow::Workflow> evaluation_workflows() {
+  std::vector<workflow::Workflow> out;
+  out.push_back(workflow::make_montage(96));        // ~500 tasks
+  out.push_back(workflow::make_epigenomics(8, 12)); // ~400 tasks
+  out.push_back(workflow::make_cybershake(6, 30));  // ~430 tasks
+  out.push_back(workflow::make_ligo(130, 10));      // ~400 tasks
+  out.push_back(workflow::make_sipht(28, 8));       // ~450 tasks
+  out.push_back(workflow::make_cholesky(12, 2048)); // 364 tasks
+  return out;
+}
+
+inline void print_experiment_header(const std::string& id,
+                                    const std::string& question) {
+  std::cout << "\n=== " << id << " — " << question << " ===\n\n";
+}
+
+}  // namespace hetflow::bench

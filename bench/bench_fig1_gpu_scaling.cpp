@@ -1,0 +1,45 @@
+// Fig 1 — Offload scaling: Cholesky 16x16 makespan vs number of GPUs
+// (1..8) for HEFT, dmda and eager. Expected shape: near-linear speedup
+// to ~4 GPUs for the cost-aware policies, then a plateau as the critical
+// path and PCIe contention dominate; eager scales worst because it
+// ignores transfer costs and execution-time asymmetry.
+#include "bench_common.hpp"
+
+#include "core/runtime.hpp"
+#include "sched/registry.hpp"
+
+int main() {
+  using namespace hetflow;
+  bench::print_experiment_header(
+      "Fig 1", "Cholesky 16x16: makespan vs #GPUs (series per scheduler)");
+
+  const auto library = workflow::CodeletLibrary::standard();
+  const std::vector<std::string> policies = {"eager", "dmda", "heft"};
+
+  util::Table table({"#gpus", "eager s", "dmda s", "heft s",
+                     "dmda speedup vs 1 gpu"});
+  double dmda_one_gpu = 0.0;
+  for (std::size_t gpus = 1; gpus <= 8; ++gpus) {
+    const hw::Platform platform = hw::make_hpc_node(8, gpus, 0);
+    std::vector<std::string> row = {std::to_string(gpus)};
+    double dmda_makespan = 0.0;
+    for (const std::string& policy : policies) {
+      core::Runtime runtime(platform, sched::make_scheduler(policy));
+      workflow::submit_cholesky_inplace(runtime, 16, 2048, library);
+      runtime.wait_all();
+      row.push_back(util::format("%.3f", runtime.stats().makespan_s));
+      if (policy == "dmda") {
+        dmda_makespan = runtime.stats().makespan_s;
+      }
+    }
+    if (gpus == 1) {
+      dmda_one_gpu = dmda_makespan;
+    }
+    row.push_back(util::format("%.2fx", dmda_one_gpu / dmda_makespan));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\n(series: one column per scheduler; plot #gpus on x, "
+               "makespan on y)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig 3 — Runtime overhead: real (host) time per simulated task for
+// submission + dependency inference + scheduling + execution across
+// graph sizes and shapes. Expected shape: throughput in the
+// 10^5-10^6 tasks/second range, roughly flat in graph size (near-linear
+// scaling) with chains slightly cheaper than bags (single ready queue
+// entry at a time).
+#include <benchmark/benchmark.h>
+
+#include "core/runtime.hpp"
+#include "hw/presets.hpp"
+#include "sched/registry.hpp"
+#include "workflow/generators.hpp"
+#include "workflow/linalg.hpp"
+#include "workflow/workflow.hpp"
+
+namespace {
+
+using namespace hetflow;
+
+void run_shape(benchmark::State& state, const workflow::Workflow& wf,
+               const char* policy) {
+  const hw::Platform platform = hw::make_cpu_only(8);
+  const auto library = workflow::CodeletLibrary::standard();
+  for (auto _ : state) {
+    core::RuntimeOptions options;
+    options.record_trace = false;  // measure engine, not trace allocation
+    core::Runtime runtime(platform, sched::make_scheduler(policy), options);
+    workflow::submit_workflow(runtime, wf, library);
+    runtime.wait_all();
+    benchmark::DoNotOptimize(runtime.stats().makespan_s);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wf.task_count()));
+  state.counters["tasks"] = static_cast<double>(wf.task_count());
+}
+
+void BM_ChainEager(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  run_shape(state, workflow::make_chain(n, 1e6, 1024), "eager");
+}
+
+void BM_BagEager(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  run_shape(state, workflow::make_bag(n, 1e6, 1024), "eager");
+}
+
+void BM_BagMct(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  run_shape(state, workflow::make_bag(n, 1e6, 1024), "mct");
+}
+
+void BM_LayeredDmda(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  run_shape(state, workflow::make_random_layered(n / 32, 32, 0.5, 5), "dmda");
+}
+
+void BM_CholeskyHeft(benchmark::State& state) {
+  const auto nt = static_cast<std::size_t>(state.range(0));
+  run_shape(state, workflow::make_cholesky(nt, 512), "heft");
+}
+
+}  // namespace
+
+BENCHMARK(BM_ChainEager)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_BagEager)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_BagMct)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_LayeredDmda)->Arg(320)->Arg(3200);
+BENCHMARK(BM_CholeskyHeft)->Arg(8)->Arg(16)->Arg(24);
+
+BENCHMARK_MAIN();

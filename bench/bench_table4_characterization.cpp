@@ -1,0 +1,29 @@
+// Table 4 (extension) — Workflow characterization: the structural metrics
+// of every evaluation workload (cf. Bharathi et al., WORKS'08). Expected
+// shape: Montage/CyberShake wide and shallow with moderate CCR;
+// Epigenomics pipeline-deep; LIGO compute-heavy with low CCR; SIPHT
+// "wide then point"; Cholesky deep with high average parallelism that
+// shrinks toward the end of the factorization.
+#include "bench_common.hpp"
+
+#include "workflow/characterize.hpp"
+
+int main() {
+  using namespace hetflow;
+  bench::print_experiment_header(
+      "Table 4", "structural characterization of the evaluation workloads");
+  std::vector<workflow::Characterization> rows;
+  for (const workflow::Workflow& wf : bench::evaluation_workflows()) {
+    rows.push_back(workflow::characterize(wf));
+  }
+  for (const workflow::Workflow& wf :
+       {workflow::make_wavefront(16), workflow::make_fork_join(32, 4, 1.0, 1),
+        workflow::make_random_layered(10, 8, 1.0, 42)}) {
+    rows.push_back(workflow::characterize(wf));
+  }
+  std::cout << workflow::characterization_table(rows);
+  std::cout << "\n(avg-par = total work / critical-path work; serial% = "
+               "critical-path share of total work;\n CCR at 16 GB/s / 50 "
+               "GFLOP/s reference rates)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Blocked iterative solver showing hetflow's advanced data-access API:
+//
+//   * partition_data / unpartition_data — update a large state vector in
+//     parallel blocks without false RW serialization;
+//   * AccessMode::Redux — accumulate the residual norm from all blocks
+//     concurrently;
+//   * core::analyze_schedule — inspect the realized critical path.
+//
+// Structure of one iteration (repeated until the fixed iteration count):
+//
+//   state --partition--> [update block 0..B-1]   (parallel, RW per block)
+//                         \___ each also Redux-accumulates `residual`
+//   check: reads `residual`, writes `converged`  (serial, tiny)
+//
+//   $ ./blocked_solver [blocks] [iterations]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/analysis.hpp"
+#include "core/runtime.hpp"
+#include "hw/presets.hpp"
+#include "sched/registry.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetflow;
+  using data::AccessMode;
+
+  const std::size_t blocks =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
+  const std::size_t iterations =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 6;
+
+  const hw::Platform platform = hw::make_hpc_node(8, 2, 0);
+  core::Runtime runtime(platform, sched::make_scheduler("dmdas"));
+
+  const auto update = core::Codelet::make(
+      "block-update", {{hw::DeviceType::Cpu, 0.5}, {hw::DeviceType::Gpu, 0.8}});
+  const auto check = core::Codelet::make(
+      "convergence-check", {{hw::DeviceType::Cpu, 0.5}});
+
+  const auto state = runtime.register_data("state", 512ull << 20);
+  const auto residual = runtime.register_data("residual", 4096);
+
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    const auto children = runtime.partition_data(state, blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      runtime.submit(util::format("update_%zu_%zu", iter, b), update, 12e9,
+                     {{children[b], AccessMode::ReadWrite},
+                      {residual, AccessMode::Redux}});
+    }
+    runtime.unpartition_data(state);
+    runtime.submit(util::format("check_%zu", iter), check, 2e8,
+                   {{residual, AccessMode::ReadWrite}});
+  }
+  runtime.wait_all();
+
+  std::cout << runtime.stats().summary(platform) << '\n';
+  std::cout << core::critical_path_report(core::analyze_schedule(runtime), 12)
+            << '\n';
+  std::cout << runtime.tracer().ascii_gantt(platform);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Tiled Cholesky factorization with GPU offload — the classic StarPU
+// showcase. Tiles are registered as ReadWrite handles; the runtime infers
+// the potrf/trsm/syrk/gemm dependency lattice from the access modes and
+// the data-aware scheduler keeps tiles resident on the GPU.
+//
+//   $ ./cholesky_offload [tiles-per-side] [tile-n]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/runtime.hpp"
+#include "hw/presets.hpp"
+#include "sched/registry.hpp"
+#include "util/strings.hpp"
+#include "workflow/linalg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetflow;
+
+  const std::size_t nt =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 16;
+  const std::size_t tile_n =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 2048;
+  const auto library = workflow::CodeletLibrary::standard();
+
+  std::cout << "Cholesky " << nt << "x" << nt << " tiles of " << tile_n
+            << "x" << tile_n << " doubles ("
+            << workflow::cholesky_task_count(nt) << " tasks)\n\n";
+
+  for (const char* config : {"cpu-only", "with-gpus"}) {
+    const hw::Platform platform = std::string(config) == "cpu-only"
+                                      ? hw::make_cpu_only(8)
+                                      : hw::make_hpc_node(8, 2, 0);
+    core::Runtime runtime(platform, sched::make_scheduler("dmda"));
+    workflow::submit_cholesky_inplace(runtime, nt, tile_n, library);
+    runtime.wait_all();
+    const core::RunStats& stats = runtime.stats();
+    const double total_flops =
+        static_cast<double>(nt * tile_n) * static_cast<double>(nt * tile_n) *
+        static_cast<double>(nt * tile_n) / 3.0;
+    std::cout << config << ": makespan "
+              << util::human_seconds(stats.makespan_s) << ", "
+              << util::format("%.1f GFLOP/s",
+                              total_flops / stats.makespan_s / 1e9)
+              << ", moved "
+              << util::human_bytes(
+                     static_cast<double>(stats.transfers.bytes_moved))
+              << ", " << stats.data.evictions << " evictions\n";
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Scientific discovery campaign: adaptive parameter search over a
+// simulated response surface, with every evaluation executed as a
+// simulation workflow on the heterogeneous runtime.
+//
+// Compares grid sweep, random search and the adaptive surrogate strategy
+// on time-to-discovery (simulated wall time and evaluations).
+//
+//   $ ./discovery_campaign
+#include <iostream>
+
+#include "hw/presets.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workflow/campaign.hpp"
+
+int main() {
+  using namespace hetflow;
+  using workflow::SearchStrategy;
+
+  const hw::Platform platform = hw::make_hpc_node(8, 2, 0);
+  const workflow::ResponseSurface surface(
+      workflow::ResponseSurface::Kind::Branin, /*noise_sd=*/0.05);
+
+  workflow::CampaignConfig config;
+  config.max_evaluations = 256;
+  config.batch_size = 8;
+  config.target_excess = 0.1;
+
+  std::cout << "objective: " << surface.name()
+            << " (true minimum " << surface.true_minimum() << "), target "
+            << surface.true_minimum() + config.target_excess << "\n\n";
+
+  util::Table table({"strategy", "reached", "evals", "sim time", "core-s",
+                     "best", "at (x, y)"});
+  for (SearchStrategy strategy :
+       {SearchStrategy::Grid, SearchStrategy::Random,
+        SearchStrategy::Surrogate}) {
+    const workflow::CampaignResult result =
+        workflow::run_campaign(platform, surface, strategy, config);
+    table.add_row({to_string(strategy), result.reached_target ? "yes" : "no",
+                   std::to_string(result.evaluations),
+                   util::human_seconds(result.makespan_s),
+                   util::format("%.2f", result.core_seconds),
+                   util::format("%.4f", result.best_value),
+                   util::format("(%.2f, %.2f)", result.best_x,
+                                result.best_y)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe adaptive strategy reaches the target in a fraction of "
+               "the sweeps' evaluations;\neach evaluation ran as a "
+               "prepare->simulate->analyze workflow on the simulated node.\n";
+  return 0;
+}

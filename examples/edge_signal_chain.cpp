@@ -1,0 +1,62 @@
+// Heterogeneity at the edge: a periodic sensing pipeline (filter -> FFT
+// -> classify) on a battery-powered node with two weak cores and a DSP.
+// Compares the energy-aware DVFS scheduler against the performance-first
+// policy across 50 sensing windows.
+//
+//   $ ./edge_signal_chain
+#include <iostream>
+
+#include "core/runtime.hpp"
+#include "hw/presets.hpp"
+#include "sched/registry.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hetflow;
+  using data::AccessMode;
+
+  const hw::Platform platform = hw::make_edge_node();
+  std::cout << platform.describe() << '\n';
+
+  const auto filter = core::Codelet::make(
+      "filter", {{hw::DeviceType::Cpu, 0.45}, {hw::DeviceType::Dsp, 0.7}});
+  const auto fft = core::Codelet::make(
+      "fft", {{hw::DeviceType::Cpu, 0.35}, {hw::DeviceType::Dsp, 0.8}});
+  const auto classify = core::Codelet::make(
+      "classify", {{hw::DeviceType::Cpu, 0.5}});
+
+  util::Table table({"policy", "makespan", "busy J", "total J", "EDP"});
+  for (const char* policy : {"energy-performance", "energy-edp",
+                             "energy-energy"}) {
+    core::Runtime runtime(platform, sched::make_scheduler(policy));
+    for (int window = 0; window < 50; ++window) {
+      const auto tag = util::format("w%d", window);
+      const auto samples =
+          runtime.register_data("samples_" + tag, 2ull << 20);
+      const auto clean = runtime.register_data("clean_" + tag, 2ull << 20);
+      const auto spectrum =
+          runtime.register_data("spectrum_" + tag, 512ull << 10);
+      const auto label = runtime.register_data("label_" + tag, 1024);
+      runtime.submit("filter_" + tag, filter, 1.5e8,
+                     {{samples, AccessMode::Read},
+                      {clean, AccessMode::Write}});
+      runtime.submit("fft_" + tag, fft, 4e8,
+                     {{clean, AccessMode::Read},
+                      {spectrum, AccessMode::Write}});
+      runtime.submit("classify_" + tag, classify, 1e8,
+                     {{spectrum, AccessMode::Read},
+                      {label, AccessMode::Write}});
+    }
+    runtime.wait_all();
+    const core::RunStats& stats = runtime.stats();
+    table.add_row({policy, util::human_seconds(stats.makespan_s),
+                   util::format("%.2f", stats.busy_energy_j()),
+                   util::format("%.2f", stats.total_energy_j()),
+                   util::format("%.2f", stats.edp())});
+  }
+  table.print(std::cout);
+  std::cout << "\nenergy-* policies trade completion latency for Joules by "
+               "steering work toward\nthe DSP and lower DVFS points.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Streaming observatory: three always-on instrument pipelines with
+// different rates and deadlines share one workstation — the "online"
+// side of a scientific discovery system. Shows the streaming layer
+// (periodic releases, deadline accounting) and compares schedulers at
+// increasing load.
+//
+//   $ ./observatory_stream
+#include <iostream>
+
+#include "hw/presets.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workflow/streaming.hpp"
+
+int main() {
+  using namespace hetflow;
+
+  const hw::Platform platform = hw::make_workstation();
+  const auto library = workflow::CodeletLibrary::standard();
+
+  const auto make_pipelines = [](double rate_scale) {
+    std::vector<workflow::PeriodicPipeline> pipelines;
+    // Fast photometry stream: small frames at high rate.
+    workflow::PeriodicPipeline photometry;
+    photometry.name = "photometry";
+    photometry.period_s = 0.2 / rate_scale;
+    photometry.stages = {workflow::StageSpec{"io", 5e7, 1 << 20},
+                         workflow::StageSpec{"filter", 4e8, 1 << 20},
+                         workflow::StageSpec{"reduce", 1e8, 64 << 10}};
+    pipelines.push_back(photometry);
+    // Spectrograph: bigger frames, slower cadence, FFT-heavy.
+    workflow::PeriodicPipeline spectro;
+    spectro.name = "spectrograph";
+    spectro.period_s = 0.5 / rate_scale;
+    spectro.stages = {workflow::StageSpec{"io", 1e8, 8 << 20},
+                      workflow::StageSpec{"fft", 3e9, 8 << 20},
+                      workflow::StageSpec{"reduce", 2e8, 256 << 10}};
+    pipelines.push_back(spectro);
+    // Transient detector: bursty compute with a tight deadline.
+    workflow::PeriodicPipeline transient;
+    transient.name = "transient";
+    transient.period_s = 1.0 / rate_scale;
+    transient.relative_deadline_s = 0.4 / rate_scale;
+    transient.stages = {workflow::StageSpec{"compute", 6e9, 4 << 20},
+                        workflow::StageSpec{"reduce", 2e8, 64 << 10}};
+    pipelines.push_back(transient);
+    return pipelines;
+  };
+
+  util::Table table({"load", "policy", "instances", "miss%",
+                     "mean lat", "max lat"});
+  for (double load : {1.0, 2.0, 4.0}) {
+    for (const char* policy : {"eager", "dmda"}) {
+      const workflow::StreamingResult result = workflow::run_streaming(
+          platform, policy, make_pipelines(load), /*horizon_s=*/12.0,
+          library);
+      double mean = 0.0;
+      double worst = 0.0;
+      for (const auto& p : result.pipelines) {
+        mean += p.mean_latency_s / static_cast<double>(
+                                       result.pipelines.size());
+        worst = std::max(worst, p.max_latency_s);
+      }
+      table.add_row({util::format("%.0fx", load), policy,
+                     std::to_string(result.total_instances()),
+                     util::format("%.1f", result.overall_miss_rate() * 100),
+                     util::human_seconds(mean),
+                     util::human_seconds(worst)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nAt rising ingest rates, data-aware placement keeps the "
+               "GPU fed and defers the\nmiss-rate cliff that the blind "
+               "policy hits first.\n";
+  return 0;
+}

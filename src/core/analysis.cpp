@@ -1,0 +1,199 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace hetflow::core {
+
+ScheduleAnalysis analyze_schedule(const Runtime& runtime) {
+  HETFLOW_REQUIRE_MSG(runtime.tracer().enabled(),
+                      "analysis needs a recorded trace");
+  ScheduleAnalysis analysis;
+
+  // Successful execution windows, keyed by task.
+  std::map<TaskId, const trace::Span*> span_of;
+  for (const trace::Span& span : runtime.tracer().spans()) {
+    if (span.kind == trace::SpanKind::Exec) {
+      span_of[span.task_id] = &span;
+      analysis.makespan = std::max(analysis.makespan, span.end);
+    }
+  }
+  if (span_of.empty()) {
+    return analysis;
+  }
+
+  // Per-device execution order (to find "device predecessor" constraints).
+  std::map<hw::DeviceId, std::vector<const trace::Span*>> per_device;
+  for (const auto& [id, span] : span_of) {
+    per_device[span->device].push_back(span);
+  }
+  for (auto& [device, spans] : per_device) {
+    std::sort(spans.begin(), spans.end(),
+              [](const trace::Span* a, const trace::Span* b) {
+                return a->start < b->start;
+              });
+  }
+  const auto device_predecessor =
+      [&](const trace::Span& span) -> const trace::Span* {
+    const auto& spans = per_device[span.device];
+    const trace::Span* prev = nullptr;
+    for (const trace::Span* candidate : spans) {
+      if (candidate->task_id == span.task_id) {
+        break;
+      }
+      prev = candidate;
+    }
+    return prev;
+  };
+
+  // Timings + waits.
+  for (const auto& [id, span] : span_of) {
+    const Task& task = runtime.task(id);
+    TaskTiming timing;
+    timing.task = id;
+    timing.name = span->name;
+    timing.device = span->device;
+    timing.start = span->start;
+    timing.end = span->end;
+    timing.wait = span->start - task.times().ready;
+    analysis.tasks.push_back(timing);
+  }
+
+  // Realized critical path: walk back from the last finisher. At each
+  // hop, the binding constraint is whichever finished latest among (a)
+  // dependencies and (b) the task that ran immediately before on the
+  // same device. Stop when the task started at its ready time with no
+  // binding predecessor.
+  const trace::Span* cursor = nullptr;
+  for (const auto& [id, span] : span_of) {
+    if (cursor == nullptr || span->end > cursor->end) {
+      cursor = span;
+    }
+  }
+  std::vector<TaskId> path;
+  while (cursor != nullptr) {
+    path.push_back(cursor->task_id);
+    analysis.critical_exec_seconds += cursor->duration();
+    const Task& task = runtime.task(cursor->task_id);
+    const trace::Span* binding = nullptr;
+    for (TaskId dep : task.dependencies) {
+      const auto it = span_of.find(dep);
+      if (it != span_of.end() &&
+          (binding == nullptr || it->second->end > binding->end)) {
+        binding = it->second;
+      }
+    }
+    const trace::Span* prev_on_device = device_predecessor(*cursor);
+    if (prev_on_device != nullptr &&
+        (binding == nullptr || prev_on_device->end > binding->end)) {
+      // Only binding if the device hand-off actually gated the start.
+      if (prev_on_device->end > cursor->start - 1e-12 ||
+          binding == nullptr) {
+        binding = prev_on_device;
+      }
+    }
+    // A release-time or transfer-bound start has no task predecessor.
+    if (binding == nullptr || binding->end <= 1e-12) {
+      cursor = binding;
+      if (cursor != nullptr) {
+        path.push_back(cursor->task_id);
+        analysis.critical_exec_seconds += cursor->duration();
+      }
+      break;
+    }
+    cursor = binding;
+  }
+  std::reverse(path.begin(), path.end());
+  analysis.critical_path = std::move(path);
+
+  // Slack: forward tolerance per task = min over dependents of (dependent
+  // start - this end), and makespan - end for terminal tasks.
+  for (TaskTiming& timing : analysis.tasks) {
+    const Task& task = runtime.task(timing.task);
+    double slack = analysis.makespan - timing.end;
+    for (TaskId dependent : task.dependents) {
+      const auto it = span_of.find(dependent);
+      if (it != span_of.end()) {
+        slack = std::min(slack, it->second->start - timing.end);
+      }
+    }
+    timing.slack = std::max(0.0, slack);
+  }
+  return analysis;
+}
+
+RunStats apply_sleep_model(const Runtime& runtime,
+                           const SleepPolicy& policy) {
+  HETFLOW_REQUIRE_MSG(runtime.tracer().enabled(),
+                      "sleep model needs a recorded trace");
+  HETFLOW_REQUIRE_MSG(policy.threshold_s >= 0.0 && policy.sleep_watts >= 0.0,
+                      "sleep policy parameters cannot be negative");
+  RunStats stats = runtime.stats();
+  const hw::Platform& platform = runtime.platform();
+  // Busy intervals per device (successful and failed attempts both keep
+  // the device out of sleep).
+  std::vector<std::vector<std::pair<double, double>>> busy(
+      platform.device_count());
+  for (const trace::Span& span : runtime.tracer().spans()) {
+    busy[span.device].push_back({span.start, span.end});
+  }
+  for (std::size_t d = 0; d < busy.size(); ++d) {
+    std::sort(busy[d].begin(), busy[d].end());
+    const hw::Device& device = platform.device(static_cast<hw::DeviceId>(d));
+    const double idle_watts = device.nominal_dvfs().idle_watts;
+    double energy = 0.0;
+    double cursor = 0.0;
+    const auto account_gap = [&](double gap) {
+      if (gap <= 0.0) {
+        return;
+      }
+      const double awake = std::min(gap, policy.threshold_s);
+      energy += idle_watts * awake +
+                policy.sleep_watts * (gap - awake);
+    };
+    for (const auto& [start, end] : busy[d]) {
+      account_gap(start - cursor);
+      cursor = std::max(cursor, end);
+    }
+    account_gap(stats.makespan_s - cursor);
+    stats.devices[d].idle_energy_j = energy;
+  }
+  return stats;
+}
+
+std::string critical_path_report(const ScheduleAnalysis& analysis,
+                                 std::size_t max_rows) {
+  std::ostringstream out;
+  out << util::format(
+      "makespan %.4f s; realized critical path: %zu tasks, %.4f s compute "
+      "(%.1f%% of makespan)\n",
+      analysis.makespan, analysis.critical_path.size(),
+      analysis.critical_exec_seconds,
+      analysis.critical_compute_fraction() * 100.0);
+
+  std::map<TaskId, const TaskTiming*> timing_of;
+  for (const TaskTiming& timing : analysis.tasks) {
+    timing_of[timing.task] = &timing;
+  }
+  util::Table table({"#", "task", "device", "start", "end", "wait"});
+  std::size_t row = 0;
+  for (TaskId id : analysis.critical_path) {
+    if (row >= max_rows) {
+      break;
+    }
+    const TaskTiming* t = timing_of.at(id);
+    table.add_row({std::to_string(row), t->name, std::to_string(t->device),
+                   util::format("%.4f", t->start),
+                   util::format("%.4f", t->end),
+                   util::format("%.4f", t->wait)});
+    ++row;
+  }
+  out << table.render();
+  return out.str();
+}
+
+}  // namespace hetflow::core

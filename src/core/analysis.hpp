@@ -1,0 +1,72 @@
+// Post-mortem schedule analysis: given a completed run's trace and task
+// dependency structure, reconstruct the *realized* critical path (the
+// chain of tasks and waits that actually determined the makespan) and
+// per-task slack — the classic "where did my time go" question for
+// workflow runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace hetflow::core {
+
+struct TaskTiming {
+  TaskId task = 0;
+  std::string name;
+  hw::DeviceId device = 0;
+  double start = 0.0;
+  double end = 0.0;
+  /// How much later this task could have finished without growing the
+  /// makespan (0 on the realized critical path).
+  double slack = 0.0;
+  /// Time between becoming ready and starting (queueing + transfers).
+  double wait = 0.0;
+};
+
+struct ScheduleAnalysis {
+  double makespan = 0.0;
+  /// Task ids along the realized critical path, in execution order.
+  std::vector<TaskId> critical_path;
+  /// Summed execution time on that path; the rest of the makespan is
+  /// wait (queueing, transfers, release gaps, device serialization).
+  double critical_exec_seconds = 0.0;
+  std::vector<TaskTiming> tasks;  ///< all completed tasks, by id order
+
+  /// Fraction of the makespan spent computing on the critical path
+  /// (1.0 = a perfectly compute-bound chain).
+  double critical_compute_fraction() const noexcept {
+    return makespan > 0.0 ? critical_exec_seconds / makespan : 0.0;
+  }
+};
+
+/// Analyzes a completed run. Requires a recorded trace
+/// (RuntimeOptions::record_trace). Successful executions only. The
+/// realized critical path is traced backwards from the last-finishing
+/// task through whichever constraint bound each start: the latest
+/// dependency, or the task that occupied the device immediately before.
+ScheduleAnalysis analyze_schedule(const Runtime& runtime);
+
+/// Human-readable report: summary line, the critical path (up to
+/// `max_rows` hops) with per-hop wait, and the largest-wait tasks.
+std::string critical_path_report(const ScheduleAnalysis& analysis,
+                                 std::size_t max_rows = 20);
+
+/// Dynamic resource sleep (DRS): a device idle for longer than
+/// `threshold_s` drops from its idle power to `sleep_watts` for the
+/// remainder of the gap (wake latency is not modeled — the policy is an
+/// energy-accounting ablation, not a timing change).
+struct SleepPolicy {
+  double threshold_s = 0.1;
+  double sleep_watts = 0.5;
+};
+
+/// Returns a copy of the run's stats with per-device idle energy
+/// recomputed under `policy`, using the recorded execution trace to find
+/// the idle gaps. Requires record_trace.
+RunStats apply_sleep_model(const Runtime& runtime,
+                           const SleepPolicy& policy);
+
+}  // namespace hetflow::core

@@ -1,0 +1,55 @@
+#include "core/codelet.hpp"
+
+#include <atomic>
+
+namespace hetflow::core {
+
+namespace {
+std::atomic<std::uint32_t> g_next_codelet_id{0};
+}
+
+Codelet::Codelet(std::string name)
+    : id_(g_next_codelet_id.fetch_add(1, std::memory_order_relaxed)),
+      name_(std::move(name)) {
+  HETFLOW_REQUIRE_MSG(!name_.empty(), "codelet name cannot be empty");
+}
+
+Codelet& Codelet::implement(hw::DeviceType type, double efficiency) {
+  HETFLOW_REQUIRE_MSG(efficiency > 0.0 && efficiency <= 1.0,
+                      "codelet efficiency must be in (0, 1]");
+  efficiency_[static_cast<std::size_t>(type)] = efficiency;
+  return *this;
+}
+
+bool Codelet::implemented() const noexcept {
+  for (double e : efficiency_) {
+    if (e > 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double Codelet::compute_seconds(const hw::Device& device, double flops) const {
+  const double eff = efficiency(device.type());
+  if (eff <= 0.0) {
+    throw InvalidArgument("codelet '" + name_ + "' has no implementation for " +
+                          std::string(hw::to_string(device.type())));
+  }
+  if (flops <= 0.0) {
+    return 0.0;
+  }
+  return flops / (device.peak_gflops() * 1e9 * eff);
+}
+
+std::shared_ptr<const Codelet> Codelet::make(
+    std::string name,
+    std::initializer_list<std::pair<hw::DeviceType, double>> impls) {
+  auto codelet = std::make_shared<Codelet>(std::move(name));
+  for (const auto& [type, eff] : impls) {
+    codelet->implement(type, eff);
+  }
+  return codelet;
+}
+
+}  // namespace hetflow::core

@@ -1,0 +1,619 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "perf/energy_model.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::core {
+
+// ---------------------------------------------------------------------------
+// SchedContext implementation
+// ---------------------------------------------------------------------------
+
+class Runtime::Context final : public SchedContext {
+ public:
+  explicit Context(Runtime& rt) : rt_(&rt) {}
+
+  const hw::Platform& platform() const override { return *rt_->platform_; }
+  sim::SimTime now() const override { return rt_->queue_.now(); }
+
+  const data::DataRegistry& data_registry() const override {
+    return rt_->data_.registry();
+  }
+
+  double estimate_exec_seconds(
+      const Task& task, const hw::Device& device,
+      std::optional<std::size_t> dvfs) const override {
+    return rt_->exec_estimate(task, device, dvfs);
+  }
+
+  sim::SimTime device_available_at(const hw::Device& device) const override {
+    const DeviceState& state = rt_->device_states_[device.id()];
+    const sim::SimTime base =
+        state.running != nullptr ? state.busy_until : rt_->queue_.now();
+    return base + state.queued_est_seconds;
+  }
+
+  sim::SimTime estimate_data_ready(const Task& task, const hw::Device& device,
+                                   sim::SimTime earliest) const override {
+    return rt_->data_.estimate_ready_time(task.accesses(),
+                                          device.memory_node(), earliest);
+  }
+
+  std::uint64_t missing_input_bytes(const Task& task,
+                                    const hw::Device& device) const override {
+    return rt_->data_.missing_input_bytes(task.accesses(),
+                                          device.memory_node());
+  }
+
+  sim::SimTime estimate_completion(
+      const Task& task, const hw::Device& device,
+      std::optional<std::size_t> dvfs) const override {
+    const double exec = rt_->exec_estimate(task, device, dvfs);
+    if (!std::isfinite(exec)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const sim::SimTime avail = device_available_at(device);
+    const sim::SimTime data_ready = estimate_data_ready(task, device, avail);
+    return std::max(avail, data_ready) + exec;
+  }
+
+  double estimate_energy(const Task& task, const hw::Device& device,
+                         std::optional<std::size_t> dvfs) const override {
+    const double exec = rt_->exec_estimate(task, device, dvfs);
+    if (!std::isfinite(exec)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const std::size_t state = dvfs.value_or(device.nominal_dvfs_index());
+    return perf::EnergyModel::task_energy_j(device, state, exec);
+  }
+
+  std::size_t queue_length(const hw::Device& device) const override {
+    return rt_->device_states_[device.id()].queue.size();
+  }
+
+  std::size_t busy_device_count() const override {
+    std::size_t count = 0;
+    for (const DeviceState& state : rt_->device_states_) {
+      if (state.running != nullptr || !state.queue.empty()) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  void assign(Task& task, const hw::Device& device,
+              std::optional<std::size_t> dvfs) override {
+    rt_->internal_assign(task, device, dvfs);
+  }
+
+ private:
+  Runtime* rt_;
+};
+
+// ---------------------------------------------------------------------------
+// Construction / submission
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(const hw::Platform& platform,
+                 std::unique_ptr<Scheduler> scheduler, RuntimeOptions options)
+    : platform_(&platform),
+      options_(options),
+      data_(platform, queue_),
+      tracer_(options.record_trace),
+      scheduler_(std::move(scheduler)),
+      rng_(options.seed),
+      device_states_(platform.device_count()) {
+  HETFLOW_REQUIRE_MSG(scheduler_ != nullptr, "runtime needs a scheduler");
+  context_ = std::make_unique<Context>(*this);
+  scheduler_->attach(*context_);
+  stats_.devices.resize(platform.device_count());
+  for (std::size_t i = 0; i < platform.device_count(); ++i) {
+    stats_.devices[i].device = static_cast<hw::DeviceId>(i);
+  }
+}
+
+Runtime::~Runtime() = default;
+
+data::DataId Runtime::register_data(std::string name, std::uint64_t bytes,
+                                    hw::MemoryNodeId home_node) {
+  const data::DataId id =
+      data_.register_data(std::move(name), bytes, home_node);
+  handle_uses_.resize(data_.registry().count());
+  return id;
+}
+
+TaskId Runtime::submit(std::string name, CodeletPtr codelet, double flops,
+                       std::vector<data::Access> accesses) {
+  return submit(std::move(name), std::move(codelet), flops,
+                std::move(accesses), 0.0);
+}
+
+std::vector<data::DataId> Runtime::partition_data(data::DataId parent,
+                                                  std::size_t parts) {
+  HETFLOW_REQUIRE_MSG(parent < data_.registry().count(),
+                      "partition of unregistered handle");
+  HETFLOW_REQUIRE_MSG(parts >= 1, "partition needs at least one part");
+  if (is_partitioned(parent)) {
+    throw InvalidArgument("handle is already partitioned");
+  }
+  if (child_parent_.count(parent) > 0 &&
+      partitions_.at(child_parent_.at(parent)).active) {
+    throw InvalidArgument("cannot partition a live partition child");
+  }
+  // Copy: registering children reallocates the registry's storage.
+  const data::DataHandle parent_handle = data_.registry().handle(parent);
+  PartitionInfo info;
+  info.active = true;
+  const std::uint64_t block = parent_handle.bytes / parts;
+  for (std::size_t i = 0; i < parts; ++i) {
+    const std::uint64_t bytes =
+        i + 1 == parts ? parent_handle.bytes - block * (parts - 1) : block;
+    const data::DataId child = register_data(
+        util::format("%s[%zu/%zu]", parent_handle.name.c_str(), i, parts),
+        bytes, parent_handle.home_node);
+    // Children inherit the parent's ordering point: a child's first
+    // reader/writer orders after whatever last wrote the parent.
+    handle_uses_[child].last_writer = handle_uses_[parent].last_writer;
+    child_parent_[child] = parent;
+    info.children.push_back(child);
+  }
+  partitions_[parent] = std::move(info);
+  return partitions_[parent].children;
+}
+
+void Runtime::unpartition_data(data::DataId parent) {
+  const auto it = partitions_.find(parent);
+  if (it == partitions_.end() || !it->second.active) {
+    throw InvalidArgument("handle is not partitioned");
+  }
+  HandleUse& parent_use = handle_uses_[parent];
+  for (data::DataId child : it->second.children) {
+    // Everything that touched a child becomes an (unordered) predecessor
+    // of the parent's next accessor — expressed via the redux list,
+    // whose semantics are exactly "next read/write orders after all".
+    HandleUse& child_use = handle_uses_[child];
+    if (child_use.last_writer != nullptr) {
+      parent_use.redux_since_write.push_back(child_use.last_writer);
+    }
+    for (Task* reader : child_use.readers_since_write) {
+      parent_use.redux_since_write.push_back(reader);
+    }
+    for (Task* contributor : child_use.redux_since_write) {
+      parent_use.redux_since_write.push_back(contributor);
+    }
+  }
+  it->second.active = false;
+}
+
+bool Runtime::is_partitioned(data::DataId parent) const {
+  const auto it = partitions_.find(parent);
+  return it != partitions_.end() && it->second.active;
+}
+
+TaskId Runtime::submit(std::string name, CodeletPtr codelet, double flops,
+                       std::vector<data::Access> accesses, double priority) {
+  // The codelet must be runnable somewhere on this platform.
+  bool supported = false;
+  for (const hw::Device& device : platform_->devices()) {
+    if (codelet->supports(device.type())) {
+      supported = true;
+      break;
+    }
+  }
+  if (!supported) {
+    throw InvalidArgument("codelet '" + codelet->name() +
+                          "' runs on no device of platform '" +
+                          platform_->name() + "'");
+  }
+  for (const data::Access& access : accesses) {
+    HETFLOW_REQUIRE_MSG(access.data < data_.registry().count(),
+                        "task references an unregistered data handle");
+    if (is_partitioned(access.data)) {
+      throw InvalidArgument(
+          "task accesses handle '" +
+          data_.registry().handle(access.data).name +
+          "' while it is partitioned — access its children instead");
+    }
+    const auto parent_it = child_parent_.find(access.data);
+    if (parent_it != child_parent_.end() &&
+        !partitions_.at(parent_it->second).active) {
+      throw InvalidArgument(
+          "task accesses partition child '" +
+          data_.registry().handle(access.data).name +
+          "' after unpartition");
+    }
+  }
+  const TaskId id = tasks_.size();
+  tasks_.push_back(std::make_unique<Task>(id, std::move(name),
+                                          std::move(codelet), flops,
+                                          std::move(accesses)));
+  Task& task = *tasks_.back();
+  task.set_priority(priority);
+  task.mutable_times().submitted = queue_.now();
+  infer_dependencies(task);
+  ++pending_;
+  return id;
+}
+
+Task& Runtime::task(TaskId id) {
+  HETFLOW_REQUIRE_MSG(id < tasks_.size(), "task id out of range");
+  return *tasks_[id];
+}
+
+const Task& Runtime::task(TaskId id) const {
+  HETFLOW_REQUIRE_MSG(id < tasks_.size(), "task id out of range");
+  return *tasks_[id];
+}
+
+void Runtime::infer_dependencies(Task& task) {
+  std::unordered_set<TaskId> deps;
+  const auto add_dep = [&](Task* parent) {
+    if (parent == nullptr || parent == &task) {
+      return;
+    }
+    if (!deps.insert(parent->id()).second) {
+      return;
+    }
+    task.dependencies.push_back(parent->id());
+    if (parent->state() != TaskState::Completed) {
+      parent->dependents.push_back(task.id());
+      ++task.unfinished_deps;
+    }
+  };
+  for (const data::Access& access : task.accesses()) {
+    HandleUse& use = handle_uses_[access.data];
+    if (data::is_read(access.mode)) {
+      add_dep(use.last_writer);  // RAW
+      for (Task* contributor : use.redux_since_write) {
+        add_dep(contributor);  // read sees the combined reduction
+      }
+    }
+    if (data::is_write(access.mode)) {
+      add_dep(use.last_writer);  // WAW
+      for (Task* reader : use.readers_since_write) {
+        add_dep(reader);  // WAR
+      }
+      for (Task* contributor : use.redux_since_write) {
+        add_dep(contributor);  // write overwrites the reduction result
+      }
+    }
+    if (data::is_redux(access.mode)) {
+      // Contributors order after the preceding writer and readers, but
+      // NOT after each other — that is the whole point of Redux.
+      add_dep(use.last_writer);
+      for (Task* reader : use.readers_since_write) {
+        add_dep(reader);
+      }
+    }
+  }
+  // Second pass so a RW access doesn't register itself as its own parent.
+  for (const data::Access& access : task.accesses()) {
+    HandleUse& use = handle_uses_[access.data];
+    if (data::is_write(access.mode)) {
+      use.last_writer = &task;
+      use.readers_since_write.clear();
+      use.redux_since_write.clear();
+    }
+    if (access.mode == data::AccessMode::Read) {
+      use.readers_since_write.push_back(&task);
+    }
+    if (data::is_redux(access.mode)) {
+      use.redux_since_write.push_back(&task);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution engine
+// ---------------------------------------------------------------------------
+
+sim::SimTime Runtime::wait_all() {
+  // Static pre-pass over every not-yet-completed task.
+  std::vector<Task*> open_tasks;
+  for (const auto& task : tasks_) {
+    if (task->state() == TaskState::Submitted) {
+      open_tasks.push_back(task.get());
+    }
+  }
+  if (!open_tasks.empty()) {
+    scheduler_->prepare(open_tasks);
+    prepared_anything_ = true;
+  }
+  for (Task* task : open_tasks) {
+    if (task->unfinished_deps == 0 && task->state() == TaskState::Submitted &&
+        deferred_.count(task->id()) == 0) {
+      ready_or_defer(*task);
+    }
+  }
+  pump_all();
+  while (pending_ > 0) {
+    if (!queue_.step()) {
+      // Drained with work outstanding: give pull-mode schedulers one more
+      // chance, then declare deadlock.
+      pump_all();
+      if (pending_ > 0 && queue_.empty()) {
+        throw InternalError(util::format(
+            "scheduler '%s' stalled with %zu unfinished tasks",
+            scheduler_->name().c_str(), pending_));
+      }
+    }
+  }
+  finalize_stats();
+  return queue_.now();
+}
+
+void Runtime::ready_or_defer(Task& task) {
+  if (task.release_time() > queue_.now()) {
+    deferred_.insert(task.id());
+    queue_.schedule_at(task.release_time(), [this, &task] {
+      deferred_.erase(task.id());
+      if (task.state() == TaskState::Submitted) {
+        make_ready(task);
+        pump_all();
+      }
+    });
+    return;
+  }
+  make_ready(task);
+}
+
+void Runtime::make_ready(Task& task) {
+  HETFLOW_REQUIRE(task.state() == TaskState::Submitted);
+  HETFLOW_REQUIRE(task.unfinished_deps == 0);
+  task.set_state(TaskState::Ready);
+  task.mutable_times().ready = queue_.now();
+  scheduler_->on_task_ready(task);
+}
+
+void Runtime::internal_assign(Task& task, const hw::Device& device,
+                              std::optional<std::size_t> dvfs) {
+  HETFLOW_REQUIRE_MSG(task.state() == TaskState::Ready,
+                      "assign() on a task that is not Ready");
+  HETFLOW_REQUIRE_MSG(task.codelet().supports(device.type()),
+                      "assigned task to a device type without implementation");
+  if (dvfs.has_value()) {
+    HETFLOW_REQUIRE_MSG(*dvfs < device.dvfs_states().size(),
+                        "DVFS index out of range");
+  }
+  task.set_state(TaskState::Queued);
+  task.set_device(device.id());
+  task.set_dvfs_state(dvfs);
+  DeviceState& state = device_states_[device.id()];
+  state.queue.push_back(&task);
+  state.queued_est_seconds += exec_estimate(task, device, dvfs);
+  if (options_.enable_prefetch) {
+    // The task is Ready, so its inputs are final: start moving them now,
+    // overlapping whatever the device is still executing.
+    data_.prefetch(task.accesses(), device.memory_node(), queue_.now());
+    prefetched_.insert(task.id());
+  }
+  pump_device(device.id());
+}
+
+void Runtime::pump_all() {
+  for (hw::DeviceId id = 0; id < device_states_.size(); ++id) {
+    pump_device(id);
+  }
+}
+
+void Runtime::pump_device(hw::DeviceId id) {
+  DeviceState& state = device_states_[id];
+  while (state.running == nullptr) {
+    if (state.queue.empty()) {
+      Task* pulled = scheduler_->on_device_idle(platform_->device(id));
+      if (pulled == nullptr) {
+        return;
+      }
+      internal_assign(*pulled, platform_->device(id), std::nullopt);
+      // internal_assign recursed into pump_device; stop this frame.
+      return;
+    }
+    start_next(id);
+  }
+}
+
+std::size_t Runtime::dvfs_or_nominal(const Task& task,
+                                     const hw::Device& device) const {
+  return task.dvfs_state().value_or(device.nominal_dvfs_index());
+}
+
+void Runtime::start_next(hw::DeviceId id) {
+  DeviceState& state = device_states_[id];
+  HETFLOW_REQUIRE(state.running == nullptr && !state.queue.empty());
+  Task& task = *state.queue.front();
+  state.queue.pop_front();
+  const hw::Device& device = platform_->device(id);
+  state.queued_est_seconds = std::max(
+      0.0,
+      state.queued_est_seconds -
+          exec_estimate(task, device, task.dvfs_state()));
+
+  task.set_state(TaskState::Running);
+  task.note_attempt();
+  if (task.attempts() > options_.max_attempts) {
+    throw Error(util::format("task '%s' exceeded %zu attempts",
+                             task.name().c_str(), options_.max_attempts));
+  }
+
+  const sim::SimTime now = queue_.now();
+  // Hand prefetch pins over to the execution-time acquire.
+  if (prefetched_.erase(task.id()) > 0) {
+    data_.release_prefetch(task.accesses(), device.memory_node());
+  }
+  // Data transfers begin immediately; the launch overhead overlaps them.
+  const sim::SimTime data_ready =
+      data_.acquire(task.accesses(), device.memory_node(), now);
+  const sim::SimTime start =
+      std::max(now + device.launch_overhead_s(), data_ready);
+
+  const std::size_t dvfs_index = dvfs_or_nominal(task, device);
+  double pure_exec =
+      task.codelet().compute_seconds(device, task.flops()) *
+      device.time_scale(dvfs_index);
+  if (options_.noise_cv > 0.0) {
+    // Lognormal with unit mean: mu = -sigma^2/2.
+    const double sigma =
+        std::sqrt(std::log(1.0 + options_.noise_cv * options_.noise_cv));
+    util::Rng attempt_rng =
+        rng_.split(task.id() * 131 + task.attempts());
+    pure_exec *= attempt_rng.lognormal(-sigma * sigma / 2.0, sigma);
+  }
+
+  // Fault injection: does this attempt die before finishing?
+  std::optional<double> failure_at;
+  if (options_.failure_model.enabled()) {
+    util::Rng failure_rng =
+        rng_.split(0x8000000000000000ULL ^ (task.id() * 131 + task.attempts()));
+    failure_at = options_.failure_model.sample_failure(
+        failure_rng, device.type(), pure_exec);
+  }
+
+  state.running = &task;
+  task.mutable_times().started = start;
+  if (failure_at.has_value()) {
+    const sim::SimTime died = start + *failure_at;
+    state.busy_until = died;
+    queue_.schedule_at(died, [this, &task, id, start, busy = *failure_at,
+                              dvfs_index] {
+      fail_task(task, id, start, busy, dvfs_index);
+    });
+  } else {
+    const sim::SimTime end = start + pure_exec;
+    state.busy_until = end;
+    queue_.schedule_at(end, [this, &task, id, start, busy = pure_exec,
+                             dvfs_index] {
+      finish_task(task, id, start, busy, dvfs_index);
+    });
+  }
+}
+
+void Runtime::finish_task(Task& task, hw::DeviceId id, sim::SimTime started,
+                          double busy_s, std::size_t dvfs_index) {
+  DeviceState& state = device_states_[id];
+  const hw::Device& device = platform_->device(id);
+  HETFLOW_REQUIRE(state.running == &task);
+  state.running = nullptr;
+
+  data_.release(task.accesses(), device.memory_node());
+  task.set_state(TaskState::Completed);
+  task.mutable_times().completed = queue_.now();
+
+  // Feed the measurement back, normalized to the nominal DVFS point.
+  if (options_.use_history_model) {
+    history_.record(task.codelet().id(), device.type(), task.flops(),
+                    busy_s / device.time_scale(dvfs_index));
+  }
+
+  ++state.tasks_completed;
+  state.busy_seconds += busy_s;
+  state.busy_energy_j +=
+      perf::EnergyModel::busy_energy_j(device, dvfs_index, busy_s);
+  tracer_.add(trace::Span{task.id(), task.name(), id, started, queue_.now(),
+                          trace::SpanKind::Exec});
+
+  --pending_;
+  scheduler_->on_task_complete(task);
+  for (TaskId dependent_id : task.dependents) {
+    Task& dependent = *tasks_[dependent_id];
+    HETFLOW_REQUIRE(dependent.unfinished_deps > 0);
+    if (--dependent.unfinished_deps == 0 &&
+        dependent.state() == TaskState::Submitted) {
+      ready_or_defer(dependent);
+    }
+  }
+  pump_all();
+}
+
+void Runtime::fail_task(Task& task, hw::DeviceId id, sim::SimTime started,
+                        double busy_s, std::size_t dvfs_index) {
+  DeviceState& state = device_states_[id];
+  const hw::Device& device = platform_->device(id);
+  HETFLOW_REQUIRE(state.running == &task);
+  state.running = nullptr;
+
+  data_.release(task.accesses(), device.memory_node());
+  ++state.failed_attempts;
+  ++stats_.failed_attempts;
+  state.busy_seconds += busy_s;
+  state.busy_energy_j +=
+      perf::EnergyModel::busy_energy_j(device, dvfs_index, busy_s);
+  tracer_.add(trace::Span{task.id(), task.name(), id, started, queue_.now(),
+                          trace::SpanKind::FailedExec});
+  HETFLOW_DEBUG << "task '" << task.name() << "' failed on " << device.name()
+                << " (attempt " << task.attempts() << ")";
+
+  switch (options_.failure_policy) {
+    case FailurePolicy::RetrySameDevice: {
+      task.set_state(TaskState::Queued);
+      state.queue.push_front(&task);
+      state.queued_est_seconds +=
+          exec_estimate(task, device, task.dvfs_state());
+      break;
+    }
+    case FailurePolicy::Reschedule: {
+      task.set_state(TaskState::Ready);
+      task.set_dvfs_state(std::nullopt);
+      scheduler_->on_task_failed(task, id);
+      scheduler_->on_task_ready(task);
+      break;
+    }
+  }
+  pump_all();
+}
+
+double Runtime::exec_estimate(const Task& task, const hw::Device& device,
+                              std::optional<std::size_t> dvfs) const {
+  if (!task.codelet().supports(device.type())) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // A device whose memory cannot hold the task's working set even when
+  // empty is not a feasible target; cost-model policies route around it.
+  std::uint64_t working_set = 0;
+  for (const data::Access& access : task.accesses()) {
+    working_set += data_.registry().handle(access.data).bytes;
+  }
+  if (working_set >
+      platform_->memory_node(device.memory_node()).capacity_bytes()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double pure = -1.0;
+  if (options_.use_history_model) {
+    pure = history_.estimate(task.codelet().id(), device.type(), task.flops());
+  }
+  if (pure < 0.0) {
+    pure = task.codelet().compute_seconds(device, task.flops());
+  }
+  const std::size_t index = dvfs.value_or(device.nominal_dvfs_index());
+  return device.launch_overhead_s() + pure * device.time_scale(index);
+}
+
+void Runtime::finalize_stats() {
+  stats_.makespan_s = queue_.now();
+  stats_.tasks_completed = 0;
+  for (const auto& task : tasks_) {
+    if (task->state() == TaskState::Completed) {
+      ++stats_.tasks_completed;
+    }
+  }
+  for (std::size_t i = 0; i < device_states_.size(); ++i) {
+    const DeviceState& state = device_states_[i];
+    DeviceRunStats& out = stats_.devices[i];
+    out.tasks_completed = state.tasks_completed;
+    out.failed_attempts = state.failed_attempts;
+    out.busy_seconds = state.busy_seconds;
+    out.busy_energy_j = state.busy_energy_j;
+    out.idle_energy_j = perf::EnergyModel::idle_energy_j(
+        platform_->device(static_cast<hw::DeviceId>(i)),
+        stats_.makespan_s - state.busy_seconds);
+  }
+  stats_.transfers = data_.transfers().stats();
+  stats_.data = data_.stats();
+}
+
+}  // namespace hetflow::core

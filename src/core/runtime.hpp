@@ -1,0 +1,200 @@
+// Runtime — hetflow's execution engine and primary public API.
+//
+// Usage:
+//
+//   hw::Platform platform = hw::make_workstation();
+//   Runtime rt(platform, sched::make_scheduler("dmda"));
+//   auto a = rt.register_data("A", 8 * N * N);
+//   auto gemm = Codelet::make("gemm", {{DeviceType::Cpu, 0.6},
+//                                      {DeviceType::Gpu, 0.85}});
+//   rt.submit("gemm0", gemm, 2.0 * N * N * N, {{a, AccessMode::ReadWrite}});
+//   rt.wait_all();
+//   std::cout << rt.stats().summary(platform);
+//
+// Dependencies between tasks are inferred from their data accesses under
+// sequential consistency per handle (StarPU's implicit mode): a reader
+// depends on the last writer; a writer depends on the last writer and on
+// every reader since (RAW, WAW, WAR). Execution happens in simulated time
+// on the platform model — deterministic for a given seed.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/codelet.hpp"
+#include "core/scheduler.hpp"
+#include "core/stats.hpp"
+#include "core/task.hpp"
+#include "data/manager.hpp"
+#include "hw/failure.hpp"
+#include "hw/platform.hpp"
+#include "perf/history_model.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/tracer.hpp"
+#include "util/rng.hpp"
+
+namespace hetflow::core {
+
+/// What to do when fault injection kills a task attempt.
+enum class FailurePolicy : std::uint8_t {
+  RetrySameDevice = 0,  ///< re-run at the front of the same device's queue
+  Reschedule,           ///< hand the task back to the scheduler
+};
+
+struct RuntimeOptions {
+  std::uint64_t seed = 42;
+  /// Coefficient of variation of lognormal execution-time noise
+  /// (0 = exact cost model).
+  double noise_cv = 0.0;
+  hw::FailureModel failure_model;
+  FailurePolicy failure_policy = FailurePolicy::RetrySameDevice;
+  /// A task attempt beyond this count aborts the run (guards against
+  /// pathological failure rates).
+  std::size_t max_attempts = 50;
+  bool record_trace = true;
+  /// Feed measured execution times back into the history model used for
+  /// estimates (on-line calibration).
+  bool use_history_model = true;
+  /// Start moving a task's inputs toward its device the moment it is
+  /// queued (overlapping transfers with the device's current execution)
+  /// instead of at task start. Off by default so baseline experiments
+  /// isolate scheduling effects.
+  bool enable_prefetch = false;
+};
+
+class Runtime {
+ public:
+  Runtime(const hw::Platform& platform, std::unique_ptr<Scheduler> scheduler,
+          RuntimeOptions options = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Registers a datum with its initial copy on `home_node`.
+  data::DataId register_data(std::string name, std::uint64_t bytes,
+                             hw::MemoryNodeId home_node = 0);
+
+  /// Splits `parent` into `parts` equal block children (last child takes
+  /// the remainder) so tasks can work on blocks in parallel. While the
+  /// partition is active, submitting a task that accesses `parent` is an
+  /// error. Tasks writing a child transparently order after the parent's
+  /// previous writer. Returns the child handles.
+  ///
+  /// Timing approximation: children are fresh handles homed with the
+  /// parent; the split/gather itself is treated as free (block
+  /// partitioning is a pointer adjustment in a real runtime).
+  std::vector<data::DataId> partition_data(data::DataId parent,
+                                           std::size_t parts);
+
+  /// Ends the partition: `parent` becomes accessible again and its next
+  /// accessors order after every task that touched any child; the
+  /// children become inaccessible.
+  void unpartition_data(data::DataId parent);
+
+  /// True while `parent` is split into live children.
+  bool is_partitioned(data::DataId parent) const;
+
+  /// Submits one task. Dependencies are inferred from `accesses` against
+  /// all previously submitted tasks. Returns the task id.
+  TaskId submit(std::string name, CodeletPtr codelet, double flops,
+                std::vector<data::Access> accesses);
+
+  /// Submits with an explicit priority hint (larger = more urgent).
+  TaskId submit(std::string name, CodeletPtr codelet, double flops,
+                std::vector<data::Access> accesses, double priority);
+
+  Task& task(TaskId id);
+  const Task& task(TaskId id) const;
+  std::size_t task_count() const noexcept { return tasks_.size(); }
+
+  /// Executes every submitted-but-unfinished task to completion in
+  /// simulated time; returns the simulation clock afterwards. May be
+  /// called repeatedly, interleaved with further submissions (iterative
+  /// discovery campaigns) — the clock carries over.
+  sim::SimTime wait_all();
+
+  /// Valid after wait_all(); reflects the whole run so far.
+  const RunStats& stats() const noexcept { return stats_; }
+
+  const hw::Platform& platform() const noexcept { return *platform_; }
+  const trace::Tracer& tracer() const noexcept { return tracer_; }
+  const data::DataManager& data() const noexcept { return data_; }
+  const perf::HistoryModel& history() const noexcept { return history_; }
+  const Scheduler& scheduler() const noexcept { return *scheduler_; }
+  sim::SimTime now() const noexcept { return queue_.now(); }
+
+ private:
+  class Context;  // SchedContext implementation
+
+  struct DeviceState {
+    std::deque<Task*> queue;        ///< assigned, waiting
+    Task* running = nullptr;
+    sim::SimTime busy_until = 0.0;  ///< end of the running task
+    double queued_est_seconds = 0.0;
+    // cumulative accounting
+    std::size_t tasks_completed = 0;
+    std::size_t failed_attempts = 0;
+    double busy_seconds = 0.0;
+    double busy_energy_j = 0.0;
+  };
+
+  const hw::Platform* platform_;
+  RuntimeOptions options_;
+  sim::EventQueue queue_;
+  data::DataManager data_;
+  perf::HistoryModel history_;
+  trace::Tracer tracer_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<Context> context_;
+  util::Rng rng_;
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  struct HandleUse {
+    Task* last_writer = nullptr;
+    std::vector<Task*> readers_since_write;
+    std::vector<Task*> redux_since_write;  ///< unordered contributors
+  };
+  std::vector<HandleUse> handle_uses_;
+  struct PartitionInfo {
+    std::vector<data::DataId> children;
+    bool active = false;
+  };
+  std::unordered_map<data::DataId, PartitionInfo> partitions_;
+  // child -> owning parent while that partition is or was active.
+  std::unordered_map<data::DataId, data::DataId> child_parent_;
+
+  std::vector<DeviceState> device_states_;
+  std::size_t pending_ = 0;  ///< submitted, not yet completed
+  std::unordered_set<TaskId> deferred_;  ///< waiting on release_time
+  std::unordered_set<TaskId> prefetched_;  ///< holding prefetch pins
+  RunStats stats_;
+  bool prepared_anything_ = false;
+
+  // --- engine ------------------------------------------------------------
+  void infer_dependencies(Task& task);
+  /// Makes the task Ready now, or schedules that for its release time.
+  void ready_or_defer(Task& task);
+  void make_ready(Task& task);
+  void internal_assign(Task& task, const hw::Device& device,
+                       std::optional<std::size_t> dvfs);
+  void pump_device(hw::DeviceId id);
+  void pump_all();
+  void start_next(hw::DeviceId id);
+  void finish_task(Task& task, hw::DeviceId id, sim::SimTime started,
+                   double busy_s, std::size_t dvfs_index);
+  void fail_task(Task& task, hw::DeviceId id, sim::SimTime started,
+                 double busy_s, std::size_t dvfs_index);
+  void finalize_stats();
+
+  double exec_estimate(const Task& task, const hw::Device& device,
+                       std::optional<std::size_t> dvfs) const;
+  std::size_t dvfs_or_nominal(const Task& task,
+                              const hw::Device& device) const;
+};
+
+}  // namespace hetflow::core

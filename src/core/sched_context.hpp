@@ -1,0 +1,75 @@
+// SchedContext — the window through which scheduling policies see the
+// runtime: cost estimates, device/queue state, data locality, and the
+// assign() command. Implemented by the Runtime; policies hold a reference.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "data/handle.hpp"
+#include "hw/platform.hpp"
+#include "sim/event_queue.hpp"
+
+namespace hetflow::core {
+
+class Task;
+
+class SchedContext {
+ public:
+  virtual ~SchedContext() = default;
+
+  virtual const hw::Platform& platform() const = 0;
+  virtual sim::SimTime now() const = 0;
+
+  /// Registered data handles (for edge-size computations in static
+  /// schedulers).
+  virtual const data::DataRegistry& data_registry() const = 0;
+
+  /// Estimated wall time of `task` on `device` at DVFS point `dvfs`
+  /// (nominal when omitted), including launch overhead, excluding data
+  /// movement and queueing. Uses the calibrated history when available,
+  /// else the codelet's analytic model. +inf when unsupported.
+  virtual double estimate_exec_seconds(
+      const Task& task, const hw::Device& device,
+      std::optional<std::size_t> dvfs = std::nullopt) const = 0;
+
+  /// Time at which `device` would finish everything currently running
+  /// and queued on it (its earliest availability for new work).
+  virtual sim::SimTime device_available_at(const hw::Device& device) const = 0;
+
+  /// Estimated absolute time at which `task`'s inputs could be resident on
+  /// `device`'s memory node, starting transfers at `earliest` (accounts
+  /// for current link occupancy; inputs from unexecuted producers are
+  /// assumed in place).
+  virtual sim::SimTime estimate_data_ready(const Task& task,
+                                           const hw::Device& device,
+                                           sim::SimTime earliest) const = 0;
+
+  /// Bytes of `task`'s inputs not yet resident on `device`'s node.
+  virtual std::uint64_t missing_input_bytes(
+      const Task& task, const hw::Device& device) const = 0;
+
+  /// Estimated earliest completion time: max(device availability, data
+  /// ready) + execution estimate. The building block of list schedulers.
+  virtual sim::SimTime estimate_completion(
+      const Task& task, const hw::Device& device,
+      std::optional<std::size_t> dvfs = std::nullopt) const = 0;
+
+  /// Estimated Joules to execute `task` on `device` at `dvfs`.
+  virtual double estimate_energy(
+      const Task& task, const hw::Device& device,
+      std::optional<std::size_t> dvfs = std::nullopt) const = 0;
+
+  /// Number of tasks queued (not running) on `device`.
+  virtual std::size_t queue_length(const hw::Device& device) const = 0;
+
+  /// Total number of devices with a queued or running task.
+  virtual std::size_t busy_device_count() const = 0;
+
+  /// Commits `task` to `device`'s FIFO queue, optionally at a non-nominal
+  /// DVFS point. Only legal for Ready tasks the policy owns.
+  virtual void assign(Task& task, const hw::Device& device,
+                      std::optional<std::size_t> dvfs = std::nullopt) = 0;
+};
+
+}  // namespace hetflow::core

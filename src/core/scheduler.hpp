@@ -1,0 +1,77 @@
+// Pluggable scheduling policy interface.
+//
+// The Runtime pushes events to the policy; the policy responds by calling
+// SchedContext::assign (push model) and/or by handing back tasks from
+// on_device_idle (pull model). A policy may use either or both styles:
+//
+//   * push: decide a device the moment a task becomes ready
+//     (MCT, dmda, HEFT honoring a precomputed mapping);
+//   * pull: keep ready tasks in its own structure and give one out when a
+//     device runs dry (eager central queue, work stealing).
+//
+// All policies are single-threaded with respect to the runtime: callbacks
+// are invoked from the simulation loop, never concurrently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sched_context.hpp"
+#include "core/task.hpp"
+#include "hw/device.hpp"
+
+namespace hetflow::core {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once, before any task event, with the query/command context.
+  /// The context outlives the scheduler's use of it.
+  virtual void attach(SchedContext& ctx) { ctx_ = &ctx; }
+
+  /// Called after the full graph is known (at wait_all), before execution
+  /// begins — static schedulers compute their mapping here.
+  virtual void prepare(const std::vector<Task*>& all_tasks) {
+    (void)all_tasks;
+  }
+
+  /// A task's dependencies are satisfied. The policy may assign it now
+  /// via ctx().assign(...) or retain it for pull-mode dispatch.
+  virtual void on_task_ready(Task& task) = 0;
+
+  /// `device` has no queued work. Return a retained ready task to run on
+  /// it (the runtime then assigns it there), or nullptr.
+  virtual Task* on_device_idle(const hw::Device& device) {
+    (void)device;
+    return nullptr;
+  }
+
+  /// A task finished successfully (informational; fires before dependents
+  /// become ready).
+  virtual void on_task_complete(const Task& task) { (void)task; }
+
+  /// A task attempt failed and the runtime's policy routed it back to the
+  /// scheduler (Reschedule policy only re-enters via on_task_ready).
+  virtual void on_task_failed(const Task& task, hw::DeviceId device) {
+    (void)task;
+    (void)device;
+  }
+
+ protected:
+  SchedContext& ctx() {
+    HETFLOW_REQUIRE_MSG(ctx_ != nullptr, "scheduler used before attach()");
+    return *ctx_;
+  }
+  const SchedContext& ctx() const {
+    HETFLOW_REQUIRE_MSG(ctx_ != nullptr, "scheduler used before attach()");
+    return *ctx_;
+  }
+
+ private:
+  SchedContext* ctx_ = nullptr;
+};
+
+}  // namespace hetflow::core

@@ -1,0 +1,72 @@
+#include "core/stats.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace hetflow::core {
+
+double RunStats::total_busy_seconds() const noexcept {
+  double total = 0.0;
+  for (const DeviceRunStats& d : devices) {
+    total += d.busy_seconds;
+  }
+  return total;
+}
+
+double RunStats::busy_energy_j() const noexcept {
+  double total = 0.0;
+  for (const DeviceRunStats& d : devices) {
+    total += d.busy_energy_j;
+  }
+  return total;
+}
+
+double RunStats::idle_energy_j() const noexcept {
+  double total = 0.0;
+  for (const DeviceRunStats& d : devices) {
+    total += d.idle_energy_j;
+  }
+  return total;
+}
+
+double RunStats::mean_utilization() const noexcept {
+  if (devices.empty() || makespan_s <= 0.0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const DeviceRunStats& d : devices) {
+    total += d.busy_seconds / makespan_s;
+  }
+  return total / static_cast<double>(devices.size());
+}
+
+std::string RunStats::summary(const hw::Platform& platform) const {
+  std::ostringstream out;
+  out << "makespan " << util::human_seconds(makespan_s) << ", "
+      << tasks_completed << " tasks, " << failed_attempts
+      << " failed attempts, energy " << util::format("%.1f J", total_energy_j())
+      << " (busy " << util::format("%.1f", busy_energy_j()) << " + idle "
+      << util::format("%.1f", idle_energy_j()) << "), "
+      << util::human_bytes(static_cast<double>(transfers.bytes_moved))
+      << " moved in " << transfers.transfer_count << " transfers, mean util "
+      << util::format("%.1f%%", mean_utilization() * 100.0) << '\n';
+  util::Table table({"device", "type", "tasks", "failed", "busy", "util%",
+                     "energy J"});
+  for (const DeviceRunStats& d : devices) {
+    const hw::Device& device = platform.device(d.device);
+    table.add_row(
+        {device.name(), hw::to_string(device.type()),
+         std::to_string(d.tasks_completed), std::to_string(d.failed_attempts),
+         util::human_seconds(d.busy_seconds),
+         util::format("%.1f", makespan_s > 0
+                                  ? d.busy_seconds / makespan_s * 100.0
+                                  : 0.0),
+         util::format("%.1f", d.busy_energy_j + d.idle_energy_j)});
+  }
+  out << table.render();
+  return out.str();
+}
+
+}  // namespace hetflow::core

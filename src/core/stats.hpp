@@ -1,0 +1,46 @@
+// Aggregate results of one runtime execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/manager.hpp"
+#include "data/transfer.hpp"
+#include "hw/platform.hpp"
+
+namespace hetflow::core {
+
+struct DeviceRunStats {
+  hw::DeviceId device = 0;
+  std::size_t tasks_completed = 0;
+  std::size_t failed_attempts = 0;
+  double busy_seconds = 0.0;     ///< compute time (successful + failed)
+  double busy_energy_j = 0.0;    ///< energy while computing
+  double idle_energy_j = 0.0;    ///< energy while idle over the makespan
+};
+
+struct RunStats {
+  double makespan_s = 0.0;
+  std::size_t tasks_completed = 0;
+  std::size_t failed_attempts = 0;
+  std::vector<DeviceRunStats> devices;
+  data::TransferStats transfers;
+  data::DataManagerStats data;
+
+  double total_busy_seconds() const noexcept;
+  double busy_energy_j() const noexcept;
+  double idle_energy_j() const noexcept;
+  double total_energy_j() const noexcept {
+    return busy_energy_j() + idle_energy_j();
+  }
+  /// Energy-delay product (J*s) — the energy-aware scheduling objective.
+  double edp() const noexcept { return total_energy_j() * makespan_s; }
+  /// Mean busy fraction across devices over the makespan.
+  double mean_utilization() const noexcept;
+
+  /// Multi-line human-readable summary.
+  std::string summary(const hw::Platform& platform) const;
+};
+
+}  // namespace hetflow::core

@@ -1,0 +1,34 @@
+#include "core/task.hpp"
+
+namespace hetflow::core {
+
+const char* to_string(TaskState state) noexcept {
+  switch (state) {
+    case TaskState::Submitted:
+      return "submitted";
+    case TaskState::Ready:
+      return "ready";
+    case TaskState::Queued:
+      return "queued";
+    case TaskState::Running:
+      return "running";
+    case TaskState::Completed:
+      return "completed";
+  }
+  return "?";
+}
+
+Task::Task(TaskId id, std::string name, CodeletPtr codelet, double flops,
+           std::vector<data::Access> accesses)
+    : id_(id),
+      name_(std::move(name)),
+      codelet_(std::move(codelet)),
+      flops_(flops),
+      accesses_(std::move(accesses)) {
+  HETFLOW_REQUIRE_MSG(codelet_ != nullptr, "task needs a codelet");
+  HETFLOW_REQUIRE_MSG(codelet_->implemented(),
+                      "codelet has no implementation on any device type");
+  HETFLOW_REQUIRE_MSG(flops_ >= 0.0, "task flops cannot be negative");
+}
+
+}  // namespace hetflow::core

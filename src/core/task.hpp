@@ -1,0 +1,101 @@
+// Task — one node of the executed DAG: a codelet instance with a flop
+// count, data accesses and runtime bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/codelet.hpp"
+#include "data/access.hpp"
+#include "hw/device.hpp"
+#include "sim/event_queue.hpp"
+
+namespace hetflow::core {
+
+using TaskId = std::uint64_t;
+
+enum class TaskState : std::uint8_t {
+  Submitted = 0,  ///< dependencies not yet satisfied
+  Ready,          ///< all dependencies done, awaiting scheduling decision
+  Queued,         ///< assigned to a device, waiting in its queue
+  Running,        ///< executing (in simulated time)
+  Completed,
+};
+
+const char* to_string(TaskState state) noexcept;
+
+/// Per-task timestamps in simulated seconds.
+struct TaskTimes {
+  sim::SimTime submitted = 0.0;
+  sim::SimTime ready = 0.0;
+  sim::SimTime started = 0.0;    ///< start of the successful attempt
+  sim::SimTime completed = 0.0;
+};
+
+class Task {
+ public:
+  Task(TaskId id, std::string name, CodeletPtr codelet, double flops,
+       std::vector<data::Access> accesses);
+
+  TaskId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  const Codelet& codelet() const noexcept { return *codelet_; }
+  const CodeletPtr& codelet_ptr() const noexcept { return codelet_; }
+  double flops() const noexcept { return flops_; }
+  const std::vector<data::Access>& accesses() const noexcept {
+    return accesses_;
+  }
+
+  /// Scheduler priority hint; larger = more urgent. Defaults to 0. Static
+  /// schedulers overwrite this with computed ranks.
+  double priority() const noexcept { return priority_; }
+  void set_priority(double priority) noexcept { priority_ = priority; }
+
+  /// Earliest simulated time the task may become Ready (periodic /
+  /// streaming arrivals). 0 = immediately once dependencies allow. Must
+  /// be set before the surrounding wait_all() processes the task.
+  sim::SimTime release_time() const noexcept { return release_time_; }
+  void set_release_time(sim::SimTime t) noexcept { release_time_ = t; }
+
+  TaskState state() const noexcept { return state_; }
+  const TaskTimes& times() const noexcept { return times_; }
+
+  /// Device the task ran on (set once Queued). Meaningless before.
+  hw::DeviceId device() const noexcept { return device_; }
+  /// DVFS point chosen for execution (defaults to the device's nominal).
+  std::optional<std::size_t> dvfs_state() const noexcept { return dvfs_; }
+
+  std::uint32_t attempts() const noexcept { return attempts_; }
+
+  // --- runtime-internal interface (used by Runtime and schedulers) ------
+  void set_state(TaskState state) noexcept { state_ = state; }
+  TaskTimes& mutable_times() noexcept { return times_; }
+  void set_device(hw::DeviceId device) noexcept { device_ = device; }
+  void set_dvfs_state(std::optional<std::size_t> dvfs) noexcept {
+    dvfs_ = dvfs;
+  }
+  void note_attempt() noexcept { ++attempts_; }
+
+  std::size_t unfinished_deps = 0;       ///< decremented as parents finish
+  std::vector<TaskId> dependents;        ///< tasks waiting on this one
+  std::vector<TaskId> dependencies;      ///< parents (for static schedulers)
+
+ private:
+  TaskId id_;
+  std::string name_;
+  CodeletPtr codelet_;
+  double flops_;
+  std::vector<data::Access> accesses_;
+  double priority_ = 0.0;
+  sim::SimTime release_time_ = 0.0;
+  TaskState state_ = TaskState::Submitted;
+  TaskTimes times_;
+  hw::DeviceId device_ = std::numeric_limits<hw::DeviceId>::max();
+  std::optional<std::size_t> dvfs_;
+  std::uint32_t attempts_ = 0;
+};
+
+}  // namespace hetflow::core

@@ -1,0 +1,45 @@
+// Data access modes. Tasks declare how they touch each handle; the
+// runtime infers inter-task dependencies from these declarations
+// (sequential consistency per handle), and the coherence layer derives
+// replica state transitions from them.
+#pragma once
+
+#include <cstdint>
+
+#include "data/handle.hpp"
+
+namespace hetflow::data {
+
+enum class AccessMode : std::uint8_t {
+  Read = 0,   ///< consumes the current value
+  Write,      ///< overwrites entirely (no fetch of the old value needed)
+  ReadWrite,  ///< reads then updates in place
+  /// Commutative-associative accumulation (StarPU REDUX): Redux accesses
+  /// to the same handle do NOT order against each other — contributors
+  /// run in parallel, each into a device-local partial — but a later
+  /// Read/Write orders after ALL of them. The simulation approximates
+  /// the combine by charging the fetch of one replica.
+  Redux,
+};
+
+constexpr bool is_read(AccessMode mode) noexcept {
+  return mode == AccessMode::Read || mode == AccessMode::ReadWrite;
+}
+
+constexpr bool is_write(AccessMode mode) noexcept {
+  return mode == AccessMode::Write || mode == AccessMode::ReadWrite;
+}
+
+constexpr bool is_redux(AccessMode mode) noexcept {
+  return mode == AccessMode::Redux;
+}
+
+const char* to_string(AccessMode mode) noexcept;
+
+/// One (datum, mode) pair in a task's access list.
+struct Access {
+  DataId data = 0;
+  AccessMode mode = AccessMode::Read;
+};
+
+}  // namespace hetflow::data

@@ -1,0 +1,46 @@
+#include "data/allocator.hpp"
+
+#include <algorithm>
+
+namespace hetflow::data {
+
+MemoryLedger::MemoryLedger(const hw::Platform& platform)
+    : node_count_(platform.memory_node_count()) {}
+
+void MemoryLedger::pin(DataId data, hw::MemoryNodeId node) {
+  ++pins_[key(data, node)];
+}
+
+void MemoryLedger::unpin(DataId data, hw::MemoryNodeId node) {
+  const auto it = pins_.find(key(data, node));
+  HETFLOW_REQUIRE_MSG(it != pins_.end() && it->second > 0,
+                      "unpin without matching pin");
+  if (--it->second == 0) {
+    pins_.erase(it);
+  }
+}
+
+bool MemoryLedger::pinned(DataId data, hw::MemoryNodeId node) const {
+  return pins_.count(key(data, node)) > 0;
+}
+
+std::size_t MemoryLedger::pin_count(DataId data, hw::MemoryNodeId node) const {
+  const auto it = pins_.find(key(data, node));
+  return it == pins_.end() ? 0 : it->second;
+}
+
+void MemoryLedger::touch(DataId data, hw::MemoryNodeId node) {
+  last_use_[key(data, node)] = ++clock_;
+}
+
+void MemoryLedger::lru_order(hw::MemoryNodeId node,
+                             std::vector<DataId>& candidates) const {
+  const auto stamp = [&](DataId data) -> std::uint64_t {
+    const auto it = last_use_.find(key(data, node));
+    return it == last_use_.end() ? 0 : it->second;
+  };
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](DataId a, DataId b) { return stamp(a) < stamp(b); });
+}
+
+}  // namespace hetflow::data

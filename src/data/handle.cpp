@@ -1,0 +1,18 @@
+#include "data/handle.hpp"
+
+namespace hetflow::data {
+
+DataId DataRegistry::register_data(std::string name, std::uint64_t bytes,
+                                   hw::MemoryNodeId home_node) {
+  const auto id = static_cast<DataId>(handles_.size());
+  handles_.push_back(DataHandle{id, std::move(name), bytes, home_node});
+  total_bytes_ += bytes;
+  return id;
+}
+
+const DataHandle& DataRegistry::handle(DataId id) const {
+  HETFLOW_REQUIRE_MSG(id < handles_.size(), "data id out of range");
+  return handles_[id];
+}
+
+}  // namespace hetflow::data

@@ -1,0 +1,46 @@
+// Logical data items (the "files"/"buffers" workflow tasks exchange).
+//
+// A DataHandle describes one logical datum: its size and the memory node
+// holding its initial (home) copy. Physical replicas across memory nodes
+// are tracked by the CoherenceDirectory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/device.hpp"
+#include "util/error.hpp"
+
+namespace hetflow::data {
+
+using DataId = std::uint32_t;
+
+struct DataHandle {
+  DataId id = 0;
+  std::string name;
+  std::uint64_t bytes = 0;
+  hw::MemoryNodeId home_node = 0;
+};
+
+/// Owns all registered handles of one runtime instance.
+class DataRegistry {
+ public:
+  /// Registers a datum whose initial valid copy lives on `home_node`.
+  /// Zero-byte data is allowed (pure control dependencies).
+  DataId register_data(std::string name, std::uint64_t bytes,
+                       hw::MemoryNodeId home_node);
+
+  const DataHandle& handle(DataId id) const;
+  std::size_t count() const noexcept { return handles_.size(); }
+  const std::vector<DataHandle>& handles() const noexcept { return handles_; }
+
+  /// Total bytes across all handles.
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+ private:
+  std::vector<DataHandle> handles_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace hetflow::data

@@ -1,0 +1,72 @@
+#include "data/transfer.hpp"
+
+#include <algorithm>
+
+namespace hetflow::data {
+
+TransferEngine::TransferEngine(const hw::Platform& platform,
+                               sim::EventQueue& queue)
+    : platform_(&platform),
+      queue_(&queue),
+      link_busy_until_(platform.links().size(), 0.0),
+      link_bytes_(platform.links().size(), 0) {}
+
+sim::SimTime TransferEngine::walk_route(hw::MemoryNodeId src,
+                                        hw::MemoryNodeId dst,
+                                        std::uint64_t bytes,
+                                        sim::SimTime earliest, bool commit) {
+  if (src == dst) {
+    return earliest;
+  }
+  sim::SimTime arrival = earliest;
+  for (hw::LinkId link_id : platform_->route(src, dst)) {
+    const hw::Link& link = platform_->link(link_id);
+    const sim::SimTime start =
+        std::max(arrival, link_busy_until_[link_id]);
+    const sim::SimTime done = start + link.transfer_time_s(bytes);
+    if (commit) {
+      link_busy_until_[link_id] = done;
+      link_bytes_[link_id] += bytes;
+      stats_.bytes_link_hops += bytes;
+      stats_.busy_seconds += done - start;
+    }
+    arrival = done;
+  }
+  if (commit) {
+    ++stats_.transfer_count;
+    stats_.bytes_moved += bytes;
+  }
+  return arrival;
+}
+
+sim::SimTime TransferEngine::transfer(hw::MemoryNodeId src,
+                                      hw::MemoryNodeId dst,
+                                      std::uint64_t bytes,
+                                      sim::SimTime earliest) {
+  HETFLOW_REQUIRE_MSG(earliest >= queue_->now() - 1e-12,
+                      "transfer cannot start in the past");
+  return walk_route(src, dst, bytes, earliest, /*commit=*/true);
+}
+
+sim::SimTime TransferEngine::estimate(hw::MemoryNodeId src,
+                                      hw::MemoryNodeId dst,
+                                      std::uint64_t bytes,
+                                      sim::SimTime earliest) const {
+  // const_cast-free: walk without commit using a copy of the hot state is
+  // overkill; walk_route only mutates when commit is set.
+  return const_cast<TransferEngine*>(this)->walk_route(src, dst, bytes,
+                                                       earliest,
+                                                       /*commit=*/false);
+}
+
+sim::SimTime TransferEngine::link_free_at(hw::LinkId link) const {
+  HETFLOW_REQUIRE_MSG(link < link_busy_until_.size(), "link id out of range");
+  return link_busy_until_[link];
+}
+
+std::uint64_t TransferEngine::link_bytes(hw::LinkId link) const {
+  HETFLOW_REQUIRE_MSG(link < link_bytes_.size(), "link id out of range");
+  return link_bytes_[link];
+}
+
+}  // namespace hetflow::data

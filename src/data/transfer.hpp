@@ -1,0 +1,58 @@
+// Simulated data movement over the platform interconnect.
+//
+// Each link is a FIFO channel: a transfer occupies the link from its start
+// until its completion; later transfers queue behind it. Multi-hop routes
+// use store-and-forward (each hop starts when the previous one lands and
+// the next link frees up) — pessimistic versus cut-through, which is the
+// safe direction for schedule-quality claims.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/platform.hpp"
+#include "sim/event_queue.hpp"
+
+namespace hetflow::data {
+
+struct TransferStats {
+  std::uint64_t transfer_count = 0;
+  std::uint64_t bytes_moved = 0;       ///< payload bytes summed over transfers
+  std::uint64_t bytes_link_hops = 0;   ///< payload bytes summed over each hop
+  double busy_seconds = 0.0;           ///< total link occupancy
+};
+
+class TransferEngine {
+ public:
+  TransferEngine(const hw::Platform& platform, sim::EventQueue& queue);
+
+  /// Books a transfer of `bytes` from node `src` to node `dst`, starting no
+  /// earlier than `earliest`. Mutates link occupancy. Returns the absolute
+  /// completion time. src == dst completes at `earliest`.
+  sim::SimTime transfer(hw::MemoryNodeId src, hw::MemoryNodeId dst,
+                        std::uint64_t bytes, sim::SimTime earliest);
+
+  /// Completion time the transfer *would* have, without booking anything
+  /// (used by cost-aware schedulers for estimates).
+  sim::SimTime estimate(hw::MemoryNodeId src, hw::MemoryNodeId dst,
+                        std::uint64_t bytes, sim::SimTime earliest) const;
+
+  /// Time at which a link next becomes free.
+  sim::SimTime link_free_at(hw::LinkId link) const;
+
+  const TransferStats& stats() const noexcept { return stats_; }
+  std::uint64_t link_bytes(hw::LinkId link) const;
+
+ private:
+  const hw::Platform* platform_;
+  sim::EventQueue* queue_;
+  std::vector<sim::SimTime> link_busy_until_;
+  std::vector<std::uint64_t> link_bytes_;
+  TransferStats stats_;
+
+  sim::SimTime walk_route(hw::MemoryNodeId src, hw::MemoryNodeId dst,
+                          std::uint64_t bytes, sim::SimTime earliest,
+                          bool commit);
+};
+
+}  // namespace hetflow::data

@@ -1,0 +1,79 @@
+#include "hw/device.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hetflow::hw {
+
+const char* to_string(DeviceType type) noexcept {
+  switch (type) {
+    case DeviceType::Cpu:
+      return "cpu";
+    case DeviceType::Gpu:
+      return "gpu";
+    case DeviceType::Fpga:
+      return "fpga";
+    case DeviceType::Dsp:
+      return "dsp";
+  }
+  return "?";
+}
+
+DeviceType device_type_from_string(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "cpu") {
+    return DeviceType::Cpu;
+  }
+  if (lower == "gpu") {
+    return DeviceType::Gpu;
+  }
+  if (lower == "fpga") {
+    return DeviceType::Fpga;
+  }
+  if (lower == "dsp") {
+    return DeviceType::Dsp;
+  }
+  throw ParseError("unknown device type '" + name + "'");
+}
+
+Device::Device(DeviceId id, std::string name, DeviceType type,
+               double peak_gflops, MemoryNodeId memory_node,
+               double launch_overhead_s)
+    : id_(id),
+      name_(std::move(name)),
+      type_(type),
+      peak_gflops_(peak_gflops),
+      memory_node_(memory_node),
+      launch_overhead_s_(launch_overhead_s) {
+  HETFLOW_REQUIRE_MSG(peak_gflops > 0.0, "device throughput must be positive");
+  HETFLOW_REQUIRE_MSG(launch_overhead_s >= 0.0,
+                      "launch overhead cannot be negative");
+  // Default single operating point: 1 GHz nominal with a generic
+  // 10 W busy / 1 W idle envelope; presets override this.
+  dvfs_states_ = {DvfsState{1.0, 10.0, 1.0}};
+  nominal_index_ = 0;
+}
+
+void Device::set_dvfs_states(std::vector<DvfsState> states,
+                             std::size_t nominal_index) {
+  HETFLOW_REQUIRE_MSG(!states.empty(), "device needs at least one DVFS state");
+  HETFLOW_REQUIRE_MSG(nominal_index < states.size(),
+                      "nominal DVFS index out of range");
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    HETFLOW_REQUIRE_MSG(states[i].frequency_ghz > 0.0,
+                        "DVFS frequency must be positive");
+    HETFLOW_REQUIRE_MSG(states[i].busy_watts >= states[i].idle_watts,
+                        "busy power below idle power");
+    if (i > 0) {
+      HETFLOW_REQUIRE_MSG(
+          states[i - 1].frequency_ghz < states[i].frequency_ghz,
+          "DVFS states must be sorted by ascending frequency");
+    }
+  }
+  dvfs_states_ = std::move(states);
+  nominal_index_ = nominal_index;
+}
+
+}  // namespace hetflow::hw

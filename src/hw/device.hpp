@@ -1,0 +1,88 @@
+// Processing-element description.
+//
+// A Device is a *static* description of one processing element of the
+// simulated heterogeneous platform (CPU core, GPU, FPGA, DSP). All dynamic
+// execution state (busy intervals, current DVFS point) is owned by the
+// runtime so a Platform can be shared by many concurrent simulations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hetflow::hw {
+
+using DeviceId = std::uint32_t;
+using MemoryNodeId = std::uint32_t;
+
+enum class DeviceType : std::uint8_t { Cpu = 0, Gpu, Fpga, Dsp };
+inline constexpr std::size_t kDeviceTypeCount = 4;
+
+const char* to_string(DeviceType type) noexcept;
+/// Parses "cpu"/"gpu"/"fpga"/"dsp" (case-insensitive); throws ParseError.
+DeviceType device_type_from_string(const std::string& name);
+
+/// One dynamic-voltage/frequency operating point.
+struct DvfsState {
+  double frequency_ghz = 1.0;  ///< core clock at this point
+  double busy_watts = 0.0;     ///< power while executing a task
+  double idle_watts = 0.0;     ///< power while idle at this point
+};
+
+class Device {
+ public:
+  /// @param peak_gflops throughput at the *nominal* DVFS state; execution
+  ///        time of a task scales as flops / (peak_gflops * efficiency).
+  /// @param launch_overhead_s fixed per-task dispatch latency (kernel
+  ///        launch on GPUs, reconfiguration-amortized dispatch on FPGAs).
+  Device(DeviceId id, std::string name, DeviceType type, double peak_gflops,
+         MemoryNodeId memory_node, double launch_overhead_s = 0.0);
+
+  DeviceId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  DeviceType type() const noexcept { return type_; }
+  double peak_gflops() const noexcept { return peak_gflops_; }
+  MemoryNodeId memory_node() const noexcept { return memory_node_; }
+  double launch_overhead_s() const noexcept { return launch_overhead_s_; }
+
+  /// DVFS operating points, sorted by ascending frequency. Every device
+  /// has at least one (the nominal point).
+  const std::vector<DvfsState>& dvfs_states() const noexcept {
+    return dvfs_states_;
+  }
+  std::size_t nominal_dvfs_index() const noexcept { return nominal_index_; }
+  const DvfsState& nominal_dvfs() const {
+    return dvfs_states_[nominal_index_];
+  }
+  const DvfsState& dvfs_state(std::size_t index) const {
+    HETFLOW_REQUIRE_MSG(index < dvfs_states_.size(),
+                        "DVFS state index out of range");
+    return dvfs_states_[index];
+  }
+
+  /// Replaces the operating points. `nominal_index` selects the point at
+  /// which `peak_gflops` holds. States must be sorted by frequency.
+  void set_dvfs_states(std::vector<DvfsState> states,
+                       std::size_t nominal_index);
+
+  /// Time multiplier when running at state `index`: executing at half the
+  /// nominal frequency doubles compute time (memory-bound effects are
+  /// modeled by the codelet, not here).
+  double time_scale(std::size_t index) const {
+    return nominal_dvfs().frequency_ghz / dvfs_state(index).frequency_ghz;
+  }
+
+ private:
+  DeviceId id_;
+  std::string name_;
+  DeviceType type_;
+  double peak_gflops_;
+  MemoryNodeId memory_node_;
+  double launch_overhead_s_;
+  std::vector<DvfsState> dvfs_states_;
+  std::size_t nominal_index_ = 0;
+};
+
+}  // namespace hetflow::hw

@@ -1,0 +1,46 @@
+#include "hw/failure.hpp"
+
+namespace hetflow::hw {
+
+FailureModel FailureModel::uniform(double rate_per_second) {
+  FailureModel model;
+  for (std::size_t i = 0; i < kDeviceTypeCount; ++i) {
+    model.set_rate(static_cast<DeviceType>(i), rate_per_second);
+  }
+  return model;
+}
+
+void FailureModel::set_rate(DeviceType type, double rate_per_second) {
+  HETFLOW_REQUIRE_MSG(rate_per_second >= 0.0,
+                      "failure rate cannot be negative");
+  rates_[static_cast<std::size_t>(type)] = rate_per_second;
+}
+
+double FailureModel::rate(DeviceType type) const noexcept {
+  return rates_[static_cast<std::size_t>(type)];
+}
+
+bool FailureModel::enabled() const noexcept {
+  for (double r : rates_) {
+    if (r > 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<double> FailureModel::sample_failure(util::Rng& rng,
+                                                   DeviceType type,
+                                                   double duration_s) const {
+  const double lambda = rate(type);
+  if (lambda <= 0.0 || duration_s <= 0.0) {
+    return std::nullopt;
+  }
+  const double instant = rng.exponential(lambda);
+  if (instant < duration_s) {
+    return instant;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hetflow::hw

@@ -1,0 +1,44 @@
+// Transient-fault injection.
+//
+// Shrinking transistor geometries make transient task failures a
+// first-class concern for heterogeneous platforms; the runtime models them
+// as a Poisson process per device: while a task executes on a device with
+// failure rate lambda (failures/second of busy time), the task is killed
+// at the sampled failure instant and must be retried.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "hw/device.hpp"
+#include "util/rng.hpp"
+
+namespace hetflow::hw {
+
+class FailureModel {
+ public:
+  /// No failures by default.
+  FailureModel() = default;
+
+  /// Uniform rate for all device types (failures per busy-second).
+  static FailureModel uniform(double rate_per_second);
+
+  /// Sets the Poisson failure rate for one device type.
+  void set_rate(DeviceType type, double rate_per_second);
+  double rate(DeviceType type) const noexcept;
+
+  bool enabled() const noexcept;
+
+  /// Samples the failure instant for a task of length `duration_s` on a
+  /// device of `type`. Returns the offset from task start at which the
+  /// task dies, or nullopt if it survives. Consumes RNG draws only when
+  /// the type's rate is positive (keeps seeds comparable across runs
+  /// with/without injection on other device types).
+  std::optional<double> sample_failure(util::Rng& rng, DeviceType type,
+                                       double duration_s) const;
+
+ private:
+  std::array<double, kDeviceTypeCount> rates_{};  // zero-initialized
+};
+
+}  // namespace hetflow::hw

@@ -1,0 +1,19 @@
+#include "hw/link.hpp"
+
+#include "util/error.hpp"
+
+namespace hetflow::hw {
+
+Link::Link(LinkId id, MemoryNodeId src, MemoryNodeId dst,
+           double bandwidth_gbps, double latency_s)
+    : id_(id),
+      src_(src),
+      dst_(dst),
+      bandwidth_gbps_(bandwidth_gbps),
+      latency_s_(latency_s) {
+  HETFLOW_REQUIRE_MSG(src != dst, "link endpoints must differ");
+  HETFLOW_REQUIRE_MSG(bandwidth_gbps > 0.0, "link bandwidth must be positive");
+  HETFLOW_REQUIRE_MSG(latency_s >= 0.0, "link latency cannot be negative");
+}
+
+}  // namespace hetflow::hw

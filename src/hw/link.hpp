@@ -1,0 +1,44 @@
+// Interconnect link description (PCIe lane, NVLink, network hop).
+//
+// A link is a unidirectional FIFO channel between two memory nodes with a
+// fixed latency and bandwidth. Transfer serialization (queueing on a busy
+// link) is simulated by the data::TransferEngine; this class only stores
+// the physics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/device.hpp"
+
+namespace hetflow::hw {
+
+using LinkId = std::uint32_t;
+
+class Link {
+ public:
+  Link(LinkId id, MemoryNodeId src, MemoryNodeId dst, double bandwidth_gbps,
+       double latency_s);
+
+  LinkId id() const noexcept { return id_; }
+  MemoryNodeId src() const noexcept { return src_; }
+  MemoryNodeId dst() const noexcept { return dst_; }
+  /// Bandwidth in GB/s (decimal: 1e9 bytes/s).
+  double bandwidth_gbps() const noexcept { return bandwidth_gbps_; }
+  double latency_s() const noexcept { return latency_s_; }
+
+  /// Uncontended time to move `bytes` across this link.
+  double transfer_time_s(std::uint64_t bytes) const noexcept {
+    return latency_s_ +
+           static_cast<double>(bytes) / (bandwidth_gbps_ * 1e9);
+  }
+
+ private:
+  LinkId id_;
+  MemoryNodeId src_;
+  MemoryNodeId dst_;
+  double bandwidth_gbps_;
+  double latency_s_;
+};
+
+}  // namespace hetflow::hw

@@ -1,0 +1,13 @@
+#include "hw/memory.hpp"
+
+#include "util/error.hpp"
+
+namespace hetflow::hw {
+
+MemoryNode::MemoryNode(MemoryNodeId id, std::string name,
+                       std::uint64_t capacity_bytes)
+    : id_(id), name_(std::move(name)), capacity_bytes_(capacity_bytes) {
+  HETFLOW_REQUIRE_MSG(capacity_bytes > 0, "memory node capacity must be > 0");
+}
+
+}  // namespace hetflow::hw

@@ -1,0 +1,27 @@
+// Memory-node description: one addressable memory pool (host DRAM, one
+// GPU's HBM, one FPGA's DDR bank). Data replicas live on memory nodes;
+// devices execute out of exactly one node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/device.hpp"
+
+namespace hetflow::hw {
+
+class MemoryNode {
+ public:
+  MemoryNode(MemoryNodeId id, std::string name, std::uint64_t capacity_bytes);
+
+  MemoryNodeId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t capacity_bytes() const noexcept { return capacity_bytes_; }
+
+ private:
+  MemoryNodeId id_;
+  std::string name_;
+  std::uint64_t capacity_bytes_;
+};
+
+}  // namespace hetflow::hw

@@ -1,0 +1,139 @@
+#include "hw/presets.hpp"
+
+#include "util/strings.hpp"
+
+namespace hetflow::hw {
+
+namespace {
+
+constexpr std::uint64_t kGiB = 1024ULL * 1024ULL * 1024ULL;
+
+/// Three-point CPU DVFS curve around a nominal 2.4 GHz core.
+std::vector<DvfsState> cpu_dvfs() {
+  return {DvfsState{1.2, 7.0, 2.0}, DvfsState{2.4, 15.0, 3.0},
+          DvfsState{3.2, 28.0, 4.0}};
+}
+
+/// Two-point GPU curve: efficient cruise clock and boost clock.
+std::vector<DvfsState> gpu_dvfs() {
+  return {DvfsState{0.9, 150.0, 25.0}, DvfsState{1.4, 250.0, 30.0}};
+}
+
+std::vector<DvfsState> fpga_dvfs() {
+  return {DvfsState{0.2, 18.0, 4.0}, DvfsState{0.3, 25.0, 5.0}};
+}
+
+std::vector<DvfsState> dsp_dvfs() {
+  return {DvfsState{0.5, 1.5, 0.2}, DvfsState{0.8, 3.0, 0.3}};
+}
+
+void add_cpu_cores(PlatformBuilder& builder, MemoryNodeId host,
+                   std::size_t cores, double gflops,
+                   const std::string& prefix = "cpu") {
+  for (std::size_t i = 0; i < cores; ++i) {
+    builder.add_device(util::format("%s%zu", prefix.c_str(), i),
+                       DeviceType::Cpu, gflops, host,
+                       /*launch_overhead_s=*/1e-6);
+    builder.with_dvfs(cpu_dvfs(), 1);
+  }
+}
+
+}  // namespace
+
+Platform make_cpu_only(std::size_t cores) {
+  PlatformBuilder builder("cpu-only");
+  const MemoryNodeId host = builder.add_memory_node("host-dram", 64 * kGiB);
+  add_cpu_cores(builder, host, cores, 12.0);
+  return builder.build();
+}
+
+Platform make_workstation() {
+  PlatformBuilder builder("workstation");
+  const MemoryNodeId host = builder.add_memory_node("host-dram", 64 * kGiB);
+  add_cpu_cores(builder, host, 4, 10.0);
+  const MemoryNodeId vram = builder.add_memory_node("gpu0-hbm", 16 * kGiB);
+  builder.add_device("gpu0", DeviceType::Gpu, 400.0, vram,
+                     /*launch_overhead_s=*/10e-6);
+  builder.with_dvfs(gpu_dvfs(), 1);
+  builder.add_link(host, vram, /*bandwidth_gbps=*/16.0, /*latency_s=*/5e-6);
+  return builder.build();
+}
+
+Platform make_hpc_node(std::size_t cpus, std::size_t gpus,
+                       std::size_t fpgas) {
+  PlatformBuilder builder(util::format("hpc-node-%zuc%zug%zuf", cpus, gpus,
+                                       fpgas));
+  const MemoryNodeId host = builder.add_memory_node("host-dram", 256 * kGiB);
+  add_cpu_cores(builder, host, cpus, 12.0);
+  std::vector<MemoryNodeId> gpu_mems;
+  for (std::size_t i = 0; i < gpus; ++i) {
+    const MemoryNodeId vram =
+        builder.add_memory_node(util::format("gpu%zu-hbm", i), 32 * kGiB);
+    builder.add_device(util::format("gpu%zu", i), DeviceType::Gpu, 600.0,
+                       vram, /*launch_overhead_s=*/8e-6);
+    builder.with_dvfs(gpu_dvfs(), 1);
+    builder.add_link(host, vram, /*bandwidth_gbps=*/25.0, /*latency_s=*/4e-6);
+    gpu_mems.push_back(vram);
+  }
+  // NVLink-class all-to-all between GPU memories.
+  for (std::size_t i = 0; i < gpu_mems.size(); ++i) {
+    for (std::size_t j = i + 1; j < gpu_mems.size(); ++j) {
+      builder.add_link(gpu_mems[i], gpu_mems[j], /*bandwidth_gbps=*/50.0,
+                       /*latency_s=*/2e-6);
+    }
+  }
+  for (std::size_t i = 0; i < fpgas; ++i) {
+    const MemoryNodeId ddr =
+        builder.add_memory_node(util::format("fpga%zu-ddr", i), 8 * kGiB);
+    builder.add_device(util::format("fpga%zu", i), DeviceType::Fpga, 150.0,
+                       ddr, /*launch_overhead_s=*/50e-6);
+    builder.with_dvfs(fpga_dvfs(), 1);
+    builder.add_link(host, ddr, /*bandwidth_gbps=*/12.0, /*latency_s=*/6e-6);
+  }
+  return builder.build();
+}
+
+Platform make_edge_node() {
+  PlatformBuilder builder("edge-node");
+  const MemoryNodeId host = builder.add_memory_node("lpddr", 4 * kGiB);
+  add_cpu_cores(builder, host, 2, 2.0);
+  const MemoryNodeId scratch =
+      builder.add_memory_node("dsp-scratch", 512ULL * 1024ULL * 1024ULL);
+  builder.add_device("dsp0", DeviceType::Dsp, 20.0, scratch,
+                     /*launch_overhead_s=*/20e-6);
+  builder.with_dvfs(dsp_dvfs(), 1);
+  builder.add_link(host, scratch, /*bandwidth_gbps=*/3.0, /*latency_s=*/8e-6);
+  return builder.build();
+}
+
+Platform make_cluster(std::size_t nodes, std::size_t cpus_per_node,
+                      std::size_t gpus_per_node) {
+  HETFLOW_REQUIRE_MSG(nodes >= 1, "cluster needs at least one node");
+  PlatformBuilder builder(util::format("cluster-%zux", nodes));
+  std::vector<MemoryNodeId> hosts;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const MemoryNodeId host = builder.add_memory_node(
+        util::format("node%zu-dram", n), 128 * kGiB);
+    hosts.push_back(host);
+    add_cpu_cores(builder, host, cpus_per_node, 12.0,
+                  util::format("n%zu-cpu", n));
+    for (std::size_t g = 0; g < gpus_per_node; ++g) {
+      const MemoryNodeId vram = builder.add_memory_node(
+          util::format("node%zu-gpu%zu-hbm", n, g), 32 * kGiB);
+      builder.add_device(util::format("n%zu-gpu%zu", n, g), DeviceType::Gpu,
+                         600.0, vram, /*launch_overhead_s=*/8e-6);
+      builder.with_dvfs(gpu_dvfs(), 1);
+      builder.add_link(host, vram, 25.0, 4e-6);
+    }
+  }
+  // 100 Gb-class fabric between hosts (all-to-all for small clusters).
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = i + 1; j < hosts.size(); ++j) {
+      builder.add_link(hosts[i], hosts[j], /*bandwidth_gbps=*/12.5,
+                       /*latency_s=*/50e-6);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace hetflow::hw

@@ -1,0 +1,34 @@
+// Canned platform descriptions used by examples, tests and benches.
+//
+// Throughputs, bandwidths and power envelopes are order-of-magnitude
+// realistic for ca.-2021 hardware; experiments depend on their *ratios*
+// (GPU ~30-50x a core on dense kernels, PCIe ~16-25 GB/s, FPGA efficient
+// but slow to dispatch), not on absolute values.
+#pragma once
+
+#include <cstddef>
+
+#include "hw/platform.hpp"
+
+namespace hetflow::hw {
+
+/// Homogeneous multicore: one host memory node, `cores` identical CPU
+/// cores, no accelerators.
+Platform make_cpu_only(std::size_t cores = 8);
+
+/// Developer workstation: 4 CPU cores + 1 discrete GPU over PCIe 3.0.
+Platform make_workstation();
+
+/// HPC compute node: `cpus` cores, `gpus` discrete GPUs (PCIe 4.0 to host,
+/// NVLink-class all-to-all between GPUs) and `fpgas` PCIe FPGA cards.
+Platform make_hpc_node(std::size_t cpus = 16, std::size_t gpus = 4,
+                       std::size_t fpgas = 0);
+
+/// Battery-powered edge node: 2 weak cores + 1 DSP with private scratch.
+Platform make_edge_node();
+
+/// Small cluster: `nodes` HPC-like nodes joined by a 100 Gb-class network.
+Platform make_cluster(std::size_t nodes, std::size_t cpus_per_node = 8,
+                      std::size_t gpus_per_node = 2);
+
+}  // namespace hetflow::hw

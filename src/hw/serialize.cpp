@@ -1,0 +1,121 @@
+#include "hw/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace hetflow::hw {
+
+util::Json to_json(const Platform& platform) {
+  util::Json doc = util::Json::object();
+  doc["name"] = platform.name();
+
+  util::Json nodes = util::Json::array();
+  for (const MemoryNode& node : platform.memory_nodes()) {
+    util::Json entry = util::Json::object();
+    entry["name"] = node.name();
+    entry["capacity_bytes"] = static_cast<double>(node.capacity_bytes());
+    nodes.push_back(std::move(entry));
+  }
+  doc["memory_nodes"] = std::move(nodes);
+
+  util::Json devices = util::Json::array();
+  for (const Device& device : platform.devices()) {
+    util::Json entry = util::Json::object();
+    entry["name"] = device.name();
+    entry["type"] = to_string(device.type());
+    entry["peak_gflops"] = device.peak_gflops();
+    entry["memory_node"] = static_cast<std::int64_t>(device.memory_node());
+    entry["launch_overhead_s"] = device.launch_overhead_s();
+    util::Json dvfs = util::Json::object();
+    dvfs["nominal"] = static_cast<std::int64_t>(device.nominal_dvfs_index());
+    util::Json states = util::Json::array();
+    for (const DvfsState& state : device.dvfs_states()) {
+      util::Json s = util::Json::object();
+      s["frequency_ghz"] = state.frequency_ghz;
+      s["busy_watts"] = state.busy_watts;
+      s["idle_watts"] = state.idle_watts;
+      states.push_back(std::move(s));
+    }
+    dvfs["states"] = std::move(states);
+    entry["dvfs"] = std::move(dvfs);
+    devices.push_back(std::move(entry));
+  }
+  doc["devices"] = std::move(devices);
+
+  util::Json links = util::Json::array();
+  for (const Link& link : platform.links()) {
+    util::Json entry = util::Json::object();
+    entry["src"] = static_cast<std::int64_t>(link.src());
+    entry["dst"] = static_cast<std::int64_t>(link.dst());
+    entry["bandwidth_gbps"] = link.bandwidth_gbps();
+    entry["latency_s"] = link.latency_s();
+    entry["bidirectional"] = false;  // emitted per direction
+    links.push_back(std::move(entry));
+  }
+  doc["links"] = std::move(links);
+  return doc;
+}
+
+Platform platform_from_json(const util::Json& doc) {
+  PlatformBuilder builder(doc.contains("name") ? doc.at("name").as_string()
+                                               : "unnamed");
+  for (const util::Json& entry : doc.at("memory_nodes").as_array()) {
+    builder.add_memory_node(
+        entry.at("name").as_string(),
+        static_cast<std::uint64_t>(entry.at("capacity_bytes").as_number()));
+  }
+  for (const util::Json& entry : doc.at("devices").as_array()) {
+    builder.add_device(
+        entry.at("name").as_string(),
+        device_type_from_string(entry.at("type").as_string()),
+        entry.at("peak_gflops").as_number(),
+        static_cast<MemoryNodeId>(entry.at("memory_node").as_number()),
+        entry.contains("launch_overhead_s")
+            ? entry.at("launch_overhead_s").as_number()
+            : 0.0);
+    if (entry.contains("dvfs")) {
+      const util::Json& dvfs = entry.at("dvfs");
+      std::vector<DvfsState> states;
+      for (const util::Json& s : dvfs.at("states").as_array()) {
+        states.push_back(DvfsState{s.at("frequency_ghz").as_number(),
+                                   s.at("busy_watts").as_number(),
+                                   s.at("idle_watts").as_number()});
+      }
+      builder.with_dvfs(std::move(states),
+                        static_cast<std::size_t>(
+                            dvfs.at("nominal").as_number()));
+    }
+  }
+  if (doc.contains("links")) {
+    for (const util::Json& entry : doc.at("links").as_array()) {
+      builder.add_link(
+          static_cast<MemoryNodeId>(entry.at("src").as_number()),
+          static_cast<MemoryNodeId>(entry.at("dst").as_number()),
+          entry.at("bandwidth_gbps").as_number(),
+          entry.at("latency_s").as_number(),
+          entry.contains("bidirectional") &&
+              entry.at("bidirectional").as_bool());
+    }
+  }
+  return builder.build();
+}
+
+void save_platform(const Platform& platform, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("cannot open '" + path + "' for writing");
+  }
+  out << to_json(platform).dump_pretty() << '\n';
+}
+
+Platform load_platform(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return platform_from_json(util::Json::parse(buffer.str()));
+}
+
+}  // namespace hetflow::hw

@@ -1,0 +1,36 @@
+// Platform description <-> JSON, so custom machines can be defined in
+// files and loaded by the CLI tools:
+//
+// {
+//   "name": "my-node",
+//   "memory_nodes": [{"name": "host", "capacity_bytes": 68719476736}],
+//   "devices": [{"name": "cpu0", "type": "cpu", "peak_gflops": 12,
+//                "memory_node": 0, "launch_overhead_s": 1e-6,
+//                "dvfs": {"nominal": 1, "states": [
+//                    {"frequency_ghz": 1.2, "busy_watts": 7, "idle_watts": 2},
+//                    {"frequency_ghz": 2.4, "busy_watts": 15, "idle_watts": 3}]}}],
+//   "links": [{"src": 0, "dst": 1, "bandwidth_gbps": 16,
+//              "latency_s": 5e-6, "bidirectional": true}]
+// }
+#pragma once
+
+#include <string>
+
+#include "hw/platform.hpp"
+#include "util/json.hpp"
+
+namespace hetflow::hw {
+
+/// Serializes a platform (links are emitted directed, so round-trips are
+/// exact regardless of how they were declared).
+util::Json to_json(const Platform& platform);
+
+/// Builds a platform from the JSON schema above; throws ParseError on
+/// missing/malformed fields and InvalidArgument on semantic errors.
+Platform platform_from_json(const util::Json& doc);
+
+/// File convenience wrappers.
+void save_platform(const Platform& platform, const std::string& path);
+Platform load_platform(const std::string& path);
+
+}  // namespace hetflow::hw

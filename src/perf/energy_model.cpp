@@ -1,0 +1,19 @@
+#include "perf/energy_model.hpp"
+
+#include "util/error.hpp"
+
+namespace hetflow::perf {
+
+double EnergyModel::busy_energy_j(const hw::Device& device, std::size_t state,
+                                  double busy_seconds) {
+  HETFLOW_REQUIRE_MSG(busy_seconds >= 0.0, "negative busy time");
+  return device.dvfs_state(state).busy_watts * busy_seconds;
+}
+
+double EnergyModel::idle_energy_j(const hw::Device& device,
+                                  double idle_seconds) {
+  HETFLOW_REQUIRE_MSG(idle_seconds >= -1e-9, "negative idle time");
+  return device.nominal_dvfs().idle_watts * (idle_seconds < 0 ? 0 : idle_seconds);
+}
+
+}  // namespace hetflow::perf

@@ -1,0 +1,34 @@
+// Device energy accounting.
+//
+// E_device = sum over executed tasks of busy_watts(state) * busy_seconds
+//          + idle_watts(nominal) * idle_seconds.
+// The model is intentionally simple — experiments compare *policies*
+// under one consistent model, mirroring how DVFS-scheduling papers
+// evaluate on analytic power envelopes.
+#pragma once
+
+#include <cstddef>
+
+#include "hw/device.hpp"
+
+namespace hetflow::perf {
+
+class EnergyModel {
+ public:
+  /// Joules consumed executing for `busy_seconds` at DVFS point `state`.
+  static double busy_energy_j(const hw::Device& device, std::size_t state,
+                              double busy_seconds);
+
+  /// Joules consumed idling for `idle_seconds` (at the nominal point —
+  /// clock gating while idle is not modeled separately).
+  static double idle_energy_j(const hw::Device& device, double idle_seconds);
+
+  /// Estimated energy for a task of `exec_seconds` (already scaled to
+  /// `state`) — what an energy-aware scheduler minimizes.
+  static double task_energy_j(const hw::Device& device, std::size_t state,
+                              double exec_seconds) {
+    return busy_energy_j(device, state, exec_seconds);
+  }
+};
+
+}  // namespace hetflow::perf

@@ -1,0 +1,37 @@
+#include "perf/history_model.hpp"
+
+#include "util/error.hpp"
+
+namespace hetflow::perf {
+
+void HistoryModel::record(std::uint32_t codelet_id, hw::DeviceType type,
+                          double flops, double seconds) {
+  HETFLOW_REQUIRE_MSG(seconds >= 0.0, "negative execution time");
+  if (flops <= 0.0) {
+    return;  // zero-work tasks carry no throughput information
+  }
+  history_[key(codelet_id, type)].add(seconds / flops);
+}
+
+bool HistoryModel::calibrated(std::uint32_t codelet_id,
+                              hw::DeviceType type) const {
+  const auto it = history_.find(key(codelet_id, type));
+  return it != history_.end() && it->second.count() >= kMinSamples;
+}
+
+double HistoryModel::estimate(std::uint32_t codelet_id, hw::DeviceType type,
+                              double flops) const {
+  const auto it = history_.find(key(codelet_id, type));
+  if (it == history_.end() || it->second.count() < kMinSamples) {
+    return -1.0;
+  }
+  return it->second.mean() * flops;
+}
+
+std::size_t HistoryModel::sample_count(std::uint32_t codelet_id,
+                                       hw::DeviceType type) const {
+  const auto it = history_.find(key(codelet_id, type));
+  return it == history_.end() ? 0 : it->second.count();
+}
+
+}  // namespace hetflow::perf

@@ -1,0 +1,54 @@
+// History-based execution-time model (StarPU-style).
+//
+// The runtime feeds back every measured task execution as a
+// seconds-per-flop sample keyed by (codelet, device type); schedulers ask
+// for estimates, which blend the calibrated history with the codelet's
+// analytic model until enough samples exist. Normalizing by flops and by
+// the device's nominal operating point makes one history entry serve all
+// task sizes and DVFS states of that (codelet, device-type) pair.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "hw/device.hpp"
+#include "util/stats.hpp"
+
+namespace hetflow::perf {
+
+class HistoryModel {
+ public:
+  /// Minimum samples before the history overrides the analytic estimate.
+  static constexpr std::size_t kMinSamples = 3;
+
+  /// Records one measured execution: `seconds` of pure compute (overhead
+  /// excluded) for `flops` work at the nominal DVFS point equivalent.
+  void record(std::uint32_t codelet_id, hw::DeviceType type, double flops,
+              double seconds);
+
+  /// True once estimate() would use calibrated data for this pair.
+  bool calibrated(std::uint32_t codelet_id, hw::DeviceType type) const;
+
+  /// Estimated pure-compute seconds for `flops` work at nominal frequency,
+  /// or a negative value when uncalibrated (caller falls back to the
+  /// analytic model).
+  double estimate(std::uint32_t codelet_id, hw::DeviceType type,
+                  double flops) const;
+
+  std::size_t sample_count(std::uint32_t codelet_id,
+                           hw::DeviceType type) const;
+
+  void clear() { history_.clear(); }
+
+ private:
+  static std::uint64_t key(std::uint32_t codelet_id,
+                           hw::DeviceType type) noexcept {
+    return (static_cast<std::uint64_t>(codelet_id) << 8) |
+           static_cast<std::uint64_t>(type);
+  }
+
+  // Welford stats over seconds-per-flop samples.
+  std::unordered_map<std::uint64_t, util::RunningStats> history_;
+};
+
+}  // namespace hetflow::perf

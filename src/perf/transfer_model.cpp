@@ -1,0 +1,51 @@
+#include "perf/transfer_model.hpp"
+
+namespace hetflow::perf {
+
+TransferModel::TransferModel(const hw::Platform& platform)
+    : platform_(&platform) {
+  const std::size_t n = platform.memory_node_count();
+  std::size_t pairs = 0;
+  for (hw::MemoryNodeId src = 0; src < n; ++src) {
+    for (hw::MemoryNodeId dst = 0; dst < n; ++dst) {
+      if (src == dst) {
+        continue;
+      }
+      double latency = 0.0;
+      double inv_bw = 0.0;
+      for (hw::LinkId id : platform.route(src, dst)) {
+        const hw::Link& link = platform.link(id);
+        latency += link.latency_s();
+        inv_bw += 1.0 / (link.bandwidth_gbps() * 1e9);
+      }
+      mean_latency_ += latency;
+      mean_inv_bandwidth_ += inv_bw;
+      ++pairs;
+    }
+  }
+  if (pairs > 0) {
+    mean_latency_ /= static_cast<double>(pairs);
+    mean_inv_bandwidth_ /= static_cast<double>(pairs);
+  }
+}
+
+double TransferModel::time_s(hw::MemoryNodeId src, hw::MemoryNodeId dst,
+                             std::uint64_t bytes) const {
+  return platform_->transfer_time_s(src, dst, bytes);
+}
+
+double TransferModel::mean_time_s(std::uint64_t bytes) const {
+  return mean_latency_ + mean_inv_bandwidth_ * static_cast<double>(bytes);
+}
+
+double TransferModel::mean_device_time_s(hw::DeviceId a, hw::DeviceId b,
+                                         std::uint64_t bytes) const {
+  const hw::MemoryNodeId src = platform_->device(a).memory_node();
+  const hw::MemoryNodeId dst = platform_->device(b).memory_node();
+  if (src == dst) {
+    return 0.0;
+  }
+  return time_s(src, dst, bytes);
+}
+
+}  // namespace hetflow::perf

@@ -1,0 +1,35 @@
+// Analytic (alpha-beta) communication-cost helpers built on the platform
+// description. Used by static schedulers (HEFT) that need *average*
+// communication costs before any placement is known.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/platform.hpp"
+
+namespace hetflow::perf {
+
+class TransferModel {
+ public:
+  explicit TransferModel(const hw::Platform& platform);
+
+  /// Uncontended time to move `bytes` between two memory nodes.
+  double time_s(hw::MemoryNodeId src, hw::MemoryNodeId dst,
+                std::uint64_t bytes) const;
+
+  /// Mean transfer time of `bytes` over all ordered node pairs with
+  /// src != dst (HEFT's average communication cost). Returns 0 for a
+  /// single-node platform.
+  double mean_time_s(std::uint64_t bytes) const;
+
+  /// Mean time between the memory nodes of two *devices* (0 if same node).
+  double mean_device_time_s(hw::DeviceId a, hw::DeviceId b,
+                            std::uint64_t bytes) const;
+
+ private:
+  const hw::Platform* platform_;
+  double mean_latency_ = 0.0;        // cached alpha over node pairs
+  double mean_inv_bandwidth_ = 0.0;  // cached beta (s/byte) over node pairs
+};
+
+}  // namespace hetflow::perf

@@ -1,0 +1,89 @@
+#include <cmath>
+#include "sched/batch.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hetflow::sched {
+
+const char* to_string(BatchPolicy policy) noexcept {
+  switch (policy) {
+    case BatchPolicy::MinMin:
+      return "min-min";
+    case BatchPolicy::MaxMin:
+      return "max-min";
+    case BatchPolicy::Sufferage:
+      return "sufferage";
+  }
+  return "?";
+}
+
+void BatchScheduler::on_task_ready(core::Task& task) {
+  held_.push_back(&task);
+}
+
+core::Task* BatchScheduler::on_device_idle(const hw::Device& device) {
+  (void)device;
+  flush();  // assigns through ctx().assign — nothing returned directly
+  return nullptr;
+}
+
+BatchScheduler::Choice BatchScheduler::evaluate(const core::Task& task) const {
+  Choice choice;
+  choice.best_completion = std::numeric_limits<double>::infinity();
+  choice.second_completion = std::numeric_limits<double>::infinity();
+  for (const hw::Device& device : ctx().platform().devices()) {
+    const double completion = ctx().estimate_completion(task, device);
+    if (!std::isfinite(completion)) {
+      continue;
+    }
+    if (completion < choice.best_completion) {
+      choice.second_completion = choice.best_completion;
+      choice.best_completion = completion;
+      choice.best_device = &device;
+    } else if (completion < choice.second_completion) {
+      choice.second_completion = completion;
+    }
+  }
+  HETFLOW_REQUIRE_MSG(choice.best_device != nullptr,
+                      "batch: no eligible device");
+  return choice;
+}
+
+void BatchScheduler::flush() {
+  while (!held_.empty()) {
+    std::size_t pick = 0;
+    Choice pick_choice = evaluate(*held_[0]);
+    for (std::size_t i = 1; i < held_.size(); ++i) {
+      const Choice choice = evaluate(*held_[i]);
+      bool better = false;
+      switch (policy_) {
+        case BatchPolicy::MinMin:
+          better = choice.best_completion < pick_choice.best_completion;
+          break;
+        case BatchPolicy::MaxMin:
+          better = choice.best_completion > pick_choice.best_completion;
+          break;
+        case BatchPolicy::Sufferage: {
+          const auto sufferage = [](const Choice& c) {
+            return std::isfinite(c.second_completion)
+                       ? c.second_completion - c.best_completion
+                       : std::numeric_limits<double>::infinity();
+          };
+          better = sufferage(choice) > sufferage(pick_choice);
+          break;
+        }
+      }
+      if (better) {
+        pick = i;
+        pick_choice = choice;
+      }
+    }
+    core::Task* task = held_[pick];
+    held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(pick));
+    // Assignment updates device load, so the next evaluate() sees it.
+    ctx().assign(*task, *pick_choice.best_device);
+  }
+}
+
+}  // namespace hetflow::sched

@@ -1,0 +1,44 @@
+// Batch-mode mapping heuristics: min-min, max-min, sufferage.
+//
+// Classic heterogeneous-computing heuristics (Maheswaran et al., HCW'99):
+// they look at the whole set of currently ready tasks at once and commit
+// (task, device) pairs one by one, recomputing completion estimates after
+// each commitment. hetflow runs them in dynamic batch mode — the held set
+// is flushed whenever a device runs dry, so batching still happens at
+// every dependency-release wave.
+#pragma once
+
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace hetflow::sched {
+
+enum class BatchPolicy { MinMin, MaxMin, Sufferage };
+
+const char* to_string(BatchPolicy policy) noexcept;
+
+class BatchScheduler final : public core::Scheduler {
+ public:
+  explicit BatchScheduler(BatchPolicy policy) : policy_(policy) {}
+
+  std::string name() const override { return to_string(policy_); }
+  void on_task_ready(core::Task& task) override;
+  core::Task* on_device_idle(const hw::Device& device) override;
+
+ private:
+  BatchPolicy policy_;
+  std::vector<core::Task*> held_;
+
+  /// Commits every held task per the policy (empties held_).
+  void flush();
+
+  struct Choice {
+    const hw::Device* best_device = nullptr;
+    double best_completion = 0.0;
+    double second_completion = 0.0;  ///< for sufferage
+  };
+  Choice evaluate(const core::Task& task) const;
+};
+
+}  // namespace hetflow::sched

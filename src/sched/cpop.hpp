@@ -1,0 +1,41 @@
+// CPOP (Critical-Path-On-a-Processor, Topcuoglu et al. 2002) — HEFT's
+// sibling: tasks are prioritized by rank_u + rank_d; every task on the
+// critical path is pinned to the single device that executes the whole
+// critical path fastest, while off-path tasks are placed by insertion
+// EFT. Compared with HEFT, CPOP wins when the critical path dominates
+// and benefits from zero intra-path communication.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace hetflow::sched {
+
+class CpopScheduler final : public core::Scheduler {
+ public:
+  std::string name() const override { return "cpop"; }
+
+  void prepare(const std::vector<core::Task*>& all_tasks) override;
+  void on_task_ready(core::Task& task) override;
+
+  hw::DeviceId critical_path_device() const noexcept { return cp_device_; }
+  std::size_t critical_path_length() const noexcept { return cp_size_; }
+
+ private:
+  struct Plan {
+    hw::DeviceId device = 0;
+  };
+  std::unordered_map<core::TaskId, Plan> plans_;
+  // Release machinery identical to HEFT: per-device planned order.
+  std::vector<std::vector<core::Task*>> device_sequence_;
+  std::vector<std::size_t> next_to_release_;
+  std::unordered_map<core::TaskId, bool> ready_held_;
+  hw::DeviceId cp_device_ = 0;
+  std::size_t cp_size_ = 0;
+
+  void release_available(hw::DeviceId device);
+};
+
+}  // namespace hetflow::sched

@@ -1,0 +1,44 @@
+#include "sched/critical_path.hpp"
+
+#include <vector>
+
+#include "sched/graph_utils.hpp"
+
+namespace hetflow::sched {
+
+void CriticalPathScheduler::prepare(
+    const std::vector<core::Task*>& all_tasks) {
+  if (all_tasks.empty()) {
+    return;
+  }
+  const TaskGraphView view = TaskGraphView::build(ctx(), all_tasks);
+  const std::vector<double> ranks = view.upward_ranks(ctx().platform());
+  for (std::size_t i = 0; i < all_tasks.size(); ++i) {
+    all_tasks[i]->set_priority(ranks[i]);
+  }
+}
+
+void CriticalPathScheduler::on_task_ready(core::Task& task) {
+  ready_.push(&task);
+}
+
+core::Task* CriticalPathScheduler::on_device_idle(const hw::Device& device) {
+  // Highest-priority runnable task; skipped tasks go back afterwards.
+  std::vector<core::Task*> skipped;
+  core::Task* chosen = nullptr;
+  while (!ready_.empty()) {
+    core::Task* task = ready_.top();
+    ready_.pop();
+    if (task->codelet().supports(device.type())) {
+      chosen = task;
+      break;
+    }
+    skipped.push_back(task);
+  }
+  for (core::Task* task : skipped) {
+    ready_.push(task);
+  }
+  return chosen;
+}
+
+}  // namespace hetflow::sched

@@ -1,0 +1,36 @@
+// Critical-path priority scheduler: a dynamic list scheduler that ranks
+// tasks by their HEFT-style upward rank (computed once over the whole DAG
+// in prepare()) and, whenever a device idles, hands it the highest-rank
+// ready task it can run. Placement is therefore pull-driven but
+// criticality-ordered — between static HEFT and dynamic eager.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace hetflow::sched {
+
+class CriticalPathScheduler final : public core::Scheduler {
+ public:
+  std::string name() const override { return "critical-path"; }
+
+  void prepare(const std::vector<core::Task*>& all_tasks) override;
+  void on_task_ready(core::Task& task) override;
+  core::Task* on_device_idle(const hw::Device& device) override;
+
+ private:
+  struct LowerRank {
+    bool operator()(const core::Task* a, const core::Task* b) const {
+      if (a->priority() != b->priority()) {
+        return a->priority() < b->priority();
+      }
+      return a->id() > b->id();
+    }
+  };
+  std::priority_queue<core::Task*, std::vector<core::Task*>, LowerRank>
+      ready_;
+};
+
+}  // namespace hetflow::sched

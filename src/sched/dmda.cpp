@@ -1,0 +1,29 @@
+#include <cmath>
+#include "sched/dmda.hpp"
+
+#include <limits>
+
+namespace hetflow::sched {
+
+void DmdaScheduler::on_task_ready(core::Task& task) {
+  const hw::Device* best = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+  for (const hw::Device& device : ctx().platform().devices()) {
+    const double completion = ctx().estimate_completion(task, device);
+    if (!std::isfinite(completion)) {
+      continue;
+    }
+    const double missing =
+        static_cast<double>(ctx().missing_input_bytes(task, device));
+    const double score = completion + locality_weight_ * missing / kGiB;
+    if (score < best_score) {
+      best_score = score;
+      best = &device;
+    }
+  }
+  HETFLOW_REQUIRE_MSG(best != nullptr, "dmda: no eligible device");
+  ctx().assign(task, *best);
+}
+
+}  // namespace hetflow::sched

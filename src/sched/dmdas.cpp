@@ -1,0 +1,49 @@
+#include "sched/dmdas.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "sched/graph_utils.hpp"
+
+namespace hetflow::sched {
+
+void DmdasScheduler::prepare(const std::vector<core::Task*>& all_tasks) {
+  if (all_tasks.empty()) {
+    return;
+  }
+  const TaskGraphView view = TaskGraphView::build(ctx(), all_tasks);
+  const std::vector<double> ranks = view.upward_ranks(ctx().platform());
+  for (std::size_t i = 0; i < all_tasks.size(); ++i) {
+    all_tasks[i]->set_priority(ranks[i]);
+  }
+}
+
+void DmdasScheduler::on_task_ready(core::Task& task) {
+  held_.push(&task);
+}
+
+core::Task* DmdasScheduler::on_device_idle(const hw::Device& device) {
+  (void)device;
+  flush();
+  return nullptr;
+}
+
+void DmdasScheduler::flush() {
+  while (!held_.empty()) {
+    core::Task* task = held_.top();
+    held_.pop();
+    const hw::Device* best = nullptr;
+    double best_completion = std::numeric_limits<double>::infinity();
+    for (const hw::Device& device : ctx().platform().devices()) {
+      const double completion = ctx().estimate_completion(*task, device);
+      if (std::isfinite(completion) && completion < best_completion) {
+        best_completion = completion;
+        best = &device;
+      }
+    }
+    HETFLOW_REQUIRE_MSG(best != nullptr, "dmdas: no eligible device");
+    ctx().assign(*task, *best);
+  }
+}
+
+}  // namespace hetflow::sched

@@ -1,0 +1,20 @@
+#include "sched/eager.hpp"
+
+namespace hetflow::sched {
+
+void EagerScheduler::on_task_ready(core::Task& task) {
+  fifo_.push_back(&task);
+}
+
+core::Task* EagerScheduler::on_device_idle(const hw::Device& device) {
+  for (auto it = fifo_.begin(); it != fifo_.end(); ++it) {
+    if ((*it)->codelet().supports(device.type())) {
+      core::Task* task = *it;
+      fifo_.erase(it);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace hetflow::sched

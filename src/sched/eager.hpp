@@ -1,0 +1,22 @@
+// Eager scheduler — the classic central-queue baseline (StarPU "eager"):
+// ready tasks enter one FIFO; any idle device pulls the oldest task it
+// can execute. No cost model, no data awareness.
+#pragma once
+
+#include <deque>
+
+#include "core/scheduler.hpp"
+
+namespace hetflow::sched {
+
+class EagerScheduler final : public core::Scheduler {
+ public:
+  std::string name() const override { return "eager"; }
+  void on_task_ready(core::Task& task) override;
+  core::Task* on_device_idle(const hw::Device& device) override;
+
+ private:
+  std::deque<core::Task*> fifo_;
+};
+
+}  // namespace hetflow::sched

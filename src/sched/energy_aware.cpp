@@ -1,0 +1,79 @@
+#include <cmath>
+#include "sched/energy_aware.hpp"
+
+#include <limits>
+#include <string>
+
+namespace hetflow::sched {
+
+const char* to_string(EnergyObjective objective) noexcept {
+  switch (objective) {
+    case EnergyObjective::Energy:
+      return "energy";
+    case EnergyObjective::Edp:
+      return "edp";
+    case EnergyObjective::Performance:
+      return "performance";
+  }
+  return "?";
+}
+
+std::string EnergyAwareScheduler::name() const {
+  return std::string("energy-") + to_string(objective_);
+}
+
+void EnergyAwareScheduler::on_task_ready(core::Task& task) {
+  struct Candidate {
+    const hw::Device* device = nullptr;
+    std::size_t dvfs = 0;
+    double completion = 0.0;
+    double energy = 0.0;
+  };
+  std::vector<Candidate> candidates;
+  double best_completion = std::numeric_limits<double>::infinity();
+  for (const hw::Device& device : ctx().platform().devices()) {
+    for (std::size_t state = 0; state < device.dvfs_states().size();
+         ++state) {
+      const double completion =
+          ctx().estimate_completion(task, device, state);
+      if (!std::isfinite(completion)) {
+        break;  // unsupported device type — no state will work
+      }
+      const double energy = ctx().estimate_energy(task, device, state);
+      candidates.push_back(Candidate{&device, state, completion, energy});
+      best_completion = std::min(best_completion, completion);
+    }
+  }
+  HETFLOW_REQUIRE_MSG(!candidates.empty(), "energy-aware: no eligible device");
+
+  const Candidate* best = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  const double now = ctx().now();
+  for (const Candidate& candidate : candidates) {
+    double score = 0.0;
+    switch (objective_) {
+      case EnergyObjective::Energy:
+        // Admissible only within the slack envelope of the fastest option.
+        if (candidate.completion - now >
+            slack_factor_ * (best_completion - now)) {
+          continue;
+        }
+        score = candidate.energy;
+        break;
+      case EnergyObjective::Edp:
+        score = candidate.energy * (candidate.completion - now);
+        break;
+      case EnergyObjective::Performance:
+        score = candidate.completion;
+        break;
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = &candidate;
+    }
+  }
+  HETFLOW_REQUIRE_MSG(best != nullptr, "energy-aware: empty admissible set");
+  ctx().assign(task, *best->device, best->dvfs);
+}
+
+}  // namespace hetflow::sched

@@ -1,0 +1,36 @@
+// Energy-aware scheduler with DVFS selection.
+//
+// For each ready task it scans every (device, DVFS point) pair and picks
+// the one minimizing the configured objective:
+//
+//   * Energy — task Joules, with a slack bound so the schedule does not
+//     degenerate (a pair is admissible only while its completion stays
+//     within `slack_factor` of the best achievable completion);
+//   * Edp    — task Joules x estimated completion latency from now;
+//   * Performance — earliest completion (race-to-idle reference point).
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace hetflow::sched {
+
+enum class EnergyObjective { Energy, Edp, Performance };
+
+const char* to_string(EnergyObjective objective) noexcept;
+
+class EnergyAwareScheduler final : public core::Scheduler {
+ public:
+  explicit EnergyAwareScheduler(
+      EnergyObjective objective = EnergyObjective::Edp,
+      double slack_factor = 2.0)
+      : objective_(objective), slack_factor_(slack_factor) {}
+
+  std::string name() const override;
+  void on_task_ready(core::Task& task) override;
+
+ private:
+  EnergyObjective objective_;
+  double slack_factor_;
+};
+
+}  // namespace hetflow::sched

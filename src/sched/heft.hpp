@@ -1,0 +1,57 @@
+// HEFT (Heterogeneous Earliest Finish Time, Topcuoglu et al. 2002) —
+// static list scheduling over the whole DAG:
+//
+//   1. rank each task by its "upward rank": mean execution cost across
+//      devices + the heaviest (comm + rank) path to a sink;
+//   2. in rank order, place each task on the device minimizing its
+//      earliest finish time (EFT), including the transfer of parent
+//      outputs across memory nodes, with insertion into idle gaps of the
+//      device timeline.
+//
+// The runtime then honors the computed (device, order) assignment: ready
+// tasks are released to their planned device strictly in planned order.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace hetflow::sched {
+
+class HeftScheduler final : public core::Scheduler {
+ public:
+  std::string name() const override { return "heft"; }
+
+  void prepare(const std::vector<core::Task*>& all_tasks) override;
+  void on_task_ready(core::Task& task) override;
+
+  /// Planned device for a task (exposed for tests). Only valid after
+  /// prepare().
+  hw::DeviceId planned_device(core::TaskId id) const;
+  /// Schedule-estimated makespan of the static plan.
+  double planned_makespan() const noexcept { return planned_makespan_; }
+
+ private:
+  struct Plan {
+    hw::DeviceId device = 0;
+    std::size_t order = 0;  ///< position in the device's planned sequence
+  };
+  std::unordered_map<core::TaskId, Plan> plans_;
+  // Per device: planned task sequence and release cursor.
+  std::vector<std::vector<core::Task*>> device_sequence_;
+  std::vector<std::size_t> next_to_release_;
+  std::unordered_map<core::TaskId, bool> ready_held_;
+  double planned_makespan_ = 0.0;
+
+  void release_available(hw::DeviceId device);
+
+  /// Bytes flowing over a dependency edge: handles the parent writes that
+  /// the child reads.
+  static std::uint64_t edge_bytes(const core::Task& parent,
+                                  const core::Task& child,
+                                  const data::DataRegistry& registry);
+};
+
+}  // namespace hetflow::sched

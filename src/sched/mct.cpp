@@ -1,0 +1,27 @@
+#include <cmath>
+#include "sched/mct.hpp"
+
+#include <limits>
+
+namespace hetflow::sched {
+
+void MctScheduler::on_task_ready(core::Task& task) {
+  const hw::Device* best = nullptr;
+  double best_completion = std::numeric_limits<double>::infinity();
+  for (const hw::Device& device : ctx().platform().devices()) {
+    const double exec = ctx().estimate_exec_seconds(task, device);
+    if (!std::isfinite(exec)) {
+      continue;
+    }
+    // Completion without the data-movement term — deliberately blind.
+    const double completion = ctx().device_available_at(device) + exec;
+    if (completion < best_completion) {
+      best_completion = completion;
+      best = &device;
+    }
+  }
+  HETFLOW_REQUIRE_MSG(best != nullptr, "mct: no eligible device");
+  ctx().assign(task, *best);
+}
+
+}  // namespace hetflow::sched

@@ -1,0 +1,17 @@
+// MCT (Minimum Completion Time) — greedy list scheduling: each ready task
+// goes to the device with the earliest estimated completion, considering
+// device load and execution cost but IGNORING data movement. The ablation
+// counterpart of dmda (Fig 2).
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace hetflow::sched {
+
+class MctScheduler final : public core::Scheduler {
+ public:
+  std::string name() const override { return "mct"; }
+  void on_task_ready(core::Task& task) override;
+};
+
+}  // namespace hetflow::sched

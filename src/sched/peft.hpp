@@ -1,0 +1,41 @@
+// PEFT (Predict Earliest Finish Time, Arabnejad & Barbosa 2014) — list
+// scheduling with lookahead. Instead of HEFT's device-agnostic upward
+// rank, PEFT precomputes an Optimistic Cost Table
+//
+//   OCT(t, p) = max over successors s of
+//               min over devices q of [ OCT(s, q) + w(s, q)
+//                                       + (q == p ? 0 : avg_comm(t, s)) ]
+//
+// (0 for exit tasks) — the best-case remaining path if t runs on p.
+// Tasks are prioritized by the mean OCT row and placed on the device
+// minimizing EFT(t, p) + OCT(t, p): the lookahead steers away from
+// devices that finish this task early but strand its descendants.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace hetflow::sched {
+
+class PeftScheduler final : public core::Scheduler {
+ public:
+  std::string name() const override { return "peft"; }
+
+  void prepare(const std::vector<core::Task*>& all_tasks) override;
+  void on_task_ready(core::Task& task) override;
+
+ private:
+  struct Plan {
+    hw::DeviceId device = 0;
+  };
+  std::unordered_map<core::TaskId, Plan> plans_;
+  std::vector<std::vector<core::Task*>> device_sequence_;
+  std::vector<std::size_t> next_to_release_;
+  std::unordered_map<core::TaskId, bool> ready_held_;
+
+  void release_available(hw::DeviceId device);
+};
+
+}  // namespace hetflow::sched

@@ -1,0 +1,18 @@
+#include "sched/random_sched.hpp"
+
+#include <vector>
+
+namespace hetflow::sched {
+
+void RandomScheduler::on_task_ready(core::Task& task) {
+  std::vector<const hw::Device*> eligible;
+  for (const hw::Device& device : ctx().platform().devices()) {
+    if (task.codelet().supports(device.type())) {
+      eligible.push_back(&device);
+    }
+  }
+  HETFLOW_REQUIRE_MSG(!eligible.empty(), "no eligible device (runtime bug)");
+  ctx().assign(task, *eligible[rng_.index(eligible.size())]);
+}
+
+}  // namespace hetflow::sched

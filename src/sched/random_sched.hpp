@@ -1,0 +1,21 @@
+// Random scheduler — lower-bound baseline: each ready task goes to a
+// uniformly random device that can run it.
+#pragma once
+
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace hetflow::sched {
+
+class RandomScheduler final : public core::Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed = 1) : rng_(seed) {}
+
+  std::string name() const override { return "random"; }
+  void on_task_ready(core::Task& task) override;
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace hetflow::sched

@@ -1,0 +1,86 @@
+#include "sched/registry.hpp"
+
+#include "sched/batch.hpp"
+#include "sched/cpop.hpp"
+#include "sched/critical_path.hpp"
+#include "sched/dmda.hpp"
+#include "sched/dmdas.hpp"
+#include "sched/eager.hpp"
+#include "sched/energy_aware.hpp"
+#include "sched/heft.hpp"
+#include "sched/mct.hpp"
+#include "sched/peft.hpp"
+#include "sched/random_sched.hpp"
+#include "sched/round_robin.hpp"
+#include "sched/work_stealing.hpp"
+#include "util/error.hpp"
+
+namespace hetflow::sched {
+
+std::vector<std::string> scheduler_names() {
+  return {"eager",     "random",        "round-robin",   "mct",
+          "dmda",      "dmdas",         "min-min",       "max-min",
+          "sufferage", "heft",          "cpop",          "peft",
+          "work-stealing",
+          "critical-path", "energy-energy", "energy-edp",
+          "energy-performance"};
+}
+
+std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name,
+                                                std::uint64_t seed) {
+  if (name == "eager") {
+    return std::make_unique<EagerScheduler>();
+  }
+  if (name == "random") {
+    return std::make_unique<RandomScheduler>(seed);
+  }
+  if (name == "round-robin") {
+    return std::make_unique<RoundRobinScheduler>();
+  }
+  if (name == "mct") {
+    return std::make_unique<MctScheduler>();
+  }
+  if (name == "dmda") {
+    return std::make_unique<DmdaScheduler>();
+  }
+  if (name == "dmdas") {
+    return std::make_unique<DmdasScheduler>();
+  }
+  if (name == "min-min") {
+    return std::make_unique<BatchScheduler>(BatchPolicy::MinMin);
+  }
+  if (name == "max-min") {
+    return std::make_unique<BatchScheduler>(BatchPolicy::MaxMin);
+  }
+  if (name == "sufferage") {
+    return std::make_unique<BatchScheduler>(BatchPolicy::Sufferage);
+  }
+  if (name == "heft") {
+    return std::make_unique<HeftScheduler>();
+  }
+  if (name == "cpop") {
+    return std::make_unique<CpopScheduler>();
+  }
+  if (name == "peft") {
+    return std::make_unique<PeftScheduler>();
+  }
+  if (name == "work-stealing") {
+    return std::make_unique<WorkStealingScheduler>();
+  }
+  if (name == "critical-path") {
+    return std::make_unique<CriticalPathScheduler>();
+  }
+  if (name == "energy-energy") {
+    return std::make_unique<EnergyAwareScheduler>(EnergyObjective::Energy);
+  }
+  if (name == "energy-edp") {
+    return std::make_unique<EnergyAwareScheduler>(EnergyObjective::Edp);
+  }
+  if (name == "energy-performance") {
+    return std::make_unique<EnergyAwareScheduler>(
+        EnergyObjective::Performance);
+  }
+  throw InvalidArgument("unknown scheduler '" + name + "'");
+}
+
+}  // namespace hetflow::sched

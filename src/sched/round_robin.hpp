@@ -1,0 +1,18 @@
+// Round-robin scheduler — rotates ready tasks over eligible devices in id
+// order; blind to cost and data placement but perfectly "fair".
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace hetflow::sched {
+
+class RoundRobinScheduler final : public core::Scheduler {
+ public:
+  std::string name() const override { return "round-robin"; }
+  void on_task_ready(core::Task& task) override;
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace hetflow::sched

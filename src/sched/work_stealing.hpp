@@ -1,0 +1,33 @@
+// Locality-aware work stealing (StarPU "ws"/"lws" family).
+//
+// Each device owns a deque. A ready task is pushed onto the deque of the
+// eligible device already holding the most input bytes (ties: shortest
+// deque). An idle device pops from its own deque front; when empty it
+// steals from the back of the longest eligible victim deque — classic
+// owner-LIFO/thief-FIFO asymmetry preserving locality.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace hetflow::sched {
+
+class WorkStealingScheduler final : public core::Scheduler {
+ public:
+  std::string name() const override { return "work-stealing"; }
+
+  void attach(core::SchedContext& ctx) override;
+  void on_task_ready(core::Task& task) override;
+  core::Task* on_device_idle(const hw::Device& device) override;
+
+  /// Steals performed so far (ablation metric).
+  std::size_t steal_count() const noexcept { return steals_; }
+
+ private:
+  std::vector<std::deque<core::Task*>> deques_;
+  std::size_t steals_ = 0;
+};
+
+}  // namespace hetflow::sched

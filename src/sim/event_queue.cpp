@@ -1,0 +1,79 @@
+#include "sim/event_queue.hpp"
+
+#include <cmath>
+
+namespace hetflow::sim {
+
+EventId EventQueue::schedule_at(SimTime when, Callback fn) {
+  HETFLOW_REQUIRE_MSG(fn != nullptr, "cannot schedule a null callback");
+  HETFLOW_REQUIRE_MSG(std::isfinite(when), "event time must be finite");
+  HETFLOW_REQUIRE_MSG(when >= now_, "cannot schedule an event in the past");
+  const EventId id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_events_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) noexcept {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  --live_events_;
+  return true;
+}
+
+EventQueue::Callback EventQueue::take_callback(EventId id) noexcept {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return nullptr;  // cancelled
+  }
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  --live_events_;
+  return fn;
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    const Event event = heap_.top();
+    heap_.pop();
+    Callback fn = take_callback(event.id);
+    if (!fn) {
+      continue;  // lazily deleted
+    }
+    now_ = event.when;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+SimTime EventQueue::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime EventQueue::run_until(SimTime limit) {
+  HETFLOW_REQUIRE_MSG(limit >= now_, "run_until limit is in the past");
+  while (!heap_.empty()) {
+    // Skip cancelled carcasses at the head without advancing time.
+    const Event event = heap_.top();
+    if (callbacks_.find(event.id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (event.when > limit) {
+      break;
+    }
+    step();
+  }
+  now_ = std::max(now_, limit);
+  return now_;
+}
+
+}  // namespace hetflow::sim

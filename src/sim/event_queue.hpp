@@ -1,0 +1,91 @@
+// Discrete-event simulation core.
+//
+// All of hetflow's "hardware" runs in virtual time on top of this queue:
+// devices, interconnect links and the runtime schedule callbacks at future
+// simulated instants. Determinism contract: two events at the same
+// timestamp fire in the order they were scheduled (FIFO tie-break by a
+// monotonically increasing sequence number), so a given seed always yields
+// the identical trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hetflow::sim {
+
+/// Simulated time in seconds since simulation start.
+using SimTime = double;
+
+/// Handle used to cancel a pending event.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Starts at 0.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now). Returns an id
+  /// that may be passed to `cancel`.
+  EventId schedule_at(SimTime when, Callback fn);
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_after(SimTime delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if it already ran, was
+  /// cancelled before, or never existed. O(1) (lazy deletion).
+  bool cancel(EventId id) noexcept;
+
+  /// Runs events until the queue drains. Returns the time of the last
+  /// event executed (or `now()` if none ran).
+  SimTime run();
+
+  /// Runs events with timestamp <= `limit`; afterwards now() == max(last
+  /// event time, limit) if any event ran, else limit.
+  SimTime run_until(SimTime limit);
+
+  /// Executes exactly one event if available. Returns false on empty.
+  bool step();
+
+  bool empty() const noexcept { return live_events_ == 0; }
+  std::size_t pending() const noexcept { return live_events_; }
+  /// Total events executed since construction (for overhead accounting).
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // id -> callback; erased on execution/cancellation (lazy deletion keeps
+  // the heap untouched on cancel).
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_events_ = 0;
+  std::uint64_t executed_ = 0;
+  SimTime now_ = 0.0;
+
+  Callback take_callback(EventId id) noexcept;
+};
+
+}  // namespace hetflow::sim

@@ -1,0 +1,30 @@
+// Trace-derived summaries (device utilization table).
+#pragma once
+
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace hetflow::trace {
+
+struct DeviceUtilization {
+  hw::DeviceId device = 0;
+  std::size_t task_count = 0;
+  std::size_t failed_count = 0;
+  double busy_seconds = 0.0;
+  double utilization = 0.0;  ///< busy / makespan
+};
+
+/// Per-device utilization extracted from a trace (makespan = max span end).
+std::vector<DeviceUtilization> utilization(const Tracer& tracer,
+                                           const hw::Platform& platform);
+
+/// Rendered ASCII table of the above.
+std::string utilization_report(const Tracer& tracer,
+                               const hw::Platform& platform);
+
+/// CSV dump of the spans (task,name,device,start,end,kind) for external
+/// plotting tools.
+std::string spans_to_csv(const Tracer& tracer);
+
+}  // namespace hetflow::trace

@@ -1,0 +1,167 @@
+#include "trace/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::trace {
+
+namespace {
+
+/// Stable categorical color per span name: hash -> HSL-ish palette.
+std::string color_for(const std::string& name) {
+  std::uint64_t state = 0x243f6a8885a308d3ULL;
+  for (char c : name) {
+    state = util::hash_combine(state, static_cast<std::uint64_t>(
+                                          static_cast<unsigned char>(c)));
+  }
+  const double hue = static_cast<double>(state % 360);
+  // Fixed saturation/lightness keeps adjacent lanes readable.
+  return util::format("hsl(%.0f, 62%%, 62%%)", hue);
+}
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Rounds a duration to a "nice" tick step (1/2/5 x 10^k).
+double nice_step(double span, int target_ticks) {
+  const double raw = span / target_ticks;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  for (double mult : {1.0, 2.0, 5.0, 10.0}) {
+    if (raw <= mult * mag) {
+      return mult * mag;
+    }
+  }
+  return 10.0 * mag;
+}
+
+}  // namespace
+
+std::string to_svg(const Tracer& tracer, const hw::Platform& platform,
+                   const SvgOptions& options) {
+  double makespan = 0.0;
+  for (const Span& span : tracer.spans()) {
+    makespan = std::max(makespan, span.end);
+  }
+  const int lanes = static_cast<int>(platform.device_count());
+  const int label_width = 110;
+  const int top = options.title.empty() ? 16 : 44;
+  const int axis_height = 28;
+  const int height = top + lanes * options.lane_height_px + axis_height;
+  const int width = label_width + options.width_px + 16;
+  const double scale =
+      makespan > 0.0 ? options.width_px / makespan : 0.0;
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" font-family=\"sans-serif\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!options.title.empty()) {
+    svg << "<text x=\"" << width / 2 << "\" y=\"24\" font-size=\"15\" "
+           "text-anchor=\"middle\">"
+        << escape_xml(options.title) << "</text>\n";
+  }
+
+  // Lanes and device labels.
+  for (int lane = 0; lane < lanes; ++lane) {
+    const int y = top + lane * options.lane_height_px;
+    svg << "<rect x=\"" << label_width << "\" y=\"" << y << "\" width=\""
+        << options.width_px << "\" height=\"" << options.lane_height_px
+        << "\" fill=\"" << (lane % 2 == 0 ? "#f4f4f4" : "#ececec")
+        << "\"/>\n";
+    svg << "<text x=\"" << label_width - 6 << "\" y=\""
+        << y + options.lane_height_px / 2 + 4
+        << "\" font-size=\"11\" text-anchor=\"end\">"
+        << escape_xml(
+               platform.device(static_cast<hw::DeviceId>(lane)).name())
+        << "</text>\n";
+  }
+
+  // Spans.
+  for (const Span& span : tracer.spans()) {
+    const int y = top +
+                  static_cast<int>(span.device) * options.lane_height_px + 2;
+    const double x = label_width + span.start * scale;
+    const double w = std::max(0.75, span.duration() * scale);
+    const int h = options.lane_height_px - 4;
+    const bool failed = span.kind == SpanKind::FailedExec;
+    svg << util::format(
+        "<rect x=\"%.2f\" y=\"%d\" width=\"%.2f\" height=\"%d\" "
+        "fill=\"%s\" stroke=\"%s\" stroke-width=\"0.5\"",
+        x, y, w, h,
+        failed ? "#e06060" : color_for(span.name).c_str(),
+        failed ? "#901010" : "#555555");
+    svg << "><title>" << escape_xml(span.name)
+        << util::format(" [%.6f, %.6f] dev %u%s", span.start, span.end,
+                        span.device, failed ? " FAILED" : "")
+        << "</title></rect>\n";
+    if (options.show_labels && !failed && w > 46.0) {
+      svg << util::format(
+                 "<text x=\"%.2f\" y=\"%d\" font-size=\"9\" "
+                 "clip-path=\"none\">",
+                 x + 3.0, y + h - 5)
+          << escape_xml(span.name.substr(0, static_cast<std::size_t>(
+                                                w / 6.0)))
+          << "</text>\n";
+    }
+  }
+
+  // Time axis.
+  const int axis_y = top + lanes * options.lane_height_px;
+  svg << "<line x1=\"" << label_width << "\" y1=\"" << axis_y << "\" x2=\""
+      << label_width + options.width_px << "\" y2=\"" << axis_y
+      << "\" stroke=\"#333\"/>\n";
+  if (makespan > 0.0) {
+    const double step = nice_step(makespan, 8);
+    for (double t = 0.0; t <= makespan + 1e-12; t += step) {
+      const double x = label_width + t * scale;
+      svg << util::format(
+          "<line x1=\"%.2f\" y1=\"%d\" x2=\"%.2f\" y2=\"%d\" "
+          "stroke=\"#333\"/>\n",
+          x, axis_y, x, axis_y + 4);
+      svg << util::format(
+                 "<text x=\"%.2f\" y=\"%d\" font-size=\"10\" "
+                 "text-anchor=\"middle\">",
+                 x, axis_y + 16)
+          << escape_xml(util::human_seconds(t)) << "</text>\n";
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void save_svg(const Tracer& tracer, const hw::Platform& platform,
+              const std::string& path, const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("cannot open '" + path + "' for writing");
+  }
+  out << to_svg(tracer, platform, options);
+}
+
+}  // namespace hetflow::trace

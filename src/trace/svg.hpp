@@ -1,0 +1,32 @@
+// SVG Gantt rendering — publication-quality schedule figures straight
+// from a trace, no external tooling. One lane per device, execution
+// spans colored by codelet name (stable hash -> palette), failed
+// attempts hatched red, a time axis with tick labels, and an optional
+// title. The output is self-contained SVG 1.1.
+#pragma once
+
+#include <string>
+
+#include "hw/platform.hpp"
+#include "trace/tracer.hpp"
+
+namespace hetflow::trace {
+
+struct SvgOptions {
+  int width_px = 1000;        ///< drawing width of the time area
+  int lane_height_px = 22;
+  std::string title;          ///< omitted when empty
+  bool show_labels = true;    ///< task names inside wide-enough spans
+};
+
+/// Renders the trace as an SVG document. Devices with no spans still get
+/// an (empty) lane so idle hardware is visible. An empty trace yields a
+/// small valid SVG with the axis only.
+std::string to_svg(const Tracer& tracer, const hw::Platform& platform,
+                   const SvgOptions& options = {});
+
+/// Convenience: writes to_svg() to a file; throws Error on I/O failure.
+void save_svg(const Tracer& tracer, const hw::Platform& platform,
+              const std::string& path, const SvgOptions& options = {});
+
+}  // namespace hetflow::trace

@@ -1,0 +1,93 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::trace {
+
+void Tracer::add(Span span) {
+  if (!enabled_) {
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::string Tracer::to_chrome_json(const hw::Platform& platform) const {
+  util::Json events = util::Json::array();
+  for (const hw::Device& device : platform.devices()) {
+    util::Json meta = util::Json::object();
+    meta["ph"] = "M";
+    meta["name"] = "thread_name";
+    meta["pid"] = 1;
+    meta["tid"] = static_cast<std::int64_t>(device.id());
+    util::Json args = util::Json::object();
+    args["name"] = device.name();
+    meta["args"] = std::move(args);
+    events.push_back(std::move(meta));
+  }
+  for (const Span& span : spans_) {
+    util::Json event = util::Json::object();
+    event["ph"] = "X";
+    event["name"] = span.name;
+    event["pid"] = 1;
+    event["tid"] = static_cast<std::int64_t>(span.device);
+    event["ts"] = span.start * 1e6;          // microseconds
+    event["dur"] = span.duration() * 1e6;
+    util::Json args = util::Json::object();
+    args["task"] = static_cast<std::int64_t>(span.task_id);
+    args["kind"] = span.kind == SpanKind::Exec
+                       ? "exec"
+                       : (span.kind == SpanKind::FailedExec ? "failed"
+                                                            : "overhead");
+    event["args"] = std::move(args);
+    events.push_back(std::move(event));
+  }
+  util::Json doc = util::Json::object();
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  return doc.dump();
+}
+
+std::string Tracer::ascii_gantt(const hw::Platform& platform,
+                                std::size_t width) const {
+  double makespan = 0.0;
+  for (const Span& span : spans_) {
+    makespan = std::max(makespan, span.end);
+  }
+  std::string out;
+  if (makespan <= 0.0) {
+    return "(empty trace)\n";
+  }
+  std::size_t label_width = 0;
+  for (const hw::Device& device : platform.devices()) {
+    label_width = std::max(label_width, device.name().size());
+  }
+  for (const hw::Device& device : platform.devices()) {
+    std::string row(width, '.');
+    for (const Span& span : spans_) {
+      if (span.device != device.id()) {
+        continue;
+      }
+      const auto lo = static_cast<std::size_t>(
+          span.start / makespan * static_cast<double>(width));
+      auto hi = static_cast<std::size_t>(span.end / makespan *
+                                         static_cast<double>(width));
+      hi = std::min(hi, width - 1);
+      const char mark = span.kind == SpanKind::FailedExec ? 'x' : '#';
+      for (std::size_t i = lo; i <= hi; ++i) {
+        row[i] = mark;
+      }
+    }
+    out += device.name();
+    out += std::string(label_width - device.name().size(), ' ');
+    out += " |" + row + "|\n";
+  }
+  out += util::format("%*s  0%*s%s\n", static_cast<int>(label_width), "",
+                      static_cast<int>(width) - 1, "",
+                      util::human_seconds(makespan).c_str());
+  return out;
+}
+
+}  // namespace hetflow::trace

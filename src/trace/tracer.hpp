@@ -1,0 +1,51 @@
+// Execution tracing: every task execution (and failed attempt) becomes a
+// span; exports to Chrome trace-event JSON (load in chrome://tracing or
+// Perfetto) and to a quick ASCII Gantt for terminals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/platform.hpp"
+#include "sim/event_queue.hpp"
+
+namespace hetflow::trace {
+
+enum class SpanKind : std::uint8_t { Exec = 0, FailedExec, Overhead };
+
+struct Span {
+  std::uint64_t task_id = 0;
+  std::string name;
+  hw::DeviceId device = 0;
+  sim::SimTime start = 0.0;
+  sim::SimTime end = 0.0;
+  SpanKind kind = SpanKind::Exec;
+
+  double duration() const noexcept { return end - start; }
+};
+
+class Tracer {
+ public:
+  /// A disabled tracer drops spans (zero overhead path for benches).
+  explicit Tracer(bool enabled = true) : enabled_(enabled) {}
+
+  bool enabled() const noexcept { return enabled_; }
+  void add(Span span);
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  void clear() { spans_.clear(); }
+
+  /// Chrome trace-event format ("X" complete events, one row per device).
+  std::string to_chrome_json(const hw::Platform& platform) const;
+
+  /// Terminal Gantt chart: one row per device, `width` characters across
+  /// the makespan. '#' = executing, 'x' = failed attempt.
+  std::string ascii_gantt(const hw::Platform& platform,
+                          std::size_t width = 80) const;
+
+ private:
+  bool enabled_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace hetflow::trace

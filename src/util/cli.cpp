@@ -1,0 +1,113 @@
+#include "util/cli.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace hetflow::util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_option(const std::string& name,
+                     const std::string& default_value,
+                     const std::string& help) {
+  HETFLOW_REQUIRE_MSG(entries_.count(name) == 0, "duplicate option");
+  entries_[name] = Entry{default_value, default_value, help, false, false};
+  declaration_order_.push_back(name);
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  HETFLOW_REQUIRE_MSG(entries_.count(name) == 0, "duplicate flag");
+  entries_[name] = Entry{"false", "false", help, true, false};
+  declaration_order_.push_back(name);
+}
+
+Cli::Entry& Cli::lookup(const std::string& name) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw ParseError("unknown option '--" + name + "'");
+  }
+  return it->second;
+}
+
+const Cli::Entry& Cli::lookup(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw ParseError("unknown option '--" + name + "'");
+  }
+  return it->second;
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!starts_with(arg, "--")) {
+      throw ParseError("unexpected positional argument '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    Entry& entry = lookup(arg);
+    if (entry.is_flag) {
+      if (has_value) {
+        throw ParseError("flag '--" + arg + "' does not take a value");
+      }
+      entry.value = "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          throw ParseError("option '--" + arg + "' expects a value");
+        }
+        value = argv[++i];
+      }
+      entry.value = value;
+    }
+    entry.provided = true;
+  }
+}
+
+std::string Cli::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const std::string& name : declaration_order_) {
+    const Entry& entry = entries_.at(name);
+    out << "  --" << name;
+    if (!entry.is_flag) {
+      out << " <value>  (default: " << entry.default_value << ")";
+    }
+    out << "\n      " << entry.help << '\n';
+  }
+  out << "  --help\n      print this message\n";
+  return out.str();
+}
+
+const std::string& Cli::value(const std::string& name) const {
+  return lookup(name).value;
+}
+
+bool Cli::flag(const std::string& name) const {
+  const Entry& entry = lookup(name);
+  HETFLOW_REQUIRE_MSG(entry.is_flag, "not a flag");
+  return entry.value == "true";
+}
+
+double Cli::number(const std::string& name) const {
+  return parse_scaled(lookup(name).value);
+}
+
+bool Cli::provided(const std::string& name) const {
+  return lookup(name).provided;
+}
+
+}  // namespace hetflow::util

@@ -1,0 +1,65 @@
+// Tiny declarative command-line parser for the hetflow tools.
+//
+//   util::Cli cli("hetflow_run", "Run a workflow on a simulated platform");
+//   cli.add_option("workflow", "montage:64", "generator spec or .dag path");
+//   cli.add_flag("gantt", "print an ASCII Gantt chart");
+//   cli.parse(argc, argv);                 // throws ParseError on misuse
+//   if (cli.flag("gantt")) ...
+//   double seed = cli.number("seed");
+//
+// Accepted syntax: --name value, --name=value, --flag. "--help" prints
+// usage and sets help_requested().
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hetflow::util {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Declares a string option with a default value.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Declares a boolean flag (defaults to false).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv; throws ParseError for unknown options, missing values
+  /// or stray positionals. Recognizes --help.
+  void parse(int argc, const char* const* argv);
+
+  bool help_requested() const noexcept { return help_requested_; }
+  std::string usage() const;
+
+  /// Value accessors (throw ParseError for undeclared names).
+  const std::string& value(const std::string& name) const;
+  bool flag(const std::string& name) const;
+  /// Parses the option as a number with K/M/G/T (and Ki/...) suffixes.
+  double number(const std::string& name) const;
+  /// True when the user supplied the option explicitly.
+  bool provided(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string default_value;
+    std::string value;
+    std::string help;
+    bool is_flag = false;
+    bool provided = false;
+  };
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> declaration_order_;
+  bool help_requested_ = false;
+
+  Entry& lookup(const std::string& name);
+  const Entry& lookup(const std::string& name) const;
+};
+
+}  // namespace hetflow::util

@@ -1,0 +1,59 @@
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::util {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  HETFLOW_REQUIRE_MSG(rows_ == 0 && columns_ == 0,
+                      "CSV header must be written first and once");
+  HETFLOW_REQUIRE_MSG(!columns.empty(), "CSV header needs at least one column");
+  columns_ = columns.size();
+  row(columns);
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (columns_ != 0) {
+    HETFLOW_REQUIRE_MSG(fields.size() == columns_,
+                        "CSV row width differs from header");
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      *out_ << ',';
+    }
+    *out_ << escape(fields[i]);
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row_values(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    fields.push_back(format("%.6g", v));
+  }
+  row(fields);
+}
+
+}  // namespace hetflow::util

@@ -1,0 +1,36 @@
+// CSV emission for benchmark/report output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hetflow::util {
+
+/// Writes RFC-4180-style CSV: fields containing comma, quote or newline
+/// are quoted and inner quotes doubled. The writer enforces a constant
+/// column count once the header is set.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes the header row and fixes the column count.
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes one data row; must match the header width when one was set.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with %.6g.
+  void row_values(const std::vector<double>& values);
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream* out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace hetflow::util

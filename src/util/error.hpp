@@ -1,0 +1,78 @@
+// Error types shared across hetflow.
+//
+// hetflow reports unrecoverable API misuse and invariant violations via
+// exceptions derived from hetflow::Error (Core Guidelines E.2/E.14). Each
+// subsystem throws the subclass naming the layer at fault so callers can
+// discriminate without string matching.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hetflow {
+
+/// Base class of every exception thrown by hetflow.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid argument / API misuse detected at a public boundary.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violated — indicates a bug in hetflow itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input while parsing an external artifact (DAG file, JSON).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Simulated resource exhausted (e.g. device memory cannot fit a replica).
+class ResourceExhausted : public Error {
+ public:
+  explicit ResourceExhausted(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw InternalError(std::string("requirement failed: ") + expr + " at " +
+                      file + ":" + std::to_string(line) +
+                      (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+namespace util {
+// The error types predate the nested namespaces; both hetflow::Error and
+// hetflow::util::Error are supported spellings.
+using hetflow::Error;
+using hetflow::InternalError;
+using hetflow::InvalidArgument;
+using hetflow::ParseError;
+using hetflow::ResourceExhausted;
+}  // namespace util
+
+}  // namespace hetflow
+
+/// Always-on invariant check (unlike assert, active in release builds).
+#define HETFLOW_REQUIRE(expr)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::hetflow::detail::require_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                      \
+  } while (false)
+
+#define HETFLOW_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::hetflow::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,215 @@
+#include "util/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace hetflow::util {
+
+void Digraph::resize(std::size_t node_count) {
+  HETFLOW_REQUIRE_MSG(node_count >= succ_.size(),
+                      "Digraph::resize cannot shrink");
+  succ_.resize(node_count);
+  pred_.resize(node_count);
+}
+
+std::size_t Digraph::add_node() {
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return succ_.size() - 1;
+}
+
+void Digraph::check_node(std::size_t node) const {
+  HETFLOW_REQUIRE_MSG(node < succ_.size(), "node id out of range");
+}
+
+void Digraph::add_edge(std::size_t src, std::size_t dst) {
+  check_node(src);
+  check_node(dst);
+  HETFLOW_REQUIRE_MSG(src != dst, "self-loops are not allowed");
+  succ_[src].push_back(dst);
+  pred_[dst].push_back(src);
+  ++edges_;
+}
+
+const std::vector<std::size_t>& Digraph::successors(std::size_t node) const {
+  check_node(node);
+  return succ_[node];
+}
+
+const std::vector<std::size_t>& Digraph::predecessors(std::size_t node) const {
+  check_node(node);
+  return pred_[node];
+}
+
+std::size_t Digraph::in_degree(std::size_t node) const {
+  check_node(node);
+  return pred_[node].size();
+}
+
+std::size_t Digraph::out_degree(std::size_t node) const {
+  check_node(node);
+  return succ_[node].size();
+}
+
+std::vector<std::size_t> Digraph::sources() const {
+  std::vector<std::size_t> out;
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    if (pred_[n].empty()) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> Digraph::sinks() const {
+  std::vector<std::size_t> out;
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    if (succ_[n].empty()) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+bool Digraph::has_cycle() const {
+  // Kahn's algorithm: a cycle exists iff not all nodes get popped.
+  std::vector<std::size_t> degree(node_count());
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    degree[n] = pred_[n].size();
+  }
+  std::vector<std::size_t> stack;
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    if (degree[n] == 0) {
+      stack.push_back(n);
+    }
+  }
+  std::size_t popped = 0;
+  while (!stack.empty()) {
+    const std::size_t node = stack.back();
+    stack.pop_back();
+    ++popped;
+    for (std::size_t succ : succ_[node]) {
+      if (--degree[succ] == 0) {
+        stack.push_back(succ);
+      }
+    }
+  }
+  return popped != node_count();
+}
+
+std::vector<std::size_t> Digraph::topological_order() const {
+  std::vector<std::size_t> degree(node_count());
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    degree[n] = pred_[n].size();
+  }
+  // Min-heap for deterministic order independent of insertion history.
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      std::greater<>>
+      ready;
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    if (degree[n] == 0) {
+      ready.push(n);
+    }
+  }
+  std::vector<std::size_t> order;
+  order.reserve(node_count());
+  while (!ready.empty()) {
+    const std::size_t node = ready.top();
+    ready.pop();
+    order.push_back(node);
+    for (std::size_t succ : succ_[node]) {
+      if (--degree[succ] == 0) {
+        ready.push(succ);
+      }
+    }
+  }
+  if (order.size() != node_count()) {
+    throw InvalidArgument("topological_order: graph has a cycle");
+  }
+  return order;
+}
+
+std::vector<std::size_t> Digraph::levels() const {
+  const std::vector<std::size_t> order = topological_order();
+  std::vector<std::size_t> level(node_count(), 0);
+  for (std::size_t node : order) {
+    for (std::size_t succ : succ_[node]) {
+      level[succ] = std::max(level[succ], level[node] + 1);
+    }
+  }
+  return level;
+}
+
+double Digraph::critical_path(const std::vector<double>& node_weight,
+                              std::vector<std::size_t>* path) const {
+  return critical_path(
+      node_weight, [](std::size_t, std::size_t) { return 0.0; }, path);
+}
+
+std::vector<bool> Digraph::reachable_from(std::size_t node) const {
+  check_node(node);
+  std::vector<bool> seen(node_count(), false);
+  std::vector<std::size_t> stack = {node};
+  while (!stack.empty()) {
+    const std::size_t cur = stack.back();
+    stack.pop_back();
+    for (std::size_t succ : succ_[cur]) {
+      if (!seen[succ]) {
+        seen[succ] = true;
+        stack.push_back(succ);
+      }
+    }
+  }
+  return seen;
+}
+
+std::size_t Digraph::transitive_reduction() {
+  // For each node, drop an edge n->s if s is reachable from another
+  // successor of n. O(V * E) via per-node DFS — fine for workflow-sized
+  // graphs (10^4 nodes).
+  const std::vector<std::size_t> order = topological_order();  // validates DAG
+  (void)order;
+  std::size_t removed = 0;
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    // Deduplicate successors first.
+    std::vector<std::size_t>& succs = succ_[n];
+    std::sort(succs.begin(), succs.end());
+    const auto last = std::unique(succs.begin(), succs.end());
+    removed += static_cast<std::size_t>(std::distance(last, succs.end()));
+    succs.erase(last, succs.end());
+
+    std::vector<bool> covered(node_count(), false);
+    for (std::size_t direct : succs) {
+      if (covered[direct]) {
+        continue;
+      }
+      const std::vector<bool> reach = reachable_from(direct);
+      for (std::size_t m = 0; m < node_count(); ++m) {
+        if (reach[m]) {
+          covered[m] = true;
+        }
+      }
+    }
+    const auto keep_end = std::remove_if(
+        succs.begin(), succs.end(),
+        [&](std::size_t s) { return covered[s]; });
+    removed += static_cast<std::size_t>(std::distance(keep_end, succs.end()));
+    succs.erase(keep_end, succs.end());
+  }
+  // Rebuild predecessor lists and edge count.
+  for (auto& preds : pred_) {
+    preds.clear();
+  }
+  edges_ = 0;
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    for (std::size_t s : succ_[n]) {
+      pred_[s].push_back(n);
+      ++edges_;
+    }
+  }
+  return removed;
+}
+
+}  // namespace hetflow::util

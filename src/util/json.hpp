@@ -1,0 +1,88 @@
+// Minimal JSON document model, serializer and recursive-descent parser.
+//
+// Used for Chrome-trace export and for structured experiment manifests.
+// Supports the full JSON grammar except \u surrogate pairs beyond the BMP
+// (escapes are decoded to UTF-8).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace hetflow::util {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/// std::map keeps key order deterministic for golden-output tests.
+using JsonObject = std::map<std::string, Json>;
+
+/// One JSON value. Value-semantic; cheap to move.
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
+  bool is_number() const noexcept { return std::holds_alternative<double>(value_); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const noexcept { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const noexcept { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; throw InternalError on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  /// Object field access; `at` throws ParseError if missing.
+  Json& operator[](const std::string& key);
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Array append.
+  void push_back(Json value);
+
+  std::size_t size() const;
+
+  /// Compact serialization (no whitespace).
+  std::string dump() const;
+  /// Pretty serialization with 2-space indentation.
+  std::string dump_pretty() const;
+
+  /// Parses a complete JSON document; throws ParseError with a byte
+  /// offset on malformed input.
+  static Json parse(std::string_view text);
+
+  bool operator==(const Json& other) const = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+
+  void write(std::string& out, int indent, int depth) const;
+  static void write_string(std::string& out, const std::string& s);
+};
+
+}  // namespace hetflow::util

@@ -1,0 +1,62 @@
+// Minimal leveled logger.
+//
+// hetflow is a library, so by default it stays quiet (Warn level). The
+// sink is replaceable for tests. Logging is not on any hot path — the
+// runtime's per-task bookkeeping never logs unless Debug is enabled.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace hetflow::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Returns the human-readable name of a level ("debug", "info", ...).
+const char* to_string(LogLevel level) noexcept;
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Replaces the sink (default writes to stderr). Pass nullptr to restore
+/// the default. The sink receives the already-formatted line.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// Emits one log line through the current sink if `level` is enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace hetflow::util
+
+#define HETFLOW_LOG(level)                                       \
+  if (static_cast<int>(level) <                                  \
+      static_cast<int>(::hetflow::util::log_level())) {          \
+  } else                                                         \
+    ::hetflow::util::detail::LogStream(level)
+
+#define HETFLOW_DEBUG HETFLOW_LOG(::hetflow::util::LogLevel::Debug)
+#define HETFLOW_INFO HETFLOW_LOG(::hetflow::util::LogLevel::Info)
+#define HETFLOW_WARN HETFLOW_LOG(::hetflow::util::LogLevel::Warn)
+#define HETFLOW_ERROR HETFLOW_LOG(::hetflow::util::LogLevel::Error)

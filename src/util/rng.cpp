@@ -1,0 +1,80 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hetflow::util {
+
+double Rng::uniform(double lo, double hi) {
+  HETFLOW_REQUIRE_MSG(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  HETFLOW_REQUIRE_MSG(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) {
+    draw = (*this)();
+  }
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::normal() noexcept {
+  // Box–Muller; guard against log(0).
+  double u1 = uniform();
+  while (u1 <= 0.0) {
+    u1 = uniform();
+  }
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) {
+  HETFLOW_REQUIRE_MSG(rate > 0.0, "exponential rate must be positive");
+  double u = uniform();
+  while (u <= 0.0) {
+    u = uniform();
+  }
+  return -std::log(u) / rate;
+}
+
+bool Rng::bernoulli(double p) {
+  HETFLOW_REQUIRE_MSG(p >= 0.0 && p <= 1.0, "bernoulli p must be in [0, 1]");
+  return uniform() < p;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  HETFLOW_REQUIRE_MSG(n > 0, "index(n) requires n > 0");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    HETFLOW_REQUIRE_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  HETFLOW_REQUIRE_MSG(total > 0.0, "at least one weight must be positive");
+  double cut = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cut -= weights[i];
+    if (cut < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // floating-point slack lands on the last item
+}
+
+}  // namespace hetflow::util

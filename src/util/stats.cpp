@@ -1,0 +1,166 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hetflow::util {
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Sample::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Sample::mean() const noexcept {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Sample::min() const {
+  HETFLOW_REQUIRE(!values_.empty());
+  ensure_sorted();
+  return values_.front();
+}
+
+double Sample::max() const {
+  HETFLOW_REQUIRE(!values_.empty());
+  ensure_sorted();
+  return values_.back();
+}
+
+double Sample::quantile(double q) const {
+  HETFLOW_REQUIRE_MSG(!values_.empty(), "quantile of empty sample");
+  HETFLOW_REQUIRE_MSG(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  ensure_sorted();
+  if (values_.size() == 1) {
+    return values_.front();
+  }
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) {
+    return values_.back();
+  }
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  HETFLOW_REQUIRE_MSG(hi > lo, "histogram range must be non-empty");
+  HETFLOW_REQUIRE_MSG(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  HETFLOW_REQUIRE(i < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  HETFLOW_REQUIRE(i < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::to_ascii(std::size_t max_width) const {
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * max_width / peak;
+    out << '[' << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+        << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  return out.str();
+}
+
+double jain_fairness(const std::vector<double>& loads) noexcept {
+  if (loads.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : loads) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  return sum * sum / (static_cast<double>(loads.size()) * sum_sq);
+}
+
+double coefficient_of_variation(const std::vector<double>& xs) noexcept {
+  RunningStats stats;
+  for (double x : xs) {
+    stats.add(x);
+  }
+  if (stats.mean() == 0.0) {
+    return 0.0;
+  }
+  return stats.stddev() / stats.mean();
+}
+
+}  // namespace hetflow::util

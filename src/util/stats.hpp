@@ -1,0 +1,90 @@
+// Streaming statistics used by performance models, reports and benches.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hetflow::util {
+
+/// Welford's online mean/variance accumulator. O(1) space, numerically
+/// stable; suitable for per-(codelet, device) execution-time histories.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact quantiles over a retained sample vector. Not for unbounded
+/// streams; fine for per-run task latencies (10^5 entries at most).
+class Sample {
+ public:
+  void add(double x) { values_.push_back(x); }
+  std::size_t count() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+  double mean() const noexcept;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated quantile, q in [0, 1]. Requires a non-empty sample.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t total() const noexcept { return total_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  /// Multi-line ASCII rendering (one row per bucket with a bar).
+  std::string to_ascii(std::size_t max_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Jain's fairness index of a load vector: 1.0 = perfectly balanced,
+/// 1/n = all load on one element. Returns 1.0 for empty/zero input.
+double jain_fairness(const std::vector<double>& loads) noexcept;
+
+/// Coefficient of variation (stddev/mean); 0 if mean is 0.
+double coefficient_of_variation(const std::vector<double>& xs) noexcept;
+
+}  // namespace hetflow::util

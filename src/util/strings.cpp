@@ -1,0 +1,181 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace hetflow::util {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_ws(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i > start) {
+      out.emplace_back(text.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) noexcept {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += items[i];
+  }
+  return out;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    throw InternalError("vsnprintf failed");
+  }
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string human_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double value = bytes;
+  std::size_t unit = 0;
+  while (std::fabs(value) >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return format(unit == 0 ? "%.0f %s" : "%.2f %s", value, kUnits[unit]);
+}
+
+std::string human_seconds(double seconds) {
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0 || abs == 0.0) {
+    return format("%.3f s", seconds);
+  }
+  if (abs >= 1e-3) {
+    return format("%.3f ms", seconds * 1e3);
+  }
+  if (abs >= 1e-6) {
+    return format("%.3f us", seconds * 1e6);
+  }
+  return format("%.0f ns", seconds * 1e9);
+}
+
+std::string human_count(double count) {
+  static constexpr const char* kUnits[] = {"", "K", "M", "G", "T"};
+  double value = count;
+  std::size_t unit = 0;
+  while (std::fabs(value) >= 1000.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1000.0;
+    ++unit;
+  }
+  return format(unit == 0 ? "%.0f%s" : "%.2f%s", value, kUnits[unit]);
+}
+
+double parse_scaled(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) {
+    throw ParseError("parse_scaled: empty input");
+  }
+  std::string buf(trimmed);
+  char* end = nullptr;
+  const double base = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str()) {
+    throw ParseError("parse_scaled: not a number: '" + buf + "'");
+  }
+  std::string_view suffix = trim(std::string_view(end));
+  if (suffix.empty()) {
+    return base;
+  }
+  double scale = 1.0;
+  if (suffix == "K" || suffix == "k") {
+    scale = 1e3;
+  } else if (suffix == "M") {
+    scale = 1e6;
+  } else if (suffix == "G" || suffix == "g") {
+    scale = 1e9;
+  } else if (suffix == "T") {
+    scale = 1e12;
+  } else if (suffix == "Ki") {
+    scale = 1024.0;
+  } else if (suffix == "Mi") {
+    scale = 1024.0 * 1024.0;
+  } else if (suffix == "Gi") {
+    scale = 1024.0 * 1024.0 * 1024.0;
+  } else if (suffix == "Ti") {
+    scale = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  } else {
+    throw ParseError("parse_scaled: unknown suffix '" + std::string(suffix) +
+                     "'");
+  }
+  return base * scale;
+}
+
+bool is_number(std::string_view text) noexcept {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) {
+    return false;
+  }
+  std::string buf(trimmed);
+  char* end = nullptr;
+  std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+}  // namespace hetflow::util

@@ -1,0 +1,46 @@
+// Small string helpers (GCC 12 lacks <format>, so hetflow carries its own
+// snprintf-based formatting and human-readable unit rendering).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetflow::util {
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on runs of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// Joins items with `sep` between them.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1.50 GB", "12.0 KB", ... (binary units, 1024 base).
+std::string human_bytes(double bytes);
+
+/// "1.234 s", "12.3 ms", "456 us", "789 ns".
+std::string human_seconds(double seconds);
+
+/// "1.2 G", "3.4 M" — SI magnitude for counts/rates.
+std::string human_count(double count);
+
+/// Parses a double allowing unit suffixes: K/M/G/T (SI, 1000-base) and
+/// Ki/Mi/Gi/Ti (binary). Throws ParseError on malformed input.
+double parse_scaled(std::string_view text);
+
+/// True if `text` parses fully as a decimal number.
+bool is_number(std::string_view text) noexcept;
+
+}  // namespace hetflow::util

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  HETFLOW_REQUIRE_MSG(!columns_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> fields) {
+  HETFLOW_REQUIRE_MSG(fields.size() == columns_.size(),
+                      "table row width differs from header");
+  rows_.push_back(std::move(fields));
+}
+
+void Table::add_row_mixed(const std::string& label,
+                          const std::vector<double>& values,
+                          const char* spec) {
+  HETFLOW_REQUIRE_MSG(values.size() + 1 == columns_.size(),
+                      "table row width differs from header");
+  std::vector<std::string> fields;
+  fields.reserve(columns_.size());
+  fields.push_back(label);
+  for (double v : values) {
+    fields.push_back(format(spec, v));
+  }
+  rows_.push_back(std::move(fields));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : width) {
+      line += std::string(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  };
+  const auto emit_row = [&](const std::vector<std::string>& fields) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      line += ' ';
+      line += fields[c];
+      line += std::string(width[c] - fields[c].size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = rule();
+  out += emit_row(columns_);
+  out += rule();
+  for (const auto& row : rows_) {
+    out += emit_row(row);
+  }
+  out += rule();
+  return out;
+}
+
+void Table::print(std::ostream& out) const { out << render(); }
+
+}  // namespace hetflow::util

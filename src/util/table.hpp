@@ -1,0 +1,40 @@
+// ASCII table renderer used by every bench binary to print paper-style
+// tables with aligned columns.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hetflow::util {
+
+/// Collects rows and renders a fixed-width ASCII table:
+///
+///   +----------+-------+
+///   | workflow | HEFT  |
+///   +----------+-------+
+///   | montage  | 123.4 |
+///   +----------+-------+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends one row; width must match the header.
+  void add_row(std::vector<std::string> fields);
+
+  /// Numeric convenience — formats with the given printf spec.
+  void add_row_mixed(const std::string& label,
+                     const std::vector<double>& values,
+                     const char* spec = "%.3g");
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  std::string render() const;
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hetflow::util

@@ -1,0 +1,327 @@
+#include "workflow/campaign.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "core/runtime.hpp"
+#include "sched/registry.hpp"
+#include "util/strings.hpp"
+#include "workflow/codelets.hpp"
+
+namespace hetflow::workflow {
+
+// ---------------------------------------------------------------------------
+// Response surfaces
+// ---------------------------------------------------------------------------
+
+ResponseSurface::ResponseSurface(Kind kind, double noise_sd)
+    : kind_(kind), noise_sd_(noise_sd) {
+  HETFLOW_REQUIRE_MSG(noise_sd >= 0.0, "noise sd cannot be negative");
+}
+
+double ResponseSurface::value(double x, double y) const {
+  switch (kind_) {
+    case Kind::Branin: {
+      // Standard Branin over x1 in [-5, 10], x2 in [0, 15].
+      const double x1 = -5.0 + 15.0 * x;
+      const double x2 = 15.0 * y;
+      constexpr double a = 1.0;
+      const double b = 5.1 / (4.0 * std::numbers::pi * std::numbers::pi);
+      const double c = 5.0 / std::numbers::pi;
+      constexpr double r = 6.0;
+      constexpr double s = 10.0;
+      const double t = 1.0 / (8.0 * std::numbers::pi);
+      const double term = x2 - b * x1 * x1 + c * x1 - r;
+      return a * term * term + s * (1.0 - t) * std::cos(x1) + s;
+    }
+    case Kind::Rosenbrock: {
+      // Scaled to [0,1]^2 with the valley inside the domain.
+      const double x1 = -2.0 + 4.0 * x;
+      const double x2 = -1.0 + 3.0 * y;
+      const double term1 = x2 - x1 * x1;
+      const double term2 = 1.0 - x1;
+      return 100.0 * term1 * term1 + term2 * term2;
+    }
+    case Kind::Quadratic: {
+      const double dx = x - 0.7;
+      const double dy = y - 0.3;
+      return 40.0 * dx * dx + 25.0 * dy * dy;
+    }
+  }
+  return 0.0;
+}
+
+double ResponseSurface::observe(double x, double y, util::Rng& rng) const {
+  double observation = value(x, y);
+  if (noise_sd_ > 0.0) {
+    observation += rng.normal(0.0, noise_sd_);
+  }
+  return observation;
+}
+
+double ResponseSurface::true_minimum() const noexcept {
+  switch (kind_) {
+    case Kind::Branin:
+      return 0.397887;
+    case Kind::Rosenbrock:
+    case Kind::Quadratic:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+const char* ResponseSurface::name() const noexcept {
+  switch (kind_) {
+    case Kind::Branin:
+      return "branin";
+    case Kind::Rosenbrock:
+      return "rosenbrock";
+    case Kind::Quadratic:
+      return "quadratic";
+  }
+  return "?";
+}
+
+const char* to_string(SearchStrategy strategy) noexcept {
+  switch (strategy) {
+    case SearchStrategy::Grid:
+      return "grid";
+    case SearchStrategy::Random:
+      return "random";
+    case SearchStrategy::Surrogate:
+      return "surrogate";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Quadratic surrogate: least-squares fit of
+//   z = c0 + c1 x + c2 y + c3 x^2 + c4 y^2 + c5 xy
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Observation {
+  double x;
+  double y;
+  double z;
+};
+
+std::array<double, 6> features(double x, double y) {
+  return {1.0, x, y, x * x, y * y, x * y};
+}
+
+/// Solves the 6x6 normal equations by Gaussian elimination with partial
+/// pivoting; returns false when the system is (near-)singular.
+bool fit_quadratic(const std::vector<Observation>& points,
+                   std::array<double, 6>& coeffs) {
+  if (points.size() < 6) {
+    return false;
+  }
+  double a[6][7] = {};
+  for (const Observation& p : points) {
+    const std::array<double, 6> phi = features(p.x, p.y);
+    for (int i = 0; i < 6; ++i) {
+      for (int j = 0; j < 6; ++j) {
+        a[i][j] += phi[static_cast<std::size_t>(i)] *
+                   phi[static_cast<std::size_t>(j)];
+      }
+      a[i][6] += phi[static_cast<std::size_t>(i)] * p.z;
+    }
+  }
+  // Tikhonov damping keeps the fit stable with clustered samples.
+  for (int i = 0; i < 6; ++i) {
+    a[i][i] += 1e-9 * static_cast<double>(points.size());
+  }
+  for (int col = 0; col < 6; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 6; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return false;
+    }
+    std::swap(a[pivot], a[col]);
+    for (int row = 0; row < 6; ++row) {
+      if (row == col) {
+        continue;
+      }
+      const double factor = a[row][col] / a[col][col];
+      for (int k = col; k < 7; ++k) {
+        a[row][k] -= factor * a[col][k];
+      }
+    }
+  }
+  for (int i = 0; i < 6; ++i) {
+    coeffs[static_cast<std::size_t>(i)] = a[i][6] / a[i][i];
+  }
+  return true;
+}
+
+double predict(const std::array<double, 6>& coeffs, double x, double y) {
+  const std::array<double, 6> phi = features(x, y);
+  double z = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    z += coeffs[i] * phi[i];
+  }
+  return z;
+}
+
+/// Runs one batch of simulations (prepare -> simulate -> analyze chains)
+/// through the runtime; the campaign's figure-of-merit observation is
+/// made once the batch's workflows have "executed".
+void run_simulation_batch(core::Runtime& runtime,
+                          const CodeletLibrary& library,
+                          const CampaignConfig& config, std::size_t round,
+                          std::size_t batch) {
+  const core::CodeletPtr prepare = library.get("io");
+  const core::CodeletPtr simulate = library.get("compute");
+  const core::CodeletPtr analyze = library.get("reduce");
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto tag = util::format("r%zu_e%zu", round, b);
+    const data::DataId input =
+        runtime.register_data("in_" + tag, config.sim_bytes / 4);
+    const data::DataId field =
+        runtime.register_data("field_" + tag, config.sim_bytes);
+    const data::DataId result =
+        runtime.register_data("res_" + tag, config.sim_bytes / 16);
+    runtime.submit("prepare_" + tag, prepare, config.sim_flops / 20.0,
+                   {{input, data::AccessMode::Write}});
+    runtime.submit("simulate_" + tag, simulate, config.sim_flops,
+                   {{input, data::AccessMode::Read},
+                    {field, data::AccessMode::Write}});
+    runtime.submit("analyze_" + tag, analyze, config.sim_flops / 10.0,
+                   {{field, data::AccessMode::Read},
+                    {result, data::AccessMode::Write}});
+  }
+  runtime.wait_all();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Campaign loop
+// ---------------------------------------------------------------------------
+
+CampaignResult run_campaign(const hw::Platform& platform,
+                            const ResponseSurface& surface,
+                            SearchStrategy strategy,
+                            const CampaignConfig& config) {
+  HETFLOW_REQUIRE_MSG(config.batch_size >= 1, "batch size must be >= 1");
+  HETFLOW_REQUIRE_MSG(config.max_evaluations >= config.batch_size,
+                      "max_evaluations below one batch");
+  util::Rng rng(config.seed);
+  const CodeletLibrary library = CodeletLibrary::standard();
+  core::RuntimeOptions options;
+  options.seed = config.seed;
+  options.record_trace = false;
+  core::Runtime runtime(platform, sched::make_scheduler(config.scheduler),
+                        options);
+
+  CampaignResult result;
+  result.best_value = std::numeric_limits<double>::infinity();
+  std::vector<Observation> observed;
+  const double target = surface.true_minimum() + config.target_excess;
+
+  // Grid layout: smallest k x k covering the budget, swept in order.
+  const auto grid_k = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(config.max_evaluations))));
+  std::size_t grid_cursor = 0;
+
+  while (result.evaluations < config.max_evaluations &&
+         !result.reached_target) {
+    const std::size_t batch = std::min(
+        config.batch_size, config.max_evaluations - result.evaluations);
+    // 1) choose the batch of parameter points
+    std::vector<std::pair<double, double>> points;
+    points.reserve(batch);
+    switch (strategy) {
+      case SearchStrategy::Grid:
+        for (std::size_t b = 0; b < batch; ++b) {
+          const std::size_t i = grid_cursor / grid_k;
+          const std::size_t j = grid_cursor % grid_k;
+          ++grid_cursor;
+          const double denom = static_cast<double>(grid_k - 1);
+          points.push_back({grid_k == 1 ? 0.5 : static_cast<double>(i) / denom,
+                            grid_k == 1 ? 0.5 : static_cast<double>(j) / denom});
+        }
+        break;
+      case SearchStrategy::Random:
+        for (std::size_t b = 0; b < batch; ++b) {
+          points.push_back({rng.uniform(), rng.uniform()});
+        }
+        break;
+      case SearchStrategy::Surrogate: {
+        // Adaptive zoom: once observations exist, most of the batch
+        // samples a Gaussian around the incumbent with a per-round
+        // shrinking radius; a fraction stays global for exploration; and
+        // when the quadratic surrogate fits, its candidate-pool argmin
+        // joins the batch (exact convergence on bowl-shaped surfaces).
+        if (observed.empty()) {
+          for (std::size_t b = 0; b < batch; ++b) {
+            points.push_back({rng.uniform(), rng.uniform()});
+          }
+          break;
+        }
+        const double sigma = std::max(
+            0.02, 0.3 * std::pow(0.8, static_cast<double>(result.rounds)));
+        std::array<double, 6> coeffs{};
+        if (fit_quadratic(observed, coeffs)) {
+          double best_pred = std::numeric_limits<double>::infinity();
+          std::pair<double, double> best_point{0.5, 0.5};
+          for (std::size_t c = 0; c < 256; ++c) {
+            const std::pair<double, double> candidate{rng.uniform(),
+                                                      rng.uniform()};
+            const double pred =
+                predict(coeffs, candidate.first, candidate.second);
+            if (pred < best_pred) {
+              best_pred = pred;
+              best_point = candidate;
+            }
+          }
+          points.push_back(best_point);
+        }
+        while (points.size() < batch) {
+          if (points.size() % 4 == 3) {
+            points.push_back({rng.uniform(), rng.uniform()});  // explore
+          } else {
+            points.push_back(
+                {std::clamp(result.best_x + rng.normal(0.0, sigma), 0.0, 1.0),
+                 std::clamp(result.best_y + rng.normal(0.0, sigma), 0.0,
+                            1.0)});
+          }
+        }
+        break;
+      }
+    }
+    // 2) run the batch through the heterogeneous runtime
+    run_simulation_batch(runtime, library, config, result.rounds, batch);
+    // 3) observe the figure of merit at each point
+    for (const auto& [x, y] : points) {
+      const double z = surface.observe(x, y, rng);
+      observed.push_back({x, y, z});
+      ++result.evaluations;
+      if (z < result.best_value) {
+        result.best_value = z;
+        result.best_x = x;
+        result.best_y = y;
+      }
+    }
+    ++result.rounds;
+    result.best_after_round.push_back(result.best_value);
+    if (result.best_value <= target) {
+      result.reached_target = true;
+    }
+  }
+
+  result.makespan_s = runtime.now();
+  result.core_seconds = runtime.stats().total_busy_seconds();
+  return result;
+}
+
+}  // namespace hetflow::workflow

@@ -1,0 +1,72 @@
+#include "workflow/characterize.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace hetflow::workflow {
+
+Characterization characterize(const Workflow& workflow) {
+  workflow.validate();
+  Characterization out;
+  out.name = workflow.name();
+  out.tasks = workflow.task_count();
+  out.files = workflow.file_count();
+  out.total_gflop = workflow.total_flops() / 1e9;
+  out.total_bytes = workflow.total_bytes();
+  if (workflow.task_count() == 0) {
+    return out;
+  }
+  const util::Digraph graph = workflow.task_graph();
+  out.edges = graph.edge_count();
+  out.depth = workflow.depth();
+  out.max_width = workflow.max_width();
+
+  // Flop-weighted critical path.
+  std::vector<double> work(workflow.task_count());
+  for (std::size_t t = 0; t < workflow.task_count(); ++t) {
+    work[t] = workflow.tasks()[t].flops;
+  }
+  const double critical_work = graph.critical_path(work);
+  const double total_work = workflow.total_flops();
+  out.avg_parallelism =
+      critical_work > 0.0 ? total_work / critical_work
+                          : static_cast<double>(workflow.task_count());
+  out.serial_fraction = total_work > 0.0 ? critical_work / total_work : 0.0;
+
+  // CCR at the reference rates: every consumed (read) file charges one
+  // transfer of its size.
+  constexpr double kRefBandwidth = 16e9;  // bytes/s
+  constexpr double kRefRate = 50e9;       // flop/s
+  double transfer_s = 0.0;
+  for (const WorkflowTask& task : workflow.tasks()) {
+    for (std::size_t in : task.inputs) {
+      transfer_s += static_cast<double>(workflow.files()[in].bytes) /
+                    kRefBandwidth;
+    }
+  }
+  const double compute_s = total_work / kRefRate;
+  out.ccr = compute_s > 0.0 ? transfer_s / compute_s : 0.0;
+  return out;
+}
+
+std::string characterization_table(
+    const std::vector<Characterization>& rows) {
+  util::Table table({"workflow", "tasks", "files", "edges", "depth",
+                     "width", "GFLOP", "data", "avg-par", "serial%",
+                     "CCR"});
+  for (const Characterization& c : rows) {
+    table.add_row({c.name, std::to_string(c.tasks), std::to_string(c.files),
+                   std::to_string(c.edges), std::to_string(c.depth),
+                   std::to_string(c.max_width),
+                   util::format("%.1f", c.total_gflop),
+                   util::human_bytes(static_cast<double>(c.total_bytes)),
+                   util::format("%.1f", c.avg_parallelism),
+                   util::format("%.1f", c.serial_fraction * 100.0),
+                   util::format("%.3f", c.ccr)});
+  }
+  return table.render();
+}
+
+}  // namespace hetflow::workflow

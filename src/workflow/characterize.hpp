@@ -1,0 +1,44 @@
+// Workflow characterization — the structural metrics workflow papers
+// tabulate (Bharathi et al.): size, shape, parallelism profile and
+// communication-to-computation balance. Platform-independent except for
+// the reference rates used to express CCR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workflow/workflow.hpp"
+
+namespace hetflow::workflow {
+
+struct Characterization {
+  std::string name;
+  std::size_t tasks = 0;
+  std::size_t files = 0;
+  std::size_t edges = 0;          ///< task-graph dependency edges
+  std::size_t depth = 0;          ///< levels
+  std::size_t max_width = 0;      ///< widest level
+  double total_gflop = 0.0;
+  std::uint64_t total_bytes = 0;
+  /// total work / critical-path work: the average parallelism an
+  /// infinite homogeneous machine could extract.
+  double avg_parallelism = 0.0;
+  /// Fraction of the total work on the (flop-weighted) critical path —
+  /// 1.0 for a pure chain, → 0 for a flat bag.
+  double serial_fraction = 0.0;
+  /// Communication-to-computation ratio at the reference rates
+  /// (16 GB/s interconnect, 50 GFLOP/s compute): total transfer time of
+  /// every consumed file / total compute time.
+  double ccr = 0.0;
+};
+
+/// Computes all metrics. O(V * E) dominated by the level/critical-path
+/// passes; validates the workflow first.
+Characterization characterize(const Workflow& workflow);
+
+/// Renders a one-row-per-workflow ASCII table.
+std::string characterization_table(
+    const std::vector<Characterization>& rows);
+
+}  // namespace hetflow::workflow

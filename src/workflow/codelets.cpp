@@ -1,0 +1,108 @@
+#include "workflow/codelets.hpp"
+
+#include "util/error.hpp"
+
+namespace hetflow::workflow {
+
+namespace {
+using hw::DeviceType;
+}
+
+CodeletLibrary CodeletLibrary::standard() {
+  CodeletLibrary lib;
+  const auto add = [&lib](const std::string& kind,
+                          std::initializer_list<std::pair<DeviceType, double>>
+                              impls) {
+    lib.register_codelet(kind, core::Codelet::make(kind, impls));
+  };
+
+  // Generic kinds.
+  add("generic", {{DeviceType::Cpu, 0.5}, {DeviceType::Gpu, 0.5}});
+  add("cpu-serial", {{DeviceType::Cpu, 0.5}});
+  add("io", {{DeviceType::Cpu, 0.3}});
+  add("compute", {{DeviceType::Cpu, 0.55},
+                  {DeviceType::Gpu, 0.8},
+                  {DeviceType::Fpga, 0.5}});
+  add("reduce", {{DeviceType::Cpu, 0.5}, {DeviceType::Gpu, 0.6}});
+  add("fft", {{DeviceType::Cpu, 0.35},
+              {DeviceType::Gpu, 0.6},
+              {DeviceType::Fpga, 0.75},
+              {DeviceType::Dsp, 0.8}});
+  add("stencil", {{DeviceType::Cpu, 0.5},
+                  {DeviceType::Gpu, 0.8},
+                  {DeviceType::Fpga, 0.55}});
+  add("filter", {{DeviceType::Cpu, 0.45},
+                 {DeviceType::Gpu, 0.65},
+                 {DeviceType::Dsp, 0.7}});
+
+  // Tiled dense linear algebra.
+  add("potrf", {{DeviceType::Cpu, 0.55}, {DeviceType::Gpu, 0.55}});
+  add("trsm", {{DeviceType::Cpu, 0.6}, {DeviceType::Gpu, 0.8}});
+  add("syrk", {{DeviceType::Cpu, 0.6}, {DeviceType::Gpu, 0.85}});
+  add("gemm", {{DeviceType::Cpu, 0.6}, {DeviceType::Gpu, 0.9}});
+  add("getrf", {{DeviceType::Cpu, 0.55}, {DeviceType::Gpu, 0.55}});
+
+  // Montage (astronomy mosaic) stages.
+  add("mProjectPP", {{DeviceType::Cpu, 0.5}, {DeviceType::Gpu, 0.7}});
+  add("mDiffFit", {{DeviceType::Cpu, 0.5}, {DeviceType::Gpu, 0.6}});
+  add("mConcatFit", {{DeviceType::Cpu, 0.5}});
+  add("mBgModel", {{DeviceType::Cpu, 0.5}});
+  add("mBackground", {{DeviceType::Cpu, 0.5}, {DeviceType::Gpu, 0.7}});
+  add("mImgtbl", {{DeviceType::Cpu, 0.4}});
+  add("mAdd", {{DeviceType::Cpu, 0.5}, {DeviceType::Gpu, 0.6}});
+  add("mShrink", {{DeviceType::Cpu, 0.5}, {DeviceType::Gpu, 0.6}});
+  add("mJPEG", {{DeviceType::Cpu, 0.5}});
+
+  // Epigenomics (genome methylation pipeline) stages.
+  add("fastqSplit", {{DeviceType::Cpu, 0.4}});
+  add("filterContams", {{DeviceType::Cpu, 0.5}});
+  add("sol2sanger", {{DeviceType::Cpu, 0.45}});
+  add("fastq2bfq", {{DeviceType::Cpu, 0.45}});
+  add("map", {{DeviceType::Cpu, 0.5}, {DeviceType::Gpu, 0.6}});
+  add("mapMerge", {{DeviceType::Cpu, 0.5}});
+  add("maqIndex", {{DeviceType::Cpu, 0.5}});
+  add("pileup", {{DeviceType::Cpu, 0.5}});
+
+  // CyberShake (seismic hazard) stages.
+  add("ExtractSGT", {{DeviceType::Cpu, 0.45}});
+  add("SeismogramSynthesis",
+      {{DeviceType::Cpu, 0.5}, {DeviceType::Gpu, 0.7}});
+  add("ZipSeis", {{DeviceType::Cpu, 0.4}});
+  add("PeakValCalcOkaya", {{DeviceType::Cpu, 0.5}, {DeviceType::Gpu, 0.6}});
+  add("ZipPSA", {{DeviceType::Cpu, 0.4}});
+
+  // LIGO inspiral (gravitational-wave search) stages.
+  add("TmpltBank", {{DeviceType::Cpu, 0.5}, {DeviceType::Gpu, 0.7}});
+  add("Inspiral", {{DeviceType::Cpu, 0.5},
+                   {DeviceType::Gpu, 0.75},
+                   {DeviceType::Fpga, 0.6}});
+  add("Thinca", {{DeviceType::Cpu, 0.5}});
+  add("TrigBank", {{DeviceType::Cpu, 0.45}});
+  add("Sire", {{DeviceType::Cpu, 0.45}});
+
+  return lib;
+}
+
+void CodeletLibrary::register_codelet(const std::string& kind,
+                                      core::CodeletPtr codelet) {
+  HETFLOW_REQUIRE_MSG(codelet != nullptr, "null codelet");
+  codelets_[kind] = std::move(codelet);
+}
+
+core::CodeletPtr CodeletLibrary::get(const std::string& kind) const {
+  const auto it = codelets_.find(kind);
+  if (it == codelets_.end()) {
+    throw InvalidArgument("no codelet registered for kind '" + kind + "'");
+  }
+  return it->second;
+}
+
+core::CodeletPtr CodeletLibrary::get_or_generic(const std::string& kind) const {
+  const auto it = codelets_.find(kind);
+  if (it != codelets_.end()) {
+    return it->second;
+  }
+  return get("generic");
+}
+
+}  // namespace hetflow::workflow

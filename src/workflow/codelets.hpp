@@ -1,0 +1,49 @@
+// Standard codelet library for scientific workflow task kinds.
+//
+// Every generator emits tasks with a string `kind`; the library maps the
+// kind to a Codelet declaring which device types implement it and at what
+// efficiency. Efficiencies encode the usual folklore: dense linear
+// algebra and signal processing map well onto GPUs, FFT-like kernels are
+// FPGA-friendly, glue/IO stages are CPU-only.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/codelet.hpp"
+
+namespace hetflow::workflow {
+
+class CodeletLibrary {
+ public:
+  /// Empty library; register kinds manually.
+  CodeletLibrary() = default;
+
+  /// Library pre-populated with every kind the built-in generators emit
+  /// (montage/epigenomics/cybershake/ligo stages, linalg tiles, generic
+  /// compute/io/...).
+  static CodeletLibrary standard();
+
+  /// Registers (or replaces) the codelet for `kind`.
+  void register_codelet(const std::string& kind, core::CodeletPtr codelet);
+
+  bool contains(const std::string& kind) const {
+    return codelets_.count(kind) > 0;
+  }
+
+  /// Codelet for `kind`; throws InvalidArgument when missing.
+  core::CodeletPtr get(const std::string& kind) const;
+
+  /// Codelet for `kind`, falling back to the "generic" CPU+GPU codelet.
+  core::CodeletPtr get_or_generic(const std::string& kind) const;
+
+  std::size_t size() const noexcept { return codelets_.size(); }
+  const std::map<std::string, core::CodeletPtr>& all() const noexcept {
+    return codelets_;
+  }
+
+ private:
+  std::map<std::string, core::CodeletPtr> codelets_;
+};
+
+}  // namespace hetflow::workflow

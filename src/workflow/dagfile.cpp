@@ -1,0 +1,160 @@
+#include "workflow/dagfile.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace hetflow::workflow {
+
+std::string to_dagfile(const Workflow& workflow) {
+  std::ostringstream out;
+  out << "# hetflow dag v1\n";
+  out << "workflow " << workflow.name() << '\n';
+  for (const WorkflowFile& file : workflow.files()) {
+    out << "file " << file.name << ' ' << file.bytes << '\n';
+  }
+  const auto join_names = [&](const std::vector<std::size_t>& indices) {
+    std::vector<std::string> names;
+    names.reserve(indices.size());
+    for (std::size_t index : indices) {
+      names.push_back(workflow.files()[index].name);
+    }
+    return util::join(names, ",");
+  };
+  for (const WorkflowTask& task : workflow.tasks()) {
+    out << "task " << task.name << " kind=" << task.kind
+        << util::format(" flops=%.17g", task.flops);
+    if (!task.inputs.empty()) {
+      out << " in=" << join_names(task.inputs);
+    }
+    if (!task.outputs.empty()) {
+      out << " out=" << join_names(task.outputs);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Workflow parse_dagfile(const std::string& text) {
+  Workflow workflow("unnamed");
+  std::unordered_map<std::string, std::size_t> file_index;
+  bool renamed = false;
+
+  const auto file_id = [&](const std::string& name) {
+    const auto it = file_index.find(name);
+    if (it != file_index.end()) {
+      return it->second;
+    }
+    const std::size_t id = workflow.add_file(name, 0);
+    file_index[name] = id;
+    return id;
+  };
+
+  std::size_t line_no = 0;
+  std::istringstream stream(text);
+  std::string raw_line;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    const std::string_view line = util::trim(raw_line);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    const std::vector<std::string> fields = util::split_ws(line);
+    const auto fail = [&](const std::string& why) -> void {
+      throw ParseError(util::format("dagfile line %zu: %s", line_no,
+                                    why.c_str()));
+    };
+    if (fields[0] == "workflow") {
+      if (fields.size() != 2) {
+        fail("expected: workflow <name>");
+      }
+      if (renamed) {
+        fail("duplicate workflow record");
+      }
+      if (workflow.file_count() > 0 || workflow.task_count() > 0) {
+        fail("workflow record must precede file/task records");
+      }
+      workflow = Workflow(fields[1]);
+      renamed = true;
+    } else if (fields[0] == "file") {
+      if (fields.size() != 3) {
+        fail("expected: file <name> <bytes>");
+      }
+      if (file_index.count(fields[1]) > 0) {
+        fail("file '" + fields[1] + "' already declared");
+      }
+      const double bytes = util::parse_scaled(fields[2]);
+      if (bytes < 0) {
+        fail("file size cannot be negative");
+      }
+      file_index[fields[1]] =
+          workflow.add_file(fields[1], static_cast<std::uint64_t>(bytes));
+    } else if (fields[0] == "task") {
+      if (fields.size() < 3) {
+        fail("expected: task <name> kind=<kind> flops=<flops> [in=..] "
+             "[out=..]");
+      }
+      std::string kind;
+      double flops = -1.0;
+      std::vector<std::size_t> inputs;
+      std::vector<std::size_t> outputs;
+      for (std::size_t f = 2; f < fields.size(); ++f) {
+        const std::string& field = fields[f];
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos) {
+          fail("malformed attribute '" + field + "'");
+        }
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "kind") {
+          kind = value;
+        } else if (key == "flops") {
+          flops = util::parse_scaled(value);
+        } else if (key == "in" || key == "out") {
+          for (const std::string& name : util::split(value, ',')) {
+            if (name.empty()) {
+              fail("empty file name in " + key + "=");
+            }
+            (key == "in" ? inputs : outputs).push_back(file_id(name));
+          }
+        } else {
+          fail("unknown attribute '" + key + "'");
+        }
+      }
+      if (kind.empty()) {
+        fail("task is missing kind=");
+      }
+      if (flops < 0.0) {
+        fail("task is missing flops= (or it is negative)");
+      }
+      workflow.add_task(fields[1], kind, flops, std::move(inputs),
+                        std::move(outputs));
+    } else {
+      fail("unknown record '" + fields[0] + "'");
+    }
+  }
+  workflow.validate();
+  return workflow;
+}
+
+void save_dagfile(const Workflow& workflow, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("cannot open '" + path + "' for writing");
+  }
+  out << to_dagfile(workflow);
+}
+
+Workflow load_dagfile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_dagfile(buffer.str());
+}
+
+}  // namespace hetflow::workflow

@@ -1,0 +1,32 @@
+// Plain-text workflow interchange format ("hetflow dag v1").
+//
+//   # comment
+//   workflow montage-8
+//   file raw_0.fits 4Mi
+//   task mProjectPP_0 kind=mProjectPP flops=2G in=raw_0.fits out=proj_0.fits
+//
+// One record per line; fields are whitespace-separated; `in=`/`out=` take
+// comma-separated file names (files may be declared implicitly by first
+// mention, defaulting to 0 bytes — declare them with `file` to size them).
+// Numbers accept K/M/G/T and Ki/Mi/Gi/Ti suffixes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workflow/workflow.hpp"
+
+namespace hetflow::workflow {
+
+/// Serializes a workflow to the v1 text format.
+std::string to_dagfile(const Workflow& workflow);
+
+/// Parses the v1 text format; throws ParseError with a line number on
+/// malformed input. The result is validate()d before returning.
+Workflow parse_dagfile(const std::string& text);
+
+/// File-based convenience wrappers.
+void save_dagfile(const Workflow& workflow, const std::string& path);
+Workflow load_dagfile(const std::string& path);
+
+}  // namespace hetflow::workflow

@@ -1,0 +1,75 @@
+// Parameterized generators for canonical scientific workflows.
+//
+// The four named pipelines reproduce the DAG topology and task/file-size
+// ratios of the published Pegasus workflow benchmarks (Bharathi et al.,
+// "Characterization of Scientific Workflows", WORKS'08): Montage
+// (astronomy mosaics), Epigenomics (genome methylation), CyberShake
+// (seismic hazard) and LIGO Inspiral (gravitational-wave search). The
+// synthetic generators (layered-random, fork-join, wavefront, chain, bag)
+// provide controlled-shape inputs for ablation experiments.
+//
+// `scale` multiplies every task's flop count and file size — use it to
+// move a workflow between laptop-scale and HPC-scale without changing its
+// shape.
+#pragma once
+
+#include <cstdint>
+
+#include "workflow/workflow.hpp"
+
+namespace hetflow::workflow {
+
+/// Montage mosaic: `tiles` parallel reprojections feeding difference/fit,
+/// background correction, and a final co-addition funnel.
+Workflow make_montage(std::size_t tiles, double scale = 1.0);
+
+/// Epigenomics: `lanes` independent sequencing lanes, each split into
+/// `splits` chunks running the filter→convert→map chain, merged and
+/// indexed globally.
+Workflow make_epigenomics(std::size_t lanes, std::size_t splits,
+                          double scale = 1.0);
+
+/// CyberShake: per site, two SGT extractions feed `variations` seismogram
+/// syntheses, each followed by a peak-value calculation; per-site zips
+/// aggregate the results.
+Workflow make_cybershake(std::size_t sites, std::size_t variations,
+                         double scale = 1.0);
+
+/// LIGO Inspiral: `templates` template banks feeding matched-filter
+/// inspiral jobs, coincidence-tested in groups of `group`.
+Workflow make_ligo(std::size_t templates, std::size_t group,
+                   double scale = 1.0);
+
+/// SIPHT (sRNA identification): per candidate region, a wide fan of
+/// independent analysis jobs (Patser x `patsers`, BLAST family, RNA
+/// folding) funneled through per-region concatenation into a single
+/// final SRNA annotation — the classic "wide then point" shape.
+Workflow make_sipht(std::size_t regions, std::size_t patsers = 8,
+                    double scale = 1.0);
+
+/// Layered random DAG with a controlled communication-to-computation
+/// ratio: `layers` x `width` tasks, 1..3 parents each from the previous
+/// layer; edge file sizes are sized so mean(transfer)/mean(exec) == ccr
+/// on a 16 GB/s / 50 GFLOP/s reference.
+Workflow make_random_layered(std::size_t layers, std::size_t width,
+                             double ccr, std::uint64_t seed,
+                             double mean_flops = 2e8);
+
+/// `stages` sequential fork-joins of `width` parallel tasks whose costs
+/// are lognormal with shape `cost_sigma` (0 = uniform costs).
+Workflow make_fork_join(std::size_t width, std::size_t stages,
+                        double cost_sigma, std::uint64_t seed,
+                        double mean_flops = 5e8);
+
+/// n x n wavefront (dependencies right and down) — the classic dynamic-
+/// programming sweep.
+Workflow make_wavefront(std::size_t n, double flops_per_task = 5e8,
+                        std::uint64_t bytes = 4ull << 20);
+
+/// Linear chain of `n` tasks (worst-case serialization; overhead bench).
+Workflow make_chain(std::size_t n, double flops, std::uint64_t bytes);
+
+/// `n` independent tasks (best-case parallelism; overhead bench).
+Workflow make_bag(std::size_t n, double flops, std::uint64_t bytes);
+
+}  // namespace hetflow::workflow

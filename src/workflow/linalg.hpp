@@ -1,0 +1,39 @@
+// Tiled dense linear-algebra task graphs — the workloads that motivated
+// StarPU-style runtimes. Two forms are provided:
+//
+//   * Workflow form (SSA file versioning) for uniform use in workflow-
+//     level experiments;
+//   * direct-submission form exercising the runtime's implicit
+//     RAW/WAR/WAW dependency inference on in-place tile updates (the
+//     realistic API a linear-algebra library would use).
+//
+// Task flop counts use the standard kernel costs for an n x n tile:
+// potrf n^3/3, trsm n^3, syrk n^3, gemm 2 n^3 (and getrf n^3 * 2/3).
+#pragma once
+
+#include <cstddef>
+
+#include "core/runtime.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow::workflow {
+
+/// Tile-level Cholesky factorization of an nt x nt tile matrix with
+/// tile_n x tile_n double tiles, as a Workflow.
+Workflow make_cholesky(std::size_t nt, std::size_t tile_n = 2048);
+
+/// Tile-level LU factorization (no pivoting) as a Workflow.
+Workflow make_lu(std::size_t nt, std::size_t tile_n = 2048);
+
+/// Submits Cholesky directly against `runtime` using in-place ReadWrite
+/// tile handles (implicit dependency inference). Returns the number of
+/// tasks submitted.
+std::size_t submit_cholesky_inplace(core::Runtime& runtime, std::size_t nt,
+                                    std::size_t tile_n,
+                                    const CodeletLibrary& library);
+
+/// Number of tasks a tiled Cholesky of nt x nt tiles contains:
+/// nt potrf + nt(nt-1)/2 trsm + nt(nt-1)/2 syrk + nt(nt-1)(nt-2)/6 gemm.
+std::size_t cholesky_task_count(std::size_t nt) noexcept;
+
+}  // namespace hetflow::workflow

@@ -1,0 +1,27 @@
+// Text specs for workflows and platforms, used by the CLI tools:
+//
+//   workflow: "montage:64", "epigenomics:4,8", "cybershake:4,20",
+//             "ligo:50,8", "cholesky:12,2048", "lu:8,1024",
+//             "layered:8,6,1.0[,seed]", "forkjoin:16,4,1.0[,seed]",
+//             "wavefront:8", "chain:100", "bag:100", or a path to a
+//             .dag file.
+//   platform: "workstation", "edge", "cpu:8", "hpc:8,2,1",
+//             "cluster:2,8,2", or a path to a .json platform file.
+#pragma once
+
+#include <string>
+
+#include "hw/platform.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow::workflow {
+
+/// Builds a workflow from a generator spec or loads a .dag file. `scale`
+/// multiplies generator task sizes (ignored for .dag files). Throws
+/// ParseError for malformed specs.
+Workflow make_workflow_from_spec(const std::string& spec, double scale = 1.0);
+
+/// Builds a platform from a preset spec or loads a .json platform file.
+hw::Platform make_platform_from_spec(const std::string& spec);
+
+}  // namespace hetflow::workflow

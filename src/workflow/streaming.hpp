@@ -1,0 +1,74 @@
+// Periodic/streaming execution — the "always-on" side of scientific
+// discovery (instrument ingest, online monitoring). A StreamingScenario
+// is a set of periodic pipelines: every `period_s`, each pipeline
+// releases a fresh instance (a chain of stages through new data handles)
+// that should finish within its relative deadline. The runner submits
+// all instances up to a horizon with timed releases (Task::release_time)
+// and reports latency and deadline-miss statistics per pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "hw/platform.hpp"
+#include "workflow/codelets.hpp"
+
+namespace hetflow::workflow {
+
+/// One stage of a periodic pipeline (stages form a chain).
+struct StageSpec {
+  std::string kind;           ///< codelet key in the library
+  double flops = 0.0;
+  std::uint64_t out_bytes = 0;  ///< size of the stage's output handle
+};
+
+struct PeriodicPipeline {
+  std::string name;
+  double period_s = 1.0;
+  /// Relative deadline; 0 means "equal to the period" (implicit).
+  double relative_deadline_s = 0.0;
+  std::vector<StageSpec> stages;
+
+  double deadline() const noexcept {
+    return relative_deadline_s > 0.0 ? relative_deadline_s : period_s;
+  }
+};
+
+struct PipelineStats {
+  std::string name;
+  std::size_t instances = 0;
+  std::size_t deadline_misses = 0;
+  double mean_latency_s = 0.0;
+  double max_latency_s = 0.0;
+
+  double miss_rate() const noexcept {
+    return instances == 0
+               ? 0.0
+               : static_cast<double>(deadline_misses) /
+                     static_cast<double>(instances);
+  }
+};
+
+struct StreamingResult {
+  std::vector<PipelineStats> pipelines;
+  double horizon_s = 0.0;
+  double makespan_s = 0.0;  ///< when the last instance actually finished
+
+  std::size_t total_instances() const noexcept;
+  std::size_t total_misses() const noexcept;
+  double overall_miss_rate() const noexcept;
+};
+
+/// Releases every instance with arrival time k * period (k = 0, 1, ...)
+/// strictly below `horizon_s`, executes to completion, and reports
+/// per-pipeline latency/deadline statistics.
+StreamingResult run_streaming(const hw::Platform& platform,
+                              const std::string& scheduler_name,
+                              const std::vector<PeriodicPipeline>& pipelines,
+                              double horizon_s,
+                              const CodeletLibrary& library,
+                              const core::RuntimeOptions& options = {});
+
+}  // namespace hetflow::workflow

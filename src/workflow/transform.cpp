@@ -1,0 +1,180 @@
+#include "workflow/transform.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hetflow::workflow {
+
+namespace {
+
+/// Mutable task representation during clustering.
+struct MutableTask {
+  std::string name;
+  std::string kind;
+  double flops = 0.0;
+  std::vector<std::size_t> inputs;
+  std::vector<std::size_t> outputs;
+  bool alive = true;
+};
+
+void dedupe(std::vector<std::size_t>& indices) {
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+}
+
+}  // namespace
+
+Workflow cluster_linear_chains(const Workflow& workflow, double max_flops,
+                               ClusterStats* stats) {
+  workflow.validate();
+  std::vector<MutableTask> tasks;
+  tasks.reserve(workflow.task_count());
+  for (const WorkflowTask& task : workflow.tasks()) {
+    tasks.push_back(MutableTask{task.name, task.kind, task.flops,
+                                task.inputs, task.outputs, true});
+  }
+
+  // File usage maps, maintained during merging.
+  const std::size_t file_count = workflow.file_count();
+  std::vector<std::size_t> producer(file_count, Workflow::npos);
+  std::vector<std::vector<std::size_t>> readers(file_count);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    for (std::size_t out : tasks[t].outputs) {
+      producer[out] = t;
+    }
+    for (std::size_t in : tasks[t].inputs) {
+      readers[in].push_back(t);
+    }
+  }
+
+  std::size_t merges = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      MutableTask& up = tasks[t];
+      if (!up.alive || up.outputs.size() != 1) {
+        continue;
+      }
+      const std::size_t link = up.outputs[0];
+      if (readers[link].size() != 1) {
+        continue;  // intermediate is shared — not a private chain
+      }
+      const std::size_t consumer = readers[link][0];
+      if (consumer == t || !tasks[consumer].alive) {
+        continue;
+      }
+      MutableTask& down = tasks[consumer];
+      if (up.flops + down.flops > max_flops) {
+        continue;
+      }
+      // Merge `up` into `down`: down absorbs up's inputs, drops the link
+      // file from its inputs; the link file becomes dead.
+      down.inputs.erase(
+          std::remove(down.inputs.begin(), down.inputs.end(), link),
+          down.inputs.end());
+      for (std::size_t in : up.inputs) {
+        down.inputs.push_back(in);
+        readers[in].push_back(consumer);
+      }
+      dedupe(down.inputs);
+      // The merged task keeps the kind of the heavier half so device
+      // eligibility follows the dominant cost.
+      if (up.flops > down.flops) {
+        down.kind = up.kind;
+      }
+      down.flops += up.flops;
+      down.name = up.name + "+" + down.name;
+      producer[link] = Workflow::npos;
+      readers[link].clear();
+      for (std::size_t in : up.inputs) {
+        readers[in].erase(
+            std::remove(readers[in].begin(), readers[in].end(), t),
+            readers[in].end());
+      }
+      up.alive = false;
+      ++merges;
+      changed = true;
+    }
+  }
+
+  // Rebuild: keep files that survive (referenced by a live task), keep
+  // original indices stable via a remap.
+  Workflow out(workflow.name() + "+clustered");
+  std::vector<std::size_t> file_map(file_count, Workflow::npos);
+  const auto map_file = [&](std::size_t file) {
+    if (file_map[file] == Workflow::npos) {
+      file_map[file] = out.add_file(workflow.files()[file].name,
+                                    workflow.files()[file].bytes);
+    }
+    return file_map[file];
+  };
+  for (const MutableTask& task : tasks) {
+    if (!task.alive) {
+      continue;
+    }
+    std::vector<std::size_t> inputs;
+    inputs.reserve(task.inputs.size());
+    for (std::size_t in : task.inputs) {
+      inputs.push_back(map_file(in));
+    }
+    std::vector<std::size_t> outputs;
+    outputs.reserve(task.outputs.size());
+    for (std::size_t o : task.outputs) {
+      outputs.push_back(map_file(o));
+    }
+    out.add_task(task.name, task.kind, task.flops, std::move(inputs),
+                 std::move(outputs));
+  }
+  out.validate();
+  if (stats != nullptr) {
+    stats->tasks_before = workflow.task_count();
+    stats->tasks_after = out.task_count();
+    stats->merges = merges;
+  }
+  return out;
+}
+
+Workflow prune_dead_files(const Workflow& workflow, std::size_t* removed) {
+  std::vector<bool> used(workflow.file_count(), false);
+  for (const WorkflowTask& task : workflow.tasks()) {
+    for (std::size_t in : task.inputs) {
+      used[in] = true;
+    }
+    for (std::size_t out : task.outputs) {
+      used[out] = true;
+    }
+  }
+  Workflow out(workflow.name());
+  std::vector<std::size_t> file_map(workflow.file_count(), Workflow::npos);
+  std::size_t dropped = 0;
+  for (std::size_t f = 0; f < workflow.file_count(); ++f) {
+    if (used[f]) {
+      file_map[f] = out.add_file(workflow.files()[f].name,
+                                 workflow.files()[f].bytes);
+    } else {
+      ++dropped;
+    }
+  }
+  for (const WorkflowTask& task : workflow.tasks()) {
+    std::vector<std::size_t> inputs;
+    for (std::size_t in : task.inputs) {
+      inputs.push_back(file_map[in]);
+    }
+    std::vector<std::size_t> outputs;
+    for (std::size_t out_file : task.outputs) {
+      outputs.push_back(file_map[out_file]);
+    }
+    out.add_task(task.name, task.kind, task.flops, std::move(inputs),
+                 std::move(outputs));
+  }
+  if (removed != nullptr) {
+    *removed = dropped;
+  }
+  return out;
+}
+
+}  // namespace hetflow::workflow

@@ -1,0 +1,43 @@
+// Workflow graph transformations (Pegasus-style planning optimizations).
+//
+// Fine-grained workflows pay per-task runtime overhead (dispatch, launch
+// latency) that can exceed the useful work of tiny glue tasks. These
+// passes restructure a Workflow before submission:
+//
+//   * cluster_linear_chains — merge a task into its sole consumer when
+//     they form a private producer->consumer link (the intermediate file
+//     has no other reader), repeatedly, as long as the merged task stays
+//     under a flop budget. Classic "horizontal clustering" of chains.
+//   * prune_dead_files — drop files that no task reads or writes.
+//
+// Merged tasks keep the downstream task's kind when the upstream one is
+// lighter (and vice versa), so device eligibility follows the dominant
+// cost.
+#pragma once
+
+#include <cstddef>
+
+#include "workflow/workflow.hpp"
+
+namespace hetflow::workflow {
+
+struct ClusterStats {
+  std::size_t tasks_before = 0;
+  std::size_t tasks_after = 0;
+  std::size_t merges = 0;
+
+  std::size_t removed() const noexcept { return tasks_before - tasks_after; }
+};
+
+/// Merges private producer->consumer chains while the merged flop count
+/// stays at or below `max_flops`. Returns the transformed workflow and
+/// fills `stats` if non-null. The result validates and preserves all
+/// workflow inputs/outputs (only private intermediates disappear).
+Workflow cluster_linear_chains(const Workflow& workflow, double max_flops,
+                               ClusterStats* stats = nullptr);
+
+/// Removes files no task touches. Returns the number of files dropped.
+Workflow prune_dead_files(const Workflow& workflow,
+                          std::size_t* removed = nullptr);
+
+}  // namespace hetflow::workflow

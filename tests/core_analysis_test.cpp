@@ -1,0 +1,200 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "helpers.hpp"
+#include "sched/registry.hpp"
+#include "util/strings.hpp"
+#include "workflow/generators.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow::core {
+namespace {
+
+using hetflow::testing::cpu_only_codelet;
+
+TEST(Analysis, RequiresTrace) {
+  const hw::Platform p = hw::make_cpu_only(1);
+  RuntimeOptions options;
+  options.record_trace = false;
+  Runtime rt(p, sched::make_scheduler("mct"), options);
+  rt.submit("t", cpu_only_codelet(), 1e9, {});
+  rt.wait_all();
+  EXPECT_THROW(analyze_schedule(rt), util::InternalError);
+}
+
+TEST(Analysis, EmptyRun) {
+  const hw::Platform p = hw::make_cpu_only(1);
+  Runtime rt(p, sched::make_scheduler("mct"));
+  rt.wait_all();
+  const ScheduleAnalysis analysis = analyze_schedule(rt);
+  EXPECT_EQ(analysis.makespan, 0.0);
+  EXPECT_TRUE(analysis.critical_path.empty());
+  EXPECT_TRUE(analysis.tasks.empty());
+}
+
+TEST(Analysis, PureChainIsEntirelyCritical) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, sched::make_scheduler("mct"));
+  const auto d = rt.register_data("d", 64);
+  std::vector<TaskId> chain;
+  for (int i = 0; i < 5; ++i) {
+    chain.push_back(rt.submit(util::format("c%d", i), cpu_only_codelet(),
+                              1e9, {{d, data::AccessMode::ReadWrite}}));
+  }
+  rt.wait_all();
+  const ScheduleAnalysis analysis = analyze_schedule(rt);
+  EXPECT_EQ(analysis.critical_path, chain);
+  EXPECT_NEAR(analysis.critical_compute_fraction(), 1.0, 0.01);
+  // Chain tasks have (almost) no slack — only the 1 us launch-overhead
+  // gap between a completion and the dependent's start.
+  for (const TaskTiming& t : analysis.tasks) {
+    EXPECT_NEAR(t.slack, 0.0, 1e-5);
+  }
+}
+
+TEST(Analysis, OffPathTaskHasSlack) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, sched::make_scheduler("mct"));
+  const auto d = rt.register_data("d", 64);
+  // Long chain (2 x 2s) on one core + one short independent task.
+  for (int i = 0; i < 2; ++i) {
+    rt.submit(util::format("c%d", i), cpu_only_codelet(), 12e9,
+              {{d, data::AccessMode::ReadWrite}});
+  }
+  const TaskId shorty = rt.submit("shorty", cpu_only_codelet(), 1e9, {});
+  rt.wait_all();
+  const ScheduleAnalysis analysis = analyze_schedule(rt);
+  const auto it = std::find_if(
+      analysis.tasks.begin(), analysis.tasks.end(),
+      [&](const TaskTiming& t) { return t.task == shorty; });
+  ASSERT_NE(it, analysis.tasks.end());
+  EXPECT_GT(it->slack, 1.0);  // finished ~3.8 s before the makespan
+  EXPECT_EQ(std::count(analysis.critical_path.begin(),
+                       analysis.critical_path.end(), shorty),
+            0);
+}
+
+TEST(Analysis, MakespanMatchesStats) {
+  const hw::Platform p = hw::make_hpc_node(4, 2, 0);
+  Runtime rt(p, sched::make_scheduler("dmda"));
+  workflow::submit_workflow(rt, workflow::make_montage(16),
+                            workflow::CodeletLibrary::standard());
+  rt.wait_all();
+  const ScheduleAnalysis analysis = analyze_schedule(rt);
+  EXPECT_NEAR(analysis.makespan, rt.stats().makespan_s, 1e-9);
+  EXPECT_EQ(analysis.tasks.size(), rt.stats().tasks_completed);
+  EXPECT_FALSE(analysis.critical_path.empty());
+  // The realized path ends at the last-finishing task.
+  EXPECT_GT(analysis.critical_exec_seconds, 0.0);
+  EXPECT_LE(analysis.critical_exec_seconds, analysis.makespan + 1e-9);
+}
+
+TEST(Analysis, CriticalPathHopsAreDependencyOrdered) {
+  const hw::Platform p = hw::make_workstation();
+  Runtime rt(p, sched::make_scheduler("heft"));
+  workflow::submit_workflow(rt, workflow::make_ligo(8, 3),
+                            workflow::CodeletLibrary::standard());
+  rt.wait_all();
+  const ScheduleAnalysis analysis = analyze_schedule(rt);
+  std::map<TaskId, std::pair<double, double>> windows;
+  for (const TaskTiming& t : analysis.tasks) {
+    windows[t.task] = {t.start, t.end};
+  }
+  for (std::size_t i = 1; i < analysis.critical_path.size(); ++i) {
+    EXPECT_GE(windows.at(analysis.critical_path[i]).first,
+              windows.at(analysis.critical_path[i - 1]).second - 1e-9);
+  }
+}
+
+TEST(Analysis, ReportMentionsPath) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, sched::make_scheduler("mct"));
+  const auto d = rt.register_data("d", 64);
+  rt.submit("alpha", cpu_only_codelet(), 1e9,
+            {{d, data::AccessMode::Write}});
+  rt.submit("omega", cpu_only_codelet(), 1e9, {{d, data::AccessMode::Read}});
+  rt.wait_all();
+  const std::string report =
+      critical_path_report(analyze_schedule(rt));
+  EXPECT_NE(report.find("makespan"), std::string::npos);
+  EXPECT_NE(report.find("alpha"), std::string::npos);
+  EXPECT_NE(report.find("omega"), std::string::npos);
+}
+
+TEST(SleepModel, ReducesIdleEnergyOnlyBeyondThreshold) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, sched::make_scheduler("mct"));
+  // cpu0 works ~2 s; cpu1 idles the whole time.
+  const auto d = rt.register_data("d", 64);
+  rt.submit("a", cpu_only_codelet(), 6e9, {{d, data::AccessMode::ReadWrite}});
+  rt.submit("b", cpu_only_codelet(), 6e9, {{d, data::AccessMode::ReadWrite}});
+  rt.wait_all();
+  const RunStats& base = rt.stats();
+
+  SleepPolicy policy;
+  policy.threshold_s = 0.5;
+  policy.sleep_watts = 0.0;
+  const RunStats slept = apply_sleep_model(rt, policy);
+  // The all-idle device sleeps after 0.5 s: pays 0.5 s of idle power.
+  const double idle_watts = p.device(1).nominal_dvfs().idle_watts;
+  EXPECT_NEAR(slept.devices[1].idle_energy_j, 0.5 * idle_watts, 1e-6);
+  EXPECT_LT(slept.idle_energy_j(), base.idle_energy_j());
+  // Busy energy untouched.
+  EXPECT_DOUBLE_EQ(slept.busy_energy_j(), base.busy_energy_j());
+}
+
+TEST(SleepModel, HugeThresholdIsNoop) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, sched::make_scheduler("mct"));
+  rt.submit("a", cpu_only_codelet(), 2e9, {});
+  rt.wait_all();
+  SleepPolicy policy;
+  policy.threshold_s = 1e9;
+  const RunStats slept = apply_sleep_model(rt, policy);
+  EXPECT_NEAR(slept.idle_energy_j(), rt.stats().idle_energy_j(), 1e-6);
+}
+
+TEST(SleepModel, ZeroThresholdSleepsAllIdle) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, sched::make_scheduler("mct"));
+  rt.submit("a", cpu_only_codelet(), 2e9, {});
+  rt.wait_all();
+  SleepPolicy policy;
+  policy.threshold_s = 0.0;
+  policy.sleep_watts = 0.0;
+  const RunStats slept = apply_sleep_model(rt, policy);
+  EXPECT_NEAR(slept.idle_energy_j(), 0.0, 1e-9);
+}
+
+TEST(SleepModel, RequiresTraceAndValidParams) {
+  const hw::Platform p = hw::make_cpu_only(1);
+  RuntimeOptions options;
+  options.record_trace = false;
+  Runtime rt(p, sched::make_scheduler("mct"), options);
+  rt.wait_all();
+  EXPECT_THROW(apply_sleep_model(rt, SleepPolicy{}), util::InternalError);
+  Runtime traced(p, sched::make_scheduler("mct"));
+  traced.wait_all();
+  SleepPolicy bad;
+  bad.threshold_s = -1.0;
+  EXPECT_THROW(apply_sleep_model(traced, bad), util::InternalError);
+}
+
+TEST(Dmdas, PrioritizesCriticalChainAndPlacesDataAware) {
+  // dmdas should match or beat dmda when a long chain competes with
+  // filler for the single fast device.
+  const hw::Platform p = hw::make_workstation();
+  const auto lib = workflow::CodeletLibrary::standard();
+  const workflow::Workflow wf = workflow::make_ligo(24, 6);
+  const double dmdas =
+      workflow::run_workflow(p, "dmdas", wf, lib).makespan_s;
+  const double random =
+      workflow::run_workflow(p, "random", wf, lib).makespan_s;
+  EXPECT_LT(dmdas, random);
+}
+
+}  // namespace
+}  // namespace hetflow::core

@@ -1,0 +1,96 @@
+#include "core/codelet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/task.hpp"
+#include "util/error.hpp"
+
+namespace hetflow::core {
+namespace {
+
+TEST(Codelet, IdsAreUnique) {
+  const Codelet a("a");
+  const Codelet b("b");
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(Codelet, EmptyNameRejected) {
+  EXPECT_THROW(Codelet(""), util::InternalError);
+}
+
+TEST(Codelet, ImplementAndQuery) {
+  Codelet c("gemm");
+  EXPECT_FALSE(c.implemented());
+  c.implement(hw::DeviceType::Gpu, 0.9).implement(hw::DeviceType::Cpu, 0.5);
+  EXPECT_TRUE(c.implemented());
+  EXPECT_TRUE(c.supports(hw::DeviceType::Gpu));
+  EXPECT_TRUE(c.supports(hw::DeviceType::Cpu));
+  EXPECT_FALSE(c.supports(hw::DeviceType::Fpga));
+  EXPECT_DOUBLE_EQ(c.efficiency(hw::DeviceType::Gpu), 0.9);
+  EXPECT_DOUBLE_EQ(c.efficiency(hw::DeviceType::Fpga), 0.0);
+}
+
+TEST(Codelet, EfficiencyRangeValidated) {
+  Codelet c("x");
+  EXPECT_THROW(c.implement(hw::DeviceType::Cpu, 0.0), util::InternalError);
+  EXPECT_THROW(c.implement(hw::DeviceType::Cpu, 1.5), util::InternalError);
+  EXPECT_NO_THROW(c.implement(hw::DeviceType::Cpu, 1.0));
+}
+
+TEST(Codelet, ComputeSecondsFormula) {
+  Codelet c("k");
+  c.implement(hw::DeviceType::Cpu, 0.5);
+  const hw::Device d(0, "c", hw::DeviceType::Cpu, 10.0, 0);  // 10 GFLOPS
+  // 1e9 flops at 10e9 * 0.5 = 5e9 flop/s -> 0.2 s.
+  EXPECT_DOUBLE_EQ(c.compute_seconds(d, 1e9), 0.2);
+  EXPECT_DOUBLE_EQ(c.compute_seconds(d, 0.0), 0.0);
+}
+
+TEST(Codelet, ComputeSecondsUnsupportedThrows) {
+  Codelet c("k");
+  c.implement(hw::DeviceType::Gpu, 0.8);
+  const hw::Device d(0, "c", hw::DeviceType::Cpu, 10.0, 0);
+  EXPECT_THROW(c.compute_seconds(d, 1e9), util::InvalidArgument);
+}
+
+TEST(Codelet, MakeFactory) {
+  const CodeletPtr c = Codelet::make(
+      "multi", {{hw::DeviceType::Cpu, 0.4}, {hw::DeviceType::Fpga, 0.7}});
+  EXPECT_EQ(c->name(), "multi");
+  EXPECT_TRUE(c->supports(hw::DeviceType::Fpga));
+  EXPECT_FALSE(c->supports(hw::DeviceType::Gpu));
+}
+
+TEST(Task, ConstructionValidates) {
+  const CodeletPtr c =
+      Codelet::make("k", {{hw::DeviceType::Cpu, 0.5}});
+  EXPECT_NO_THROW(Task(0, "t", c, 1e9, {}));
+  EXPECT_THROW(Task(0, "t", nullptr, 1e9, {}), util::InternalError);
+  EXPECT_THROW(Task(0, "t", c, -1.0, {}), util::InternalError);
+  const auto empty = std::make_shared<Codelet>("empty");
+  EXPECT_THROW(Task(0, "t", empty, 1.0, {}), util::InternalError);
+}
+
+TEST(Task, InitialState) {
+  const CodeletPtr c = Codelet::make("k", {{hw::DeviceType::Cpu, 0.5}});
+  const Task t(3, "mytask", c, 2e9,
+               {{0, data::AccessMode::Read}, {1, data::AccessMode::Write}});
+  EXPECT_EQ(t.id(), 3u);
+  EXPECT_EQ(t.name(), "mytask");
+  EXPECT_EQ(t.state(), TaskState::Submitted);
+  EXPECT_EQ(t.accesses().size(), 2u);
+  EXPECT_EQ(t.attempts(), 0u);
+  EXPECT_EQ(t.priority(), 0.0);
+  EXPECT_FALSE(t.dvfs_state().has_value());
+}
+
+TEST(TaskState, Names) {
+  EXPECT_STREQ(to_string(TaskState::Submitted), "submitted");
+  EXPECT_STREQ(to_string(TaskState::Ready), "ready");
+  EXPECT_STREQ(to_string(TaskState::Queued), "queued");
+  EXPECT_STREQ(to_string(TaskState::Running), "running");
+  EXPECT_STREQ(to_string(TaskState::Completed), "completed");
+}
+
+}  // namespace
+}  // namespace hetflow::core

@@ -1,0 +1,184 @@
+// Implicit dependency inference: sequential consistency per data handle.
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "helpers.hpp"
+#include "sched/mct.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::core {
+namespace {
+
+using hetflow::testing::cpu_only_codelet;
+using hetflow::testing::exec_windows;
+
+struct DependencyTest : ::testing::Test {
+  DependencyTest()
+      : platform(hw::make_cpu_only(4)),
+        rt(platform, std::make_unique<sched::MctScheduler>()) {}
+
+  hw::Platform platform;
+  Runtime rt;
+  CodeletPtr codelet = cpu_only_codelet();
+};
+
+TEST_F(DependencyTest, RawReaderAfterWriter) {
+  const auto d = rt.register_data("d", 1024);
+  const TaskId w = rt.submit("w", codelet, 1e9, {{d, data::AccessMode::Write}});
+  const TaskId r = rt.submit("r", codelet, 1e9, {{d, data::AccessMode::Read}});
+  EXPECT_EQ(rt.task(r).dependencies, (std::vector<TaskId>{w}));
+  EXPECT_EQ(rt.task(w).dependents, (std::vector<TaskId>{r}));
+  rt.wait_all();
+  const auto windows = exec_windows(rt.tracer());
+  EXPECT_GE(windows.at(r).first, windows.at(w).second - 1e-12);
+}
+
+TEST_F(DependencyTest, ConcurrentReadersShareNoDependency) {
+  const auto d = rt.register_data("d", 1024);
+  rt.submit("w", codelet, 1e9, {{d, data::AccessMode::Write}});
+  const TaskId r1 =
+      rt.submit("r1", codelet, 1e9, {{d, data::AccessMode::Read}});
+  const TaskId r2 =
+      rt.submit("r2", codelet, 1e9, {{d, data::AccessMode::Read}});
+  EXPECT_EQ(rt.task(r1).dependencies.size(), 1u);
+  EXPECT_EQ(rt.task(r2).dependencies.size(), 1u);
+  rt.wait_all();
+  const auto windows = exec_windows(rt.tracer());
+  // Readers overlap in time (2 cores available).
+  EXPECT_LT(windows.at(r1).first, windows.at(r2).second);
+  EXPECT_LT(windows.at(r2).first, windows.at(r1).second);
+}
+
+TEST_F(DependencyTest, WarWriterWaitsForReaders) {
+  const auto d = rt.register_data("d", 1024);
+  const TaskId w1 =
+      rt.submit("w1", codelet, 1e9, {{d, data::AccessMode::Write}});
+  const TaskId r =
+      rt.submit("r", codelet, 4e9, {{d, data::AccessMode::Read}});
+  const TaskId w2 =
+      rt.submit("w2", codelet, 1e9, {{d, data::AccessMode::Write}});
+  // w2 depends on both the previous writer (WAW) and the reader (WAR).
+  const auto& deps = rt.task(w2).dependencies;
+  EXPECT_EQ(deps.size(), 2u);
+  EXPECT_TRUE(std::count(deps.begin(), deps.end(), w1) == 1);
+  EXPECT_TRUE(std::count(deps.begin(), deps.end(), r) == 1);
+  rt.wait_all();
+  const auto windows = exec_windows(rt.tracer());
+  EXPECT_GE(windows.at(w2).first, windows.at(r).second - 1e-12);
+}
+
+TEST_F(DependencyTest, WawChain) {
+  const auto d = rt.register_data("d", 1024);
+  const TaskId w1 =
+      rt.submit("w1", codelet, 1e9, {{d, data::AccessMode::Write}});
+  const TaskId w2 =
+      rt.submit("w2", codelet, 1e9, {{d, data::AccessMode::Write}});
+  const TaskId w3 =
+      rt.submit("w3", codelet, 1e9, {{d, data::AccessMode::Write}});
+  EXPECT_EQ(rt.task(w2).dependencies, (std::vector<TaskId>{w1}));
+  EXPECT_EQ(rt.task(w3).dependencies, (std::vector<TaskId>{w2}));
+  rt.wait_all();
+  const auto windows = exec_windows(rt.tracer());
+  EXPECT_GE(windows.at(w2).first, windows.at(w1).second - 1e-12);
+  EXPECT_GE(windows.at(w3).first, windows.at(w2).second - 1e-12);
+}
+
+TEST_F(DependencyTest, ReadWriteActsAsBoth) {
+  const auto d = rt.register_data("d", 1024);
+  const TaskId w =
+      rt.submit("w", codelet, 1e9, {{d, data::AccessMode::Write}});
+  const TaskId rw =
+      rt.submit("rw", codelet, 1e9, {{d, data::AccessMode::ReadWrite}});
+  const TaskId r =
+      rt.submit("r", codelet, 1e9, {{d, data::AccessMode::Read}});
+  EXPECT_EQ(rt.task(rw).dependencies, (std::vector<TaskId>{w}));
+  EXPECT_EQ(rt.task(r).dependencies, (std::vector<TaskId>{rw}));
+  rt.wait_all();
+  EXPECT_EQ(rt.task(r).state(), TaskState::Completed);
+}
+
+TEST_F(DependencyTest, DistinctHandlesAreIndependent) {
+  const auto a = rt.register_data("a", 1024);
+  const auto b = rt.register_data("b", 1024);
+  rt.submit("wa", codelet, 1e9, {{a, data::AccessMode::Write}});
+  const TaskId wb =
+      rt.submit("wb", codelet, 1e9, {{b, data::AccessMode::Write}});
+  EXPECT_TRUE(rt.task(wb).dependencies.empty());
+}
+
+TEST_F(DependencyTest, DuplicateDependencyCountedOnce) {
+  const auto a = rt.register_data("a", 1024);
+  const auto b = rt.register_data("b", 1024);
+  const TaskId w = rt.submit("w", codelet, 1e9,
+                             {{a, data::AccessMode::Write},
+                              {b, data::AccessMode::Write}});
+  // Consumer reads both handles written by the same producer.
+  const TaskId r = rt.submit("r", codelet, 1e9,
+                             {{a, data::AccessMode::Read},
+                              {b, data::AccessMode::Read}});
+  EXPECT_EQ(rt.task(r).dependencies, (std::vector<TaskId>{w}));
+  EXPECT_EQ(rt.task(r).unfinished_deps, 1u);
+  rt.wait_all();
+  EXPECT_EQ(rt.task(r).state(), TaskState::Completed);
+}
+
+TEST_F(DependencyTest, RwTaskDoesNotDependOnItself) {
+  const auto d = rt.register_data("d", 1024);
+  const TaskId rw =
+      rt.submit("rw", codelet, 1e9, {{d, data::AccessMode::ReadWrite}});
+  EXPECT_TRUE(rt.task(rw).dependencies.empty());
+  rt.wait_all();
+  EXPECT_EQ(rt.task(rw).state(), TaskState::Completed);
+}
+
+TEST_F(DependencyTest, CompletedParentDoesNotBlockLateSubmission) {
+  const auto d = rt.register_data("d", 1024);
+  const TaskId w =
+      rt.submit("w", codelet, 1e9, {{d, data::AccessMode::Write}});
+  rt.wait_all();
+  const TaskId r =
+      rt.submit("late", codelet, 1e9, {{d, data::AccessMode::Read}});
+  // Dependency recorded for lineage, but not counted as unfinished.
+  EXPECT_EQ(rt.task(r).dependencies, (std::vector<TaskId>{w}));
+  EXPECT_EQ(rt.task(r).unfinished_deps, 0u);
+  rt.wait_all();
+  EXPECT_EQ(rt.task(r).state(), TaskState::Completed);
+}
+
+TEST_F(DependencyTest, DiamondExecutionOrder) {
+  const auto top = rt.register_data("top", 1024);
+  const auto left = rt.register_data("left", 1024);
+  const auto right = rt.register_data("right", 1024);
+  const TaskId a =
+      rt.submit("a", codelet, 1e9, {{top, data::AccessMode::Write}});
+  const TaskId b = rt.submit("b", codelet, 1e9,
+                             {{top, data::AccessMode::Read},
+                              {left, data::AccessMode::Write}});
+  const TaskId c = rt.submit("c", codelet, 1e9,
+                             {{top, data::AccessMode::Read},
+                              {right, data::AccessMode::Write}});
+  const TaskId d = rt.submit("d", codelet, 1e9,
+                             {{left, data::AccessMode::Read},
+                              {right, data::AccessMode::Read}});
+  rt.wait_all();
+  const auto windows = exec_windows(rt.tracer());
+  EXPECT_GE(windows.at(b).first, windows.at(a).second - 1e-12);
+  EXPECT_GE(windows.at(c).first, windows.at(a).second - 1e-12);
+  EXPECT_GE(windows.at(d).first, windows.at(b).second - 1e-12);
+  EXPECT_GE(windows.at(d).first, windows.at(c).second - 1e-12);
+  // b and c run concurrently on separate cores.
+  EXPECT_LT(windows.at(b).first, windows.at(c).second);
+}
+
+TEST_F(DependencyTest, LongChainCompletes) {
+  const auto d = rt.register_data("d", 64);
+  for (int i = 0; i < 500; ++i) {
+    rt.submit(util::format("c%d", i), codelet, 1e7,
+              {{d, data::AccessMode::ReadWrite}});
+  }
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, 500u);
+}
+
+}  // namespace
+}  // namespace hetflow::core

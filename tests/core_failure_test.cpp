@@ -1,0 +1,175 @@
+// Fault injection and retry policies.
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "helpers.hpp"
+#include "sched/mct.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::core {
+namespace {
+
+using hetflow::testing::cpu_only_codelet;
+
+RuntimeOptions failing_options(double rate, FailurePolicy policy,
+                               std::uint64_t seed = 42) {
+  RuntimeOptions options;
+  options.failure_model = hw::FailureModel::uniform(rate);
+  options.failure_policy = policy;
+  options.seed = seed;
+  return options;
+}
+
+TEST(Failure, TasksEventuallyCompleteWithRetrySame) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, std::make_unique<sched::MctScheduler>(),
+             failing_options(1.0, FailurePolicy::RetrySameDevice));
+  for (int i = 0; i < 20; ++i) {
+    rt.submit(util::format("t%d", i), cpu_only_codelet(), 3e9, {});
+  }
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, 20u);
+  EXPECT_GT(rt.stats().failed_attempts, 0u);
+}
+
+TEST(Failure, TasksEventuallyCompleteWithReschedule) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, std::make_unique<sched::MctScheduler>(),
+             failing_options(1.0, FailurePolicy::Reschedule));
+  for (int i = 0; i < 20; ++i) {
+    rt.submit(util::format("t%d", i), cpu_only_codelet(), 3e9, {});
+  }
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, 20u);
+  EXPECT_GT(rt.stats().failed_attempts, 0u);
+}
+
+TEST(Failure, FailedAttemptsInflateMakespan) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  double clean_makespan = 0.0;
+  {
+    Runtime rt(p, std::make_unique<sched::MctScheduler>());
+    for (int i = 0; i < 10; ++i) {
+      rt.submit(util::format("t%d", i), cpu_only_codelet(), 3e9, {});
+    }
+    rt.wait_all();
+    clean_makespan = rt.stats().makespan_s;
+  }
+  Runtime rt(p, std::make_unique<sched::MctScheduler>(),
+             failing_options(1.5, FailurePolicy::RetrySameDevice));
+  for (int i = 0; i < 10; ++i) {
+    rt.submit(util::format("t%d", i), cpu_only_codelet(), 3e9, {});
+  }
+  rt.wait_all();
+  EXPECT_GT(rt.stats().makespan_s, clean_makespan);
+}
+
+TEST(Failure, FailedSpansAppearInTrace) {
+  const hw::Platform p = hw::make_cpu_only(1);
+  Runtime rt(p, std::make_unique<sched::MctScheduler>(),
+             failing_options(2.0, FailurePolicy::RetrySameDevice, 7));
+  for (int i = 0; i < 10; ++i) {
+    rt.submit(util::format("t%d", i), cpu_only_codelet(), 3e9, {});
+  }
+  rt.wait_all();
+  std::size_t failed_spans = 0;
+  std::size_t exec_spans = 0;
+  for (const trace::Span& span : rt.tracer().spans()) {
+    if (span.kind == trace::SpanKind::FailedExec) {
+      ++failed_spans;
+    } else if (span.kind == trace::SpanKind::Exec) {
+      ++exec_spans;
+    }
+  }
+  EXPECT_EQ(exec_spans, 10u);
+  EXPECT_EQ(failed_spans, rt.stats().failed_attempts);
+  EXPECT_GT(failed_spans, 0u);
+  hetflow::testing::expect_no_device_overlap(rt.tracer(), p);
+}
+
+TEST(Failure, FailedEnergyIsCharged) {
+  const hw::Platform p = hw::make_cpu_only(1);
+  Runtime clean_rt(p, std::make_unique<sched::MctScheduler>());
+  clean_rt.submit("t", cpu_only_codelet(), 6e9, {});
+  clean_rt.wait_all();
+
+  Runtime rt(p, std::make_unique<sched::MctScheduler>(),
+             failing_options(0.8, FailurePolicy::RetrySameDevice, 3));
+  rt.submit("t", cpu_only_codelet(), 6e9, {});
+  rt.wait_all();
+  if (rt.stats().failed_attempts > 0) {
+    EXPECT_GT(rt.stats().busy_energy_j(), clean_rt.stats().busy_energy_j());
+  }
+}
+
+TEST(Failure, MaxAttemptsAborts) {
+  const hw::Platform p = hw::make_cpu_only(1);
+  RuntimeOptions options =
+      failing_options(10000.0, FailurePolicy::RetrySameDevice);
+  options.max_attempts = 5;
+  Runtime rt(p, std::make_unique<sched::MctScheduler>(), options);
+  rt.submit("doomed", cpu_only_codelet(), 6e9, {});
+  EXPECT_THROW(rt.wait_all(), util::Error);
+}
+
+TEST(Failure, DependentsWaitForSuccessfulCompletion) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, std::make_unique<sched::MctScheduler>(),
+             failing_options(1.0, FailurePolicy::Reschedule, 11));
+  const auto d = rt.register_data("d", 1024);
+  const TaskId w =
+      rt.submit("w", cpu_only_codelet(), 5e9, {{d, data::AccessMode::Write}});
+  const TaskId r =
+      rt.submit("r", cpu_only_codelet(), 1e9, {{d, data::AccessMode::Read}});
+  rt.wait_all();
+  EXPECT_EQ(rt.task(r).state(), TaskState::Completed);
+  EXPECT_GE(rt.task(r).times().started,
+            rt.task(w).times().completed - 1e-12);
+}
+
+TEST(Failure, DeterministicAcrossRuns) {
+  const hw::Platform p = hw::make_cpu_only(3);
+  double makespans[2];
+  std::size_t failures[2];
+  for (int run = 0; run < 2; ++run) {
+    Runtime rt(p, std::make_unique<sched::MctScheduler>(),
+               failing_options(0.7, FailurePolicy::Reschedule, 123));
+    for (int i = 0; i < 30; ++i) {
+      rt.submit(util::format("t%d", i), cpu_only_codelet(), 2e9, {});
+    }
+    rt.wait_all();
+    makespans[run] = rt.stats().makespan_s;
+    failures[run] = rt.stats().failed_attempts;
+  }
+  EXPECT_DOUBLE_EQ(makespans[0], makespans[1]);
+  EXPECT_EQ(failures[0], failures[1]);
+}
+
+TEST(Failure, AttemptsCounted) {
+  const hw::Platform p = hw::make_cpu_only(1);
+  Runtime rt(p, std::make_unique<sched::MctScheduler>(),
+             failing_options(1.0, FailurePolicy::RetrySameDevice, 5));
+  const TaskId id = rt.submit("t", cpu_only_codelet(), 6e9, {});
+  rt.wait_all();
+  EXPECT_GE(rt.task(id).attempts(), 1u);
+  EXPECT_EQ(rt.task(id).state(), TaskState::Completed);
+}
+
+class FailureRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FailureRateSweep, AllWorkCompletesUnderAnyRate) {
+  const hw::Platform p = hw::make_cpu_only(4);
+  Runtime rt(p, std::make_unique<sched::MctScheduler>(),
+             failing_options(GetParam(), FailurePolicy::Reschedule, 31));
+  for (int i = 0; i < 25; ++i) {
+    rt.submit(util::format("t%d", i), cpu_only_codelet(), 1e9, {});
+  }
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, 25u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, FailureRateSweep,
+                         ::testing::Values(0.0, 0.1, 1.0, 5.0));
+
+}  // namespace
+}  // namespace hetflow::core

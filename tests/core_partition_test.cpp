@@ -1,0 +1,157 @@
+// Block partitioning of data handles (StarPU-filter style).
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "helpers.hpp"
+#include "sched/registry.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::core {
+namespace {
+
+using hetflow::testing::cpu_only_codelet;
+using hetflow::testing::exec_windows;
+
+struct PartitionTest : ::testing::Test {
+  PartitionTest()
+      : platform(hw::make_cpu_only(4)),
+        rt(platform, sched::make_scheduler("mct")) {}
+
+  hw::Platform platform;
+  Runtime rt;
+  CodeletPtr codelet = cpu_only_codelet();
+};
+
+TEST_F(PartitionTest, ChildrenSizesSumToParent) {
+  const auto parent = rt.register_data("blob", 1000);
+  const auto children = rt.partition_data(parent, 3);
+  ASSERT_EQ(children.size(), 3u);
+  std::uint64_t total = 0;
+  for (data::DataId child : children) {
+    total += rt.data().registry().handle(child).bytes;
+  }
+  EXPECT_EQ(total, 1000u);
+  // Remainder lands on the last child: 333 + 333 + 334.
+  EXPECT_EQ(rt.data().registry().handle(children[2]).bytes, 334u);
+  EXPECT_TRUE(rt.is_partitioned(parent));
+}
+
+TEST_F(PartitionTest, ParentAccessRejectedWhilePartitioned) {
+  const auto parent = rt.register_data("blob", 1024);
+  rt.partition_data(parent, 2);
+  EXPECT_THROW(
+      rt.submit("bad", codelet, 1e9, {{parent, data::AccessMode::Read}}),
+      util::InvalidArgument);
+}
+
+TEST_F(PartitionTest, ChildAccessRejectedAfterUnpartition) {
+  const auto parent = rt.register_data("blob", 1024);
+  const auto children = rt.partition_data(parent, 2);
+  rt.unpartition_data(parent);
+  EXPECT_THROW(rt.submit("bad", codelet, 1e9,
+                         {{children[0], data::AccessMode::Read}}),
+               util::InvalidArgument);
+  EXPECT_FALSE(rt.is_partitioned(parent));
+}
+
+TEST_F(PartitionTest, DoublePartitionAndBadUnpartitionRejected) {
+  const auto parent = rt.register_data("blob", 1024);
+  rt.partition_data(parent, 2);
+  EXPECT_THROW(rt.partition_data(parent, 2), util::InvalidArgument);
+  rt.unpartition_data(parent);
+  EXPECT_THROW(rt.unpartition_data(parent), util::InvalidArgument);
+  const auto other = rt.register_data("other", 64);
+  EXPECT_THROW(rt.unpartition_data(other), util::InvalidArgument);
+}
+
+TEST_F(PartitionTest, BlockWorkersRunInParallel) {
+  const auto parent = rt.register_data("matrix", 4096);
+  const auto writer =
+      rt.submit("init", codelet, 1e9, {{parent, data::AccessMode::Write}});
+  const auto children = rt.partition_data(parent, 4);
+  std::vector<TaskId> workers;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    workers.push_back(
+        rt.submit(util::format("block%zu", i), codelet, 6e9,
+                  {{children[i], data::AccessMode::ReadWrite}}));
+  }
+  // Block workers order after the parent's writer but not each other.
+  for (TaskId id : workers) {
+    EXPECT_EQ(rt.task(id).dependencies, (std::vector<TaskId>{writer}));
+  }
+  rt.unpartition_data(parent);
+  const auto reader =
+      rt.submit("gather", codelet, 1e9, {{parent, data::AccessMode::Read}});
+  // Gather orders after every block worker plus the (transitively
+  // implied) original writer of the parent.
+  EXPECT_EQ(rt.task(reader).dependencies.size(), workers.size() + 1);
+  rt.wait_all();
+  const auto windows = exec_windows(rt.tracer());
+  // All four blocks overlapped in time on the 4 cores.
+  for (std::size_t i = 1; i < workers.size(); ++i) {
+    EXPECT_LT(windows.at(workers[i]).first,
+              windows.at(workers[0]).second);
+  }
+  // Gather ran after every worker.
+  for (TaskId id : workers) {
+    EXPECT_GE(windows.at(reader).first, windows.at(id).second - 1e-9);
+  }
+}
+
+TEST_F(PartitionTest, PartitionSpeedsUpBlockedUpdate) {
+  // Monolithic RW updates serialize; partitioned block updates do not.
+  double monolithic = 0.0;
+  double partitioned = 0.0;
+  {
+    Runtime mono(platform, sched::make_scheduler("mct"));
+    const auto d = mono.register_data("m", 4096);
+    for (int i = 0; i < 4; ++i) {
+      mono.submit(util::format("u%d", i), codelet, 6e9,
+                  {{d, data::AccessMode::ReadWrite}});
+    }
+    mono.wait_all();
+    monolithic = mono.stats().makespan_s;
+  }
+  {
+    Runtime part(platform, sched::make_scheduler("mct"));
+    const auto d = part.register_data("m", 4096);
+    const auto children = part.partition_data(d, 4);
+    for (int i = 0; i < 4; ++i) {
+      part.submit(util::format("u%d", i), codelet, 6e9,
+                  {{children[static_cast<std::size_t>(i)],
+                    data::AccessMode::ReadWrite}});
+    }
+    part.unpartition_data(d);
+    part.wait_all();
+    partitioned = part.stats().makespan_s;
+  }
+  EXPECT_LT(partitioned, monolithic / 2.5);
+}
+
+TEST_F(PartitionTest, RepartitionAfterUnpartitionAllowed) {
+  const auto parent = rt.register_data("blob", 1024);
+  rt.partition_data(parent, 2);
+  rt.unpartition_data(parent);
+  const auto second = rt.partition_data(parent, 4);
+  EXPECT_EQ(second.size(), 4u);
+  rt.unpartition_data(parent);
+  rt.submit("after", codelet, 1e8, {{parent, data::AccessMode::Read}});
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, 1u);
+}
+
+TEST_F(PartitionTest, SinglePartBehavesLikeAlias) {
+  const auto parent = rt.register_data("blob", 100);
+  const auto children = rt.partition_data(parent, 1);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(rt.data().registry().handle(children[0]).bytes, 100u);
+}
+
+TEST_F(PartitionTest, InvalidArgumentsRejected) {
+  const auto parent = rt.register_data("blob", 100);
+  EXPECT_THROW(rt.partition_data(parent, 0), util::InternalError);
+  EXPECT_THROW(rt.partition_data(999, 2), util::InternalError);
+}
+
+}  // namespace
+}  // namespace hetflow::core

@@ -1,0 +1,136 @@
+// Prefetching: transfers of queued tasks overlap the running task.
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "helpers.hpp"
+#include "sched/registry.hpp"
+#include "util/strings.hpp"
+#include "workflow/generators.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow::core {
+namespace {
+
+using hetflow::testing::exec_windows;
+
+/// Bag of GPU-only tasks, each reading its own large host-resident input:
+/// without prefetch every transfer serializes with the previous task's
+/// execution; with prefetch they overlap.
+double gpu_bag_makespan(bool prefetch, std::size_t tasks,
+                        std::uint64_t bytes, double flops) {
+  const hw::Platform p = hw::make_workstation();
+  RuntimeOptions options;
+  options.enable_prefetch = prefetch;
+  Runtime rt(p, sched::make_scheduler("mct"), options);
+  const auto gpu_only =
+      Codelet::make("gpu-kernel", {{hw::DeviceType::Gpu, 0.8}});
+  for (std::size_t i = 0; i < tasks; ++i) {
+    const auto input =
+        rt.register_data(util::format("in%zu", i), bytes);
+    rt.submit(util::format("t%zu", i), gpu_only, flops,
+              {{input, data::AccessMode::Read}});
+  }
+  rt.wait_all();
+  return rt.stats().makespan_s;
+}
+
+TEST(Prefetch, OverlapsTransfersWithExecution) {
+  // 8 tasks x (0.1 s exec + 0.064 s transfer over 16 GB/s PCIe).
+  const std::uint64_t bytes = 1ull << 30;  // 1 GiB
+  const double flops = 32e9;               // 0.1 s on the 400-GFLOPS GPU
+  const double without = gpu_bag_makespan(false, 8, bytes, flops);
+  const double with = gpu_bag_makespan(true, 8, bytes, flops);
+  // Serial: ~8 x (0.0625 + 0.1) = 1.3 s. Overlapped: ~0.0625 + 8 x 0.1.
+  EXPECT_LT(with, without * 0.75);
+  EXPECT_NEAR(without, 8 * (0.0625 + 0.1), 0.05);
+  EXPECT_NEAR(with, 0.0625 + 8 * 0.1, 0.05);
+}
+
+TEST(Prefetch, CountsReportedInStats) {
+  const hw::Platform p = hw::make_workstation();
+  RuntimeOptions options;
+  options.enable_prefetch = true;
+  Runtime rt(p, sched::make_scheduler("mct"), options);
+  const auto gpu_only =
+      Codelet::make("gpu-kernel", {{hw::DeviceType::Gpu, 0.8}});
+  for (int i = 0; i < 4; ++i) {
+    const auto input =
+        rt.register_data(util::format("in%d", i), 64ull << 20);
+    rt.submit(util::format("t%d", i), gpu_only, 8e9,
+              {{input, data::AccessMode::Read}});
+  }
+  rt.wait_all();
+  EXPECT_GT(rt.stats().data.prefetches, 0u);
+  // Prefetch replaces, not duplicates, the demand fetch.
+  EXPECT_EQ(rt.stats().data.fetches, 4u);
+  EXPECT_EQ(rt.stats().transfers.transfer_count, 4u);
+}
+
+TEST(Prefetch, NeverChangesResults) {
+  // Same workload, prefetch on/off: identical task placement, identical
+  // bytes moved — only timing improves.
+  const hw::Platform p = hw::make_hpc_node(4, 2, 0);
+  const auto lib = workflow::CodeletLibrary::standard();
+  const workflow::Workflow wf = workflow::make_montage(24);
+  RuntimeOptions base;
+  RuntimeOptions pf;
+  pf.enable_prefetch = true;
+  const auto off = workflow::run_workflow(p, "dmda", wf, lib, base);
+  const auto on = workflow::run_workflow(p, "dmda", wf, lib, pf);
+  EXPECT_EQ(on.tasks_completed, off.tasks_completed);
+  EXPECT_LE(on.makespan_s, off.makespan_s * 1.05);
+}
+
+TEST(Prefetch, InvariantsHoldAcrossPolicies) {
+  const hw::Platform p = hw::make_hpc_node(4, 2, 1);
+  const auto lib = workflow::CodeletLibrary::standard();
+  const workflow::Workflow wf = workflow::make_cybershake(2, 8);
+  for (const std::string& policy : sched::scheduler_names()) {
+    RuntimeOptions options;
+    options.enable_prefetch = true;
+    Runtime rt(p, sched::make_scheduler(policy), options);
+    const auto ids = workflow::submit_workflow(rt, wf, lib);
+    rt.wait_all();
+    EXPECT_EQ(rt.stats().tasks_completed, wf.task_count()) << policy;
+    hetflow::testing::expect_no_device_overlap(rt.tracer(), p);
+    const auto windows = exec_windows(rt.tracer());
+    for (TaskId id : ids) {
+      for (TaskId dep : rt.task(id).dependencies) {
+        EXPECT_GE(windows.at(id).first, windows.at(dep).second - 1e-9)
+            << policy;
+      }
+    }
+  }
+}
+
+TEST(Prefetch, WorksWithFailuresAndNoise) {
+  const hw::Platform p = hw::make_hpc_node(4, 1, 0);
+  const auto lib = workflow::CodeletLibrary::standard();
+  RuntimeOptions options;
+  options.enable_prefetch = true;
+  options.noise_cv = 0.3;
+  options.failure_model = hw::FailureModel::uniform(0.3);
+  options.failure_policy = FailurePolicy::Reschedule;
+  const workflow::Workflow wf = workflow::make_ligo(12, 4);
+  const auto stats = workflow::run_workflow(p, "dmda", wf, lib, options);
+  EXPECT_EQ(stats.tasks_completed, wf.task_count());
+}
+
+TEST(Prefetch, SharedInputFetchedOnce) {
+  const hw::Platform p = hw::make_workstation();
+  RuntimeOptions options;
+  options.enable_prefetch = true;
+  Runtime rt(p, sched::make_scheduler("mct"), options);
+  const auto gpu_only =
+      Codelet::make("gpu-kernel", {{hw::DeviceType::Gpu, 0.8}});
+  const auto shared = rt.register_data("shared", 256ull << 20);
+  for (int i = 0; i < 6; ++i) {
+    rt.submit(util::format("t%d", i), gpu_only, 4e9,
+              {{shared, data::AccessMode::Read}});
+  }
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().transfers.transfer_count, 1u);
+}
+
+}  // namespace
+}  // namespace hetflow::core

@@ -1,0 +1,171 @@
+// Redux (commutative reduction) access mode and timed task release.
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "helpers.hpp"
+#include "sched/mct.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::core {
+namespace {
+
+using hetflow::testing::cpu_only_codelet;
+using hetflow::testing::exec_windows;
+
+TEST(Redux, ContributorsDoNotOrderAgainstEachOther) {
+  const hw::Platform p = hw::make_cpu_only(4);
+  Runtime rt(p, std::make_unique<sched::MctScheduler>());
+  const auto acc = rt.register_data("acc", 1024);
+  const TaskId init =
+      rt.submit("init", cpu_only_codelet(), 1e9,
+                {{acc, data::AccessMode::Write}});
+  std::vector<TaskId> contributors;
+  for (int i = 0; i < 4; ++i) {
+    contributors.push_back(rt.submit(util::format("part%d", i),
+                                     cpu_only_codelet(), 6e9,
+                                     {{acc, data::AccessMode::Redux}}));
+  }
+  const TaskId reader = rt.submit("read", cpu_only_codelet(), 1e9,
+                                  {{acc, data::AccessMode::Read}});
+  // Contributors depend only on init; the reader depends on all of them.
+  for (TaskId id : contributors) {
+    EXPECT_EQ(rt.task(id).dependencies, (std::vector<TaskId>{init}));
+  }
+  // Reader orders after every contributor plus the (transitively
+  // implied) initial writer.
+  EXPECT_EQ(rt.task(reader).dependencies.size(), contributors.size() + 1);
+  rt.wait_all();
+  // All four contributors ran in parallel on the 4 cores (~1 s each, so
+  // the whole run is ~3 s: init + parallel redux + read — not ~6 s).
+  const auto windows = exec_windows(rt.tracer());
+  double max_contrib_end = 0.0;
+  for (std::size_t i = 1; i < contributors.size(); ++i) {
+    // Pairwise temporal overlap with contributor 0.
+    EXPECT_LT(windows.at(contributors[i]).first,
+              windows.at(contributors[0]).second);
+    max_contrib_end =
+        std::max(max_contrib_end, windows.at(contributors[i]).second);
+  }
+  EXPECT_GE(windows.at(reader).first, max_contrib_end - 1e-9);
+}
+
+TEST(Redux, WriterAfterReduxWaitsForAllContributors) {
+  const hw::Platform p = hw::make_cpu_only(4);
+  Runtime rt(p, std::make_unique<sched::MctScheduler>());
+  const auto acc = rt.register_data("acc", 1024);
+  std::vector<TaskId> contributors;
+  for (int i = 0; i < 3; ++i) {
+    contributors.push_back(rt.submit(util::format("part%d", i),
+                                     cpu_only_codelet(), 2e9,
+                                     {{acc, data::AccessMode::Redux}}));
+  }
+  const TaskId writer = rt.submit("reset", cpu_only_codelet(), 1e9,
+                                  {{acc, data::AccessMode::Write}});
+  EXPECT_EQ(rt.task(writer).dependencies.size(), 3u);
+  rt.wait_all();
+  const auto windows = exec_windows(rt.tracer());
+  for (TaskId id : contributors) {
+    EXPECT_GE(windows.at(writer).first, windows.at(id).second - 1e-9);
+  }
+}
+
+TEST(Redux, ReaderAfterReadDoesNotSerializeContributors) {
+  // read -> redux x2: contributors wait for the reader (they overwrite),
+  // but not for each other.
+  const hw::Platform p = hw::make_cpu_only(4);
+  Runtime rt(p, std::make_unique<sched::MctScheduler>());
+  const auto acc = rt.register_data("acc", 1024);
+  const TaskId reader = rt.submit("read", cpu_only_codelet(), 2e9,
+                                  {{acc, data::AccessMode::Read}});
+  const TaskId c1 = rt.submit("c1", cpu_only_codelet(), 2e9,
+                              {{acc, data::AccessMode::Redux}});
+  const TaskId c2 = rt.submit("c2", cpu_only_codelet(), 2e9,
+                              {{acc, data::AccessMode::Redux}});
+  EXPECT_EQ(rt.task(c1).dependencies, (std::vector<TaskId>{reader}));
+  EXPECT_EQ(rt.task(c2).dependencies, (std::vector<TaskId>{reader}));
+  rt.wait_all();
+  const auto windows = exec_windows(rt.tracer());
+  EXPECT_LT(windows.at(c1).first, windows.at(c2).second);
+  EXPECT_LT(windows.at(c2).first, windows.at(c1).second);
+}
+
+TEST(Redux, SpeedsUpReductionVersusReadWrite) {
+  const hw::Platform p = hw::make_cpu_only(8);
+  double redux_makespan = 0.0;
+  double rw_makespan = 0.0;
+  for (const bool use_redux : {true, false}) {
+    Runtime rt(p, std::make_unique<sched::MctScheduler>());
+    const auto acc = rt.register_data("acc", 1024);
+    for (int i = 0; i < 8; ++i) {
+      rt.submit(util::format("p%d", i), cpu_only_codelet(), 6e9,
+                {{acc, use_redux ? data::AccessMode::Redux
+                                 : data::AccessMode::ReadWrite}});
+    }
+    rt.wait_all();
+    (use_redux ? redux_makespan : rw_makespan) = rt.stats().makespan_s;
+  }
+  // RW serializes the 8 accumulations (~8 s); Redux runs them in
+  // parallel (~1 s).
+  EXPECT_LT(redux_makespan, rw_makespan / 4.0);
+}
+
+TEST(ReleaseTime, TaskWaitsForItsRelease) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, std::make_unique<sched::MctScheduler>());
+  const TaskId id = rt.submit("late", cpu_only_codelet(), 1e9, {});
+  rt.task(id).set_release_time(5.0);
+  rt.wait_all();
+  EXPECT_GE(rt.task(id).times().ready, 5.0);
+  EXPECT_GE(rt.task(id).times().started, 5.0);
+}
+
+TEST(ReleaseTime, ZeroReleaseBehavesAsBefore) {
+  const hw::Platform p = hw::make_cpu_only(1);
+  Runtime rt(p, std::make_unique<sched::MctScheduler>());
+  const TaskId id = rt.submit("now", cpu_only_codelet(), 1e9, {});
+  rt.wait_all();
+  EXPECT_DOUBLE_EQ(rt.task(id).times().ready, 0.0);
+}
+
+TEST(ReleaseTime, DependenciesStillGate) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, std::make_unique<sched::MctScheduler>());
+  const auto d = rt.register_data("d", 64);
+  const TaskId slow = rt.submit("slow", cpu_only_codelet(), 60e9,
+                                {{d, data::AccessMode::Write}});  // ~10 s
+  const TaskId gated = rt.submit("gated", cpu_only_codelet(), 1e9,
+                                 {{d, data::AccessMode::Read}});
+  rt.task(gated).set_release_time(1.0);  // release < dependency completion
+  rt.wait_all();
+  EXPECT_GE(rt.task(gated).times().ready,
+            rt.task(slow).times().completed - 1e-9);
+}
+
+TEST(ReleaseTime, ReleaseAfterDependencyCompletion) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, std::make_unique<sched::MctScheduler>());
+  const auto d = rt.register_data("d", 64);
+  rt.submit("fast", cpu_only_codelet(), 1e9, {{d, data::AccessMode::Write}});
+  const TaskId gated = rt.submit("gated", cpu_only_codelet(), 1e9,
+                                 {{d, data::AccessMode::Read}});
+  rt.task(gated).set_release_time(10.0);
+  rt.wait_all();
+  EXPECT_NEAR(rt.task(gated).times().ready, 10.0, 1e-9);
+}
+
+TEST(ReleaseTime, ManyStaggeredReleasesAllComplete) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, std::make_unique<sched::MctScheduler>());
+  for (int i = 0; i < 50; ++i) {
+    const TaskId id =
+        rt.submit(util::format("t%d", i), cpu_only_codelet(), 5e8, {});
+    rt.task(id).set_release_time(0.1 * i);
+  }
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, 50u);
+  // Horizon dominated by the last release (4.9 s) + one task (~0.04 s).
+  EXPECT_NEAR(rt.stats().makespan_s, 4.94, 0.05);
+}
+
+}  // namespace
+}  // namespace hetflow::core

@@ -1,0 +1,133 @@
+#include "data/coherence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetflow::data {
+namespace {
+
+constexpr std::uint64_t kGiB = 1024ull * 1024 * 1024;
+
+struct Fixture {
+  Fixture() : platform(make_platform()) {}
+
+  static hw::Platform make_platform() {
+    hw::PlatformBuilder b("coh");
+    const auto host = b.add_memory_node("host", 8 * kGiB);
+    const auto v0 = b.add_memory_node("v0", 2 * kGiB);
+    const auto v1 = b.add_memory_node("v1", 2 * kGiB);
+    b.add_device("cpu", hw::DeviceType::Cpu, 10.0, host);
+    b.add_link(host, v0, 10.0, 1e-6);
+    b.add_link(host, v1, 10.0, 1e-6);
+    b.add_link(v0, v1, 50.0, 1e-6);  // fast peer link
+    return b.build();
+  }
+
+  hw::Platform platform;
+  DataRegistry registry;
+};
+
+TEST(Coherence, HomeCopyStartsShared) {
+  Fixture f;
+  const DataId d = f.registry.register_data("A", 100, 0);
+  CoherenceDirectory dir(f.platform, f.registry);
+  EXPECT_EQ(dir.state(d, 0), ReplicaState::Shared);
+  EXPECT_EQ(dir.state(d, 1), ReplicaState::Invalid);
+  EXPECT_TRUE(dir.any_valid(d));
+  EXPECT_EQ(dir.valid_nodes(d), (std::vector<hw::MemoryNodeId>{0}));
+}
+
+TEST(Coherence, SyncPicksUpLateRegistrations) {
+  Fixture f;
+  CoherenceDirectory dir(f.platform, f.registry);
+  const DataId d = f.registry.register_data("late", 64, 2);
+  dir.sync_with_registry();
+  EXPECT_EQ(dir.state(d, 2), ReplicaState::Shared);
+}
+
+TEST(Coherence, MarkSharedAddsReplica) {
+  Fixture f;
+  const DataId d = f.registry.register_data("A", 100, 0);
+  CoherenceDirectory dir(f.platform, f.registry);
+  dir.mark_shared(d, 1);
+  EXPECT_EQ(dir.state(d, 1), ReplicaState::Shared);
+  EXPECT_EQ(dir.valid_nodes(d), (std::vector<hw::MemoryNodeId>{0, 1}));
+}
+
+TEST(Coherence, MarkModifiedInvalidatesOthers) {
+  Fixture f;
+  const DataId d = f.registry.register_data("A", 100, 0);
+  CoherenceDirectory dir(f.platform, f.registry);
+  dir.mark_shared(d, 1);
+  dir.mark_shared(d, 2);
+  const auto invalidated = dir.mark_modified(d, 1);
+  EXPECT_EQ(invalidated, (std::vector<hw::MemoryNodeId>{0, 2}));
+  EXPECT_EQ(dir.state(d, 0), ReplicaState::Invalid);
+  EXPECT_EQ(dir.state(d, 1), ReplicaState::Modified);
+  EXPECT_EQ(dir.state(d, 2), ReplicaState::Invalid);
+}
+
+TEST(Coherence, ModifiedDowngradesToShared) {
+  Fixture f;
+  const DataId d = f.registry.register_data("A", 100, 0);
+  CoherenceDirectory dir(f.platform, f.registry);
+  dir.mark_modified(d, 1);
+  dir.mark_shared(d, 1);
+  EXPECT_EQ(dir.state(d, 1), ReplicaState::Shared);
+  EXPECT_TRUE(dir.any_valid(d));
+}
+
+TEST(Coherence, PickSourcePrefersFastestRoute) {
+  Fixture f;
+  const DataId d = f.registry.register_data("A", 1000000000, 0);
+  CoherenceDirectory dir(f.platform, f.registry);
+  // Valid on host (slow to v1) and v0 (fast peer to v1).
+  dir.mark_shared(d, 1);
+  EXPECT_EQ(dir.pick_source(d, 2), 1u);
+}
+
+TEST(Coherence, PickSourceWithSingleReplica) {
+  Fixture f;
+  const DataId d = f.registry.register_data("A", 100, 0);
+  CoherenceDirectory dir(f.platform, f.registry);
+  EXPECT_EQ(dir.pick_source(d, 2), 0u);
+}
+
+TEST(Coherence, PickSourceNoReplicaThrows) {
+  Fixture f;
+  const DataId d = f.registry.register_data("A", 100, 0);
+  CoherenceDirectory dir(f.platform, f.registry);
+  dir.mark_invalid(d, 0);
+  EXPECT_FALSE(dir.any_valid(d));
+  EXPECT_THROW(dir.pick_source(d, 1), util::InternalError);
+}
+
+TEST(Coherence, ResidentTracking) {
+  Fixture f;
+  const DataId a = f.registry.register_data("A", 100, 0);
+  const DataId b = f.registry.register_data("B", 50, 0);
+  CoherenceDirectory dir(f.platform, f.registry);
+  EXPECT_EQ(dir.resident(0), (std::vector<DataId>{a, b}));
+  EXPECT_EQ(dir.resident_bytes(0), 150u);
+  EXPECT_TRUE(dir.resident(1).empty());
+  dir.mark_shared(a, 1);
+  EXPECT_EQ(dir.resident_bytes(1), 100u);
+  dir.mark_invalid(a, 0);
+  EXPECT_EQ(dir.resident(0), (std::vector<DataId>{b}));
+  EXPECT_EQ(dir.resident_bytes(0), 50u);
+}
+
+TEST(Coherence, ReplicaStateToString) {
+  EXPECT_STREQ(to_string(ReplicaState::Invalid), "I");
+  EXPECT_STREQ(to_string(ReplicaState::Shared), "S");
+  EXPECT_STREQ(to_string(ReplicaState::Modified), "M");
+}
+
+TEST(Coherence, QueriesBeforeSyncThrow) {
+  Fixture f;
+  CoherenceDirectory dir(f.platform, f.registry);
+  f.registry.register_data("new", 10, 0);
+  EXPECT_THROW(dir.state(0, 0), util::InternalError);
+}
+
+}  // namespace
+}  // namespace hetflow::data

@@ -1,0 +1,50 @@
+#include "data/handle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/access.hpp"
+
+namespace hetflow::data {
+namespace {
+
+TEST(DataRegistry, RegisterAndQuery) {
+  DataRegistry reg;
+  const DataId a = reg.register_data("A", 100, 0);
+  const DataId b = reg.register_data("B", 200, 1);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(reg.count(), 2u);
+  EXPECT_EQ(reg.handle(a).name, "A");
+  EXPECT_EQ(reg.handle(b).bytes, 200u);
+  EXPECT_EQ(reg.handle(b).home_node, 1u);
+  EXPECT_EQ(reg.total_bytes(), 300u);
+}
+
+TEST(DataRegistry, ZeroByteDataAllowed) {
+  DataRegistry reg;
+  const DataId id = reg.register_data("ctrl", 0, 0);
+  EXPECT_EQ(reg.handle(id).bytes, 0u);
+}
+
+TEST(DataRegistry, OutOfRangeThrows) {
+  DataRegistry reg;
+  EXPECT_THROW(reg.handle(0), util::InternalError);
+}
+
+TEST(AccessMode, ReadWritePredicates) {
+  EXPECT_TRUE(is_read(AccessMode::Read));
+  EXPECT_TRUE(is_read(AccessMode::ReadWrite));
+  EXPECT_FALSE(is_read(AccessMode::Write));
+  EXPECT_TRUE(is_write(AccessMode::Write));
+  EXPECT_TRUE(is_write(AccessMode::ReadWrite));
+  EXPECT_FALSE(is_write(AccessMode::Read));
+}
+
+TEST(AccessMode, ToString) {
+  EXPECT_STREQ(to_string(AccessMode::Read), "R");
+  EXPECT_STREQ(to_string(AccessMode::Write), "W");
+  EXPECT_STREQ(to_string(AccessMode::ReadWrite), "RW");
+}
+
+}  // namespace
+}  // namespace hetflow::data

@@ -1,0 +1,122 @@
+#include "data/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.hpp"
+
+namespace hetflow::data {
+namespace {
+
+constexpr std::uint64_t kGiB = 1024ull * 1024 * 1024;
+
+hw::Platform simple_platform() {
+  hw::PlatformBuilder b("xfer");
+  const auto host = b.add_memory_node("host", 8 * kGiB);
+  const auto vram = b.add_memory_node("vram", 2 * kGiB);
+  b.add_device("cpu", hw::DeviceType::Cpu, 10.0, host);
+  b.add_link(host, vram, 10.0, 1e-6);  // 10 GB/s
+  return b.build();
+}
+
+TEST(TransferEngine, SameNodeIsFree) {
+  const hw::Platform p = simple_platform();
+  sim::EventQueue q;
+  TransferEngine engine(p, q);
+  EXPECT_DOUBLE_EQ(engine.transfer(0, 0, 1000, 5.0), 5.0);
+  EXPECT_EQ(engine.stats().transfer_count, 0u);
+}
+
+TEST(TransferEngine, SingleTransferTiming) {
+  const hw::Platform p = simple_platform();
+  sim::EventQueue q;
+  TransferEngine engine(p, q);
+  // 1e9 bytes at 10 GB/s = 0.1 s + 1 us latency.
+  const double done = engine.transfer(0, 1, 1000000000ull, 0.0);
+  EXPECT_NEAR(done, 0.1 + 1e-6, 1e-12);
+  EXPECT_EQ(engine.stats().transfer_count, 1u);
+  EXPECT_EQ(engine.stats().bytes_moved, 1000000000ull);
+}
+
+TEST(TransferEngine, BackToBackTransfersQueueOnLink) {
+  const hw::Platform p = simple_platform();
+  sim::EventQueue q;
+  TransferEngine engine(p, q);
+  const double first = engine.transfer(0, 1, 1000000000ull, 0.0);
+  const double second = engine.transfer(0, 1, 1000000000ull, 0.0);
+  // Second waits for the first to release the link.
+  EXPECT_NEAR(second, first + 0.1 + 1e-6, 1e-9);
+}
+
+TEST(TransferEngine, OppositeDirectionsDoNotContend) {
+  const hw::Platform p = simple_platform();
+  sim::EventQueue q;
+  TransferEngine engine(p, q);
+  const double forward = engine.transfer(0, 1, 1000000000ull, 0.0);
+  const double backward = engine.transfer(1, 0, 1000000000ull, 0.0);
+  // Two directed links: same completion time.
+  EXPECT_NEAR(forward, backward, 1e-12);
+}
+
+TEST(TransferEngine, EstimateDoesNotCommit) {
+  const hw::Platform p = simple_platform();
+  sim::EventQueue q;
+  TransferEngine engine(p, q);
+  const double est1 = engine.estimate(0, 1, 1000000000ull, 0.0);
+  const double est2 = engine.estimate(0, 1, 1000000000ull, 0.0);
+  EXPECT_DOUBLE_EQ(est1, est2);  // no occupancy consumed
+  EXPECT_EQ(engine.stats().transfer_count, 0u);
+  const double real = engine.transfer(0, 1, 1000000000ull, 0.0);
+  EXPECT_DOUBLE_EQ(real, est1);
+  // Now the estimate sees the busy link.
+  EXPECT_GT(engine.estimate(0, 1, 1000000000ull, 0.0), est1);
+}
+
+TEST(TransferEngine, EarliestRespected) {
+  const hw::Platform p = simple_platform();
+  sim::EventQueue q;
+  TransferEngine engine(p, q);
+  const double done = engine.transfer(0, 1, 1000ull, 42.0);
+  EXPECT_GT(done, 42.0);
+}
+
+TEST(TransferEngine, LinkBytesAccounting) {
+  const hw::Platform p = simple_platform();
+  sim::EventQueue q;
+  TransferEngine engine(p, q);
+  engine.transfer(0, 1, 500, 0.0);
+  engine.transfer(0, 1, 700, 0.0);
+  const auto link = p.link_between(0, 1);
+  ASSERT_TRUE(link.has_value());
+  EXPECT_EQ(engine.link_bytes(*link), 1200u);
+  const auto reverse = p.link_between(1, 0);
+  EXPECT_EQ(engine.link_bytes(*reverse), 0u);
+}
+
+TEST(TransferEngine, MultiHopStoreAndForward) {
+  hw::PlatformBuilder b("hop");
+  const auto a = b.add_memory_node("a", kGiB);
+  const auto m = b.add_memory_node("m", kGiB);
+  const auto c = b.add_memory_node("c", kGiB);
+  b.add_device("d", hw::DeviceType::Cpu, 1.0, a);
+  b.add_link(a, m, 10.0, 1e-6);
+  b.add_link(m, c, 10.0, 1e-6);
+  const hw::Platform p = b.build();
+  sim::EventQueue q;
+  TransferEngine engine(p, q);
+  const double done = engine.transfer(a, c, 1000000000ull, 0.0);
+  // Two sequential hops of 0.1 s each.
+  EXPECT_NEAR(done, 0.2 + 2e-6, 1e-9);
+  EXPECT_EQ(engine.stats().bytes_moved, 1000000000ull);
+  EXPECT_EQ(engine.stats().bytes_link_hops, 2000000000ull);
+}
+
+TEST(TransferEngine, BusySecondsAccumulate) {
+  const hw::Platform p = simple_platform();
+  sim::EventQueue q;
+  TransferEngine engine(p, q);
+  engine.transfer(0, 1, 1000000000ull, 0.0);
+  EXPECT_NEAR(engine.stats().busy_seconds, 0.1 + 1e-6, 1e-9);
+}
+
+}  // namespace
+}  // namespace hetflow::data

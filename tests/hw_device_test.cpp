@@ -1,0 +1,74 @@
+#include "hw/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hetflow::hw {
+namespace {
+
+TEST(DeviceType, StringRoundTrip) {
+  EXPECT_STREQ(to_string(DeviceType::Cpu), "cpu");
+  EXPECT_STREQ(to_string(DeviceType::Gpu), "gpu");
+  EXPECT_STREQ(to_string(DeviceType::Fpga), "fpga");
+  EXPECT_STREQ(to_string(DeviceType::Dsp), "dsp");
+  EXPECT_EQ(device_type_from_string("GPU"), DeviceType::Gpu);
+  EXPECT_EQ(device_type_from_string("cpu"), DeviceType::Cpu);
+  EXPECT_EQ(device_type_from_string("Fpga"), DeviceType::Fpga);
+  EXPECT_THROW(device_type_from_string("tpu"), ParseError);
+}
+
+TEST(Device, ConstructionValidates) {
+  EXPECT_NO_THROW(Device(0, "c0", DeviceType::Cpu, 10.0, 0));
+  EXPECT_THROW(Device(0, "bad", DeviceType::Cpu, 0.0, 0), InternalError);
+  EXPECT_THROW(Device(0, "bad", DeviceType::Cpu, -1.0, 0), InternalError);
+  EXPECT_THROW(Device(0, "bad", DeviceType::Cpu, 1.0, 0, -1e-6),
+               InternalError);
+}
+
+TEST(Device, DefaultDvfsState) {
+  const Device d(0, "c0", DeviceType::Cpu, 10.0, 0);
+  ASSERT_EQ(d.dvfs_states().size(), 1u);
+  EXPECT_EQ(d.nominal_dvfs_index(), 0u);
+  EXPECT_DOUBLE_EQ(d.time_scale(0), 1.0);
+}
+
+TEST(Device, DvfsTimeScaleInverseToFrequency) {
+  Device d(0, "g0", DeviceType::Gpu, 100.0, 1);
+  d.set_dvfs_states({{1.0, 100.0, 10.0}, {2.0, 220.0, 12.0}}, 1);
+  EXPECT_DOUBLE_EQ(d.time_scale(1), 1.0);   // nominal
+  EXPECT_DOUBLE_EQ(d.time_scale(0), 2.0);   // half clock -> twice the time
+  EXPECT_DOUBLE_EQ(d.nominal_dvfs().frequency_ghz, 2.0);
+}
+
+TEST(Device, DvfsValidation) {
+  Device d(0, "c0", DeviceType::Cpu, 10.0, 0);
+  EXPECT_THROW(d.set_dvfs_states({}, 0), InternalError);
+  EXPECT_THROW(d.set_dvfs_states({{1.0, 5.0, 1.0}}, 1), InternalError);
+  // Unsorted frequencies rejected.
+  EXPECT_THROW(
+      d.set_dvfs_states({{2.0, 10.0, 1.0}, {1.0, 5.0, 1.0}}, 0),
+      InternalError);
+  // Busy power below idle power rejected.
+  EXPECT_THROW(d.set_dvfs_states({{1.0, 1.0, 5.0}}, 0), InternalError);
+  // Non-positive frequency rejected.
+  EXPECT_THROW(d.set_dvfs_states({{0.0, 5.0, 1.0}}, 0), InternalError);
+}
+
+TEST(Device, DvfsIndexOutOfRangeThrows) {
+  const Device d(0, "c0", DeviceType::Cpu, 10.0, 0);
+  EXPECT_THROW(d.dvfs_state(5), InternalError);
+}
+
+TEST(Device, AccessorsReflectConstruction) {
+  const Device d(3, "fpga0", DeviceType::Fpga, 150.0, 2, 50e-6);
+  EXPECT_EQ(d.id(), 3u);
+  EXPECT_EQ(d.name(), "fpga0");
+  EXPECT_EQ(d.type(), DeviceType::Fpga);
+  EXPECT_DOUBLE_EQ(d.peak_gflops(), 150.0);
+  EXPECT_EQ(d.memory_node(), 2u);
+  EXPECT_DOUBLE_EQ(d.launch_overhead_s(), 50e-6);
+}
+
+}  // namespace
+}  // namespace hetflow::hw

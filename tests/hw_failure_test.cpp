@@ -1,0 +1,90 @@
+#include "hw/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetflow::hw {
+namespace {
+
+TEST(FailureModel, DisabledByDefault) {
+  const FailureModel m;
+  EXPECT_FALSE(m.enabled());
+  util::Rng rng(1);
+  EXPECT_FALSE(m.sample_failure(rng, DeviceType::Cpu, 100.0).has_value());
+}
+
+TEST(FailureModel, UniformSetsAllTypes) {
+  const FailureModel m = FailureModel::uniform(0.5);
+  EXPECT_TRUE(m.enabled());
+  EXPECT_DOUBLE_EQ(m.rate(DeviceType::Cpu), 0.5);
+  EXPECT_DOUBLE_EQ(m.rate(DeviceType::Gpu), 0.5);
+  EXPECT_DOUBLE_EQ(m.rate(DeviceType::Fpga), 0.5);
+  EXPECT_DOUBLE_EQ(m.rate(DeviceType::Dsp), 0.5);
+}
+
+TEST(FailureModel, PerTypeRates) {
+  FailureModel m;
+  m.set_rate(DeviceType::Gpu, 2.0);
+  EXPECT_TRUE(m.enabled());
+  EXPECT_DOUBLE_EQ(m.rate(DeviceType::Cpu), 0.0);
+  EXPECT_DOUBLE_EQ(m.rate(DeviceType::Gpu), 2.0);
+  util::Rng rng(3);
+  EXPECT_FALSE(m.sample_failure(rng, DeviceType::Cpu, 1000.0).has_value());
+}
+
+TEST(FailureModel, NegativeRateRejected) {
+  FailureModel m;
+  EXPECT_THROW(m.set_rate(DeviceType::Cpu, -0.1), util::InternalError);
+}
+
+TEST(FailureModel, FailureInstantWithinDuration) {
+  const FailureModel m = FailureModel::uniform(50.0);  // very failure-prone
+  util::Rng rng(7);
+  int failures = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto instant = m.sample_failure(rng, DeviceType::Cpu, 0.1);
+    if (instant.has_value()) {
+      ++failures;
+      EXPECT_GE(*instant, 0.0);
+      EXPECT_LT(*instant, 0.1);
+    }
+  }
+  // P(fail in 0.1s at rate 50/s) = 1 - e^-5 ~ 0.993.
+  EXPECT_GT(failures, 950);
+}
+
+TEST(FailureModel, FailureProbabilityMatchesPoisson) {
+  const double rate = 2.0;
+  const double duration = 0.5;
+  const FailureModel m = FailureModel::uniform(rate);
+  util::Rng rng(11);
+  int failures = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (m.sample_failure(rng, DeviceType::Gpu, duration).has_value()) {
+      ++failures;
+    }
+  }
+  const double expected = 1.0 - std::exp(-rate * duration);  // ~0.632
+  EXPECT_NEAR(static_cast<double>(failures) / kN, expected, 0.01);
+}
+
+TEST(FailureModel, ZeroDurationNeverFails) {
+  const FailureModel m = FailureModel::uniform(100.0);
+  util::Rng rng(13);
+  EXPECT_FALSE(m.sample_failure(rng, DeviceType::Cpu, 0.0).has_value());
+}
+
+TEST(FailureModel, DeterministicGivenSameRng) {
+  const FailureModel m = FailureModel::uniform(5.0);
+  util::Rng rng1(42);
+  util::Rng rng2(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(m.sample_failure(rng1, DeviceType::Cpu, 0.3),
+              m.sample_failure(rng2, DeviceType::Cpu, 0.3));
+  }
+}
+
+}  // namespace
+}  // namespace hetflow::hw

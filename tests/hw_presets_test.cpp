@@ -1,0 +1,119 @@
+#include "hw/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetflow::hw {
+namespace {
+
+TEST(Presets, CpuOnlyShape) {
+  const Platform p = make_cpu_only(6);
+  EXPECT_EQ(p.device_count(), 6u);
+  EXPECT_EQ(p.memory_node_count(), 1u);
+  EXPECT_TRUE(p.links().empty());
+  for (const Device& d : p.devices()) {
+    EXPECT_EQ(d.type(), DeviceType::Cpu);
+    EXPECT_EQ(d.memory_node(), 0u);
+  }
+}
+
+TEST(Presets, WorkstationShape) {
+  const Platform p = make_workstation();
+  EXPECT_EQ(p.devices_of_type(DeviceType::Cpu).size(), 4u);
+  EXPECT_EQ(p.devices_of_type(DeviceType::Gpu).size(), 1u);
+  EXPECT_EQ(p.memory_node_count(), 2u);
+  EXPECT_TRUE(p.fully_connected());
+  // GPU should be meaningfully faster than a core.
+  const Device& gpu = p.device(p.devices_of_type(DeviceType::Gpu)[0]);
+  const Device& cpu = p.device(p.devices_of_type(DeviceType::Cpu)[0]);
+  EXPECT_GT(gpu.peak_gflops(), 10.0 * cpu.peak_gflops());
+  // GPU has launch overhead, and multiple DVFS points exist everywhere.
+  EXPECT_GT(gpu.launch_overhead_s(), 0.0);
+  EXPECT_GE(cpu.dvfs_states().size(), 2u);
+  EXPECT_GE(gpu.dvfs_states().size(), 2u);
+}
+
+TEST(Presets, HpcNodeConfigurable) {
+  const Platform p = make_hpc_node(8, 3, 2);
+  EXPECT_EQ(p.devices_of_type(DeviceType::Cpu).size(), 8u);
+  EXPECT_EQ(p.devices_of_type(DeviceType::Gpu).size(), 3u);
+  EXPECT_EQ(p.devices_of_type(DeviceType::Fpga).size(), 2u);
+  // host + 3 GPU HBM + 2 FPGA DDR.
+  EXPECT_EQ(p.memory_node_count(), 6u);
+  EXPECT_TRUE(p.fully_connected());
+}
+
+TEST(Presets, HpcNodeGpuPeerLinksFasterThanPcie) {
+  const Platform p = make_hpc_node(4, 2, 0);
+  const Device& gpu0 = p.device(p.devices_of_type(DeviceType::Gpu)[0]);
+  const Device& gpu1 = p.device(p.devices_of_type(DeviceType::Gpu)[1]);
+  const Device& cpu = p.device(p.devices_of_type(DeviceType::Cpu)[0]);
+  const std::uint64_t bytes = 1ull << 30;
+  const double peer =
+      p.transfer_time_s(gpu0.memory_node(), gpu1.memory_node(), bytes);
+  const double pcie =
+      p.transfer_time_s(cpu.memory_node(), gpu0.memory_node(), bytes);
+  EXPECT_LT(peer, pcie);
+}
+
+TEST(Presets, EdgeNodeIsSmallAndHasDsp) {
+  const Platform p = make_edge_node();
+  EXPECT_EQ(p.devices_of_type(DeviceType::Dsp).size(), 1u);
+  EXPECT_EQ(p.devices_of_type(DeviceType::Gpu).size(), 0u);
+  // Edge memory far smaller than HPC memory.
+  EXPECT_LT(p.memory_node(0).capacity_bytes(),
+            make_hpc_node(1, 0, 0).memory_node(0).capacity_bytes());
+}
+
+TEST(Presets, EdgeDspIsLowPower) {
+  const Platform p = make_edge_node();
+  const Device& dsp = p.device(p.devices_of_type(DeviceType::Dsp)[0]);
+  const Device& cpu = p.device(p.devices_of_type(DeviceType::Cpu)[0]);
+  EXPECT_LT(dsp.nominal_dvfs().busy_watts, cpu.nominal_dvfs().busy_watts);
+}
+
+TEST(Presets, ClusterShape) {
+  const Platform p = make_cluster(3, 4, 2);
+  EXPECT_EQ(p.devices_of_type(DeviceType::Cpu).size(), 12u);
+  EXPECT_EQ(p.devices_of_type(DeviceType::Gpu).size(), 6u);
+  // 3 hosts + 6 GPU memories.
+  EXPECT_EQ(p.memory_node_count(), 9u);
+  EXPECT_TRUE(p.fully_connected());
+}
+
+TEST(Presets, ClusterInterNodeSlowerThanIntraNode) {
+  const Platform p = make_cluster(2, 2, 1);
+  // node0 host = memory 0; node1 host comes after node0's GPU memory.
+  const std::uint64_t bytes = 256ull << 20;
+  const double intra = p.transfer_time_s(0, 1, bytes);  // host0 -> gpu0
+  double inter = 0.0;
+  for (MemoryNodeId m = 1; m < p.memory_node_count(); ++m) {
+    if (p.memory_node(m).name().find("node1-dram") != std::string::npos) {
+      inter = p.transfer_time_s(0, m, bytes);
+      break;
+    }
+  }
+  EXPECT_GT(inter, intra);
+}
+
+TEST(Presets, ClusterRequiresOneNode) {
+  EXPECT_THROW(make_cluster(0), util::InternalError);
+}
+
+class PresetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PresetSweep, HpcNodeScalesGpus) {
+  const std::size_t gpus = GetParam();
+  const Platform p = make_hpc_node(4, gpus, 0);
+  EXPECT_EQ(p.devices_of_type(DeviceType::Gpu).size(), gpus);
+  EXPECT_TRUE(p.fully_connected());
+  // Every GPU has its own memory node with a route to host.
+  for (DeviceId id : p.devices_of_type(DeviceType::Gpu)) {
+    EXPECT_FALSE(p.route(0, p.device(id).memory_node()).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GpuCounts, PresetSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace hetflow::hw

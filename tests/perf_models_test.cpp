@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "hw/presets.hpp"
+#include "perf/energy_model.hpp"
+#include "perf/history_model.hpp"
+#include "perf/transfer_model.hpp"
+
+namespace hetflow::perf {
+namespace {
+
+TEST(HistoryModel, UncalibratedReturnsNegative) {
+  HistoryModel model;
+  EXPECT_FALSE(model.calibrated(0, hw::DeviceType::Cpu));
+  EXPECT_LT(model.estimate(0, hw::DeviceType::Cpu, 1e9), 0.0);
+}
+
+TEST(HistoryModel, CalibratesAfterMinSamples) {
+  HistoryModel model;
+  for (std::size_t i = 0; i < HistoryModel::kMinSamples; ++i) {
+    model.record(7, hw::DeviceType::Gpu, 1e9, 0.01);
+  }
+  EXPECT_TRUE(model.calibrated(7, hw::DeviceType::Gpu));
+  EXPECT_NEAR(model.estimate(7, hw::DeviceType::Gpu, 1e9), 0.01, 1e-12);
+  // Scales linearly in flops.
+  EXPECT_NEAR(model.estimate(7, hw::DeviceType::Gpu, 2e9), 0.02, 1e-12);
+}
+
+TEST(HistoryModel, SeparatesCodeletAndDeviceType) {
+  HistoryModel model;
+  for (int i = 0; i < 5; ++i) {
+    model.record(1, hw::DeviceType::Cpu, 1e9, 0.1);
+    model.record(1, hw::DeviceType::Gpu, 1e9, 0.001);
+    model.record(2, hw::DeviceType::Cpu, 1e9, 0.5);
+  }
+  EXPECT_NEAR(model.estimate(1, hw::DeviceType::Cpu, 1e9), 0.1, 1e-12);
+  EXPECT_NEAR(model.estimate(1, hw::DeviceType::Gpu, 1e9), 0.001, 1e-12);
+  EXPECT_NEAR(model.estimate(2, hw::DeviceType::Cpu, 1e9), 0.5, 1e-12);
+  EXPECT_FALSE(model.calibrated(2, hw::DeviceType::Gpu));
+}
+
+TEST(HistoryModel, AveragesNoisySamples) {
+  HistoryModel model;
+  model.record(3, hw::DeviceType::Cpu, 1e9, 0.08);
+  model.record(3, hw::DeviceType::Cpu, 1e9, 0.12);
+  model.record(3, hw::DeviceType::Cpu, 1e9, 0.10);
+  EXPECT_NEAR(model.estimate(3, hw::DeviceType::Cpu, 1e9), 0.10, 1e-9);
+  EXPECT_EQ(model.sample_count(3, hw::DeviceType::Cpu), 3u);
+}
+
+TEST(HistoryModel, ZeroFlopSamplesIgnored) {
+  HistoryModel model;
+  for (int i = 0; i < 10; ++i) {
+    model.record(4, hw::DeviceType::Cpu, 0.0, 0.5);
+  }
+  EXPECT_FALSE(model.calibrated(4, hw::DeviceType::Cpu));
+}
+
+TEST(HistoryModel, ClearResets) {
+  HistoryModel model;
+  for (int i = 0; i < 5; ++i) {
+    model.record(1, hw::DeviceType::Cpu, 1e9, 0.1);
+  }
+  model.clear();
+  EXPECT_FALSE(model.calibrated(1, hw::DeviceType::Cpu));
+}
+
+TEST(TransferModel, SingleNodePlatformHasZeroMeanComm) {
+  const hw::Platform p = hw::make_cpu_only(4);
+  const TransferModel model(p);
+  EXPECT_DOUBLE_EQ(model.mean_time_s(1000000), 0.0);
+}
+
+TEST(TransferModel, MeanGrowsWithBytes) {
+  const hw::Platform p = hw::make_hpc_node(4, 2, 0);
+  const TransferModel model(p);
+  const double small = model.mean_time_s(1024);
+  const double large = model.mean_time_s(1024 * 1024 * 1024);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, 100.0 * small);
+}
+
+TEST(TransferModel, DeviceTimeZeroOnSameNode) {
+  const hw::Platform p = hw::make_hpc_node(4, 1, 0);
+  const TransferModel model(p);
+  const auto cpus = p.devices_of_type(hw::DeviceType::Cpu);
+  EXPECT_DOUBLE_EQ(model.mean_device_time_s(cpus[0], cpus[1], 1 << 20), 0.0);
+  const auto gpus = p.devices_of_type(hw::DeviceType::Gpu);
+  EXPECT_GT(model.mean_device_time_s(cpus[0], gpus[0], 1 << 20), 0.0);
+}
+
+TEST(TransferModel, TimeMatchesPlatform) {
+  const hw::Platform p = hw::make_workstation();
+  const TransferModel model(p);
+  EXPECT_DOUBLE_EQ(model.time_s(0, 1, 123456),
+                   p.transfer_time_s(0, 1, 123456));
+}
+
+TEST(EnergyModel, BusyEnergyScalesWithState) {
+  hw::Device d(0, "g", hw::DeviceType::Gpu, 100.0, 0);
+  d.set_dvfs_states({{0.5, 50.0, 5.0}, {1.0, 120.0, 10.0}}, 1);
+  EXPECT_DOUBLE_EQ(EnergyModel::busy_energy_j(d, 0, 2.0), 100.0);
+  EXPECT_DOUBLE_EQ(EnergyModel::busy_energy_j(d, 1, 2.0), 240.0);
+}
+
+TEST(EnergyModel, IdleEnergyUsesNominalIdlePower) {
+  hw::Device d(0, "g", hw::DeviceType::Gpu, 100.0, 0);
+  d.set_dvfs_states({{0.5, 50.0, 5.0}, {1.0, 120.0, 10.0}}, 1);
+  EXPECT_DOUBLE_EQ(EnergyModel::idle_energy_j(d, 3.0), 30.0);
+  // Tiny negative slack tolerated (floating point), clamped to zero.
+  EXPECT_DOUBLE_EQ(EnergyModel::idle_energy_j(d, -1e-12), 0.0);
+}
+
+TEST(EnergyModel, NegativeBusyRejected) {
+  const hw::Device d(0, "c", hw::DeviceType::Cpu, 10.0, 0);
+  EXPECT_THROW(EnergyModel::busy_energy_j(d, 0, -1.0), util::InternalError);
+}
+
+}  // namespace
+}  // namespace hetflow::perf

@@ -1,0 +1,119 @@
+#include "sched/cpop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "helpers.hpp"
+#include "sched/registry.hpp"
+#include "util/strings.hpp"
+#include "workflow/generators.hpp"
+#include "workflow/linalg.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow::sched {
+namespace {
+
+using core::Runtime;
+using core::TaskId;
+using hetflow::testing::cpu_gpu_codelet;
+using hetflow::testing::cpu_only_codelet;
+
+TEST(Cpop, SelectsSinglePathNotAllTiedBranches) {
+  // 16 identical independent chains: the critical path must be ONE chain
+  // (3 tasks), not all 48 tied tasks.
+  const hw::Platform p = hw::make_cpu_only(4);
+  auto scheduler = std::make_unique<CpopScheduler>();
+  const CpopScheduler* cpop = scheduler.get();
+  Runtime rt(p, std::move(scheduler));
+  for (int chain = 0; chain < 16; ++chain) {
+    const auto d = rt.register_data(util::format("d%d", chain), 1024);
+    for (int s = 0; s < 3; ++s) {
+      rt.submit(util::format("c%d_s%d", chain, s), cpu_only_codelet(), 1e9,
+                {{d, data::AccessMode::ReadWrite}});
+    }
+  }
+  rt.wait_all();
+  EXPECT_EQ(cpop->critical_path_length(), 3u);
+  EXPECT_EQ(rt.stats().tasks_completed, 48u);
+  // Parallel chains must actually spread over the cores.
+  for (const auto& device : rt.stats().devices) {
+    EXPECT_GT(device.tasks_completed, 0u);
+  }
+}
+
+TEST(Cpop, CriticalPathRunsOnOneDevice) {
+  const hw::Platform p = hw::make_workstation();
+  auto scheduler = std::make_unique<CpopScheduler>();
+  const CpopScheduler* cpop = scheduler.get();
+  Runtime rt(p, std::move(scheduler));
+  // One heavy GPU-friendly chain + light noise.
+  const auto d = rt.register_data("chain", 1024);
+  std::vector<TaskId> chain;
+  for (int s = 0; s < 5; ++s) {
+    chain.push_back(rt.submit(util::format("cp%d", s), cpu_gpu_codelet(),
+                              20e9, {{d, data::AccessMode::ReadWrite}}));
+  }
+  for (int i = 0; i < 6; ++i) {
+    rt.submit(util::format("noise%d", i), cpu_only_codelet(), 1e9, {});
+  }
+  rt.wait_all();
+  const hw::DeviceId cp_device = cpop->critical_path_device();
+  for (TaskId id : chain) {
+    EXPECT_EQ(rt.task(id).device(), cp_device);
+  }
+  // The heavy chain's best processor is the GPU.
+  EXPECT_EQ(p.device(cp_device).type(), hw::DeviceType::Gpu);
+}
+
+TEST(Cpop, CompetitiveWithHeftOnCholesky) {
+  const hw::Platform p = hw::make_hpc_node(4, 2, 0);
+  const auto lib = workflow::CodeletLibrary::standard();
+  const workflow::Workflow wf = workflow::make_cholesky(10, 2048);
+  const double cpop_ms =
+      workflow::run_workflow(p, "cpop", wf, lib).makespan_s;
+  const double heft_ms =
+      workflow::run_workflow(p, "heft", wf, lib).makespan_s;
+  const double random_ms =
+      workflow::run_workflow(p, "random", wf, lib).makespan_s;
+  EXPECT_LT(cpop_ms, random_ms);       // sane
+  EXPECT_LT(cpop_ms, heft_ms * 1.5);   // in HEFT's ballpark
+}
+
+TEST(Cpop, FallsBackWhenNoDeviceRunsWholePath) {
+  // Alternate CPU-only and GPU-only stages along one chain: no single
+  // device can host the whole critical path; CPOP must still schedule.
+  const hw::Platform p = hw::make_workstation();
+  Runtime rt(p, std::make_unique<CpopScheduler>());
+  const auto cpu_only = core::Codelet::make("c", {{hw::DeviceType::Cpu, 0.5}});
+  const auto gpu_only = core::Codelet::make("g", {{hw::DeviceType::Gpu, 0.8}});
+  const auto d = rt.register_data("chain", 1024);
+  for (int s = 0; s < 6; ++s) {
+    rt.submit(util::format("s%d", s), (s % 2 == 0) ? cpu_only : gpu_only,
+              2e9, {{d, data::AccessMode::ReadWrite}});
+  }
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, 6u);
+}
+
+TEST(Cpop, DeterministicReplay) {
+  const hw::Platform p = hw::make_hpc_node(4, 2, 0);
+  const auto lib = workflow::CodeletLibrary::standard();
+  const workflow::Workflow wf = workflow::make_montage(20);
+  const auto a = workflow::run_workflow(p, "cpop", wf, lib);
+  const auto b = workflow::run_workflow(p, "cpop", wf, lib);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.transfers.bytes_moved, b.transfers.bytes_moved);
+}
+
+TEST(Cpop, SecondWaveReplans) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, std::make_unique<CpopScheduler>());
+  rt.submit("a", cpu_only_codelet(), 1e9, {});
+  rt.wait_all();
+  rt.submit("b", cpu_only_codelet(), 1e9, {});
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, 2u);
+}
+
+}  // namespace
+}  // namespace hetflow::sched

@@ -1,0 +1,144 @@
+// HEFT static scheduler tests.
+#include "sched/heft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "helpers.hpp"
+#include "sched/registry.hpp"
+#include "util/strings.hpp"
+#include "workflow/generators.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow::sched {
+namespace {
+
+using core::Runtime;
+using core::TaskId;
+using hetflow::testing::cpu_gpu_codelet;
+using hetflow::testing::cpu_only_codelet;
+
+TEST(Heft, PlansEveryTask) {
+  const hw::Platform p = hw::make_workstation();
+  auto scheduler = std::make_unique<HeftScheduler>();
+  const HeftScheduler* heft = scheduler.get();
+  Runtime rt(p, std::move(scheduler));
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(
+        rt.submit(util::format("t%d", i), cpu_gpu_codelet(), 2e9, {}));
+  }
+  rt.wait_all();
+  for (TaskId id : ids) {
+    EXPECT_LT(heft->planned_device(id), p.device_count());
+  }
+  EXPECT_GT(heft->planned_makespan(), 0.0);
+}
+
+TEST(Heft, TasksRunOnPlannedDevices) {
+  const hw::Platform p = hw::make_hpc_node(4, 2, 0);
+  auto scheduler = std::make_unique<HeftScheduler>();
+  const HeftScheduler* heft = scheduler.get();
+  Runtime rt(p, std::move(scheduler));
+  const workflow::Workflow wf = workflow::make_montage(8);
+  const auto ids = workflow::submit_workflow(
+      rt, wf, workflow::CodeletLibrary::standard());
+  rt.wait_all();
+  for (TaskId id : ids) {
+    EXPECT_EQ(rt.task(id).device(), heft->planned_device(id));
+  }
+}
+
+TEST(Heft, PlannedMakespanApproximatesAchieved) {
+  // With exact cost models (no noise, analytic estimates) HEFT's internal
+  // schedule should track the achieved makespan closely.
+  const hw::Platform p = hw::make_hpc_node(8, 2, 0);
+  auto scheduler = std::make_unique<HeftScheduler>();
+  const HeftScheduler* heft = scheduler.get();
+  Runtime rt(p, std::move(scheduler));
+  const workflow::Workflow wf = workflow::make_montage(24);
+  workflow::submit_workflow(rt, wf, workflow::CodeletLibrary::standard());
+  rt.wait_all();
+  const double achieved = rt.stats().makespan_s;
+  const double planned = heft->planned_makespan();
+  EXPECT_GT(planned, 0.0);
+  // Within 2x in either direction (transfer contention is not in the
+  // static model; insertion slots may not materialize at runtime).
+  EXPECT_LT(achieved, planned * 2.0);
+  EXPECT_GT(achieved, planned * 0.5);
+}
+
+TEST(Heft, SetsPrioritiesToUpwardRanks) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, std::make_unique<HeftScheduler>());
+  const auto d = rt.register_data("d", 1024);
+  const TaskId first = rt.submit("first", cpu_only_codelet(), 1e9,
+                                 {{d, data::AccessMode::Write}});
+  const TaskId last = rt.submit("last", cpu_only_codelet(), 1e9,
+                                {{d, data::AccessMode::Read}});
+  rt.wait_all();
+  // Upstream tasks have strictly larger upward ranks.
+  EXPECT_GT(rt.task(first).priority(), rt.task(last).priority());
+}
+
+TEST(Heft, BeatsRandomOnHeterogeneousWorkflow) {
+  const hw::Platform p = hw::make_hpc_node(4, 2, 0);
+  const workflow::Workflow wf = workflow::make_montage(32);
+  const auto lib = workflow::CodeletLibrary::standard();
+  const auto heft = workflow::run_workflow(p, "heft", wf, lib);
+  const auto random = workflow::run_workflow(p, "random", wf, lib);
+  EXPECT_LT(heft.makespan_s, random.makespan_s);
+}
+
+TEST(Heft, SecondWaveGetsFreshPlan) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  auto scheduler = std::make_unique<HeftScheduler>();
+  const HeftScheduler* heft = scheduler.get();
+  Runtime rt(p, std::move(scheduler));
+  const TaskId a = rt.submit("a", cpu_only_codelet(), 1e9, {});
+  rt.wait_all();
+  const double first_plan = heft->planned_makespan();
+  const TaskId b = rt.submit("b", cpu_only_codelet(), 4e9, {});
+  rt.wait_all();
+  EXPECT_EQ(rt.task(a).state(), core::TaskState::Completed);
+  EXPECT_EQ(rt.task(b).state(), core::TaskState::Completed);
+  EXPECT_NE(heft->planned_makespan(), first_plan);
+}
+
+TEST(Heft, HandlesSingleTask) {
+  const hw::Platform p = hw::make_workstation();
+  Runtime rt(p, std::make_unique<HeftScheduler>());
+  rt.submit("solo", cpu_gpu_codelet(), 20e9, {});
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, 1u);
+  // Heavy dense task should be planned on the GPU.
+  const auto gpus = p.devices_of_type(hw::DeviceType::Gpu);
+  EXPECT_EQ(rt.stats().devices[gpus[0]].tasks_completed, 1u);
+}
+
+TEST(Heft, RespectsDeviceSupportConstraints) {
+  const hw::Platform p = hw::make_workstation();
+  Runtime rt(p, std::make_unique<HeftScheduler>());
+  const auto cpu_only = core::Codelet::make("c", {{hw::DeviceType::Cpu, 0.5}});
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(rt.submit(util::format("t%d", i), cpu_only, 2e9, {}));
+  }
+  rt.wait_all();
+  const auto gpus = p.devices_of_type(hw::DeviceType::Gpu);
+  EXPECT_EQ(rt.stats().devices[gpus[0]].tasks_completed, 0u);
+  EXPECT_EQ(rt.stats().tasks_completed, 8u);
+}
+
+TEST(Heft, DeterministicPlan) {
+  const hw::Platform p = hw::make_hpc_node(4, 2, 0);
+  const workflow::Workflow wf = workflow::make_ligo(12, 4);
+  const auto lib = workflow::CodeletLibrary::standard();
+  const auto run1 = workflow::run_workflow(p, "heft", wf, lib);
+  const auto run2 = workflow::run_workflow(p, "heft", wf, lib);
+  EXPECT_DOUBLE_EQ(run1.makespan_s, run2.makespan_s);
+  EXPECT_EQ(run1.transfers.bytes_moved, run2.transfers.bytes_moved);
+}
+
+}  // namespace
+}  // namespace hetflow::sched

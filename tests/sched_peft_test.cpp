@@ -1,0 +1,112 @@
+#include "sched/peft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "helpers.hpp"
+#include "sched/registry.hpp"
+#include "util/strings.hpp"
+#include "workflow/generators.hpp"
+#include "workflow/linalg.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow::sched {
+namespace {
+
+using core::Runtime;
+using core::TaskId;
+using hetflow::testing::cpu_gpu_codelet;
+using hetflow::testing::cpu_only_codelet;
+
+TEST(Peft, ExitTasksHaveZeroPriority) {
+  // Priority is the mean optimistic remaining cost: 0 at the sinks,
+  // strictly positive upstream.
+  const hw::Platform p = hw::make_workstation();
+  Runtime rt(p, std::make_unique<PeftScheduler>());
+  const auto d = rt.register_data("d", 1024);
+  const TaskId first = rt.submit("first", cpu_only_codelet(), 1e9,
+                                 {{d, data::AccessMode::Write}});
+  const TaskId last = rt.submit("last", cpu_only_codelet(), 1e9,
+                                {{d, data::AccessMode::Read}});
+  rt.wait_all();
+  EXPECT_DOUBLE_EQ(rt.task(last).priority(), 0.0);
+  EXPECT_GT(rt.task(first).priority(), 0.0);
+}
+
+TEST(Peft, LookaheadKeepsChainOnFastDeviceDespiteGreedyBait) {
+  // A GPU-friendly chain: a greedy EFT might place the first (cheap)
+  // stage on an idle CPU; PEFT's OCT term sees the expensive descendants
+  // and starts the chain on the GPU to avoid the later migration.
+  const hw::Platform p = hw::make_workstation();
+  auto scheduler = std::make_unique<PeftScheduler>();
+  Runtime rt(p, std::move(scheduler));
+  const auto big = rt.register_data("state", 1ull << 30);  // 1 GiB carried
+  std::vector<TaskId> chain;
+  for (int s = 0; s < 4; ++s) {
+    chain.push_back(rt.submit(
+        util::format("stage%d", s),
+        // Efficient on GPU, possible on CPU.
+        core::Codelet::make(util::format("k%d", s),
+                            {{hw::DeviceType::Cpu, 0.5},
+                             {hw::DeviceType::Gpu, 0.9}}),
+        s == 0 ? 1e8 : 40e9, {{big, data::AccessMode::ReadWrite}}));
+  }
+  rt.wait_all();
+  const auto gpus = p.devices_of_type(hw::DeviceType::Gpu);
+  // Whole chain on the GPU, including the cheap head.
+  for (TaskId id : chain) {
+    EXPECT_EQ(rt.task(id).device(), gpus[0]);
+  }
+}
+
+TEST(Peft, CompetitiveWithHeftAcrossWorkflows) {
+  const hw::Platform p = hw::make_hpc_node(8, 2, 0);
+  const auto lib = workflow::CodeletLibrary::standard();
+  for (const workflow::Workflow& wf :
+       {workflow::make_montage(32), workflow::make_ligo(24, 6),
+        workflow::make_cholesky(8, 2048)}) {
+    const double peft = workflow::run_workflow(p, "peft", wf, lib).makespan_s;
+    const double heft = workflow::run_workflow(p, "heft", wf, lib).makespan_s;
+    const double random =
+        workflow::run_workflow(p, "random", wf, lib).makespan_s;
+    EXPECT_LT(peft, random) << wf.name();
+    EXPECT_LT(peft, heft * 1.25) << wf.name();  // within HEFT's ballpark
+  }
+}
+
+TEST(Peft, HandlesMixedSupportChains) {
+  const hw::Platform p = hw::make_workstation();
+  Runtime rt(p, std::make_unique<PeftScheduler>());
+  const auto cpu_only = core::Codelet::make("c", {{hw::DeviceType::Cpu, 0.5}});
+  const auto gpu_only = core::Codelet::make("g", {{hw::DeviceType::Gpu, 0.8}});
+  const auto d = rt.register_data("d", 1024);
+  for (int s = 0; s < 6; ++s) {
+    rt.submit(util::format("s%d", s), (s % 2 == 0) ? cpu_only : gpu_only,
+              2e9, {{d, data::AccessMode::ReadWrite}});
+  }
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, 6u);
+}
+
+TEST(Peft, DeterministicReplay) {
+  const hw::Platform p = hw::make_hpc_node(4, 2, 1);
+  const auto lib = workflow::CodeletLibrary::standard();
+  const workflow::Workflow wf = workflow::make_sipht(6, 6);
+  const auto a = workflow::run_workflow(p, "peft", wf, lib);
+  const auto b = workflow::run_workflow(p, "peft", wf, lib);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.transfers.bytes_moved, b.transfers.bytes_moved);
+}
+
+TEST(Peft, MultiWaveReplans) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, std::make_unique<PeftScheduler>());
+  rt.submit("w1", cpu_only_codelet(), 1e9, {});
+  rt.wait_all();
+  rt.submit("w2", cpu_gpu_codelet(), 1e9, {});
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, 2u);
+}
+
+}  // namespace
+}  // namespace hetflow::sched

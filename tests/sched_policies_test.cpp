@@ -1,0 +1,268 @@
+// Per-policy behavioral tests.
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "helpers.hpp"
+#include "sched/registry.hpp"
+#include "sched/work_stealing.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::sched {
+namespace {
+
+using core::Runtime;
+using core::TaskId;
+using hetflow::testing::cpu_gpu_codelet;
+using hetflow::testing::cpu_only_codelet;
+
+TEST(Registry, AllNamesConstruct) {
+  for (const std::string& name : scheduler_names()) {
+    const auto scheduler = make_scheduler(name);
+    ASSERT_NE(scheduler, nullptr) << name;
+    EXPECT_EQ(scheduler->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_scheduler("definitely-not-a-scheduler"),
+               util::InvalidArgument);
+}
+
+TEST(Eager, UsesAllDevicesForBagOfTasks) {
+  const hw::Platform p = hw::make_cpu_only(4);
+  Runtime rt(p, make_scheduler("eager"));
+  for (int i = 0; i < 16; ++i) {
+    rt.submit(util::format("t%d", i), cpu_only_codelet(), 3e9, {});
+  }
+  rt.wait_all();
+  for (const auto& d : rt.stats().devices) {
+    EXPECT_EQ(d.tasks_completed, 4u);
+  }
+}
+
+TEST(Eager, SkipsIncapableDevices) {
+  const hw::Platform p = hw::make_workstation();
+  Runtime rt(p, make_scheduler("eager"));
+  const auto gpu_only = core::Codelet::make("g", {{hw::DeviceType::Gpu, 0.9}});
+  const auto cpu_only = core::Codelet::make("c", {{hw::DeviceType::Cpu, 0.5}});
+  rt.submit("g0", gpu_only, 1e9, {});
+  rt.submit("c0", cpu_only, 1e9, {});
+  rt.wait_all();
+  const auto gpus = p.devices_of_type(hw::DeviceType::Gpu);
+  EXPECT_EQ(rt.stats().devices[gpus[0]].tasks_completed, 1u);
+  std::size_t cpu_tasks = 0;
+  for (hw::DeviceId id : p.devices_of_type(hw::DeviceType::Cpu)) {
+    cpu_tasks += rt.stats().devices[id].tasks_completed;
+  }
+  EXPECT_EQ(cpu_tasks, 1u);
+}
+
+TEST(RoundRobin, SpreadsTasksEvenly) {
+  const hw::Platform p = hw::make_cpu_only(4);
+  Runtime rt(p, make_scheduler("round-robin"));
+  for (int i = 0; i < 12; ++i) {
+    rt.submit(util::format("t%d", i), cpu_only_codelet(), 1e9, {});
+  }
+  rt.wait_all();
+  for (const auto& d : rt.stats().devices) {
+    EXPECT_EQ(d.tasks_completed, 3u);
+  }
+}
+
+TEST(Random, IsDeterministicGivenSeed) {
+  const hw::Platform p = hw::make_cpu_only(4);
+  double makespans[2];
+  for (int run = 0; run < 2; ++run) {
+    Runtime rt(p, make_scheduler("random", 77));
+    for (int i = 0; i < 20; ++i) {
+      rt.submit(util::format("t%d", i), cpu_only_codelet(), 2e9, {});
+    }
+    rt.wait_all();
+    makespans[run] = rt.stats().makespan_s;
+  }
+  EXPECT_DOUBLE_EQ(makespans[0], makespans[1]);
+}
+
+TEST(Mct, PrefersFasterDeviceForHeavyWork) {
+  const hw::Platform p = hw::make_workstation();
+  Runtime rt(p, make_scheduler("mct"));
+  rt.submit("heavy", cpu_gpu_codelet(0.5, 0.8), 40e9, {});
+  rt.wait_all();
+  const auto gpus = p.devices_of_type(hw::DeviceType::Gpu);
+  EXPECT_EQ(rt.stats().devices[gpus[0]].tasks_completed, 1u);
+}
+
+TEST(Mct, BalancesLoadAcrossEqualCores) {
+  const hw::Platform p = hw::make_cpu_only(3);
+  Runtime rt(p, make_scheduler("mct"));
+  for (int i = 0; i < 9; ++i) {
+    rt.submit(util::format("t%d", i), cpu_only_codelet(), 2e9, {});
+  }
+  rt.wait_all();
+  for (const auto& d : rt.stats().devices) {
+    EXPECT_EQ(d.tasks_completed, 3u);
+  }
+}
+
+TEST(Dmda, AvoidsNeedlessTransfers) {
+  // Data-heavy chain: dmda should keep the chain where the data lives
+  // instead of bouncing it between memory nodes.
+  const hw::Platform p = hw::make_workstation();
+  core::RuntimeOptions options;
+  Runtime rt_dmda(p, make_scheduler("dmda"), options);
+  Runtime rt_mct(p, make_scheduler("mct"), options);
+  for (Runtime* rt : {&rt_dmda, &rt_mct}) {
+    const auto d = rt->register_data("big", 512ull << 20);  // 512 MiB
+    for (int i = 0; i < 6; ++i) {
+      // Equal speed on both device types -> MCT sees no difference, dmda
+      // sees the transfer cost.
+      rt->submit(util::format("t%d", i),
+                 core::Codelet::make("k", {{hw::DeviceType::Cpu, 0.5},
+                                           {hw::DeviceType::Gpu, 0.02}}),
+                 1e9, {{d, data::AccessMode::ReadWrite}});
+    }
+    rt->wait_all();
+  }
+  EXPECT_LE(rt_dmda.stats().transfers.bytes_moved,
+            rt_mct.stats().transfers.bytes_moved);
+  EXPECT_LE(rt_dmda.stats().makespan_s, rt_mct.stats().makespan_s + 1e-9);
+}
+
+TEST(Batch, MinMinCompletesEverything) {
+  const hw::Platform p = hw::make_hpc_node(4, 1, 0);
+  for (const char* name : {"min-min", "max-min", "sufferage"}) {
+    Runtime rt(p, make_scheduler(name));
+    for (int i = 0; i < 30; ++i) {
+      rt.submit(util::format("t%d", i), cpu_gpu_codelet(), 2e9, {});
+    }
+    rt.wait_all();
+    EXPECT_EQ(rt.stats().tasks_completed, 30u) << name;
+    hetflow::testing::expect_no_device_overlap(rt.tracer(), p);
+  }
+}
+
+TEST(Batch, MinMinLoadBalancesHeterogeneousCosts) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt(p, make_scheduler("min-min"));
+  for (int i = 0; i < 8; ++i) {
+    rt.submit(util::format("t%d", i), cpu_only_codelet(),
+              (i % 2 == 0) ? 4e9 : 1e9, {});
+  }
+  rt.wait_all();
+  const auto& devices = rt.stats().devices;
+  const double busy0 = devices[0].busy_seconds;
+  const double busy1 = devices[1].busy_seconds;
+  EXPECT_LT(std::abs(busy0 - busy1) / std::max(busy0, busy1), 0.4);
+}
+
+TEST(WorkStealing, GpuStealsHostLocalWork) {
+  // All inputs live in host memory, so locality pushes every task onto
+  // CPU deques; the (faster) GPU only gets work by stealing.
+  const hw::Platform p = hw::make_workstation();
+  auto scheduler = std::make_unique<WorkStealingScheduler>();
+  const WorkStealingScheduler* ws = scheduler.get();
+  Runtime rt(p, std::move(scheduler));
+  const auto d = rt.register_data("shared", 1 << 20);
+  for (int i = 0; i < 40; ++i) {
+    rt.submit(util::format("t%d", i), cpu_gpu_codelet(), 2e9,
+              {{d, data::AccessMode::Read}});
+  }
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, 40u);
+  EXPECT_GT(ws->steal_count(), 0u);
+  const auto gpus = p.devices_of_type(hw::DeviceType::Gpu);
+  EXPECT_GT(rt.stats().devices[gpus[0]].tasks_completed, 0u);
+}
+
+TEST(WorkStealing, NoStealsWhenLoadIsBalanced) {
+  const hw::Platform p = hw::make_cpu_only(4);
+  auto scheduler = std::make_unique<WorkStealingScheduler>();
+  const WorkStealingScheduler* ws = scheduler.get();
+  Runtime rt(p, std::move(scheduler));
+  for (int i = 0; i < 16; ++i) {
+    rt.submit(util::format("t%d", i), cpu_only_codelet(), 2e9, {});
+  }
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, 16u);
+  // Identical tasks on identical cores: locality push balances the
+  // deques, so stealing stays rare.
+  EXPECT_LE(ws->steal_count(), 4u);
+}
+
+TEST(CriticalPath, PrioritizesChainOverNoise) {
+  // One long chain + many independent fillers on a single core: the
+  // critical-path scheduler should start chain tasks as soon as they are
+  // ready instead of draining fillers first.
+  const hw::Platform p = hw::make_cpu_only(1);
+  Runtime rt(p, make_scheduler("critical-path"));
+  const auto d = rt.register_data("chain", 64);
+  std::vector<TaskId> chain;
+  for (int i = 0; i < 3; ++i) {
+    chain.push_back(rt.submit(util::format("chain%d", i), cpu_only_codelet(),
+                              2e9, {{d, data::AccessMode::ReadWrite}}));
+  }
+  std::vector<TaskId> fillers;
+  for (int i = 0; i < 10; ++i) {
+    fillers.push_back(
+        rt.submit(util::format("fill%d", i), cpu_only_codelet(), 2e9, {}));
+  }
+  rt.wait_all();
+  // The chain (critical path) should finish before the last filler.
+  EXPECT_LT(rt.task(chain.back()).times().completed,
+            rt.task(fillers.back()).times().completed);
+}
+
+TEST(EnergyAware, EdpNeverWorseEnergyThanPerformanceOnIdenticalWork) {
+  const hw::Platform p = hw::make_hpc_node(4, 1, 0);
+  double energy_perf = 0.0;
+  double energy_edp = 0.0;
+  for (const char* name : {"energy-performance", "energy-edp"}) {
+    Runtime rt(p, make_scheduler(name));
+    for (int i = 0; i < 20; ++i) {
+      rt.submit(util::format("t%d", i), cpu_gpu_codelet(), 4e9, {});
+    }
+    rt.wait_all();
+    (std::string(name) == "energy-performance" ? energy_perf : energy_edp) =
+        rt.stats().busy_energy_j();
+  }
+  EXPECT_LE(energy_edp, energy_perf * 1.001);
+}
+
+TEST(EnergyAware, EnergyObjectivePicksEfficientPoints) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  Runtime rt_perf(p, make_scheduler("energy-performance"));
+  Runtime rt_energy(p, make_scheduler("energy-energy"));
+  for (Runtime* rt : {&rt_perf, &rt_energy}) {
+    for (int i = 0; i < 10; ++i) {
+      rt->submit(util::format("t%d", i), cpu_only_codelet(), 4e9, {});
+    }
+    rt->wait_all();
+  }
+  // The energy objective trades time for Joules within its slack bound.
+  EXPECT_LT(rt_energy.stats().busy_energy_j(),
+            rt_perf.stats().busy_energy_j());
+  EXPECT_GE(rt_energy.stats().makespan_s, rt_perf.stats().makespan_s);
+}
+
+TEST(AllPolicies, HandleEmptyRun) {
+  const hw::Platform p = hw::make_workstation();
+  for (const std::string& name : scheduler_names()) {
+    Runtime rt(p, make_scheduler(name));
+    EXPECT_DOUBLE_EQ(rt.wait_all(), 0.0) << name;
+  }
+}
+
+TEST(AllPolicies, SingleDevicePlatform) {
+  const hw::Platform p = hw::make_cpu_only(1);
+  for (const std::string& name : scheduler_names()) {
+    Runtime rt(p, make_scheduler(name));
+    for (int i = 0; i < 5; ++i) {
+      rt.submit(util::format("t%d", i), cpu_only_codelet(), 1e9, {});
+    }
+    rt.wait_all();
+    EXPECT_EQ(rt.stats().tasks_completed, 5u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hetflow::sched

@@ -1,0 +1,190 @@
+// Cross-cutting scheduler invariants, swept over (policy x workflow x
+// platform) with TEST_P. These are the safety properties every policy
+// must uphold regardless of quality:
+//
+//   1. every task completes exactly once;
+//   2. no device executes two tasks at the same simulated time;
+//   3. a task never starts before its dependencies completed;
+//   4. makespan >= the critical-path lower bound and >= the best-device
+//      work lower bound;
+//   5. identical (seed, policy, workflow) -> identical makespan (replay).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "core/runtime.hpp"
+#include "helpers.hpp"
+#include "sched/registry.hpp"
+#include "workflow/generators.hpp"
+#include "workflow/linalg.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow::sched {
+namespace {
+
+enum class Platform { CpuOnly, Workstation, HpcNode };
+enum class Shape { Montage, Epigenomics, Cybershake, Ligo, Sipht,
+                   Cholesky, Layered };
+
+using Combo = std::tuple<std::string, Shape, Platform>;
+
+hw::Platform make_platform(Platform kind) {
+  switch (kind) {
+    case Platform::CpuOnly:
+      return hw::make_cpu_only(4);
+    case Platform::Workstation:
+      return hw::make_workstation();
+    case Platform::HpcNode:
+      return hw::make_hpc_node(4, 2, 1);
+  }
+  throw util::InternalError("unreachable");
+}
+
+workflow::Workflow make_shape(Shape shape) {
+  switch (shape) {
+    case Shape::Montage:
+      return workflow::make_montage(10);
+    case Shape::Epigenomics:
+      return workflow::make_epigenomics(2, 4);
+    case Shape::Cybershake:
+      return workflow::make_cybershake(2, 5);
+    case Shape::Ligo:
+      return workflow::make_ligo(8, 3);
+    case Shape::Sipht:
+      return workflow::make_sipht(3, 4);
+    case Shape::Cholesky:
+      return workflow::make_cholesky(5, 1024);
+    case Shape::Layered:
+      return workflow::make_random_layered(6, 5, 0.5, 17);
+  }
+  throw util::InternalError("unreachable");
+}
+
+class SchedulerProperties : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(SchedulerProperties, SafetyInvariantsHold) {
+  const auto& [policy, shape, platform_kind] = GetParam();
+  const hw::Platform platform = make_platform(platform_kind);
+  const workflow::Workflow wf = make_shape(shape);
+  const auto lib = workflow::CodeletLibrary::standard();
+
+  core::Runtime rt(platform, make_scheduler(policy));
+  const auto ids = workflow::submit_workflow(rt, wf, lib);
+  rt.wait_all();
+
+  // (1) every task completed exactly once.
+  EXPECT_EQ(rt.stats().tasks_completed, wf.task_count());
+  std::map<std::uint64_t, int> exec_count;
+  for (const trace::Span& span : rt.tracer().spans()) {
+    if (span.kind == trace::SpanKind::Exec) {
+      ++exec_count[span.task_id];
+    }
+  }
+  EXPECT_EQ(exec_count.size(), wf.task_count());
+  for (const auto& [task, count] : exec_count) {
+    EXPECT_EQ(count, 1) << "task " << task;
+  }
+
+  // (2) device serialization.
+  hetflow::testing::expect_no_device_overlap(rt.tracer(), platform);
+
+  // (3) dependency ordering in simulated time.
+  const auto windows = hetflow::testing::exec_windows(rt.tracer());
+  for (core::TaskId id : ids) {
+    const core::Task& task = rt.task(id);
+    for (core::TaskId dep : task.dependencies) {
+      EXPECT_GE(windows.at(id).first, windows.at(dep).second - 1e-9)
+          << task.name() << " started before its dependency";
+    }
+  }
+
+  // (4) lower bounds. Critical path with the fastest possible execution
+  // per task, and total work over aggregate throughput.
+  const util::Digraph graph = wf.task_graph();
+  std::vector<double> best_exec(wf.task_count());
+  double total_best_work = 0.0;
+  for (std::size_t t = 0; t < wf.task_count(); ++t) {
+    const core::CodeletPtr codelet = lib.get(wf.tasks()[t].kind);
+    double best = std::numeric_limits<double>::infinity();
+    for (const hw::Device& device : platform.devices()) {
+      if (!codelet->supports(device.type())) {
+        continue;
+      }
+      // Fastest possible execution: the highest-frequency DVFS point
+      // (DVFS-aware policies may boost above nominal).
+      double fastest_scale = 1.0;
+      for (std::size_t s = 0; s < device.dvfs_states().size(); ++s) {
+        fastest_scale = std::min(fastest_scale, device.time_scale(s));
+      }
+      best = std::min(best,
+                      codelet->compute_seconds(device, wf.tasks()[t].flops) *
+                          fastest_scale);
+    }
+    ASSERT_TRUE(std::isfinite(best));
+    best_exec[t] = best;
+    total_best_work += best;
+  }
+  const double cp_bound = graph.critical_path(best_exec);
+  EXPECT_GE(rt.stats().makespan_s, cp_bound - 1e-9)
+      << "makespan below critical-path bound";
+  const double area_bound =
+      total_best_work / static_cast<double>(platform.device_count());
+  EXPECT_GE(rt.stats().makespan_s, area_bound - 1e-9)
+      << "makespan below work/area bound";
+
+  // (5) deterministic replay.
+  core::Runtime replay(platform, make_scheduler(policy));
+  workflow::submit_workflow(replay, wf, lib);
+  replay.wait_all();
+  EXPECT_DOUBLE_EQ(replay.stats().makespan_s, rt.stats().makespan_s);
+  EXPECT_EQ(replay.stats().transfers.bytes_moved,
+            rt.stats().transfers.bytes_moved);
+}
+
+std::vector<Combo> all_combos() {
+  std::vector<Combo> combos;
+  const std::vector<std::string> policies = scheduler_names();
+  const std::vector<Shape> shapes = {Shape::Montage, Shape::Epigenomics,
+                                     Shape::Cybershake, Shape::Ligo,
+                                     Shape::Sipht, Shape::Cholesky,
+                                     Shape::Layered};
+  const std::vector<Platform> platforms = {
+      Platform::CpuOnly, Platform::Workstation, Platform::HpcNode};
+  for (const std::string& policy : policies) {
+    for (Shape shape : shapes) {
+      // Rotate platforms so the suite stays fast while every policy sees
+      // every platform kind across shapes.
+      const Platform platform =
+          platforms[(static_cast<std::size_t>(shape) +
+                     std::hash<std::string>{}(policy)) %
+                    platforms.size()];
+      combos.emplace_back(policy, shape, platform);
+    }
+  }
+  return combos;
+}
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  const auto& [policy, shape, platform] = info.param;
+  static constexpr const char* kShapes[] = {"montage", "epigenomics",
+                                            "cybershake", "ligo", "sipht",
+                                            "cholesky", "layered"};
+  static constexpr const char* kPlatforms[] = {"cpu", "ws", "hpc"};
+  std::string name = policy + "_" +
+                     kShapes[static_cast<std::size_t>(shape)] + "_" +
+                     kPlatforms[static_cast<std::size_t>(platform)];
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SchedulerProperties,
+                         ::testing::ValuesIn(all_combos()), combo_name);
+
+}  // namespace
+}  // namespace hetflow::sched

@@ -1,0 +1,180 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hetflow::sim {
+namespace {
+
+TEST(EventQueue, StartsAtZero) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0.0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(3.0, [&] { fired.push_back(3); });
+  q.schedule_at(1.0, [&] { fired.push_back(1); });
+  q.schedule_at(2.0, [&] { fired.push_back(2); });
+  q.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, SameTimeFifoTieBreak) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(2.0, [&] {
+    q.schedule_after(0.5, [&] { fired_at = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(EventQueue, RejectsPastAndInvalid) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(0.5, [] {}), util::InternalError);
+  EXPECT_THROW(q.schedule_at(2.0, nullptr), util::InternalError);
+  EXPECT_THROW(
+      q.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+      util::InternalError);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // second cancel is a no-op
+  q.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, PendingTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(1.0, [&] { ++count; });
+  q.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(q.now(), 1.0);
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  q.schedule_at(2.0, [&] { fired.push_back(2.0); });
+  q.schedule_at(3.0, [&] { fired.push_back(3.0); });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockOnEmptyQueue) {
+  EventQueue q;
+  q.run_until(7.5);
+  EXPECT_EQ(q.now(), 7.5);
+  EXPECT_THROW(q.run_until(5.0), util::InternalError);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      q.schedule_after(1.0, recurse);
+    }
+  };
+  q.schedule_at(0.0, recurse);
+  q.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(q.now(), 99.0);
+}
+
+TEST(EventQueue, CancelledHeadDoesNotAdvanceClockInRunUntil) {
+  EventQueue q;
+  const EventId id = q.schedule_at(1.0, [] {});
+  bool fired = false;
+  q.schedule_at(5.0, [&] { fired = true; });
+  q.cancel(id);
+  q.run_until(2.0);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, ZeroDelayFiresAtCurrentTime) {
+  EventQueue q;
+  q.schedule_at(4.0, [&] {
+    q.schedule_after(0.0, [&] { EXPECT_EQ(q.now(), 4.0); });
+  });
+  q.run();
+  EXPECT_EQ(q.now(), 4.0);
+}
+
+class EventStressSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventStressSweep, ManyEventsAllExecuteInOrder) {
+  EventQueue q;
+  const int n = GetParam();
+  std::vector<double> times;
+  for (int i = n - 1; i >= 0; --i) {
+    q.schedule_at(static_cast<double>(i % 17) + 0.001 * i,
+                  [&times, &q] { times.push_back(q.now()); });
+  }
+  q.run();
+  ASSERT_EQ(times.size(), static_cast<std::size_t>(n));
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EventStressSweep,
+                         ::testing::Values(10, 1000, 20000));
+
+}  // namespace
+}  // namespace hetflow::sim

@@ -1,0 +1,100 @@
+#include "trace/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/runtime.hpp"
+#include "hw/presets.hpp"
+#include "sched/registry.hpp"
+#include "workflow/generators.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow::trace {
+namespace {
+
+Tracer tiny_trace() {
+  Tracer tracer;
+  tracer.add(Span{1, "gemm", 0, 0.0, 0.6, SpanKind::Exec});
+  tracer.add(Span{2, "fft", 4, 0.2, 0.9, SpanKind::Exec});
+  tracer.add(Span{3, "gemm", 0, 0.7, 1.0, SpanKind::FailedExec});
+  return tracer;
+}
+
+TEST(Svg, ContainsStructuralElements) {
+  const hw::Platform p = hw::make_workstation();
+  const std::string svg = to_svg(tiny_trace(), p);
+  EXPECT_NE(svg.find("<svg xmlns"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One lane label per device.
+  for (const hw::Device& d : p.devices()) {
+    EXPECT_NE(svg.find(">" + d.name() + "<"), std::string::npos);
+  }
+  // Span tooltips carry names and the FAILED marker.
+  EXPECT_NE(svg.find("gemm [0.000000, 0.600000]"), std::string::npos);
+  EXPECT_NE(svg.find("FAILED"), std::string::npos);
+}
+
+TEST(Svg, SameNameSameColor) {
+  const hw::Platform p = hw::make_workstation();
+  const std::string svg = to_svg(tiny_trace(), p);
+  // Two successful "gemm"/"fft" spans: find their fill colors.
+  const std::size_t first = svg.find("hsl(");
+  ASSERT_NE(first, std::string::npos);
+  // Failed attempts are always the fixed red.
+  EXPECT_NE(svg.find("#e06060"), std::string::npos);
+}
+
+TEST(Svg, EmptyTraceStillValid) {
+  const hw::Platform p = hw::make_cpu_only(2);
+  const Tracer tracer;
+  const std::string svg = to_svg(tracer, p);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, TitleAndEscaping) {
+  const hw::Platform p = hw::make_cpu_only(1);
+  Tracer tracer;
+  tracer.add(Span{1, "a<b>&\"c\"", 0, 0.0, 1.0, SpanKind::Exec});
+  SvgOptions options;
+  options.title = "run <1> & co";
+  const std::string svg = to_svg(tracer, p, options);
+  EXPECT_NE(svg.find("run &lt;1&gt; &amp; co"), std::string::npos);
+  EXPECT_NE(svg.find("a&lt;b&gt;&amp;&quot;c&quot;"), std::string::npos);
+  EXPECT_EQ(svg.find("<b>"), std::string::npos);
+}
+
+TEST(Svg, FullRunRendersEveryTask) {
+  const hw::Platform p = hw::make_hpc_node(4, 1, 0);
+  core::Runtime rt(p, sched::make_scheduler("dmda"));
+  workflow::submit_workflow(rt, workflow::make_montage(8),
+                            workflow::CodeletLibrary::standard());
+  rt.wait_all();
+  const std::string svg = to_svg(rt.tracer(), p);
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  // Background + one lane rect per device + one rect per task.
+  EXPECT_GE(rects, 1 + p.device_count() + rt.stats().tasks_completed);
+}
+
+TEST(Svg, SaveWritesFile) {
+  const hw::Platform p = hw::make_cpu_only(1);
+  const std::string path = ::testing::TempDir() + "/hetflow_gantt.svg";
+  save_svg(tiny_trace(), p, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_THROW(save_svg(tiny_trace(), p, "/nonexistent/dir/x.svg"),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace hetflow::trace

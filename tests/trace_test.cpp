@@ -1,0 +1,112 @@
+#include "trace/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.hpp"
+#include "trace/report.hpp"
+#include "util/json.hpp"
+
+namespace hetflow::trace {
+namespace {
+
+TEST(Tracer, DisabledDropsSpans) {
+  Tracer tracer(false);
+  tracer.add(Span{0, "t", 0, 0.0, 1.0, SpanKind::Exec});
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_FALSE(tracer.enabled());
+}
+
+TEST(Tracer, CollectsSpans) {
+  Tracer tracer;
+  tracer.add(Span{1, "a", 0, 0.0, 1.0, SpanKind::Exec});
+  tracer.add(Span{2, "b", 1, 0.5, 2.0, SpanKind::FailedExec});
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_DOUBLE_EQ(tracer.spans()[1].duration(), 1.5);
+  tracer.clear();
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(Tracer, ChromeJsonIsValidJson) {
+  const hw::Platform p = hw::make_workstation();
+  Tracer tracer;
+  tracer.add(Span{1, "gemm", 0, 0.0, 0.5, SpanKind::Exec});
+  tracer.add(Span{2, "fft", 4, 0.1, 0.3, SpanKind::FailedExec});
+  const std::string json = tracer.to_chrome_json(p);
+  const util::Json doc = util::Json::parse(json);
+  ASSERT_TRUE(doc.contains("traceEvents"));
+  const auto& events = doc.at("traceEvents").as_array();
+  // 5 thread-name metadata events (one per device) + 2 spans.
+  EXPECT_EQ(events.size(), p.device_count() + 2);
+  // Find the gemm event and check its fields.
+  bool found = false;
+  for (const auto& event : events) {
+    if (event.contains("name") && event.at("name").as_string() == "gemm") {
+      found = true;
+      EXPECT_EQ(event.at("ph").as_string(), "X");
+      EXPECT_DOUBLE_EQ(event.at("ts").as_number(), 0.0);
+      EXPECT_DOUBLE_EQ(event.at("dur").as_number(), 0.5e6);
+      EXPECT_EQ(event.at("args").at("kind").as_string(), "exec");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Tracer, AsciiGanttShowsDeviceRows) {
+  const hw::Platform p = hw::make_workstation();
+  Tracer tracer;
+  tracer.add(Span{1, "t", 0, 0.0, 1.0, SpanKind::Exec});
+  tracer.add(Span{2, "u", 4, 0.0, 0.5, SpanKind::FailedExec});
+  const std::string gantt = tracer.ascii_gantt(p, 40);
+  EXPECT_NE(gantt.find("cpu0"), std::string::npos);
+  EXPECT_NE(gantt.find("gpu0"), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+  EXPECT_NE(gantt.find('x'), std::string::npos);
+}
+
+TEST(Tracer, EmptyGantt) {
+  const hw::Platform p = hw::make_workstation();
+  const Tracer tracer;
+  EXPECT_EQ(tracer.ascii_gantt(p), "(empty trace)\n");
+}
+
+TEST(Report, UtilizationAggregates) {
+  const hw::Platform p = hw::make_workstation();
+  Tracer tracer;
+  tracer.add(Span{1, "a", 0, 0.0, 1.0, SpanKind::Exec});
+  tracer.add(Span{2, "b", 0, 1.0, 2.0, SpanKind::Exec});
+  tracer.add(Span{3, "c", 0, 2.0, 2.5, SpanKind::FailedExec});
+  tracer.add(Span{4, "d", 4, 0.0, 4.0, SpanKind::Exec});
+  const auto utils = utilization(tracer, p);
+  ASSERT_EQ(utils.size(), p.device_count());
+  EXPECT_EQ(utils[0].task_count, 2u);
+  EXPECT_EQ(utils[0].failed_count, 1u);
+  EXPECT_DOUBLE_EQ(utils[0].busy_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(utils[0].utilization, 2.5 / 4.0);
+  EXPECT_DOUBLE_EQ(utils[4].utilization, 1.0);
+  EXPECT_EQ(utils[1].task_count, 0u);
+}
+
+TEST(Report, SpansToCsv) {
+  Tracer tracer;
+  tracer.add(Span{3, "ge,mm", 1, 0.25, 0.75, SpanKind::Exec});
+  tracer.add(Span{4, "fft", 0, 1.0, 1.5, SpanKind::FailedExec});
+  const std::string csv = spans_to_csv(tracer);
+  EXPECT_NE(csv.find("task,name,device,start_s,end_s,kind"),
+            std::string::npos);
+  EXPECT_NE(csv.find("3,\"ge,mm\",1,0.250000000,0.750000000,exec"),
+            std::string::npos);
+  EXPECT_NE(csv.find("4,fft,0,1.000000000,1.500000000,failed"),
+            std::string::npos);
+}
+
+TEST(Report, RenderedTableMentionsDevices) {
+  const hw::Platform p = hw::make_workstation();
+  Tracer tracer;
+  tracer.add(Span{1, "a", 0, 0.0, 1.0, SpanKind::Exec});
+  const std::string table = utilization_report(tracer, p);
+  EXPECT_NE(table.find("cpu0"), std::string::npos);
+  EXPECT_NE(table.find("util%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetflow::trace

@@ -1,0 +1,98 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetflow::util {
+namespace {
+
+Cli make_cli() {
+  Cli cli("prog", "test program");
+  cli.add_option("name", "default", "a string option");
+  cli.add_option("count", "3", "a numeric option");
+  cli.add_flag("verbose", "a flag");
+  return cli;
+}
+
+void parse(Cli& cli, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  cli.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli = make_cli();
+  parse(cli, {});
+  EXPECT_EQ(cli.value("name"), "default");
+  EXPECT_DOUBLE_EQ(cli.number("count"), 3.0);
+  EXPECT_FALSE(cli.flag("verbose"));
+  EXPECT_FALSE(cli.provided("name"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  Cli cli = make_cli();
+  parse(cli, {"--name", "hello", "--count", "7"});
+  EXPECT_EQ(cli.value("name"), "hello");
+  EXPECT_DOUBLE_EQ(cli.number("count"), 7.0);
+  EXPECT_TRUE(cli.provided("name"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  Cli cli = make_cli();
+  parse(cli, {"--name=world", "--count=2K"});
+  EXPECT_EQ(cli.value("name"), "world");
+  EXPECT_DOUBLE_EQ(cli.number("count"), 2000.0);
+}
+
+TEST(Cli, Flags) {
+  Cli cli = make_cli();
+  parse(cli, {"--verbose"});
+  EXPECT_TRUE(cli.flag("verbose"));
+}
+
+TEST(Cli, HelpRequested) {
+  Cli cli = make_cli();
+  parse(cli, {"--help"});
+  EXPECT_TRUE(cli.help_requested());
+  EXPECT_NE(cli.usage().find("--name"), std::string::npos);
+  EXPECT_NE(cli.usage().find("a flag"), std::string::npos);
+}
+
+TEST(Cli, Errors) {
+  {
+    Cli cli = make_cli();
+    EXPECT_THROW(parse(cli, {"--unknown", "x"}), ParseError);
+  }
+  {
+    Cli cli = make_cli();
+    EXPECT_THROW(parse(cli, {"--name"}), ParseError);  // missing value
+  }
+  {
+    Cli cli = make_cli();
+    EXPECT_THROW(parse(cli, {"--verbose=true"}), ParseError);
+  }
+  {
+    Cli cli = make_cli();
+    EXPECT_THROW(parse(cli, {"positional"}), ParseError);
+  }
+  {
+    Cli cli = make_cli();
+    parse(cli, {});
+    EXPECT_THROW(cli.value("nope"), ParseError);
+    EXPECT_THROW(cli.flag("name"), InternalError);  // option, not a flag
+  }
+}
+
+TEST(Cli, DuplicateDeclarationRejected) {
+  Cli cli("p", "d");
+  cli.add_option("x", "1", "h");
+  EXPECT_THROW(cli.add_option("x", "2", "h"), InternalError);
+  EXPECT_THROW(cli.add_flag("x", "h"), InternalError);
+}
+
+TEST(Cli, LastValueWins) {
+  Cli cli = make_cli();
+  parse(cli, {"--name", "a", "--name", "b"});
+  EXPECT_EQ(cli.value("name"), "b");
+}
+
+}  // namespace
+}  // namespace hetflow::util

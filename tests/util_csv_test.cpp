@@ -1,0 +1,66 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hetflow::util {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.row({"1", "2"});
+  csv.row({"x", "y"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\nx,y\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RowWidthEnforced) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b", "c"});
+  EXPECT_THROW(csv.row({"1", "2"}), InternalError);
+}
+
+TEST(Csv, HeaderMustBeFirstAndOnce) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a"});
+  EXPECT_THROW(csv.header({"b"}), InternalError);
+}
+
+TEST(Csv, EmptyHeaderRejected) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  EXPECT_THROW(csv.header({}), InternalError);
+}
+
+TEST(Csv, RowsWithoutHeaderAllowed) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"free", "form"});
+  csv.row({"x"});  // no width constraint without a header
+  EXPECT_EQ(out.str(), "free,form\nx\n");
+}
+
+TEST(Csv, NumericRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"x", "y"});
+  csv.row_values({1.5, 2.25});
+  EXPECT_EQ(out.str(), "x,y\n1.5,2.25\n");
+}
+
+}  // namespace
+}  // namespace hetflow::util

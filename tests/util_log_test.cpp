@@ -1,0 +1,103 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hetflow::util {
+namespace {
+
+/// RAII guard restoring the global logger state after each test.
+struct LogGuard {
+  LogGuard() = default;
+  ~LogGuard() {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::Warn);
+  }
+};
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::Debug), "debug");
+  EXPECT_STREQ(to_string(LogLevel::Info), "info");
+  EXPECT_STREQ(to_string(LogLevel::Warn), "warn");
+  EXPECT_STREQ(to_string(LogLevel::Error), "error");
+  EXPECT_STREQ(to_string(LogLevel::Off), "off");
+}
+
+TEST(Log, DefaultLevelIsWarn) {
+  const LogGuard guard;
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+TEST(Log, SinkReceivesEnabledMessages) {
+  const LogGuard guard;
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&](LogLevel level, const std::string& message) {
+    captured.push_back({level, message});
+  });
+  set_log_level(LogLevel::Info);
+  log_message(LogLevel::Info, "hello");
+  log_message(LogLevel::Error, "bad");
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].second, "hello");
+  EXPECT_EQ(captured[1].first, LogLevel::Error);
+}
+
+TEST(Log, MessagesBelowLevelDropped) {
+  const LogGuard guard;
+  int count = 0;
+  set_log_sink([&](LogLevel, const std::string&) { ++count; });
+  set_log_level(LogLevel::Error);
+  log_message(LogLevel::Debug, "x");
+  log_message(LogLevel::Info, "x");
+  log_message(LogLevel::Warn, "x");
+  EXPECT_EQ(count, 0);
+  log_message(LogLevel::Error, "x");
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Log, OffSilencesEverything) {
+  const LogGuard guard;
+  int count = 0;
+  set_log_sink([&](LogLevel, const std::string&) { ++count; });
+  set_log_level(LogLevel::Off);
+  log_message(LogLevel::Error, "x");
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Log, StreamMacroFormats) {
+  const LogGuard guard;
+  std::string captured;
+  set_log_sink([&](LogLevel, const std::string& message) {
+    captured = message;
+  });
+  set_log_level(LogLevel::Debug);
+  HETFLOW_INFO << "value=" << 42 << " pi=" << 3.5;
+  EXPECT_EQ(captured, "value=42 pi=3.5");
+}
+
+TEST(Log, StreamMacroShortCircuitsWhenDisabled) {
+  const LogGuard guard;
+  set_log_level(LogLevel::Error);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return 1;
+  };
+  HETFLOW_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);  // operand never evaluated
+  HETFLOW_ERROR << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, NullSinkRestoresDefault) {
+  const LogGuard guard;
+  set_log_sink([](LogLevel, const std::string&) {});
+  set_log_sink(nullptr);
+  // No crash writing through the default stderr sink.
+  log_message(LogLevel::Error, "to stderr");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hetflow::util

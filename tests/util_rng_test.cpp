@@ -1,0 +1,309 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace hetflow::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(99);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) {
+    first.push_back(rng());
+  }
+  rng.reseed(99);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng parent(7);
+  Rng c1 = parent.split(1);
+  Rng c2 = Rng(7).split(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(c1(), c2());
+  }
+}
+
+TEST(Rng, SplitChildrenIndependent) {
+  Rng parent(7);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1() == c2()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng a(5);
+  Rng b(5);
+  (void)a.split(42);
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), InternalError);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(19);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(0, 9);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  }
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, -1);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(29);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(31);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalUnitMeanConstruction) {
+  // lognormal(-s^2/2, s) has mean 1 for any s.
+  Rng rng(37);
+  const double sigma = 0.5;
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.lognormal(-sigma * sigma / 2.0, sigma);
+  }
+  EXPECT_NEAR(sum / kN, 1.0, 0.02);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(43);
+  const double rate = 4.0;
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.exponential(rate);
+  }
+  EXPECT_NEAR(sum / kN, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), InternalError);
+  EXPECT_THROW(rng.exponential(-1.0), InternalError);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(47);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(1.5), InternalError);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(59);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(7), 7u);
+  }
+  EXPECT_THROW(rng.index(0), InternalError);
+}
+
+TEST(Rng, WeightedIndexRespectsZeroWeights) {
+  Rng rng(61);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexProportional) {
+  Rng rng(67);
+  const std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.weighted_index(weights) == 1) {
+      ++ones;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kN, 0.75, 0.01);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(1);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), InternalError);
+  EXPECT_THROW(rng.weighted_index({-1.0, 2.0}), InternalError);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(71);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually) {
+  Rng rng(73);
+  std::vector<int> items(20);
+  for (int i = 0; i < 20; ++i) {
+    items[static_cast<std::size_t>(i)] = i;
+  }
+  std::vector<int> shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, items);
+}
+
+TEST(SplitMix, HashCombineOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformIntUnbiasedAcrossSeeds) {
+  Rng rng(GetParam());
+  std::vector<int> counts(5, 0);
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / kN, 0.2, 0.01);
+  }
+}
+
+TEST_P(RngSeedSweep, UniformVarianceAcrossSeeds) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1ull, 42ull, 1234ull, 0xdeadbeefull,
+                                           ~0ull));
+
+}  // namespace
+}  // namespace hetflow::util

@@ -1,0 +1,220 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hetflow::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (int i = 1; i <= 100; ++i) {
+    s.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  // Sample variance of 1..100 = n(n+1)/12 = 841.666...
+  EXPECT_NEAR(s.variance(), 841.6666667, 1e-6);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 5050.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(9.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Sample, QuantilesOfKnownData) {
+  Sample s;
+  for (int i = 1; i <= 5; ++i) {
+    s.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.375), 2.5);  // interpolated
+}
+
+TEST(Sample, SingleElement) {
+  Sample s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.0);
+}
+
+TEST(Sample, ErrorsOnEmptyAndBadQ) {
+  Sample s;
+  EXPECT_THROW(s.quantile(0.5), InternalError);
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(1.5), InternalError);
+  EXPECT_THROW(s.quantile(-0.1), InternalError);
+}
+
+TEST(Sample, MeanMinMax) {
+  Sample s;
+  s.add(3.0);
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Sample, AddAfterQuantileStillSorted) {
+  Sample s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(Histogram, BucketsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bucket_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsFallInCorrectBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(1.99);  // bucket 0
+  h.add(2.0);   // bucket 1
+  h.add(9.99);  // bucket 4
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, RejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InternalError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InternalError);
+}
+
+TEST(Histogram, AsciiContainsBars) {
+  Histogram h(0.0, 4.0, 2);
+  for (int i = 0; i < 8; ++i) {
+    h.add(1.0);
+  }
+  h.add(3.0);
+  const std::string art = h.to_ascii(8);
+  EXPECT_NE(art.find("########"), std::string::npos);
+  EXPECT_NE(art.find(" 8"), std::string::npos);
+}
+
+TEST(JainFairness, PerfectBalance) {
+  EXPECT_DOUBLE_EQ(jain_fairness({3.0, 3.0, 3.0, 3.0}), 1.0);
+}
+
+TEST(JainFairness, AllOnOne) {
+  EXPECT_NEAR(jain_fairness({8.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(JainFairness, EdgeCases) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+}
+
+TEST(CoefficientOfVariation, KnownValues) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({5.0, 5.0, 5.0}), 0.0);
+  // {2, 4}: mean 3, sample sd sqrt(2) -> cv = 0.4714...
+  EXPECT_NEAR(coefficient_of_variation({2.0, 4.0}), std::sqrt(2.0) / 3.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({}), 0.0);
+}
+
+class StatsRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsRandomSweep, WelfordMatchesTwoPass) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.lognormal(0.0, 1.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) {
+    mean += x;
+  }
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) {
+    var += (x - mean) * (x - mean);
+  }
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9 * std::fabs(mean));
+  EXPECT_NEAR(s.variance(), var, 1e-7 * var);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsRandomSweep,
+                         ::testing::Values(3ull, 17ull, 2026ull));
+
+}  // namespace
+}  // namespace hetflow::util

@@ -1,0 +1,120 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hetflow::util {
+namespace {
+
+TEST(Split, Basic) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWs, DropsEmptyFields) {
+  EXPECT_EQ(split_ws("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Trim, Variants) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("\t\n hi"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(starts_with("hetflow", "het"));
+  EXPECT_FALSE(starts_with("het", "hetflow"));
+  EXPECT_TRUE(ends_with("file.cpp", ".cpp"));
+  EXPECT_FALSE(ends_with("file.cpp", ".hpp"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Format, PrintfSemantics) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(Format, LongOutput) {
+  const std::string big(500, 'a');
+  EXPECT_EQ(format("%s", big.c_str()).size(), 500u);
+}
+
+TEST(HumanBytes, Units) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KB");
+  EXPECT_EQ(human_bytes(1.5 * 1024 * 1024), "1.50 MB");
+  EXPECT_EQ(human_bytes(3.0 * 1024 * 1024 * 1024), "3.00 GB");
+}
+
+TEST(HumanSeconds, Units) {
+  EXPECT_EQ(human_seconds(2.5), "2.500 s");
+  EXPECT_EQ(human_seconds(0.012), "12.000 ms");
+  EXPECT_EQ(human_seconds(34e-6), "34.000 us");
+  EXPECT_EQ(human_seconds(5e-9), "5 ns");
+  EXPECT_EQ(human_seconds(0.0), "0.000 s");
+}
+
+TEST(HumanCount, Units) {
+  EXPECT_EQ(human_count(999), "999");
+  EXPECT_EQ(human_count(1500), "1.50K");
+  EXPECT_EQ(human_count(2.5e6), "2.50M");
+  EXPECT_EQ(human_count(7e9), "7.00G");
+}
+
+TEST(ParseScaled, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(parse_scaled("42"), 42.0);
+  EXPECT_DOUBLE_EQ(parse_scaled("-1.5"), -1.5);
+  EXPECT_DOUBLE_EQ(parse_scaled("1e9"), 1e9);
+  EXPECT_DOUBLE_EQ(parse_scaled("  7 "), 7.0);
+}
+
+TEST(ParseScaled, SiSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_scaled("2K"), 2e3);
+  EXPECT_DOUBLE_EQ(parse_scaled("3M"), 3e6);
+  EXPECT_DOUBLE_EQ(parse_scaled("1.5G"), 1.5e9);
+  EXPECT_DOUBLE_EQ(parse_scaled("2T"), 2e12);
+}
+
+TEST(ParseScaled, BinarySuffixes) {
+  EXPECT_DOUBLE_EQ(parse_scaled("1Ki"), 1024.0);
+  EXPECT_DOUBLE_EQ(parse_scaled("4Mi"), 4.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(parse_scaled("2Gi"), 2.0 * 1024 * 1024 * 1024);
+}
+
+TEST(ParseScaled, Errors) {
+  EXPECT_THROW(parse_scaled(""), ParseError);
+  EXPECT_THROW(parse_scaled("abc"), ParseError);
+  EXPECT_THROW(parse_scaled("1X"), ParseError);
+  EXPECT_THROW(parse_scaled("1 KB"), ParseError);  // unknown 'KB'
+}
+
+TEST(IsNumber, Variants) {
+  EXPECT_TRUE(is_number("3.5"));
+  EXPECT_TRUE(is_number("-2e-3"));
+  EXPECT_TRUE(is_number(" 7 "));
+  EXPECT_FALSE(is_number("7x"));
+  EXPECT_FALSE(is_number(""));
+  EXPECT_FALSE(is_number("nanx"));
+}
+
+}  // namespace
+}  // namespace hetflow::util

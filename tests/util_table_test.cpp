@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hetflow::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| x      | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  EXPECT_NE(out.find("+--------+-------+"), std::string::npos);
+}
+
+TEST(Table, WidthEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InternalError);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), InternalError);
+}
+
+TEST(Table, MixedRowFormatsNumbers) {
+  Table t({"label", "v1", "v2"});
+  t.add_row_mixed("row", {1.5, 0.25}, "%.2f");
+  EXPECT_NE(t.render().find("| row   | 1.50 | 0.25 |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, MixedRowWidthEnforced) {
+  Table t({"label", "v1"});
+  EXPECT_THROW(t.add_row_mixed("x", {1.0, 2.0}), InternalError);
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_EQ(out.str(), t.render());
+}
+
+TEST(Table, HeaderOnlyTable) {
+  Table t({"lonely"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| lonely |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetflow::util

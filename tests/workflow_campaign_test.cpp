@@ -1,0 +1,170 @@
+#include "workflow/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.hpp"
+
+namespace hetflow::workflow {
+namespace {
+
+TEST(ResponseSurface, BraninKnownValues) {
+  const ResponseSurface surface(ResponseSurface::Kind::Branin);
+  // Global minimum at (pi, 2.275) in native coords ->
+  // x = (pi + 5) / 15, y = 2.275 / 15.
+  const double x = (3.14159265 + 5.0) / 15.0;
+  const double y = 2.275 / 15.0;
+  EXPECT_NEAR(surface.value(x, y), 0.397887, 1e-4);
+  EXPECT_NEAR(surface.true_minimum(), 0.397887, 1e-6);
+  EXPECT_STREQ(surface.name(), "branin");
+}
+
+TEST(ResponseSurface, QuadraticMinimumAtCenter) {
+  const ResponseSurface surface(ResponseSurface::Kind::Quadratic);
+  EXPECT_DOUBLE_EQ(surface.value(0.7, 0.3), 0.0);
+  EXPECT_GT(surface.value(0.0, 0.0), 0.0);
+  EXPECT_GT(surface.value(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(surface.true_minimum(), 0.0);
+}
+
+TEST(ResponseSurface, RosenbrockValleyProperty) {
+  const ResponseSurface surface(ResponseSurface::Kind::Rosenbrock);
+  // Native minimum (1,1) -> normalized ((1+2)/4, (1+1)/3).
+  EXPECT_NEAR(surface.value(0.75, 2.0 / 3.0), 0.0, 1e-9);
+  EXPECT_GT(surface.value(0.1, 0.9), 1.0);
+}
+
+TEST(ResponseSurface, NoiseIsZeroMeanish) {
+  const ResponseSurface surface(ResponseSurface::Kind::Quadratic, 0.5);
+  util::Rng rng(3);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += surface.observe(0.5, 0.5, rng) - surface.value(0.5, 0.5);
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+}
+
+TEST(ResponseSurface, NegativeNoiseRejected) {
+  EXPECT_THROW(ResponseSurface(ResponseSurface::Kind::Branin, -1.0),
+               util::InternalError);
+}
+
+TEST(Campaign, ConfigValidation) {
+  const hw::Platform p = hw::make_workstation();
+  const ResponseSurface surface(ResponseSurface::Kind::Quadratic);
+  CampaignConfig config;
+  config.batch_size = 0;
+  EXPECT_THROW(run_campaign(p, surface, SearchStrategy::Grid, config),
+               util::InternalError);
+  config.batch_size = 64;
+  config.max_evaluations = 8;
+  EXPECT_THROW(run_campaign(p, surface, SearchStrategy::Grid, config),
+               util::InternalError);
+}
+
+TEST(Campaign, StopsAtBudget) {
+  const hw::Platform p = hw::make_workstation();
+  // Impossible target: campaign must stop exactly at max_evaluations.
+  const ResponseSurface surface(ResponseSurface::Kind::Quadratic);
+  CampaignConfig config;
+  config.max_evaluations = 32;
+  config.batch_size = 8;
+  config.target_excess = -1.0;  // unreachable
+  const CampaignResult result =
+      run_campaign(p, surface, SearchStrategy::Random, config);
+  EXPECT_EQ(result.evaluations, 32u);
+  EXPECT_EQ(result.rounds, 4u);
+  EXPECT_FALSE(result.reached_target);
+  EXPECT_EQ(result.best_after_round.size(), 4u);
+}
+
+TEST(Campaign, BestTraceIsMonotone) {
+  const hw::Platform p = hw::make_workstation();
+  const ResponseSurface surface(ResponseSurface::Kind::Branin, 0.1);
+  CampaignConfig config;
+  config.max_evaluations = 64;
+  config.target_excess = -1.0;
+  const CampaignResult result =
+      run_campaign(p, surface, SearchStrategy::Random, config);
+  for (std::size_t i = 1; i < result.best_after_round.size(); ++i) {
+    EXPECT_LE(result.best_after_round[i], result.best_after_round[i - 1]);
+  }
+}
+
+TEST(Campaign, SimulatedTimeAdvancesWithWork) {
+  const hw::Platform p = hw::make_workstation();
+  const ResponseSurface surface(ResponseSurface::Kind::Quadratic);
+  CampaignConfig config;
+  config.max_evaluations = 16;
+  config.target_excess = -1.0;
+  const CampaignResult result =
+      run_campaign(p, surface, SearchStrategy::Grid, config);
+  EXPECT_GT(result.makespan_s, 0.0);
+  EXPECT_GT(result.core_seconds, 0.0);
+}
+
+TEST(Campaign, SurrogateFindsQuadraticMinimumQuickly) {
+  const hw::Platform p = hw::make_workstation();
+  const ResponseSurface surface(ResponseSurface::Kind::Quadratic, 0.01);
+  CampaignConfig config;
+  config.max_evaluations = 256;
+  config.target_excess = 0.05;
+  const CampaignResult result =
+      run_campaign(p, surface, SearchStrategy::Surrogate, config);
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_NEAR(result.best_x, 0.7, 0.15);
+  EXPECT_NEAR(result.best_y, 0.3, 0.15);
+}
+
+TEST(Campaign, SurrogateBeatsGridAndRandomOnBraninOnAverage) {
+  // Single seeds are noisy (random search can get lucky), so compare the
+  // mean evaluations-to-target over several seeds.
+  const hw::Platform p = hw::make_workstation();
+  const ResponseSurface surface(ResponseSurface::Kind::Branin, 0.05);
+  CampaignConfig config;
+  config.max_evaluations = 256;
+  config.target_excess = 0.1;
+  double mean_evals[3] = {0.0, 0.0, 0.0};
+  const std::uint64_t seeds[] = {1, 7, 13, 29, 71};
+  int idx = 0;
+  for (SearchStrategy strategy :
+       {SearchStrategy::Surrogate, SearchStrategy::Grid,
+        SearchStrategy::Random}) {
+    for (std::uint64_t seed : seeds) {
+      config.seed = seed;
+      const CampaignResult result =
+          run_campaign(p, surface, strategy, config);
+      mean_evals[idx] += static_cast<double>(
+          result.reached_target ? result.evaluations
+                                : config.max_evaluations * 2);
+    }
+    mean_evals[idx] /= static_cast<double>(std::size(seeds));
+    ++idx;
+  }
+  EXPECT_LT(mean_evals[0], mean_evals[1]);
+  EXPECT_LT(mean_evals[0], mean_evals[2]);
+}
+
+TEST(Campaign, DeterministicGivenSeed) {
+  const hw::Platform p = hw::make_workstation();
+  const ResponseSurface surface(ResponseSurface::Kind::Branin, 0.1);
+  CampaignConfig config;
+  config.max_evaluations = 64;
+  config.seed = 5;
+  const CampaignResult a =
+      run_campaign(p, surface, SearchStrategy::Surrogate, config);
+  const CampaignResult b =
+      run_campaign(p, surface, SearchStrategy::Surrogate, config);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_DOUBLE_EQ(a.best_value, b.best_value);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+TEST(Campaign, StrategyNames) {
+  EXPECT_STREQ(to_string(SearchStrategy::Grid), "grid");
+  EXPECT_STREQ(to_string(SearchStrategy::Random), "random");
+  EXPECT_STREQ(to_string(SearchStrategy::Surrogate), "surrogate");
+}
+
+}  // namespace
+}  // namespace hetflow::workflow

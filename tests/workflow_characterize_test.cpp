@@ -1,0 +1,83 @@
+#include "workflow/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workflow/generators.hpp"
+#include "workflow/linalg.hpp"
+
+namespace hetflow::workflow {
+namespace {
+
+TEST(Characterize, ChainIsFullySerial) {
+  const Characterization c = characterize(make_chain(10, 1e9, 1 << 20));
+  EXPECT_EQ(c.tasks, 10u);
+  EXPECT_EQ(c.depth, 10u);
+  EXPECT_EQ(c.max_width, 1u);
+  EXPECT_NEAR(c.avg_parallelism, 1.0, 1e-9);
+  EXPECT_NEAR(c.serial_fraction, 1.0, 1e-9);
+}
+
+TEST(Characterize, BagIsFullyParallel) {
+  const Characterization c = characterize(make_bag(16, 1e9, 1 << 20));
+  EXPECT_EQ(c.depth, 1u);
+  EXPECT_EQ(c.max_width, 16u);
+  EXPECT_NEAR(c.avg_parallelism, 16.0, 1e-9);
+  EXPECT_NEAR(c.serial_fraction, 1.0 / 16.0, 1e-9);
+}
+
+TEST(Characterize, CountsMatchWorkflow) {
+  const Workflow w = make_montage(16);
+  const Characterization c = characterize(w);
+  EXPECT_EQ(c.name, w.name());
+  EXPECT_EQ(c.tasks, w.task_count());
+  EXPECT_EQ(c.files, w.file_count());
+  EXPECT_EQ(c.edges, w.task_graph().edge_count());
+  EXPECT_EQ(c.depth, w.depth());
+  EXPECT_EQ(c.max_width, w.max_width());
+  EXPECT_NEAR(c.total_gflop, w.total_flops() / 1e9, 1e-9);
+  EXPECT_EQ(c.total_bytes, w.total_bytes());
+}
+
+TEST(Characterize, ParallelismBounds) {
+  // 1 <= avg_parallelism <= tasks for any DAG with positive work.
+  for (const Workflow& w :
+       {make_montage(12), make_epigenomics(2, 4), make_cybershake(2, 6),
+        make_ligo(8, 3), make_sipht(4, 4), make_cholesky(6, 1024),
+        make_wavefront(6)}) {
+    const Characterization c = characterize(w);
+    EXPECT_GE(c.avg_parallelism, 1.0 - 1e-9) << w.name();
+    EXPECT_LE(c.avg_parallelism, static_cast<double>(c.tasks) + 1e-9)
+        << w.name();
+    EXPECT_GT(c.serial_fraction, 0.0) << w.name();
+    EXPECT_LE(c.serial_fraction, 1.0 + 1e-9) << w.name();
+    EXPECT_GE(c.ccr, 0.0) << w.name();
+  }
+}
+
+TEST(Characterize, CcrTracksGeneratorKnob) {
+  const Characterization low =
+      characterize(make_random_layered(6, 6, 0.2, 3));
+  const Characterization high =
+      characterize(make_random_layered(6, 6, 5.0, 3));
+  EXPECT_GT(high.ccr, low.ccr * 10.0);
+}
+
+TEST(Characterize, TableRendersAllRows) {
+  const std::vector<Characterization> rows = {
+      characterize(make_chain(3, 1e9, 1024)),
+      characterize(make_bag(3, 1e9, 1024))};
+  const std::string table = characterization_table(rows);
+  EXPECT_NE(table.find("chain-3"), std::string::npos);
+  EXPECT_NE(table.find("bag-3"), std::string::npos);
+  EXPECT_NE(table.find("avg-par"), std::string::npos);
+}
+
+TEST(Characterize, EmptyWorkflow) {
+  const Characterization c = characterize(Workflow("empty"));
+  EXPECT_EQ(c.tasks, 0u);
+  EXPECT_EQ(c.depth, 0u);
+  EXPECT_EQ(c.avg_parallelism, 0.0);
+}
+
+}  // namespace
+}  // namespace hetflow::workflow

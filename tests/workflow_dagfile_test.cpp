@@ -1,0 +1,149 @@
+#include "workflow/dagfile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workflow/generators.hpp"
+#include "workflow/linalg.hpp"
+
+namespace hetflow::workflow {
+namespace {
+
+TEST(Dagfile, SerializeContainsRecords) {
+  Workflow w("tiny");
+  const auto in = w.add_file("input.dat", 1024);
+  const auto out = w.add_file("output.dat", 2048);
+  w.add_task("t0", "compute", 5e8, {in}, {out});
+  const std::string text = to_dagfile(w);
+  EXPECT_NE(text.find("# hetflow dag v1"), std::string::npos);
+  EXPECT_NE(text.find("workflow tiny"), std::string::npos);
+  EXPECT_NE(text.find("file input.dat 1024"), std::string::npos);
+  EXPECT_NE(text.find("task t0 kind=compute"), std::string::npos);
+  EXPECT_NE(text.find("in=input.dat"), std::string::npos);
+  EXPECT_NE(text.find("out=output.dat"), std::string::npos);
+}
+
+TEST(Dagfile, ParseMinimal) {
+  const Workflow w = parse_dagfile(R"(
+# comment
+workflow demo
+file a.dat 1Ki
+file b.dat 2048
+task t kind=gemm flops=2G in=a.dat out=b.dat
+)");
+  EXPECT_EQ(w.name(), "demo");
+  EXPECT_EQ(w.file_count(), 2u);
+  EXPECT_EQ(w.task_count(), 1u);
+  EXPECT_EQ(w.files()[0].bytes, 1024u);
+  EXPECT_DOUBLE_EQ(w.tasks()[0].flops, 2e9);
+  EXPECT_EQ(w.tasks()[0].kind, "gemm");
+}
+
+TEST(Dagfile, ImplicitFileDeclaration) {
+  const Workflow w = parse_dagfile(
+      "task t kind=compute flops=1 out=implicit.dat\n");
+  EXPECT_EQ(w.file_count(), 1u);
+  EXPECT_EQ(w.files()[0].bytes, 0u);
+  EXPECT_EQ(w.files()[0].name, "implicit.dat");
+}
+
+TEST(Dagfile, TaskWithoutFiles) {
+  const Workflow w = parse_dagfile("task solo kind=io flops=5\n");
+  EXPECT_EQ(w.task_count(), 1u);
+  EXPECT_TRUE(w.tasks()[0].inputs.empty());
+  EXPECT_TRUE(w.tasks()[0].outputs.empty());
+}
+
+TEST(Dagfile, ParseErrorsCarryLineNumbers) {
+  const auto expect_error_with = [](const std::string& text,
+                                    const std::string& needle) {
+    try {
+      parse_dagfile(text);
+      FAIL() << "expected ParseError for: " << text;
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error_with("bogus record\n", "line 1");
+  expect_error_with("task t kind=k\n", "flops");
+  expect_error_with("task t flops=1\n", "kind");
+  expect_error_with("file x\n", "expected");
+  expect_error_with("file x 10\nfile x 20\n", "already declared");
+  expect_error_with("task t kind=k flops=1 bad\n", "malformed attribute");
+  expect_error_with("task t kind=k flops=1 color=red\n", "unknown attribute");
+  expect_error_with("task t kind=k flops=abc\n", "not a number");
+  expect_error_with("workflow a\nworkflow b\n", "duplicate");
+  expect_error_with("file x 1\nworkflow late\n", "must precede");
+  expect_error_with("task t kind=k flops=1 in=a,,b\n", "empty file name");
+}
+
+TEST(Dagfile, CycleRejectedOnParse) {
+  EXPECT_THROW(parse_dagfile(R"(
+task a kind=k flops=1 in=f2 out=f1
+task b kind=k flops=1 in=f1 out=f2
+)"),
+               util::InvalidArgument);
+}
+
+class DagfileRoundTrip : public ::testing::TestWithParam<int> {
+ public:
+  static Workflow make(int which) {
+    switch (which) {
+      case 0:
+        return make_montage(8);
+      case 1:
+        return make_epigenomics(2, 3);
+      case 2:
+        return make_cybershake(2, 4);
+      case 3:
+        return make_ligo(6, 2);
+      case 4:
+        return make_cholesky(4, 512);
+      case 5:
+        return make_random_layered(4, 5, 1.0, 3);
+      default:
+        return make_wavefront(3);
+    }
+  }
+};
+
+TEST_P(DagfileRoundTrip, PreservesStructure) {
+  const Workflow original = make(GetParam());
+  const Workflow reparsed = parse_dagfile(to_dagfile(original));
+  EXPECT_EQ(reparsed.name(), original.name());
+  ASSERT_EQ(reparsed.file_count(), original.file_count());
+  ASSERT_EQ(reparsed.task_count(), original.task_count());
+  for (std::size_t f = 0; f < original.file_count(); ++f) {
+    EXPECT_EQ(reparsed.files()[f].name, original.files()[f].name);
+    EXPECT_EQ(reparsed.files()[f].bytes, original.files()[f].bytes);
+  }
+  for (std::size_t t = 0; t < original.task_count(); ++t) {
+    EXPECT_EQ(reparsed.tasks()[t].name, original.tasks()[t].name);
+    EXPECT_EQ(reparsed.tasks()[t].kind, original.tasks()[t].kind);
+    EXPECT_DOUBLE_EQ(reparsed.tasks()[t].flops, original.tasks()[t].flops);
+    EXPECT_EQ(reparsed.tasks()[t].inputs, original.tasks()[t].inputs);
+    EXPECT_EQ(reparsed.tasks()[t].outputs, original.tasks()[t].outputs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DagfileRoundTrip,
+                         ::testing::Range(0, 7));
+
+TEST(Dagfile, FileRoundTrip) {
+  const Workflow original = make_montage(6);
+  const std::string path = ::testing::TempDir() + "/hetflow_test.dag";
+  save_dagfile(original, path);
+  const Workflow loaded = load_dagfile(path);
+  EXPECT_EQ(loaded.task_count(), original.task_count());
+  EXPECT_EQ(loaded.name(), original.name());
+  std::remove(path.c_str());
+}
+
+TEST(Dagfile, MissingFileThrows) {
+  EXPECT_THROW(load_dagfile("/nonexistent/path/x.dag"), util::Error);
+}
+
+}  // namespace
+}  // namespace hetflow::workflow

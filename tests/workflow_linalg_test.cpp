@@ -1,0 +1,128 @@
+#include "workflow/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "hw/presets.hpp"
+#include "sched/registry.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow::workflow {
+namespace {
+
+TEST(Cholesky, TaskCountFormula) {
+  EXPECT_EQ(cholesky_task_count(1), 1u);
+  EXPECT_EQ(cholesky_task_count(2), 4u);   // 2 potrf + 1 trsm + 1 syrk
+  EXPECT_EQ(cholesky_task_count(3), 10u);
+  EXPECT_EQ(cholesky_task_count(4), 20u);
+  EXPECT_EQ(cholesky_task_count(8), 120u);
+}
+
+TEST(Cholesky, WorkflowShape) {
+  const Workflow w = make_cholesky(4, 512);
+  w.validate();
+  EXPECT_EQ(w.task_count(), cholesky_task_count(4));
+  EXPECT_FALSE(w.task_graph().has_cycle());
+  // Critical path alternates potrf/trsm/syrk down the diagonal:
+  // depth = 3 * (nt - 1) + 1.
+  EXPECT_EQ(w.depth(), 10u);
+}
+
+TEST(Cholesky, TaskKindsAndCosts) {
+  const Workflow w = make_cholesky(3, 1024);
+  std::size_t potrf = 0;
+  std::size_t trsm = 0;
+  std::size_t syrk = 0;
+  std::size_t gemm = 0;
+  double potrf_flops = 0.0;
+  double gemm_flops = 0.0;
+  for (const WorkflowTask& task : w.tasks()) {
+    if (task.kind == "potrf") {
+      ++potrf;
+      potrf_flops = task.flops;
+    } else if (task.kind == "trsm") {
+      ++trsm;
+    } else if (task.kind == "syrk") {
+      ++syrk;
+    } else if (task.kind == "gemm") {
+      ++gemm;
+      gemm_flops = task.flops;
+    }
+  }
+  EXPECT_EQ(potrf, 3u);
+  EXPECT_EQ(trsm, 3u);
+  EXPECT_EQ(syrk, 3u);
+  EXPECT_EQ(gemm, 1u);
+  // gemm = 2n^3 vs potrf = n^3/3 -> ratio 6.
+  EXPECT_NEAR(gemm_flops / potrf_flops, 6.0, 1e-9);
+}
+
+TEST(Lu, WorkflowShape) {
+  const Workflow w = make_lu(4, 512);
+  w.validate();
+  // nt getrf + 2 * sum(k=1..nt-1) k trsm + sum k^2 gemm
+  // = 4 + 2*6 + 14 = 30.
+  EXPECT_EQ(w.task_count(), 30u);
+  EXPECT_FALSE(w.task_graph().has_cycle());
+}
+
+TEST(CholeskyInplace, SubmitsExpectedTaskCount) {
+  const hw::Platform p = hw::make_workstation();
+  core::Runtime rt(p, sched::make_scheduler("dmda"));
+  const std::size_t n = submit_cholesky_inplace(
+      rt, 6, 1024, CodeletLibrary::standard());
+  EXPECT_EQ(n, cholesky_task_count(6));
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, n);
+}
+
+TEST(CholeskyInplace, MatchesWorkflowFormMakespanClosely) {
+  // The SSA workflow form and the in-place form encode the same DAG; with
+  // the same scheduler their makespans should be in the same ballpark
+  // (files vs tiles differ slightly in transfer granularity).
+  const hw::Platform p = hw::make_hpc_node(4, 2, 0);
+  const auto lib = CodeletLibrary::standard();
+
+  core::Runtime inplace(p, sched::make_scheduler("heft"));
+  submit_cholesky_inplace(inplace, 8, 1024, lib);
+  inplace.wait_all();
+
+  const auto wf_stats =
+      run_workflow(p, "heft", make_cholesky(8, 1024), lib);
+
+  EXPECT_LT(inplace.stats().makespan_s, wf_stats.makespan_s * 2.0);
+  EXPECT_GT(inplace.stats().makespan_s, wf_stats.makespan_s * 0.3);
+}
+
+TEST(CholeskyInplace, GpuGetsBulkOfGemms) {
+  const hw::Platform p = hw::make_workstation();
+  core::Runtime rt(p, sched::make_scheduler("dmda"));
+  submit_cholesky_inplace(rt, 10, 2048, CodeletLibrary::standard());
+  rt.wait_all();
+  const auto gpus = p.devices_of_type(hw::DeviceType::Gpu);
+  std::size_t cpu_tasks = 0;
+  for (hw::DeviceId id : p.devices_of_type(hw::DeviceType::Cpu)) {
+    cpu_tasks += rt.stats().devices[id].tasks_completed;
+  }
+  // GPU is ~50x faster at gemm: it should dominate execution counts.
+  EXPECT_GT(rt.stats().devices[gpus[0]].tasks_completed, cpu_tasks);
+}
+
+class CholeskySizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskySizeSweep, AllSizesExecuteCompletely) {
+  const hw::Platform p = hw::make_workstation();
+  core::Runtime rt(p, sched::make_scheduler("mct"));
+  const std::size_t n =
+      submit_cholesky_inplace(rt, GetParam(), 512,
+                              CodeletLibrary::standard());
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().tasks_completed, n);
+  EXPECT_EQ(n, cholesky_task_count(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeSweep,
+                         ::testing::Values(1u, 2u, 3u, 6u, 12u));
+
+}  // namespace
+}  // namespace hetflow::workflow

@@ -1,0 +1,88 @@
+#include "workflow/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "hw/presets.hpp"
+#include "hw/serialize.hpp"
+#include "workflow/dagfile.hpp"
+#include "workflow/generators.hpp"
+
+namespace hetflow::workflow {
+namespace {
+
+TEST(WorkflowSpec, GeneratorSpecs) {
+  EXPECT_EQ(make_workflow_from_spec("montage:8").name(), "montage-8");
+  EXPECT_EQ(make_workflow_from_spec("epigenomics:2,3").name(),
+            "epigenomics-2x3");
+  EXPECT_EQ(make_workflow_from_spec("cybershake:2,5").name(),
+            "cybershake-2x5");
+  EXPECT_EQ(make_workflow_from_spec("ligo:6,2").name(), "ligo-6");
+  EXPECT_EQ(make_workflow_from_spec("cholesky:4").task_count(), 20u);
+  EXPECT_EQ(make_workflow_from_spec("lu:3,512").name(), "lu-3x3");
+  EXPECT_EQ(make_workflow_from_spec("wavefront:3").task_count(), 9u);
+  EXPECT_EQ(make_workflow_from_spec("chain:5").task_count(), 5u);
+  EXPECT_EQ(make_workflow_from_spec("bag:7").task_count(), 7u);
+  EXPECT_EQ(make_workflow_from_spec("layered:3,4,0.5,9").task_count(), 12u);
+  EXPECT_EQ(make_workflow_from_spec("forkjoin:4,2,0.5").task_count(), 10u);
+}
+
+TEST(WorkflowSpec, DefaultsWhenArgsOmitted) {
+  EXPECT_EQ(make_workflow_from_spec("montage").name(), "montage-32");
+  EXPECT_EQ(make_workflow_from_spec("cholesky").task_count(), 120u);
+}
+
+TEST(WorkflowSpec, ScaleForwarded) {
+  const Workflow small = make_workflow_from_spec("montage:8", 1.0);
+  const Workflow big = make_workflow_from_spec("montage:8", 2.0);
+  EXPECT_NEAR(big.total_flops() / small.total_flops(), 2.0, 1e-9);
+}
+
+TEST(WorkflowSpec, ScaledSuffixesInArgs) {
+  const Workflow w = make_workflow_from_spec("bag:10,2G,4Mi");
+  EXPECT_DOUBLE_EQ(w.tasks()[0].flops, 2e9);
+  EXPECT_EQ(w.files()[1].bytes, 4u << 20);
+}
+
+TEST(WorkflowSpec, DagFileLoaded) {
+  const std::string path = ::testing::TempDir() + "/spec_test.dag";
+  save_dagfile(make_ligo(4, 2), path);
+  const Workflow loaded = make_workflow_from_spec(path);
+  EXPECT_EQ(loaded.name(), "ligo-4");
+  std::remove(path.c_str());
+}
+
+TEST(WorkflowSpec, Errors) {
+  EXPECT_THROW(make_workflow_from_spec("nope:3"), ParseError);
+  EXPECT_THROW(make_workflow_from_spec("montage:abc"), ParseError);
+  EXPECT_THROW(make_workflow_from_spec("montage:8,,2"), ParseError);
+}
+
+TEST(PlatformSpec, Presets) {
+  EXPECT_EQ(make_platform_from_spec("workstation").name(), "workstation");
+  EXPECT_EQ(make_platform_from_spec("edge").name(), "edge-node");
+  EXPECT_EQ(make_platform_from_spec("cpu:6").device_count(), 6u);
+  const hw::Platform hpc = make_platform_from_spec("hpc:4,2,1");
+  EXPECT_EQ(hpc.devices_of_type(hw::DeviceType::Gpu).size(), 2u);
+  EXPECT_EQ(hpc.devices_of_type(hw::DeviceType::Fpga).size(), 1u);
+  EXPECT_EQ(make_platform_from_spec("cluster:2,2,1").device_count(), 6u);
+}
+
+TEST(PlatformSpec, JsonFileLoaded) {
+  const std::string path = ::testing::TempDir() + "/spec_platform.json";
+  hw::save_platform(hw::make_workstation(), path);
+  const hw::Platform loaded = make_platform_from_spec(path);
+  EXPECT_EQ(loaded.name(), "workstation");
+  EXPECT_EQ(loaded.device_count(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(PlatformSpec, Errors) {
+  EXPECT_THROW(make_platform_from_spec("mainframe"), ParseError);
+  EXPECT_THROW(make_platform_from_spec("missing.json"), Error);
+}
+
+}  // namespace
+}  // namespace hetflow::workflow

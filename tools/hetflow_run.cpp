@@ -1,0 +1,146 @@
+// hetflow_run — run any workflow on any simulated platform from the
+// command line.
+//
+//   $ hetflow_run --workflow montage:64 --platform hpc:8,2,0 --sched dmda
+//   $ hetflow_run --workflow pipeline.dag --platform machine.json
+//         --sched heft --gantt --trace-json trace.json
+//   $ hetflow_run --workflow cholesky:16,2048 --platform hpc:8,4,0
+//         --failure-rate 0.5 --failure-policy reschedule --csv
+#include <fstream>
+#include <iostream>
+
+#include "core/analysis.hpp"
+#include "core/runtime.hpp"
+#include "sched/registry.hpp"
+#include "trace/report.hpp"
+#include "trace/svg.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "workflow/dagfile.hpp"
+#include "workflow/spec.hpp"
+#include "workflow/workflow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hetflow;
+  util::Cli cli("hetflow_run",
+                "run a scientific workflow on a simulated heterogeneous "
+                "platform");
+  cli.add_option("workflow", "montage:32",
+                 "generator spec (see workflow/spec.hpp) or path to a .dag "
+                 "file");
+  cli.add_option("platform", "workstation",
+                 "platform spec (workstation|edge|cpu:N|hpc:C,G,F|"
+                 "cluster:N,C,G) or path to a .json platform file");
+  cli.add_option("sched", "dmda", "scheduling policy (see --list-scheds)");
+  cli.add_option("seed", "42", "simulation seed");
+  cli.add_option("noise", "0", "execution-time noise (coefficient of "
+                 "variation)");
+  cli.add_option("failure-rate", "0",
+                 "transient failure rate (failures per busy-second)");
+  cli.add_option("failure-policy", "retry", "retry | reschedule");
+  cli.add_option("scale", "1", "workflow size multiplier (generators only)");
+  cli.add_option("trace-json", "", "write a Chrome trace to this path");
+  cli.add_option("gantt-svg", "", "write an SVG Gantt chart to this path");
+  cli.add_option("dag-out", "", "save the workflow as a dagfile and exit");
+  cli.add_flag("gantt", "print an ASCII Gantt chart");
+  cli.add_flag("analyze", "print the realized critical path analysis");
+  cli.add_flag("utilization", "print the per-device utilization table");
+  cli.add_flag("describe", "print the platform description");
+  cli.add_flag("csv", "print one machine-readable CSV result row");
+  cli.add_flag("list-scheds", "list scheduling policies and exit");
+
+  try {
+    cli.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n\n" << cli.usage();
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage();
+    return 0;
+  }
+  if (cli.flag("list-scheds")) {
+    for (const std::string& name : sched::scheduler_names()) {
+      std::cout << name << '\n';
+    }
+    return 0;
+  }
+
+  try {
+    const workflow::Workflow wf = workflow::make_workflow_from_spec(
+        cli.value("workflow"), cli.number("scale"));
+    if (!cli.value("dag-out").empty()) {
+      workflow::save_dagfile(wf, cli.value("dag-out"));
+      std::cout << "wrote " << cli.value("dag-out") << '\n';
+      return 0;
+    }
+    const hw::Platform platform =
+        workflow::make_platform_from_spec(cli.value("platform"));
+    if (cli.flag("describe")) {
+      std::cout << platform.describe() << '\n';
+    }
+
+    core::RuntimeOptions options;
+    options.seed = static_cast<std::uint64_t>(cli.number("seed"));
+    options.noise_cv = cli.number("noise");
+    const double failure_rate = cli.number("failure-rate");
+    if (failure_rate > 0.0) {
+      options.failure_model = hw::FailureModel::uniform(failure_rate);
+    }
+    if (cli.value("failure-policy") == "reschedule") {
+      options.failure_policy = core::FailurePolicy::Reschedule;
+    } else if (cli.value("failure-policy") != "retry") {
+      throw InvalidArgument("failure-policy must be retry or reschedule");
+    }
+
+    core::Runtime runtime(platform,
+                          sched::make_scheduler(cli.value("sched"),
+                                                options.seed),
+                          options);
+    workflow::submit_workflow(runtime, wf,
+                              workflow::CodeletLibrary::standard());
+    runtime.wait_all();
+    const core::RunStats& stats = runtime.stats();
+
+    if (cli.flag("csv")) {
+      std::cout << wf.name() << ',' << cli.value("sched") << ','
+                << util::format("%.6g", stats.makespan_s) << ','
+                << util::format("%.6g", stats.total_energy_j()) << ','
+                << stats.transfers.bytes_moved << ','
+                << stats.failed_attempts << '\n';
+    } else {
+      std::cout << wf.describe() << '\n'
+                << stats.summary(platform) << '\n';
+    }
+    if (cli.flag("utilization")) {
+      std::cout << trace::utilization_report(runtime.tracer(), platform);
+    }
+    if (cli.flag("gantt")) {
+      std::cout << runtime.tracer().ascii_gantt(platform);
+    }
+    if (cli.flag("analyze")) {
+      std::cout << core::critical_path_report(
+          core::analyze_schedule(runtime));
+    }
+    if (!cli.value("gantt-svg").empty()) {
+      trace::SvgOptions svg;
+      svg.title = wf.name() + " on " + platform.name() + " (" +
+                  cli.value("sched") + ")";
+      trace::save_svg(runtime.tracer(), platform, cli.value("gantt-svg"),
+                      svg);
+      std::cout << "SVG written to " << cli.value("gantt-svg") << '\n';
+    }
+    if (!cli.value("trace-json").empty()) {
+      std::ofstream out(cli.value("trace-json"));
+      if (!out) {
+        throw Error("cannot open '" + cli.value("trace-json") + "'");
+      }
+      out << runtime.tracer().to_chrome_json(platform);
+      std::cout << "trace written to " << cli.value("trace-json") << '\n';
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
