@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_data_awareness"
+  "../bench/bench_fig2_data_awareness.pdb"
+  "CMakeFiles/bench_fig2_data_awareness.dir/bench_fig2_data_awareness.cpp.o"
+  "CMakeFiles/bench_fig2_data_awareness.dir/bench_fig2_data_awareness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_data_awareness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_work_stealing"
+  "../bench/bench_fig6_work_stealing.pdb"
+  "CMakeFiles/bench_fig6_work_stealing.dir/bench_fig6_work_stealing.cpp.o"
+  "CMakeFiles/bench_fig6_work_stealing.dir/bench_fig6_work_stealing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_work_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_streaming"
+  "../bench/bench_fig7_streaming.pdb"
+  "CMakeFiles/bench_fig7_streaming.dir/bench_fig7_streaming.cpp.o"
+  "CMakeFiles/bench_fig7_streaming.dir/bench_fig7_streaming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

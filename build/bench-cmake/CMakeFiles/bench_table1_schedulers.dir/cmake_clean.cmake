@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_schedulers"
+  "../bench/bench_table1_schedulers.pdb"
+  "CMakeFiles/bench_table1_schedulers.dir/bench_table1_schedulers.cpp.o"
+  "CMakeFiles/bench_table1_schedulers.dir/bench_table1_schedulers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocked_solver.dir/blocked_solver.cpp.o"
+  "CMakeFiles/blocked_solver.dir/blocked_solver.cpp.o.d"
+  "blocked_solver"
+  "blocked_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocked_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_campaign.dir/discovery_campaign.cpp.o"
+  "CMakeFiles/discovery_campaign.dir/discovery_campaign.cpp.o.d"
+  "discovery_campaign"
+  "discovery_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_signal_chain.dir/edge_signal_chain.cpp.o"
+  "CMakeFiles/edge_signal_chain.dir/edge_signal_chain.cpp.o.d"
+  "edge_signal_chain"
+  "edge_signal_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_signal_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observatory_stream.dir/observatory_stream.cpp.o"
+  "CMakeFiles/observatory_stream.dir/observatory_stream.cpp.o.d"
+  "observatory_stream"
+  "observatory_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observatory_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

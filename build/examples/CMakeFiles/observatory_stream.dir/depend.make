@@ -1,0 +1,2 @@
+# Empty dependencies file for observatory_stream.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/CMakeFiles/hf_core.dir/core/analysis.cpp.o" "gcc" "src/CMakeFiles/hf_core.dir/core/analysis.cpp.o.d"
+  "/root/repo/src/core/codelet.cpp" "src/CMakeFiles/hf_core.dir/core/codelet.cpp.o" "gcc" "src/CMakeFiles/hf_core.dir/core/codelet.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/CMakeFiles/hf_core.dir/core/runtime.cpp.o" "gcc" "src/CMakeFiles/hf_core.dir/core/runtime.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/hf_core.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/hf_core.dir/core/stats.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/CMakeFiles/hf_core.dir/core/task.cpp.o" "gcc" "src/CMakeFiles/hf_core.dir/core/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_core.dir/core/analysis.cpp.o"
+  "CMakeFiles/hf_core.dir/core/analysis.cpp.o.d"
+  "CMakeFiles/hf_core.dir/core/codelet.cpp.o"
+  "CMakeFiles/hf_core.dir/core/codelet.cpp.o.d"
+  "CMakeFiles/hf_core.dir/core/runtime.cpp.o"
+  "CMakeFiles/hf_core.dir/core/runtime.cpp.o.d"
+  "CMakeFiles/hf_core.dir/core/stats.cpp.o"
+  "CMakeFiles/hf_core.dir/core/stats.cpp.o.d"
+  "CMakeFiles/hf_core.dir/core/task.cpp.o"
+  "CMakeFiles/hf_core.dir/core/task.cpp.o.d"
+  "libhf_core.a"
+  "libhf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

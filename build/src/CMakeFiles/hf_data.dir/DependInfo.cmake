@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/allocator.cpp" "src/CMakeFiles/hf_data.dir/data/allocator.cpp.o" "gcc" "src/CMakeFiles/hf_data.dir/data/allocator.cpp.o.d"
+  "/root/repo/src/data/coherence.cpp" "src/CMakeFiles/hf_data.dir/data/coherence.cpp.o" "gcc" "src/CMakeFiles/hf_data.dir/data/coherence.cpp.o.d"
+  "/root/repo/src/data/handle.cpp" "src/CMakeFiles/hf_data.dir/data/handle.cpp.o" "gcc" "src/CMakeFiles/hf_data.dir/data/handle.cpp.o.d"
+  "/root/repo/src/data/manager.cpp" "src/CMakeFiles/hf_data.dir/data/manager.cpp.o" "gcc" "src/CMakeFiles/hf_data.dir/data/manager.cpp.o.d"
+  "/root/repo/src/data/transfer.cpp" "src/CMakeFiles/hf_data.dir/data/transfer.cpp.o" "gcc" "src/CMakeFiles/hf_data.dir/data/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hf_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

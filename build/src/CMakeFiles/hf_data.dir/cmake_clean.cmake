@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_data.dir/data/allocator.cpp.o"
+  "CMakeFiles/hf_data.dir/data/allocator.cpp.o.d"
+  "CMakeFiles/hf_data.dir/data/coherence.cpp.o"
+  "CMakeFiles/hf_data.dir/data/coherence.cpp.o.d"
+  "CMakeFiles/hf_data.dir/data/handle.cpp.o"
+  "CMakeFiles/hf_data.dir/data/handle.cpp.o.d"
+  "CMakeFiles/hf_data.dir/data/manager.cpp.o"
+  "CMakeFiles/hf_data.dir/data/manager.cpp.o.d"
+  "CMakeFiles/hf_data.dir/data/transfer.cpp.o"
+  "CMakeFiles/hf_data.dir/data/transfer.cpp.o.d"
+  "libhf_data.a"
+  "libhf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/device.cpp" "src/CMakeFiles/hf_hw.dir/hw/device.cpp.o" "gcc" "src/CMakeFiles/hf_hw.dir/hw/device.cpp.o.d"
+  "/root/repo/src/hw/failure.cpp" "src/CMakeFiles/hf_hw.dir/hw/failure.cpp.o" "gcc" "src/CMakeFiles/hf_hw.dir/hw/failure.cpp.o.d"
+  "/root/repo/src/hw/link.cpp" "src/CMakeFiles/hf_hw.dir/hw/link.cpp.o" "gcc" "src/CMakeFiles/hf_hw.dir/hw/link.cpp.o.d"
+  "/root/repo/src/hw/memory.cpp" "src/CMakeFiles/hf_hw.dir/hw/memory.cpp.o" "gcc" "src/CMakeFiles/hf_hw.dir/hw/memory.cpp.o.d"
+  "/root/repo/src/hw/platform.cpp" "src/CMakeFiles/hf_hw.dir/hw/platform.cpp.o" "gcc" "src/CMakeFiles/hf_hw.dir/hw/platform.cpp.o.d"
+  "/root/repo/src/hw/presets.cpp" "src/CMakeFiles/hf_hw.dir/hw/presets.cpp.o" "gcc" "src/CMakeFiles/hf_hw.dir/hw/presets.cpp.o.d"
+  "/root/repo/src/hw/serialize.cpp" "src/CMakeFiles/hf_hw.dir/hw/serialize.cpp.o" "gcc" "src/CMakeFiles/hf_hw.dir/hw/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_hw.dir/hw/device.cpp.o"
+  "CMakeFiles/hf_hw.dir/hw/device.cpp.o.d"
+  "CMakeFiles/hf_hw.dir/hw/failure.cpp.o"
+  "CMakeFiles/hf_hw.dir/hw/failure.cpp.o.d"
+  "CMakeFiles/hf_hw.dir/hw/link.cpp.o"
+  "CMakeFiles/hf_hw.dir/hw/link.cpp.o.d"
+  "CMakeFiles/hf_hw.dir/hw/memory.cpp.o"
+  "CMakeFiles/hf_hw.dir/hw/memory.cpp.o.d"
+  "CMakeFiles/hf_hw.dir/hw/platform.cpp.o"
+  "CMakeFiles/hf_hw.dir/hw/platform.cpp.o.d"
+  "CMakeFiles/hf_hw.dir/hw/presets.cpp.o"
+  "CMakeFiles/hf_hw.dir/hw/presets.cpp.o.d"
+  "CMakeFiles/hf_hw.dir/hw/serialize.cpp.o"
+  "CMakeFiles/hf_hw.dir/hw/serialize.cpp.o.d"
+  "libhf_hw.a"
+  "libhf_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

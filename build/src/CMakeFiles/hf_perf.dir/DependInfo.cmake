@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/energy_model.cpp" "src/CMakeFiles/hf_perf.dir/perf/energy_model.cpp.o" "gcc" "src/CMakeFiles/hf_perf.dir/perf/energy_model.cpp.o.d"
+  "/root/repo/src/perf/history_model.cpp" "src/CMakeFiles/hf_perf.dir/perf/history_model.cpp.o" "gcc" "src/CMakeFiles/hf_perf.dir/perf/history_model.cpp.o.d"
+  "/root/repo/src/perf/transfer_model.cpp" "src/CMakeFiles/hf_perf.dir/perf/transfer_model.cpp.o" "gcc" "src/CMakeFiles/hf_perf.dir/perf/transfer_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hf_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_perf.dir/perf/energy_model.cpp.o"
+  "CMakeFiles/hf_perf.dir/perf/energy_model.cpp.o.d"
+  "CMakeFiles/hf_perf.dir/perf/history_model.cpp.o"
+  "CMakeFiles/hf_perf.dir/perf/history_model.cpp.o.d"
+  "CMakeFiles/hf_perf.dir/perf/transfer_model.cpp.o"
+  "CMakeFiles/hf_perf.dir/perf/transfer_model.cpp.o.d"
+  "libhf_perf.a"
+  "libhf_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/batch.cpp" "src/CMakeFiles/hf_sched.dir/sched/batch.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/batch.cpp.o.d"
+  "/root/repo/src/sched/cpop.cpp" "src/CMakeFiles/hf_sched.dir/sched/cpop.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/cpop.cpp.o.d"
+  "/root/repo/src/sched/critical_path.cpp" "src/CMakeFiles/hf_sched.dir/sched/critical_path.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/critical_path.cpp.o.d"
+  "/root/repo/src/sched/dmda.cpp" "src/CMakeFiles/hf_sched.dir/sched/dmda.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/dmda.cpp.o.d"
+  "/root/repo/src/sched/dmdas.cpp" "src/CMakeFiles/hf_sched.dir/sched/dmdas.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/dmdas.cpp.o.d"
+  "/root/repo/src/sched/eager.cpp" "src/CMakeFiles/hf_sched.dir/sched/eager.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/eager.cpp.o.d"
+  "/root/repo/src/sched/energy_aware.cpp" "src/CMakeFiles/hf_sched.dir/sched/energy_aware.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/energy_aware.cpp.o.d"
+  "/root/repo/src/sched/graph_utils.cpp" "src/CMakeFiles/hf_sched.dir/sched/graph_utils.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/graph_utils.cpp.o.d"
+  "/root/repo/src/sched/heft.cpp" "src/CMakeFiles/hf_sched.dir/sched/heft.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/heft.cpp.o.d"
+  "/root/repo/src/sched/mct.cpp" "src/CMakeFiles/hf_sched.dir/sched/mct.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/mct.cpp.o.d"
+  "/root/repo/src/sched/peft.cpp" "src/CMakeFiles/hf_sched.dir/sched/peft.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/peft.cpp.o.d"
+  "/root/repo/src/sched/random_sched.cpp" "src/CMakeFiles/hf_sched.dir/sched/random_sched.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/random_sched.cpp.o.d"
+  "/root/repo/src/sched/registry.cpp" "src/CMakeFiles/hf_sched.dir/sched/registry.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/registry.cpp.o.d"
+  "/root/repo/src/sched/round_robin.cpp" "src/CMakeFiles/hf_sched.dir/sched/round_robin.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/round_robin.cpp.o.d"
+  "/root/repo/src/sched/work_stealing.cpp" "src/CMakeFiles/hf_sched.dir/sched/work_stealing.cpp.o" "gcc" "src/CMakeFiles/hf_sched.dir/sched/work_stealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

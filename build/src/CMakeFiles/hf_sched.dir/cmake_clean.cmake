@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_sched.dir/sched/batch.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/batch.cpp.o.d"
+  "CMakeFiles/hf_sched.dir/sched/cpop.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/cpop.cpp.o.d"
+  "CMakeFiles/hf_sched.dir/sched/critical_path.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/critical_path.cpp.o.d"
+  "CMakeFiles/hf_sched.dir/sched/dmda.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/dmda.cpp.o.d"
+  "CMakeFiles/hf_sched.dir/sched/dmdas.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/dmdas.cpp.o.d"
+  "CMakeFiles/hf_sched.dir/sched/eager.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/eager.cpp.o.d"
+  "CMakeFiles/hf_sched.dir/sched/energy_aware.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/energy_aware.cpp.o.d"
+  "CMakeFiles/hf_sched.dir/sched/graph_utils.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/graph_utils.cpp.o.d"
+  "CMakeFiles/hf_sched.dir/sched/heft.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/heft.cpp.o.d"
+  "CMakeFiles/hf_sched.dir/sched/mct.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/mct.cpp.o.d"
+  "CMakeFiles/hf_sched.dir/sched/peft.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/peft.cpp.o.d"
+  "CMakeFiles/hf_sched.dir/sched/random_sched.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/random_sched.cpp.o.d"
+  "CMakeFiles/hf_sched.dir/sched/registry.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/registry.cpp.o.d"
+  "CMakeFiles/hf_sched.dir/sched/round_robin.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/round_robin.cpp.o.d"
+  "CMakeFiles/hf_sched.dir/sched/work_stealing.cpp.o"
+  "CMakeFiles/hf_sched.dir/sched/work_stealing.cpp.o.d"
+  "libhf_sched.a"
+  "libhf_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/hf_sim.dir/sim/event_queue.cpp.o.d"
+  "libhf_sim.a"
+  "libhf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/report.cpp" "src/CMakeFiles/hf_trace.dir/trace/report.cpp.o" "gcc" "src/CMakeFiles/hf_trace.dir/trace/report.cpp.o.d"
+  "/root/repo/src/trace/svg.cpp" "src/CMakeFiles/hf_trace.dir/trace/svg.cpp.o" "gcc" "src/CMakeFiles/hf_trace.dir/trace/svg.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/CMakeFiles/hf_trace.dir/trace/tracer.cpp.o" "gcc" "src/CMakeFiles/hf_trace.dir/trace/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hf_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

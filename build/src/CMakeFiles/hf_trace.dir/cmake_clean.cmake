@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_trace.dir/trace/report.cpp.o"
+  "CMakeFiles/hf_trace.dir/trace/report.cpp.o.d"
+  "CMakeFiles/hf_trace.dir/trace/svg.cpp.o"
+  "CMakeFiles/hf_trace.dir/trace/svg.cpp.o.d"
+  "CMakeFiles/hf_trace.dir/trace/tracer.cpp.o"
+  "CMakeFiles/hf_trace.dir/trace/tracer.cpp.o.d"
+  "libhf_trace.a"
+  "libhf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_util.dir/util/cli.cpp.o"
+  "CMakeFiles/hf_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/hf_util.dir/util/csv.cpp.o"
+  "CMakeFiles/hf_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/hf_util.dir/util/graph.cpp.o"
+  "CMakeFiles/hf_util.dir/util/graph.cpp.o.d"
+  "CMakeFiles/hf_util.dir/util/json.cpp.o"
+  "CMakeFiles/hf_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/hf_util.dir/util/log.cpp.o"
+  "CMakeFiles/hf_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/hf_util.dir/util/rng.cpp.o"
+  "CMakeFiles/hf_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/hf_util.dir/util/stats.cpp.o"
+  "CMakeFiles/hf_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/hf_util.dir/util/strings.cpp.o"
+  "CMakeFiles/hf_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/hf_util.dir/util/table.cpp.o"
+  "CMakeFiles/hf_util.dir/util/table.cpp.o.d"
+  "libhf_util.a"
+  "libhf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

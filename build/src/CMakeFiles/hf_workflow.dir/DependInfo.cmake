@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/campaign.cpp" "src/CMakeFiles/hf_workflow.dir/workflow/campaign.cpp.o" "gcc" "src/CMakeFiles/hf_workflow.dir/workflow/campaign.cpp.o.d"
+  "/root/repo/src/workflow/characterize.cpp" "src/CMakeFiles/hf_workflow.dir/workflow/characterize.cpp.o" "gcc" "src/CMakeFiles/hf_workflow.dir/workflow/characterize.cpp.o.d"
+  "/root/repo/src/workflow/codelets.cpp" "src/CMakeFiles/hf_workflow.dir/workflow/codelets.cpp.o" "gcc" "src/CMakeFiles/hf_workflow.dir/workflow/codelets.cpp.o.d"
+  "/root/repo/src/workflow/dagfile.cpp" "src/CMakeFiles/hf_workflow.dir/workflow/dagfile.cpp.o" "gcc" "src/CMakeFiles/hf_workflow.dir/workflow/dagfile.cpp.o.d"
+  "/root/repo/src/workflow/generators.cpp" "src/CMakeFiles/hf_workflow.dir/workflow/generators.cpp.o" "gcc" "src/CMakeFiles/hf_workflow.dir/workflow/generators.cpp.o.d"
+  "/root/repo/src/workflow/linalg.cpp" "src/CMakeFiles/hf_workflow.dir/workflow/linalg.cpp.o" "gcc" "src/CMakeFiles/hf_workflow.dir/workflow/linalg.cpp.o.d"
+  "/root/repo/src/workflow/spec.cpp" "src/CMakeFiles/hf_workflow.dir/workflow/spec.cpp.o" "gcc" "src/CMakeFiles/hf_workflow.dir/workflow/spec.cpp.o.d"
+  "/root/repo/src/workflow/streaming.cpp" "src/CMakeFiles/hf_workflow.dir/workflow/streaming.cpp.o" "gcc" "src/CMakeFiles/hf_workflow.dir/workflow/streaming.cpp.o.d"
+  "/root/repo/src/workflow/transform.cpp" "src/CMakeFiles/hf_workflow.dir/workflow/transform.cpp.o" "gcc" "src/CMakeFiles/hf_workflow.dir/workflow/transform.cpp.o.d"
+  "/root/repo/src/workflow/workflow.cpp" "src/CMakeFiles/hf_workflow.dir/workflow/workflow.cpp.o" "gcc" "src/CMakeFiles/hf_workflow.dir/workflow/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

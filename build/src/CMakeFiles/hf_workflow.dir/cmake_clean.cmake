@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_workflow.dir/workflow/campaign.cpp.o"
+  "CMakeFiles/hf_workflow.dir/workflow/campaign.cpp.o.d"
+  "CMakeFiles/hf_workflow.dir/workflow/characterize.cpp.o"
+  "CMakeFiles/hf_workflow.dir/workflow/characterize.cpp.o.d"
+  "CMakeFiles/hf_workflow.dir/workflow/codelets.cpp.o"
+  "CMakeFiles/hf_workflow.dir/workflow/codelets.cpp.o.d"
+  "CMakeFiles/hf_workflow.dir/workflow/dagfile.cpp.o"
+  "CMakeFiles/hf_workflow.dir/workflow/dagfile.cpp.o.d"
+  "CMakeFiles/hf_workflow.dir/workflow/generators.cpp.o"
+  "CMakeFiles/hf_workflow.dir/workflow/generators.cpp.o.d"
+  "CMakeFiles/hf_workflow.dir/workflow/linalg.cpp.o"
+  "CMakeFiles/hf_workflow.dir/workflow/linalg.cpp.o.d"
+  "CMakeFiles/hf_workflow.dir/workflow/spec.cpp.o"
+  "CMakeFiles/hf_workflow.dir/workflow/spec.cpp.o.d"
+  "CMakeFiles/hf_workflow.dir/workflow/streaming.cpp.o"
+  "CMakeFiles/hf_workflow.dir/workflow/streaming.cpp.o.d"
+  "CMakeFiles/hf_workflow.dir/workflow/transform.cpp.o"
+  "CMakeFiles/hf_workflow.dir/workflow/transform.cpp.o.d"
+  "CMakeFiles/hf_workflow.dir/workflow/workflow.cpp.o"
+  "CMakeFiles/hf_workflow.dir/workflow/workflow.cpp.o.d"
+  "libhf_workflow.a"
+  "libhf_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_analysis_test.dir/core_analysis_test.cpp.o"
+  "CMakeFiles/core_analysis_test.dir/core_analysis_test.cpp.o.d"
+  "core_analysis_test"
+  "core_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

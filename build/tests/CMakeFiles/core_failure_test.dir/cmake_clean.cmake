@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_failure_test.dir/core_failure_test.cpp.o"
+  "CMakeFiles/core_failure_test.dir/core_failure_test.cpp.o.d"
+  "core_failure_test"
+  "core_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

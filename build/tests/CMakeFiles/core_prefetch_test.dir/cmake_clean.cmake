@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_prefetch_test.dir/core_prefetch_test.cpp.o"
+  "CMakeFiles/core_prefetch_test.dir/core_prefetch_test.cpp.o.d"
+  "core_prefetch_test"
+  "core_prefetch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_prefetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_redux_release_test.dir/core_redux_release_test.cpp.o"
+  "CMakeFiles/core_redux_release_test.dir/core_redux_release_test.cpp.o.d"
+  "core_redux_release_test"
+  "core_redux_release_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_redux_release_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

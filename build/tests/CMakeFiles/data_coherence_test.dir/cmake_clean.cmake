@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_coherence_test.dir/data_coherence_test.cpp.o"
+  "CMakeFiles/data_coherence_test.dir/data_coherence_test.cpp.o.d"
+  "data_coherence_test"
+  "data_coherence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_coherence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

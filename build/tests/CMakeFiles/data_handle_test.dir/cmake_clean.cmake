@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_handle_test.dir/data_handle_test.cpp.o"
+  "CMakeFiles/data_handle_test.dir/data_handle_test.cpp.o.d"
+  "data_handle_test"
+  "data_handle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_handle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_manager_test.dir/data_manager_test.cpp.o"
+  "CMakeFiles/data_manager_test.dir/data_manager_test.cpp.o.d"
+  "data_manager_test"
+  "data_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

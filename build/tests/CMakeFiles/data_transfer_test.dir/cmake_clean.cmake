@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_transfer_test.dir/data_transfer_test.cpp.o"
+  "CMakeFiles/data_transfer_test.dir/data_transfer_test.cpp.o.d"
+  "data_transfer_test"
+  "data_transfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

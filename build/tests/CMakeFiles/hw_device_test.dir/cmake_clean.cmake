@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_device_test.dir/hw_device_test.cpp.o"
+  "CMakeFiles/hw_device_test.dir/hw_device_test.cpp.o.d"
+  "hw_device_test"
+  "hw_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

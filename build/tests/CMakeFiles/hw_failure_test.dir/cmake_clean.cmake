@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_failure_test.dir/hw_failure_test.cpp.o"
+  "CMakeFiles/hw_failure_test.dir/hw_failure_test.cpp.o.d"
+  "hw_failure_test"
+  "hw_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_platform_test.dir/hw_platform_test.cpp.o"
+  "CMakeFiles/hw_platform_test.dir/hw_platform_test.cpp.o.d"
+  "hw_platform_test"
+  "hw_platform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_presets_test.dir/hw_presets_test.cpp.o"
+  "CMakeFiles/hw_presets_test.dir/hw_presets_test.cpp.o.d"
+  "hw_presets_test"
+  "hw_presets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_presets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_serialize_test.dir/hw_serialize_test.cpp.o"
+  "CMakeFiles/hw_serialize_test.dir/hw_serialize_test.cpp.o.d"
+  "hw_serialize_test"
+  "hw_serialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_cpop_test.dir/sched_cpop_test.cpp.o"
+  "CMakeFiles/sched_cpop_test.dir/sched_cpop_test.cpp.o.d"
+  "sched_cpop_test"
+  "sched_cpop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_cpop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_policies_test.dir/sched_policies_test.cpp.o"
+  "CMakeFiles/sched_policies_test.dir/sched_policies_test.cpp.o.d"
+  "sched_policies_test"
+  "sched_policies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

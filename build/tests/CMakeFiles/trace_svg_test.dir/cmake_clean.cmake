@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_svg_test.dir/trace_svg_test.cpp.o"
+  "CMakeFiles/trace_svg_test.dir/trace_svg_test.cpp.o.d"
+  "trace_svg_test"
+  "trace_svg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_svg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_graph_test.dir/util_graph_test.cpp.o"
+  "CMakeFiles/util_graph_test.dir/util_graph_test.cpp.o.d"
+  "util_graph_test"
+  "util_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

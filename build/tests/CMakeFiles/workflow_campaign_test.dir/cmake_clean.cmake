@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_campaign_test.dir/workflow_campaign_test.cpp.o"
+  "CMakeFiles/workflow_campaign_test.dir/workflow_campaign_test.cpp.o.d"
+  "workflow_campaign_test"
+  "workflow_campaign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

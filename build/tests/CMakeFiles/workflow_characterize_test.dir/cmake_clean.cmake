@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_characterize_test.dir/workflow_characterize_test.cpp.o"
+  "CMakeFiles/workflow_characterize_test.dir/workflow_characterize_test.cpp.o.d"
+  "workflow_characterize_test"
+  "workflow_characterize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_characterize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

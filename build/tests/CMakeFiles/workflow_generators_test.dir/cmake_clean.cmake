@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_generators_test.dir/workflow_generators_test.cpp.o"
+  "CMakeFiles/workflow_generators_test.dir/workflow_generators_test.cpp.o.d"
+  "workflow_generators_test"
+  "workflow_generators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_linalg_test.dir/workflow_linalg_test.cpp.o"
+  "CMakeFiles/workflow_linalg_test.dir/workflow_linalg_test.cpp.o.d"
+  "workflow_linalg_test"
+  "workflow_linalg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_streaming_test.dir/workflow_streaming_test.cpp.o"
+  "CMakeFiles/workflow_streaming_test.dir/workflow_streaming_test.cpp.o.d"
+  "workflow_streaming_test"
+  "workflow_streaming_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_transform_test.dir/workflow_transform_test.cpp.o"
+  "CMakeFiles/workflow_transform_test.dir/workflow_transform_test.cpp.o.d"
+  "workflow_transform_test"
+  "workflow_transform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetflow_bench.dir/hetflow_bench.cpp.o"
+  "CMakeFiles/hetflow_bench.dir/hetflow_bench.cpp.o.d"
+  "hetflow_bench"
+  "hetflow_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetflow_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

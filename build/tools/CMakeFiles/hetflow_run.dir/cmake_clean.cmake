@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetflow_run.dir/hetflow_run.cpp.o"
+  "CMakeFiles/hetflow_run.dir/hetflow_run.cpp.o.d"
+  "hetflow_run"
+  "hetflow_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetflow_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
