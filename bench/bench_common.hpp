@@ -1,10 +1,12 @@
 // Shared helpers for the experiment-reproduction benches.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/runtime.hpp"
 #include "hw/presets.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -13,6 +15,26 @@
 #include "workflow/workflow.hpp"
 
 namespace hetflow::bench {
+
+/// hetflow-verify hook: export HETFLOW_BENCH_VALIDATE=1 to run every
+/// bench workload with the end-of-run audit enabled (race detector,
+/// coherence/trace invariants). Off by default — validation adds an
+/// O(pairs) pass per run and the tables measure the runtime, not the
+/// checker.
+inline bool validate_requested() {
+  const char* value = std::getenv("HETFLOW_BENCH_VALIDATE");
+  return value != nullptr && *value != '\0' &&
+         std::string(value) != "0";
+}
+
+/// Bench-wide RuntimeOptions: pass through (or start from) the given
+/// options, turning validation on when HETFLOW_BENCH_VALIDATE is set.
+inline core::RuntimeOptions bench_options(core::RuntimeOptions options = {}) {
+  if (validate_requested()) {
+    options.validate = true;
+  }
+  return options;
+}
 
 /// The six evaluation workflows used throughout the tables.
 inline std::vector<workflow::Workflow> evaluation_workflows() {

@@ -24,7 +24,8 @@ int main() {
     std::vector<std::string> row = {std::to_string(gpus)};
     double dmda_makespan = 0.0;
     for (const std::string& policy : policies) {
-      core::Runtime runtime(platform, sched::make_scheduler(policy));
+      core::Runtime runtime(platform, sched::make_scheduler(policy),
+                            bench::bench_options());
       workflow::submit_cholesky_inplace(runtime, 16, 2048, library);
       runtime.wait_all();
       row.push_back(util::format("%.3f", runtime.stats().makespan_s));

@@ -28,7 +28,8 @@ int main() {
       int p = 0;
       for (const char* policy : {"dmda", "mct", "eager"}) {
         const core::RunStats stats =
-            workflow::run_workflow(platform, policy, wf, library);
+            workflow::run_workflow(platform, policy, wf, library,
+                                   bench::bench_options());
         makespan[p] += stats.makespan_s / kSeeds;
         moved[p] += static_cast<double>(stats.transfers.bytes_moved) / kSeeds;
         ++p;

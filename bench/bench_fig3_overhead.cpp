@@ -6,6 +6,7 @@
 // entry at a time).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/runtime.hpp"
 #include "hw/presets.hpp"
 #include "sched/registry.hpp"
@@ -22,7 +23,7 @@ void run_shape(benchmark::State& state, const workflow::Workflow& wf,
   const hw::Platform platform = hw::make_cpu_only(8);
   const auto library = workflow::CodeletLibrary::standard();
   for (auto _ : state) {
-    core::RuntimeOptions options;
+    core::RuntimeOptions options = bench::bench_options();
     options.record_trace = false;  // measure engine, not trace allocation
     core::Runtime runtime(platform, sched::make_scheduler(policy), options);
     workflow::submit_workflow(runtime, wf, library);

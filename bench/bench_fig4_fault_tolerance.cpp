@@ -19,7 +19,8 @@ int main() {
   const workflow::Workflow wf = workflow::make_montage(96);
 
   const double clean =
-      workflow::run_workflow(platform, "dmda", wf, library).makespan_s;
+      workflow::run_workflow(platform, "dmda", wf, library, bench::bench_options())
+          .makespan_s;
   std::cout << "failure-free makespan: " << util::format("%.3f s\n\n", clean);
 
   util::Table table({"rate 1/s", "retry-same s", "inflation", "attempts",
@@ -29,7 +30,7 @@ int main() {
     for (core::FailurePolicy policy :
          {core::FailurePolicy::RetrySameDevice,
           core::FailurePolicy::Reschedule}) {
-      core::RuntimeOptions options;
+      core::RuntimeOptions options = bench::bench_options();
       options.failure_model = hw::FailureModel::uniform(rate);
       options.failure_policy = policy;
       options.max_attempts = 200;

@@ -36,7 +36,8 @@ int main() {
         const workflow::Workflow wf = workflow::make_fork_join(
             32, 4, sigma, 100 + static_cast<std::uint64_t>(seed));
         const core::RunStats stats =
-            workflow::run_workflow(platform, policy, wf, library);
+            workflow::run_workflow(platform, policy, wf, library,
+                                   bench::bench_options());
         makespan += stats.makespan_s / kSeeds;
         std::vector<double> busy;
         for (const auto& device : stats.devices) {

@@ -33,7 +33,8 @@ int main() {
     double rw = 0.0;
     double redux = 0.0;
     for (const bool use_redux : {false, true}) {
-      core::Runtime rt(platform, sched::make_scheduler("mct"));
+      core::Runtime rt(platform, sched::make_scheduler("mct"),
+                       bench::bench_options());
       const auto acc = rt.register_data("acc", 8 << 10);
       for (std::size_t i = 0; i < n; ++i) {
         rt.submit(util::format("p%zu", i), accum_codelet(), 3e9,
@@ -56,7 +57,8 @@ int main() {
     double mono = 0.0;
     double part = 0.0;
     for (const bool use_partition : {false, true}) {
-      core::Runtime rt(platform, sched::make_scheduler("mct"));
+      core::Runtime rt(platform, sched::make_scheduler("mct"),
+                       bench::bench_options());
       const auto matrix = rt.register_data("matrix", 256ull << 20);
       if (use_partition) {
         const auto children = rt.partition_data(matrix, blocks);

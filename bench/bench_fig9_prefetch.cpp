@@ -27,7 +27,7 @@ int main() {
     double makespan[2] = {0.0, 0.0};
     std::uint64_t prefetches = 0;
     for (const bool enable : {false, true}) {
-      core::RuntimeOptions options;
+      core::RuntimeOptions options = bench::bench_options();
       options.enable_prefetch = enable;
       options.record_trace = false;
       core::Runtime rt(platform, sched::make_scheduler("mct"), options);

@@ -29,7 +29,8 @@ int main() {
         "%s (%zu)", wf.name().c_str(), wf.task_count())};
     for (const std::string& policy : policies) {
       const core::RunStats stats =
-          workflow::run_workflow(platform, policy, wf, library);
+          workflow::run_workflow(platform, policy, wf, library,
+                                 bench::bench_options());
       row.push_back(util::format("%.3f", stats.makespan_s));
     }
     table.add_row(std::move(row));

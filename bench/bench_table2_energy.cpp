@@ -20,7 +20,8 @@ int main() {
   for (const workflow::Workflow& wf : bench::evaluation_workflows()) {
     for (const std::string& policy : policies) {
       const core::RunStats stats =
-          workflow::run_workflow(platform, policy, wf, library);
+          workflow::run_workflow(platform, policy, wf, library,
+                                 bench::bench_options());
       table.add_row({wf.name(), policy,
                      util::format("%.3f", stats.makespan_s),
                      util::format("%.1f", stats.busy_energy_j()),

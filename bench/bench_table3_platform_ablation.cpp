@@ -26,7 +26,8 @@ int main() {
     double baseline = 0.0;
     for (const Config& config : configs) {
       const core::RunStats stats =
-          workflow::run_workflow(config.platform, "dmda", wf, library);
+          workflow::run_workflow(config.platform, "dmda", wf, library,
+                                 bench::bench_options());
       if (baseline == 0.0) {
         baseline = stats.makespan_s;
       }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# hetflow CI gate — the one command a PR must survive.
+#
+#   1. configure + build with -DHETFLOW_WERROR=ON (warnings are errors)
+#   2. run the full ctest suite plain
+#   3. rebuild with HETFLOW_SANITIZE=address,undefined and run the full
+#      suite again under the sanitizers
+#   4. lint: clang-tidy over files changed vs the merge base (all
+#      first-party files when git history is unavailable); fails on any
+#      diagnostic. Without clang-tidy installed, tools/lint.sh falls back
+#      to a strict GCC pass.
+#
+# Usage: ci/check.sh [jobs]
+set -eu -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${1:-$(nproc)}"
+cd "$repo_root"
+
+echo "=== [1/4] build (WERROR) ==="
+cmake -B build-ci -S . -DHETFLOW_WERROR=ON
+cmake --build build-ci -j "$jobs"
+
+echo "=== [2/4] ctest (plain) ==="
+ctest --test-dir build-ci --output-on-failure -j "$jobs"
+
+echo "=== [3/4] ctest (ASan + UBSan) ==="
+cmake -B build-asan -S . -DHETFLOW_WERROR=ON \
+      -DHETFLOW_SANITIZE=address,undefined
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "=== [4/4] lint (changed files) ==="
+changed=()
+if base="$(git merge-base HEAD origin/main 2>/dev/null ||
+           git rev-parse HEAD~1 2>/dev/null)"; then
+  while IFS= read -r f; do
+    case "$f" in
+      src/*.cpp|tools/*.cpp|bench/*.cpp) [ -f "$f" ] && changed+=("$f") ;;
+    esac
+  done < <(git diff --name-only "$base" HEAD)
+fi
+if [ "${#changed[@]}" -gt 0 ]; then
+  tools/lint.sh build-ci "${changed[@]}"
+else
+  tools/lint.sh build-ci
+fi
+
+echo "ci/check.sh: all gates passed"

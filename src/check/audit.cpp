@@ -1,0 +1,102 @@
+#include "check/audit.hpp"
+
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace hetflow::check {
+
+RunRecord snapshot_run(const core::Runtime& runtime) {
+  const hw::Platform& platform = runtime.platform();
+  RunRecord run;
+  run.device_count = platform.device_count();
+  run.node_count = platform.memory_node_count();
+  run.device_memory_node.reserve(run.device_count);
+  for (const hw::Device& device : platform.devices()) {
+    run.device_memory_node.push_back(device.memory_node());
+  }
+  const data::DataRegistry& registry = runtime.data().registry();
+  run.handle_bytes.reserve(registry.count());
+  run.handle_home.reserve(registry.count());
+  for (const data::DataHandle& handle : registry.handles()) {
+    run.handle_bytes.push_back(handle.bytes);
+    run.handle_home.push_back(handle.home_node);
+  }
+  run.tasks.reserve(runtime.task_count());
+  for (core::TaskId id = 0; id < runtime.task_count(); ++id) {
+    const core::Task& task = runtime.task(id);
+    TaskRecord record;
+    record.id = task.id();
+    record.name = task.name();
+    record.accesses = task.accesses();
+    record.dependencies = task.dependencies;
+    record.completed = task.state() == core::TaskState::Completed;
+    if (record.completed) {
+      record.device = task.device();
+      record.start = task.times().started;
+      record.end = task.times().completed;
+    }
+    run.tasks.push_back(std::move(record));
+  }
+  run.spans = runtime.tracer().spans();
+  return run;
+}
+
+AuditRecord snapshot_audit(const core::Runtime& runtime) {
+  AuditRecord record;
+  record.run = snapshot_run(runtime);
+  record.directory =
+      snapshot_directory(runtime.platform(), runtime.data().registry(),
+                         runtime.data().directory());
+  return record;
+}
+
+CheckReport audit_run(const core::Runtime& runtime) {
+  CheckReport report;
+  const RunRecord run = snapshot_run(runtime);
+  std::size_t pairs = 0;
+  report.merge(check_races(run, &pairs));
+  report.note_check("conflicting access pairs", pairs);
+  report.merge(check_trace(run));
+  report.note_check("trace spans", run.spans.size());
+  report.merge(check_directory(snapshot_directory(
+      runtime.platform(), runtime.data().registry(),
+      runtime.data().directory())));
+  report.note_check("directory replicas",
+                    runtime.data().registry().count() *
+                        runtime.platform().memory_node_count());
+  if (!runtime.event_queue().empty()) {
+    report.add({ViolationKind::EventResidue,
+                util::format("event queue still holds %zu event(s) after the "
+                             "run drained",
+                             runtime.event_queue().pending()),
+                Violation::npos, Violation::npos, Violation::npos,
+                Violation::npos});
+  }
+  return report;
+}
+
+std::vector<Violation> check_accesses(
+    const std::vector<data::Access>& accesses, const std::string& task_name) {
+  std::vector<Violation> out;
+  std::unordered_set<data::DataId> seen;
+  for (const data::Access& access : accesses) {
+    if (!seen.insert(access.data).second) {
+      out.push_back(
+          {ViolationKind::AccessMode,
+           util::format("task '%s' lists handle %u more than once in its "
+                        "access list",
+                        task_name.c_str(), access.data),
+           Violation::npos, Violation::npos, access.data, Violation::npos});
+    }
+  }
+  return out;
+}
+
+void enforce(const CheckReport& report) {
+  if (!report.passed()) {
+    throw ValidationError(report);
+  }
+}
+
+}  // namespace hetflow::check

@@ -1,0 +1,24 @@
+// hetflow-verify: on-disk audit snapshots ("hetflow audit v1").
+//
+// An AuditRecord serializes to a single JSON document so a run executed
+// elsewhere (hetflow_run --audit-out audit.json) can be checked offline
+// with `hetflow_check --audit audit.json`.
+#pragma once
+
+#include <string>
+
+#include "check/record.hpp"
+
+namespace hetflow::check {
+
+/// Serializes the audit record to the v1 JSON format.
+std::string to_audit_json(const AuditRecord& record);
+
+/// Parses the v1 JSON format; throws ParseError on malformed input.
+AuditRecord parse_audit_json(const std::string& text);
+
+/// File-based convenience wrappers.
+void save_audit(const AuditRecord& record, const std::string& path);
+AuditRecord load_audit(const std::string& path);
+
+}  // namespace hetflow::check

@@ -1,0 +1,22 @@
+// hetflow-verify: structural validation of abstract workflows.
+//
+// A report-returning complement to Workflow::validate() (which throws on
+// the first problem): collects *every* structural violation so the
+// hetflow_check CLI can list them all at once, and adds access-mode
+// sanity checks validate() does not cover.
+#pragma once
+
+#include <vector>
+
+#include "check/violation.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow::check {
+
+/// Checks: file indices in range, at most one producer per file, acyclic
+/// task graph, no duplicate entries in one task's input/output lists, no
+/// file listed as both input and output of the same task, non-empty
+/// codelet kinds.
+std::vector<Violation> check_workflow(const workflow::Workflow& workflow);
+
+}  // namespace hetflow::check

@@ -1,0 +1,187 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace hetflow::check {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+DirectoryRecord snapshot_directory(const hw::Platform& platform,
+                                   const data::DataRegistry& registry,
+                                   const data::CoherenceDirectory& directory) {
+  DirectoryRecord record;
+  record.node_count = platform.memory_node_count();
+  record.handle_bytes.reserve(registry.count());
+  for (const data::DataHandle& handle : registry.handles()) {
+    record.handle_bytes.push_back(handle.bytes);
+  }
+  record.capacity_bytes.reserve(record.node_count);
+  record.claimed_resident_bytes.reserve(record.node_count);
+  for (hw::MemoryNodeId node = 0; node < record.node_count; ++node) {
+    record.capacity_bytes.push_back(
+        platform.memory_node(node).capacity_bytes());
+    record.claimed_resident_bytes.push_back(directory.resident_bytes(node));
+  }
+  record.states.resize(registry.count() * record.node_count,
+                       data::ReplicaState::Invalid);
+  for (data::DataId id = 0; id < registry.count(); ++id) {
+    for (hw::MemoryNodeId node = 0; node < record.node_count; ++node) {
+      record.states[static_cast<std::size_t>(id) * record.node_count + node] =
+          directory.state(id, node);
+    }
+  }
+  return record;
+}
+
+std::vector<Violation> check_directory(const DirectoryRecord& directory) {
+  std::vector<Violation> out;
+  const std::size_t nodes = directory.node_count;
+  const std::size_t handles = directory.handle_count();
+
+  for (std::size_t id = 0; id < handles; ++id) {
+    std::size_t modified = 0;
+    std::size_t modified_node = 0;
+    std::size_t valid = 0;
+    for (std::size_t node = 0; node < nodes; ++node) {
+      const data::ReplicaState state = directory.state(id, node);
+      if (state != data::ReplicaState::Invalid) {
+        ++valid;
+      }
+      if (state == data::ReplicaState::Modified) {
+        ++modified;
+        modified_node = node;
+      }
+    }
+    if (modified > 1) {
+      out.push_back({ViolationKind::CoherenceState,
+                     util::format("handle %zu has %zu Modified owners", id,
+                                  modified),
+                     Violation::npos, Violation::npos, id, Violation::npos});
+    } else if (modified == 1 && valid > 1) {
+      out.push_back(
+          {ViolationKind::CoherenceState,
+           util::format("handle %zu is Modified on node %zu but %zu other "
+                        "replica(s) are still valid",
+                        id, modified_node, valid - 1),
+           Violation::npos, Violation::npos, id, modified_node});
+    }
+    if (valid == 0) {
+      out.push_back(
+          {ViolationKind::CoherenceState,
+           util::format("handle %zu has no valid replica anywhere — the "
+                        "data is lost and any read would come from an "
+                        "Invalid replica",
+                        id),
+           Violation::npos, Violation::npos, id, Violation::npos});
+    }
+  }
+
+  for (std::size_t node = 0; node < nodes; ++node) {
+    std::uint64_t computed = 0;
+    for (std::size_t id = 0; id < handles; ++id) {
+      if (directory.state(id, node) != data::ReplicaState::Invalid) {
+        computed += directory.handle_bytes[id];
+      }
+    }
+    if (node < directory.claimed_resident_bytes.size() &&
+        computed != directory.claimed_resident_bytes[node]) {
+      out.push_back(
+          {ViolationKind::ByteAccounting,
+           util::format("node %zu claims %llu resident bytes but valid "
+                        "replicas sum to %llu",
+                        node,
+                        static_cast<unsigned long long>(
+                            directory.claimed_resident_bytes[node]),
+                        static_cast<unsigned long long>(computed)),
+           Violation::npos, Violation::npos, Violation::npos, node});
+    }
+    if (node < directory.capacity_bytes.size() &&
+        computed > directory.capacity_bytes[node]) {
+      out.push_back(
+          {ViolationKind::CapacityExceeded,
+           util::format("node %zu holds %llu resident bytes, exceeding its "
+                        "capacity of %llu",
+                        node, static_cast<unsigned long long>(computed),
+                        static_cast<unsigned long long>(
+                            directory.capacity_bytes[node])),
+           Violation::npos, Violation::npos, Violation::npos, node});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> check_trace(const RunRecord& run) {
+  std::vector<Violation> out;
+
+  for (std::size_t i = 0; i < run.spans.size(); ++i) {
+    const trace::Span& span = run.spans[i];
+    if (span.end < span.start - kEps) {
+      out.push_back(
+          {ViolationKind::TimeMonotonicity,
+           util::format("span '%s' (task #%llu) ends at %.9g before it "
+                        "starts at %.9g",
+                        span.name.c_str(),
+                        static_cast<unsigned long long>(span.task_id),
+                        span.end, span.start),
+           span.task_id, Violation::npos, Violation::npos, span.device});
+    }
+    if (i > 0 && span.end < run.spans[i - 1].end - kEps) {
+      out.push_back(
+          {ViolationKind::TimeMonotonicity,
+           util::format("trace emission order not completion-monotone: span "
+                        "%zu ('%s') completes at %.9g after span %zu "
+                        "recorded %.9g — simulated time went backwards",
+                        i, span.name.c_str(), span.end, i - 1,
+                        run.spans[i - 1].end),
+           span.task_id, run.spans[i - 1].task_id, Violation::npos,
+           Violation::npos});
+    }
+    if (run.device_count > 0 && span.device >= run.device_count) {
+      out.push_back({ViolationKind::DanglingReference,
+                     util::format("span '%s' references unknown device %u",
+                                  span.name.c_str(), span.device),
+                     span.task_id, Violation::npos, Violation::npos,
+                     span.device});
+    }
+  }
+
+  // Per-device serialization: every span (successful or failed attempt)
+  // occupies the device exclusively.
+  std::vector<std::vector<const trace::Span*>> by_device(
+      std::max<std::size_t>(run.device_count, 1));
+  for (const trace::Span& span : run.spans) {
+    if (span.device < by_device.size()) {
+      by_device[span.device].push_back(&span);
+    }
+  }
+  for (auto& spans : by_device) {
+    std::sort(spans.begin(), spans.end(),
+              [](const trace::Span* a, const trace::Span* b) {
+                return a->start < b->start;
+              });
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      if (spans[i]->start < spans[i - 1]->end - kEps) {
+        out.push_back(
+            {ViolationKind::DeviceOverlap,
+             util::format("device %u runs '%s' (task #%llu, [%.9g, %.9g]) "
+                          "overlapping '%s' (task #%llu, [%.9g, %.9g])",
+                          spans[i]->device, spans[i - 1]->name.c_str(),
+                          static_cast<unsigned long long>(
+                              spans[i - 1]->task_id),
+                          spans[i - 1]->start, spans[i - 1]->end,
+                          spans[i]->name.c_str(),
+                          static_cast<unsigned long long>(spans[i]->task_id),
+                          spans[i]->start, spans[i]->end),
+             spans[i - 1]->task_id, spans[i]->task_id, Violation::npos,
+             spans[i]->device});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hetflow::check

@@ -1,0 +1,35 @@
+// hetflow-verify: invariant checkers for the coherence directory and the
+// execution trace / event timeline.
+#pragma once
+
+#include <vector>
+
+#include "check/record.hpp"
+#include "check/violation.hpp"
+#include "data/coherence.hpp"
+#include "data/handle.hpp"
+#include "hw/platform.hpp"
+
+namespace hetflow::check {
+
+/// Snapshots a live directory (plus the platform's capacities) into the
+/// plain record the checker consumes.
+DirectoryRecord snapshot_directory(const hw::Platform& platform,
+                                   const data::DataRegistry& registry,
+                                   const data::CoherenceDirectory& directory);
+
+/// MSI directory invariants: at most one Modified owner per handle; a
+/// Modified owner excludes every other valid replica; every handle keeps
+/// at least one valid replica (no data loss — a read would otherwise
+/// come from an Invalid replica); claimed per-node byte accounting
+/// matches the per-replica ground truth; resident bytes never exceed a
+/// node's capacity.
+std::vector<Violation> check_directory(const DirectoryRecord& directory);
+
+/// Trace timeline invariants: spans end no earlier than they start, the
+/// emission order is completion-monotone (simulated time never goes
+/// backwards), spans reference known devices, and no two spans overlap
+/// on one (serial) device.
+std::vector<Violation> check_trace(const RunRecord& run);
+
+}  // namespace hetflow::check

@@ -1,0 +1,49 @@
+// hetflow-verify: happens-before schedule race detector.
+//
+// Replays the task records of a completed run and flags every pair of
+// conflicting accesses (RAW / WAW / WAR on one handle) whose simulated
+// execution intervals overlap without an ordering path between the two
+// tasks. Ordering is the transitive closure of the inferred dependency
+// edges, computed as per-task reachability bitsets (the dense-DAG
+// equivalent of per-handle vector clocks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/record.hpp"
+#include "check/violation.hpp"
+
+namespace hetflow::check {
+
+/// Transitive-closure oracle over a RunRecord's dependency edges.
+class HappensBefore {
+ public:
+  explicit HappensBefore(const RunRecord& run);
+
+  /// True when the dependency edges contain a cycle (reachability is
+  /// then computed over the acyclic prefix only).
+  bool has_cycle() const noexcept { return has_cycle_; }
+
+  /// True iff a dependency path orders the two tasks (either direction).
+  /// Indices are positions into run.tasks, not task ids.
+  bool ordered(std::size_t a, std::size_t b) const;
+
+  /// True iff task `ancestor` happens-before task `descendant`.
+  bool reaches(std::size_t ancestor, std::size_t descendant) const;
+
+ private:
+  std::size_t count_;
+  std::size_t words_;
+  std::vector<std::uint64_t> reach_;  ///< count_ rows of `words_` bits
+  bool has_cycle_ = false;
+};
+
+/// Runs the race detector. Also reports dependency edges the executed
+/// schedule did not respect, dangling task/handle references, and
+/// dependency cycles. `pairs_checked` (optional) receives the number of
+/// conflicting pairs examined, for coverage reporting.
+std::vector<Violation> check_races(const RunRecord& run,
+                                   std::size_t* pairs_checked = nullptr);
+
+}  // namespace hetflow::check

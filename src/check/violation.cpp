@@ -1,0 +1,78 @@
+#include "check/violation.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace hetflow::check {
+
+const char* to_string(ViolationKind kind) noexcept {
+  switch (kind) {
+    case ViolationKind::ConflictingOverlap:
+      return "conflicting-overlap";
+    case ViolationKind::DependencyViolation:
+      return "dependency-violation";
+    case ViolationKind::CoherenceState:
+      return "coherence-state";
+    case ViolationKind::ByteAccounting:
+      return "byte-accounting";
+    case ViolationKind::CapacityExceeded:
+      return "capacity-exceeded";
+    case ViolationKind::TimeMonotonicity:
+      return "time-monotonicity";
+    case ViolationKind::DeviceOverlap:
+      return "device-overlap";
+    case ViolationKind::DanglingReference:
+      return "dangling-reference";
+    case ViolationKind::Cycle:
+      return "cycle";
+    case ViolationKind::AccessMode:
+      return "access-mode";
+    case ViolationKind::EventResidue:
+      return "event-residue";
+  }
+  return "unknown";
+}
+
+std::string Violation::describe() const {
+  return std::string("[") + to_string(kind) + "] " + message;
+}
+
+void CheckReport::add(Violation violation) {
+  violations_.push_back(std::move(violation));
+}
+
+void CheckReport::merge(std::vector<Violation> violations) {
+  for (Violation& violation : violations) {
+    violations_.push_back(std::move(violation));
+  }
+}
+
+void CheckReport::note_check(const std::string& name, std::size_t checked) {
+  notes_.push_back(util::format("%s: %zu checked", name.c_str(), checked));
+}
+
+std::size_t CheckReport::count(ViolationKind kind) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(violations_.begin(), violations_.end(),
+                    [&](const Violation& v) { return v.kind == kind; }));
+}
+
+std::string CheckReport::summary() const {
+  std::string out;
+  if (passed()) {
+    out += "hetflow-verify: all checks passed\n";
+  } else {
+    out += util::format("hetflow-verify: %zu violation(s)\n",
+                        violations_.size());
+    for (const Violation& violation : violations_) {
+      out += "  " + violation.describe() + "\n";
+    }
+  }
+  for (const std::string& note : notes_) {
+    out += "  (" + note + ")\n";
+  }
+  return out;
+}
+
+}  // namespace hetflow::check

@@ -1,0 +1,102 @@
+// hetflow-verify: violation taxonomy and check reports.
+//
+// Every checker in src/check/ returns a list of Violations; a CheckReport
+// aggregates them across checkers so callers (RuntimeOptions::validate,
+// the hetflow_check CLI, tests) can render or enforce them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hetflow::check {
+
+/// Classes of correctness violations hetflow-verify detects. Each value
+/// corresponds to one invariant catalogued in docs/invariants.md.
+enum class ViolationKind : std::uint8_t {
+  /// Two conflicting accesses (RAW/WAW/WAR) overlap in simulated time
+  /// with no happens-before path between their tasks.
+  ConflictingOverlap = 0,
+  /// A dependency edge exists but was not respected by the executed
+  /// schedule (child started before its parent finished).
+  DependencyViolation,
+  /// MSI directory state broken: multiple Modified owners, a Modified
+  /// owner coexisting with other valid replicas, or a handle with no
+  /// valid replica anywhere (data loss / read-from-Invalid).
+  CoherenceState,
+  /// Directory byte accounting disagrees with the sum of resident
+  /// replica sizes.
+  ByteAccounting,
+  /// Resident replica bytes exceed a memory node's capacity.
+  CapacityExceeded,
+  /// Simulated time went backwards: a span ends before it starts, or
+  /// the trace's completion order is not monotone.
+  TimeMonotonicity,
+  /// Two execution spans overlap on the same (serial) device.
+  DeviceOverlap,
+  /// A record references an unknown task, handle, device or file.
+  DanglingReference,
+  /// The dependency / task graph contains a cycle.
+  Cycle,
+  /// Access-mode sanity: duplicate handles in one access list, a file
+  /// listed as both input and output of one workflow task, etc.
+  AccessMode,
+  /// The event queue still holds events after the run drained.
+  EventResidue,
+};
+
+const char* to_string(ViolationKind kind) noexcept;
+
+/// One detected violation. `task_a`/`task_b`/`data`/`node` identify the
+/// participants where applicable (npos = not applicable).
+struct Violation {
+  static constexpr std::uint64_t npos = static_cast<std::uint64_t>(-1);
+
+  ViolationKind kind = ViolationKind::ConflictingOverlap;
+  std::string message;
+  std::uint64_t task_a = npos;
+  std::uint64_t task_b = npos;
+  std::uint64_t data = npos;
+  std::uint64_t node = npos;
+
+  /// "[conflicting-overlap] message" — the rendering used everywhere.
+  std::string describe() const;
+};
+
+/// Aggregated result of one or more checkers.
+class CheckReport {
+ public:
+  void add(Violation violation);
+  void merge(std::vector<Violation> violations);
+  void note_check(const std::string& name, std::size_t checked);
+
+  bool passed() const noexcept { return violations_.empty(); }
+  const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  std::size_t count(ViolationKind kind) const noexcept;
+
+  /// Multi-line human-readable report: one line per violation plus a
+  /// per-checker coverage footer ("races: 42 pairs checked").
+  std::string summary() const;
+
+ private:
+  std::vector<Violation> violations_;
+  std::vector<std::string> notes_;
+};
+
+/// Thrown by RuntimeOptions::validate enforcement; carries the report.
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const CheckReport& report)
+      : Error(report.summary()), report_(report) {}
+
+  const CheckReport& report() const noexcept { return report_; }
+
+ private:
+  CheckReport report_;
+};
+
+}  // namespace hetflow::check

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "check/audit.hpp"
 #include "perf/energy_model.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -229,6 +230,11 @@ TaskId Runtime::submit(std::string name, CodeletPtr codelet, double flops,
           "' after unpartition");
     }
   }
+  if (options_.validate) {
+    check::CheckReport report;
+    report.merge(check::check_accesses(accesses, name));
+    check::enforce(report);
+  }
   const TaskId id = tasks_.size();
   tasks_.push_back(std::make_unique<Task>(id, std::move(name),
                                           std::move(codelet), flops,
@@ -345,6 +351,9 @@ sim::SimTime Runtime::wait_all() {
     }
   }
   finalize_stats();
+  if (options_.validate) {
+    check::enforce(check::audit_run(*this));
+  }
   return queue_.now();
 }
 

@@ -64,6 +64,11 @@ struct RuntimeOptions {
   /// instead of at task start. Off by default so baseline experiments
   /// isolate scheduling effects.
   bool enable_prefetch = false;
+  /// hetflow-verify: run submit-time access-list checks and, inside
+  /// wait_all(), the full end-of-run audit (happens-before race
+  /// detector, trace timeline, coherence-directory invariants,
+  /// event-queue drain). Violations throw check::ValidationError.
+  bool validate = false;
 };
 
 class Runtime {
@@ -126,6 +131,7 @@ class Runtime {
   const data::DataManager& data() const noexcept { return data_; }
   const perf::HistoryModel& history() const noexcept { return history_; }
   const Scheduler& scheduler() const noexcept { return *scheduler_; }
+  const sim::EventQueue& event_queue() const noexcept { return queue_; }
   sim::SimTime now() const noexcept { return queue_.now(); }
 
  private:

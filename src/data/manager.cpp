@@ -114,6 +114,11 @@ sim::SimTime DataManager::acquire(const std::vector<Access>& accesses,
       const sim::SimTime done =
           transfers_.transfer(source, node, handle.bytes, earliest);
       ++stats_.fetches;
+      // MSI remote read: a Modified owner loses exclusivity but keeps
+      // its (up-to-date) copy — both ends are Shared afterwards.
+      if (directory_.state(access.data, source) == ReplicaState::Modified) {
+        directory_.mark_shared(access.data, source);
+      }
       directory_.mark_shared(access.data, node);
       ready = std::max(ready, done);
     } else if (!local && handle.bytes > 0) {
@@ -172,6 +177,10 @@ void DataManager::prefetch(const std::vector<Access>& accesses,
           transfers_.transfer(source, node, handle.bytes, earliest);
       ++stats_.fetches;
       ++stats_.prefetches;
+      // Same MSI downgrade as acquire(): remote read ends exclusivity.
+      if (directory_.state(access.data, source) == ReplicaState::Modified) {
+        directory_.mark_shared(access.data, source);
+      }
       directory_.mark_shared(access.data, node);
       in_flight_[flight_key(access.data, node)] = done;
     }

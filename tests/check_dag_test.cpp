@@ -1,0 +1,94 @@
+// hetflow-verify workflow validator: unlike Workflow::validate() (throws
+// on the first problem) check_workflow() reports every structural issue.
+#include "check/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workflow/workflow.hpp"
+
+namespace hetflow::check {
+namespace {
+
+std::size_t count_kind(const std::vector<Violation>& violations,
+                       ViolationKind kind) {
+  std::size_t n = 0;
+  for (const Violation& violation : violations) {
+    n += violation.kind == kind ? 1 : 0;
+  }
+  return n;
+}
+
+TEST(CheckWorkflow, CleanDiamondPasses) {
+  workflow::Workflow wf("diamond");
+  const auto in = wf.add_file("in.dat", 1024);
+  const auto left = wf.add_file("left.dat", 1024);
+  const auto right = wf.add_file("right.dat", 1024);
+  const auto out = wf.add_file("out.dat", 1024);
+  wf.add_task("split_l", "generic", 1e6, {in}, {left});
+  wf.add_task("split_r", "generic", 1e6, {in}, {right});
+  wf.add_task("join", "generic", 1e6, {left, right}, {out});
+  EXPECT_TRUE(check_workflow(wf).empty());
+}
+
+TEST(CheckWorkflow, EmptyKindIsReported) {
+  workflow::Workflow wf("w");
+  const auto f = wf.add_file("f", 1);
+  wf.add_task("t", "", 1.0, {}, {f});
+  EXPECT_EQ(count_kind(check_workflow(wf), ViolationKind::AccessMode), 1u);
+}
+
+TEST(CheckWorkflow, OutOfRangeFileIndexIsReported) {
+  workflow::Workflow wf("w");
+  wf.add_file("f", 1);
+  wf.add_task("t", "generic", 1.0, {5}, {});
+  EXPECT_EQ(count_kind(check_workflow(wf), ViolationKind::DanglingReference),
+            1u);
+}
+
+TEST(CheckWorkflow, DuplicateInputIsReported) {
+  workflow::Workflow wf("w");
+  const auto f = wf.add_file("f", 1);
+  wf.add_task("t", "generic", 1.0, {f, f}, {});
+  EXPECT_EQ(count_kind(check_workflow(wf), ViolationKind::AccessMode), 1u);
+}
+
+TEST(CheckWorkflow, FileBothInputAndOutputIsReported) {
+  workflow::Workflow wf("w");
+  const auto f = wf.add_file("f", 1);
+  wf.add_task("t", "generic", 1.0, {f}, {f});
+  EXPECT_GE(count_kind(check_workflow(wf), ViolationKind::AccessMode), 1u);
+}
+
+TEST(CheckWorkflow, TwoProducersOfOneFileAreReported) {
+  workflow::Workflow wf("w");
+  const auto f = wf.add_file("f", 1);
+  wf.add_task("p1", "generic", 1.0, {}, {f});
+  wf.add_task("p2", "generic", 1.0, {}, {f});
+  EXPECT_EQ(count_kind(check_workflow(wf), ViolationKind::AccessMode), 1u);
+}
+
+TEST(CheckWorkflow, CycleIsReported) {
+  // t1 produces a and consumes b; t2 produces b and consumes a.
+  workflow::Workflow wf("w");
+  const auto a = wf.add_file("a", 1);
+  const auto b = wf.add_file("b", 1);
+  wf.add_task("t1", "generic", 1.0, {b}, {a});
+  wf.add_task("t2", "generic", 1.0, {a}, {b});
+  EXPECT_EQ(count_kind(check_workflow(wf), ViolationKind::Cycle), 1u);
+}
+
+TEST(CheckWorkflow, AllViolationsAreCollectedAtOnce) {
+  // One workflow, three independent problems — the validator must not
+  // stop at the first one.
+  workflow::Workflow wf("w");
+  const auto f = wf.add_file("f", 1);
+  wf.add_task("bad_kind", "", 1.0, {}, {});
+  wf.add_task("dup_in", "generic", 1.0, {f, f}, {});
+  wf.add_task("dangling", "generic", 1.0, {99}, {});
+  const auto violations = check_workflow(wf);
+  EXPECT_EQ(count_kind(violations, ViolationKind::AccessMode), 2u);
+  EXPECT_EQ(count_kind(violations, ViolationKind::DanglingReference), 1u);
+}
+
+}  // namespace
+}  // namespace hetflow::check

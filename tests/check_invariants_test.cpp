@@ -1,0 +1,166 @@
+// hetflow-verify invariant checkers: fabricate known-bad directory and
+// trace snapshots and assert the precise violation class is reported.
+#include "check/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/record.hpp"
+#include "data/coherence.hpp"
+#include "trace/tracer.hpp"
+
+namespace hetflow::check {
+namespace {
+
+using data::ReplicaState;
+
+constexpr std::uint64_t kKiB = 1024;
+
+/// One handle (512 bytes, home node 0), two nodes of 1 KiB each, the
+/// handle resident Shared on its home. All invariants hold.
+DirectoryRecord clean_directory() {
+  DirectoryRecord directory;
+  directory.node_count = 2;
+  directory.handle_bytes = {512};
+  directory.capacity_bytes = {kKiB, kKiB};
+  directory.states = {ReplicaState::Shared, ReplicaState::Invalid};
+  directory.claimed_resident_bytes = {512, 0};
+  return directory;
+}
+
+std::size_t count_kind(const std::vector<Violation>& violations,
+                       ViolationKind kind) {
+  std::size_t n = 0;
+  for (const Violation& violation : violations) {
+    n += violation.kind == kind ? 1 : 0;
+  }
+  return n;
+}
+
+TEST(CheckDirectory, CleanDirectoryPasses) {
+  EXPECT_TRUE(check_directory(clean_directory()).empty());
+}
+
+TEST(CheckDirectory, TwoModifiedOwnersAreReported) {
+  DirectoryRecord directory = clean_directory();
+  directory.states = {ReplicaState::Modified, ReplicaState::Modified};
+  directory.claimed_resident_bytes = {512, 512};
+  const auto violations = check_directory(directory);
+  EXPECT_GE(count_kind(violations, ViolationKind::CoherenceState), 1u);
+}
+
+TEST(CheckDirectory, ModifiedPlusSharedIsReported) {
+  DirectoryRecord directory = clean_directory();
+  directory.states = {ReplicaState::Modified, ReplicaState::Shared};
+  directory.claimed_resident_bytes = {512, 512};
+  EXPECT_GE(count_kind(check_directory(directory),
+                       ViolationKind::CoherenceState),
+            1u);
+}
+
+TEST(CheckDirectory, NoValidReplicaIsReported) {
+  // A read would come from an Invalid replica: data loss.
+  DirectoryRecord directory = clean_directory();
+  directory.states = {ReplicaState::Invalid, ReplicaState::Invalid};
+  directory.claimed_resident_bytes = {0, 0};
+  const auto violations = check_directory(directory);
+  EXPECT_EQ(count_kind(violations, ViolationKind::CoherenceState), 1u);
+  EXPECT_EQ(violations[0].data, 0u);
+}
+
+TEST(CheckDirectory, ByteAccountingMismatchIsReported) {
+  DirectoryRecord directory = clean_directory();
+  directory.claimed_resident_bytes = {256, 0};  // truth is 512
+  const auto violations = check_directory(directory);
+  ASSERT_EQ(count_kind(violations, ViolationKind::ByteAccounting), 1u);
+  EXPECT_EQ(violations[0].node, 0u);
+}
+
+TEST(CheckDirectory, CapacityOverflowIsReported) {
+  DirectoryRecord directory;
+  directory.node_count = 1;
+  directory.handle_bytes = {kKiB, kKiB};
+  directory.capacity_bytes = {kKiB};  // two 1 KiB replicas on a 1 KiB node
+  directory.states = {ReplicaState::Shared, ReplicaState::Shared};
+  directory.claimed_resident_bytes = {2 * kKiB};
+  const auto violations = check_directory(directory);
+  ASSERT_EQ(count_kind(violations, ViolationKind::CapacityExceeded), 1u);
+  EXPECT_EQ(violations[0].node, 0u);
+}
+
+/// A run with two devices and the given spans (no tasks — check_trace
+/// only consumes spans and the device table).
+RunRecord trace_run(std::vector<trace::Span> spans) {
+  RunRecord run;
+  run.device_count = 2;
+  run.node_count = 1;
+  run.device_memory_node = {0, 0};
+  run.spans = std::move(spans);
+  return run;
+}
+
+TEST(CheckTrace, CleanTracePasses) {
+  EXPECT_TRUE(check_trace(trace_run({
+                              {0, "a", 0, 0.0, 1.0, trace::SpanKind::Exec},
+                              {1, "b", 1, 0.5, 1.5, trace::SpanKind::Exec},
+                              {2, "c", 0, 1.0, 2.0, trace::SpanKind::Exec},
+                          }))
+                  .empty());
+}
+
+TEST(CheckTrace, SpanEndingBeforeItStartsIsReported) {
+  const auto violations = check_trace(trace_run({
+      {0, "a", 0, 2.0, 1.0, trace::SpanKind::Exec},
+  }));
+  EXPECT_GE(count_kind(violations, ViolationKind::TimeMonotonicity), 1u);
+}
+
+TEST(CheckTrace, NonMonotoneEmissionOrderIsReported) {
+  // Completion times must be non-decreasing in emission order: the
+  // tracer appends a span when its task completes.
+  const auto violations = check_trace(trace_run({
+      {0, "a", 0, 0.0, 5.0, trace::SpanKind::Exec},
+      {1, "b", 1, 0.0, 1.0, trace::SpanKind::Exec},
+  }));
+  EXPECT_EQ(count_kind(violations, ViolationKind::TimeMonotonicity), 1u);
+}
+
+TEST(CheckTrace, UnknownDeviceIsReported) {
+  const auto violations = check_trace(trace_run({
+      {0, "a", 7, 0.0, 1.0, trace::SpanKind::Exec},
+  }));
+  EXPECT_EQ(count_kind(violations, ViolationKind::DanglingReference), 1u);
+}
+
+TEST(CheckTrace, OverlappingSpansOnOneDeviceAreReported) {
+  const auto violations = check_trace(trace_run({
+      {0, "a", 0, 0.0, 2.0, trace::SpanKind::Exec},
+      {1, "b", 0, 1.0, 2.5, trace::SpanKind::Exec},
+  }));
+  ASSERT_EQ(count_kind(violations, ViolationKind::DeviceOverlap), 1u);
+  EXPECT_EQ(violations[0].node, 0u);
+}
+
+TEST(CheckTrace, BackToBackSpansOnOneDeviceAreClean) {
+  EXPECT_TRUE(check_trace(trace_run({
+                              {0, "a", 0, 0.0, 1.0, trace::SpanKind::Exec},
+                              {1, "b", 0, 1.0, 2.0, trace::SpanKind::Exec},
+                          }))
+                  .empty());
+}
+
+TEST(CheckReportApi, SummaryListsViolationsAndCoverage) {
+  CheckReport report;
+  report.note_check("races", 42);
+  EXPECT_TRUE(report.passed());
+  report.add({ViolationKind::CapacityExceeded, "node 0 over capacity",
+              Violation::npos, Violation::npos, Violation::npos, 0});
+  EXPECT_FALSE(report.passed());
+  EXPECT_EQ(report.count(ViolationKind::CapacityExceeded), 1u);
+  EXPECT_EQ(report.count(ViolationKind::Cycle), 0u);
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("capacity-exceeded"), std::string::npos);
+  EXPECT_NE(summary.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetflow::check

@@ -1,0 +1,94 @@
+// hetflow-verify soundness sweep: every built-in scheduler, run over
+// random and canonical DAGs with RuntimeOptions::validate on, must
+// produce a schedule the race detector and invariant checkers accept.
+// This is the "no false positives on real runs" half of the detector's
+// contract (tests/check_race_test.cpp covers "no false negatives").
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "check/audit.hpp"
+#include "check/dag.hpp"
+#include "core/runtime.hpp"
+#include "hw/presets.hpp"
+#include "sched/registry.hpp"
+#include "workflow/generators.hpp"
+#include "workflow/linalg.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow::check {
+namespace {
+
+using Combo = std::tuple<std::string, std::uint64_t>;  // (policy, seed)
+
+class ValidateSweep : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(ValidateSweep, RandomLayeredDagValidatesClean) {
+  const auto& [policy, seed] = GetParam();
+  // Vary shape with the seed: width/depth/ccr sweep the interesting
+  // regimes (communication-bound vs compute-bound, wide vs deep).
+  const std::size_t layers = 3 + seed % 4;
+  const std::size_t width = 2 + (seed / 2) % 5;
+  const double ccr = 0.25 * static_cast<double>(1 + seed % 8);
+  const workflow::Workflow wf =
+      workflow::make_random_layered(layers, width, ccr, seed);
+  EXPECT_TRUE(check_workflow(wf).empty());
+
+  const hw::Platform platform = hw::make_hpc_node(4, 2, 1);
+  core::RuntimeOptions options;
+  options.validate = true;
+  options.enable_prefetch = (seed % 2) == 1;  // exercise both data paths
+  core::Runtime rt(platform, sched::make_scheduler(policy), options);
+  workflow::submit_workflow(rt, wf, workflow::CodeletLibrary::standard());
+  // wait_all() runs the full audit (races, trace, directory, event
+  // queue) and throws ValidationError with the report on any violation.
+  EXPECT_NO_THROW(rt.wait_all());
+  EXPECT_EQ(rt.stats().tasks_completed, wf.task_count());
+}
+
+std::vector<Combo> all_combos() {
+  std::vector<Combo> combos;
+  std::uint64_t seed = 1;
+  for (const std::string& policy : sched::scheduler_names()) {
+    // Two random DAGs per policy keeps the sweep broad but fast.
+    combos.emplace_back(policy, seed++);
+    combos.emplace_back(policy, seed++);
+  }
+  return combos;
+}
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  auto [policy, seed] = info.param;
+  for (char& c : policy) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return policy + "_seed" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ValidateSweep,
+                         ::testing::ValuesIn(all_combos()), combo_name);
+
+TEST(ValidateCanonical, PegasusShapesValidateCleanUnderHeft) {
+  // The canonical published shapes through one representative policy.
+  const auto lib = workflow::CodeletLibrary::standard();
+  const hw::Platform platform = hw::make_workstation();
+  const workflow::Workflow shapes[] = {
+      workflow::make_montage(8),
+      workflow::make_epigenomics(2, 3),
+      workflow::make_cybershake(2, 4),
+      workflow::make_ligo(6, 3),
+      workflow::make_cholesky(4, 1024),
+  };
+  for (const workflow::Workflow& wf : shapes) {
+    core::RuntimeOptions options;
+    options.validate = true;
+    core::Runtime rt(platform, sched::make_scheduler("heft"), options);
+    workflow::submit_workflow(rt, wf, lib);
+    EXPECT_NO_THROW(rt.wait_all()) << wf.name();
+  }
+}
+
+}  // namespace
+}  // namespace hetflow::check

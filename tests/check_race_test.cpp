@@ -1,0 +1,177 @@
+// hetflow-verify race detector: known-bad runs must be flagged with the
+// precise violation class, known-good runs must come back clean.
+#include "check/race.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hetflow::check {
+namespace {
+
+using data::AccessMode;
+
+/// Two tasks touching handle 0 with the given modes and intervals;
+/// `ordered` adds the dependency edge 0 -> 1.
+RunRecord two_task_run(AccessMode mode_a, AccessMode mode_b, double start_a,
+                       double end_a, double start_b, double end_b,
+                       bool ordered) {
+  RunRecord run;
+  run.device_count = 2;
+  run.node_count = 2;
+  run.device_memory_node = {0, 1};
+  run.handle_bytes = {1024};
+  run.handle_home = {0};
+  TaskRecord a{0, "a", {{0, mode_a}}, {}, 0, start_a, end_a, true};
+  TaskRecord b{1, "b", {{0, mode_b}}, {}, 1, start_b, end_b, true};
+  if (ordered) {
+    b.dependencies.push_back(0);
+  }
+  run.tasks = {a, b};
+  return run;
+}
+
+std::size_t count_kind(const std::vector<Violation>& violations,
+                       ViolationKind kind) {
+  std::size_t n = 0;
+  for (const Violation& violation : violations) {
+    n += violation.kind == kind ? 1 : 0;
+  }
+  return n;
+}
+
+TEST(CheckRaces, OverlappingUnorderedWritersAreARace) {
+  const RunRecord run = two_task_run(AccessMode::Write, AccessMode::Write,
+                                     0.0, 1.0, 0.5, 1.5, false);
+  const auto violations = check_races(run);
+  ASSERT_EQ(count_kind(violations, ViolationKind::ConflictingOverlap), 1u);
+  EXPECT_NE(violations[0].message.find("WAW"), std::string::npos);
+  EXPECT_EQ(violations[0].data, 0u);
+}
+
+TEST(CheckRaces, ReadOverlappingUnorderedWriterIsARace) {
+  const auto raw = check_races(two_task_run(
+      AccessMode::Write, AccessMode::Read, 0.0, 1.0, 0.5, 1.5, false));
+  ASSERT_EQ(count_kind(raw, ViolationKind::ConflictingOverlap), 1u);
+  EXPECT_NE(raw[0].message.find("RAW"), std::string::npos);
+
+  const auto war = check_races(two_task_run(
+      AccessMode::Read, AccessMode::Write, 0.0, 1.0, 0.5, 1.5, false));
+  ASSERT_EQ(count_kind(war, ViolationKind::ConflictingOverlap), 1u);
+  EXPECT_NE(war[0].message.find("WAR"), std::string::npos);
+}
+
+TEST(CheckRaces, SerializedConflictIsClean) {
+  EXPECT_TRUE(check_races(two_task_run(AccessMode::Write, AccessMode::Write,
+                                       0.0, 1.0, 1.0, 2.0, true))
+                  .empty());
+  // Disjoint intervals without an edge: not flagged (the detector is
+  // interval-based; ordering comes from the executed schedule).
+  EXPECT_EQ(count_kind(check_races(two_task_run(AccessMode::Write,
+                                                AccessMode::Write, 0.0, 1.0,
+                                                2.0, 3.0, false)),
+                       ViolationKind::ConflictingOverlap),
+            0u);
+}
+
+TEST(CheckRaces, OverlapDespiteEdgeIsADependencyViolation) {
+  const RunRecord run = two_task_run(AccessMode::Write, AccessMode::Write,
+                                     0.0, 1.0, 0.5, 1.5, true);
+  const auto violations = check_races(run);
+  EXPECT_EQ(count_kind(violations, ViolationKind::ConflictingOverlap), 0u);
+  // Both the edge-timing check and the pair check report it.
+  EXPECT_GE(count_kind(violations, ViolationKind::DependencyViolation), 1u);
+}
+
+TEST(CheckRaces, ReduxContributorsMayOverlap) {
+  EXPECT_TRUE(check_races(two_task_run(AccessMode::Redux, AccessMode::Redux,
+                                       0.0, 1.0, 0.5, 1.5, false))
+                  .empty());
+  // ...but a Redux contributor still conflicts with a plain reader.
+  EXPECT_EQ(count_kind(check_races(two_task_run(AccessMode::Redux,
+                                                AccessMode::Read, 0.0, 1.0,
+                                                0.5, 1.5, false)),
+                       ViolationKind::ConflictingOverlap),
+            1u);
+}
+
+TEST(CheckRaces, ConcurrentReadersAreClean) {
+  EXPECT_TRUE(check_races(two_task_run(AccessMode::Read, AccessMode::Read,
+                                       0.0, 1.0, 0.5, 1.5, false))
+                  .empty());
+}
+
+TEST(CheckRaces, TransitiveOrderingIsRecognized) {
+  // a -> m -> b with a and b conflicting and (bogusly) overlapping:
+  // the overlap must be reported as a dependency violation, not as an
+  // unordered race — the transitive edge exists.
+  RunRecord run;
+  run.device_count = 1;
+  run.node_count = 1;
+  run.device_memory_node = {0};
+  run.handle_bytes = {64, 64};
+  run.handle_home = {0, 0};
+  run.tasks = {
+      {0, "a", {{0, AccessMode::Write}}, {}, 0, 0.0, 1.0, true},
+      {1, "m", {{1, AccessMode::Write}}, {0}, 0, 1.0, 2.0, true},
+      {2, "b", {{0, AccessMode::Write}}, {1}, 0, 0.5, 1.5, true},
+  };
+  const auto violations = check_races(run);
+  EXPECT_EQ(count_kind(violations, ViolationKind::ConflictingOverlap), 0u);
+  EXPECT_GE(count_kind(violations, ViolationKind::DependencyViolation), 1u);
+}
+
+TEST(CheckRaces, DanglingReferencesAreReported) {
+  RunRecord run;
+  run.device_count = 1;
+  run.node_count = 1;
+  run.device_memory_node = {0};
+  run.handle_bytes = {64};
+  run.handle_home = {0};
+  run.tasks = {{0, "a", {{7, AccessMode::Read}}, {42}, 3, 0.0, 1.0, true}};
+  const auto violations = check_races(run);
+  // Unknown handle 7, unknown dependency 42, unknown device 3.
+  EXPECT_EQ(count_kind(violations, ViolationKind::DanglingReference), 3u);
+}
+
+TEST(CheckRaces, CycleIsReported) {
+  RunRecord run;
+  run.device_count = 1;
+  run.node_count = 1;
+  run.device_memory_node = {0};
+  run.handle_bytes = {64};
+  run.handle_home = {0};
+  run.tasks = {
+      {0, "a", {{0, AccessMode::Read}}, {1}, 0, 0.0, 1.0, true},
+      {1, "b", {{0, AccessMode::Read}}, {0}, 0, 1.0, 2.0, true},
+  };
+  EXPECT_EQ(count_kind(check_races(run), ViolationKind::Cycle), 1u);
+}
+
+TEST(CheckRaces, IncompleteTasksAreIgnoredByThePairPass) {
+  RunRecord run = two_task_run(AccessMode::Write, AccessMode::Write, 0.0,
+                               1.0, 0.5, 1.5, false);
+  run.tasks[1].completed = false;
+  EXPECT_TRUE(check_races(run).empty());
+}
+
+TEST(HappensBeforeOracle, ReachabilityIsTransitiveAndDirected) {
+  RunRecord run;
+  run.device_count = 1;
+  run.node_count = 1;
+  run.device_memory_node = {0};
+  run.tasks = {
+      {0, "a", {}, {}, 0, 0.0, 1.0, true},
+      {1, "b", {}, {0}, 0, 1.0, 2.0, true},
+      {2, "c", {}, {1}, 0, 2.0, 3.0, true},
+      {3, "d", {}, {}, 0, 0.0, 1.0, true},  // independent
+  };
+  const HappensBefore hb(run);
+  EXPECT_FALSE(hb.has_cycle());
+  EXPECT_TRUE(hb.reaches(0, 2));
+  EXPECT_FALSE(hb.reaches(2, 0));
+  EXPECT_TRUE(hb.ordered(0, 2));
+  EXPECT_FALSE(hb.ordered(0, 3));
+  EXPECT_FALSE(hb.ordered(2, 3));
+}
+
+}  // namespace
+}  // namespace hetflow::check

@@ -133,6 +133,42 @@ TEST(DataManager, ModifiedVictimIsWrittenBack) {
   mgr.release(rb, 1);
 }
 
+TEST(DataManager, RemoteReadDowngradesModifiedOwner) {
+  // Regression (found by the hetflow-verify coherence checker): a read
+  // fetching from a Modified source must downgrade the source to Shared —
+  // Modified means "sole valid copy", which stops being true the moment a
+  // second replica materializes.
+  const hw::Platform p = small_vram_platform();
+  sim::EventQueue q;
+  DataManager mgr(p, q);
+  const DataId d = mgr.register_data("A", kMiB, 0);
+  const std::vector<Access> rw = {{d, AccessMode::ReadWrite}};
+  mgr.acquire(rw, 1, 0.0);
+  mgr.release(rw, 1);  // d is Modified on vram, Invalid at home
+  ASSERT_EQ(mgr.directory().state(d, 1), ReplicaState::Modified);
+  const std::vector<Access> read = {{d, AccessMode::Read}};
+  mgr.acquire(read, 0, 1.0);
+  EXPECT_EQ(mgr.directory().state(d, 0), ReplicaState::Shared);
+  EXPECT_EQ(mgr.directory().state(d, 1), ReplicaState::Shared);
+  mgr.release(read, 0);
+}
+
+TEST(DataManager, PrefetchDowngradesModifiedSource) {
+  // Same invariant through the prefetch path.
+  const hw::Platform p = small_vram_platform();
+  sim::EventQueue q;
+  DataManager mgr(p, q);
+  const DataId d = mgr.register_data("A", kMiB, 0);
+  const std::vector<Access> rw = {{d, AccessMode::ReadWrite}};
+  mgr.acquire(rw, 1, 0.0);
+  mgr.release(rw, 1);
+  const std::vector<Access> read = {{d, AccessMode::Read}};
+  mgr.prefetch(read, 0, 1.0);
+  EXPECT_EQ(mgr.directory().state(d, 0), ReplicaState::Shared);
+  EXPECT_EQ(mgr.directory().state(d, 1), ReplicaState::Shared);
+  mgr.release_prefetch(read, 0);
+}
+
 TEST(DataManager, PinnedReplicasAreNotEvicted) {
   const hw::Platform p = small_vram_platform();
   sim::EventQueue q;

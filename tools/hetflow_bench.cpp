@@ -10,6 +10,7 @@
 //
 //   $ hetflow_bench --workflows "montage:64;cholesky:12,2048"
 //         --platforms "hpc:8,2,0;hpc:8,4,0" --scheds dmda,heft
+#include <cstdlib>
 #include <iostream>
 
 #include "core/runtime.hpp"
@@ -49,6 +50,8 @@ int main(int argc, char** argv) {
   cli.add_option("seeds", "1", "number of seeds per combination");
   cli.add_option("noise", "0", "execution-time noise (cv)");
   cli.add_option("failure-rate", "0", "failure rate per busy-second");
+  cli.add_flag("validate",
+               "audit every run (also enabled by HETFLOW_BENCH_VALIDATE=1)");
 
   try {
     cli.parse(argc, argv);
@@ -67,6 +70,11 @@ int main(int argc, char** argv) {
     const auto scheds = util::split(cli.value("scheds"), ',');
     const auto seeds = static_cast<std::uint64_t>(cli.number("seeds"));
     HETFLOW_REQUIRE_MSG(seeds >= 1, "need at least one seed");
+    const char* validate_env = std::getenv("HETFLOW_BENCH_VALIDATE");
+    const bool validate =
+        cli.flag("validate") ||
+        (validate_env != nullptr && *validate_env != '\0' &&
+         std::string(validate_env) != "0");
 
     util::CsvWriter csv(std::cout);
     csv.header({"workflow", "tasks", "platform", "sched", "seed",
@@ -82,6 +90,7 @@ int main(int argc, char** argv) {
         for (const std::string& sched : scheds) {
           for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
             core::RuntimeOptions options;
+            options.validate = validate;
             options.seed = seed;
             options.noise_cv = cli.number("noise");
             options.record_trace = false;

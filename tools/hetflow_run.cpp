@@ -9,6 +9,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "check/audit.hpp"
+#include "check/audit_file.hpp"
 #include "core/analysis.hpp"
 #include "core/runtime.hpp"
 #include "sched/registry.hpp"
@@ -42,6 +44,12 @@ int main(int argc, char** argv) {
   cli.add_option("trace-json", "", "write a Chrome trace to this path");
   cli.add_option("gantt-svg", "", "write an SVG Gantt chart to this path");
   cli.add_option("dag-out", "", "save the workflow as a dagfile and exit");
+  cli.add_option("audit-out", "",
+                 "write a hetflow-verify audit snapshot (for hetflow_check "
+                 "--audit) to this path");
+  cli.add_flag("validate",
+               "run the hetflow-verify audit inside wait_all() and fail on "
+               "any violation");
   cli.add_flag("gantt", "print an ASCII Gantt chart");
   cli.add_flag("analyze", "print the realized critical path analysis");
   cli.add_flag("utilization", "print the per-device utilization table");
@@ -92,6 +100,7 @@ int main(int argc, char** argv) {
     } else if (cli.value("failure-policy") != "retry") {
       throw InvalidArgument("failure-policy must be retry or reschedule");
     }
+    options.validate = cli.flag("validate");
 
     core::Runtime runtime(platform,
                           sched::make_scheduler(cli.value("sched"),
@@ -129,6 +138,12 @@ int main(int argc, char** argv) {
       trace::save_svg(runtime.tracer(), platform, cli.value("gantt-svg"),
                       svg);
       std::cout << "SVG written to " << cli.value("gantt-svg") << '\n';
+    }
+    if (!cli.value("audit-out").empty()) {
+      check::save_audit(check::snapshot_audit(runtime),
+                        cli.value("audit-out"));
+      std::cout << "audit snapshot written to " << cli.value("audit-out")
+                << '\n';
     }
     if (!cli.value("trace-json").empty()) {
       std::ofstream out(cli.value("trace-json"));
