@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "exec/thread_pool.hpp"
 #include "hw/presets.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -35,6 +36,12 @@ inline core::RuntimeOptions bench_options(core::RuntimeOptions options = {}) {
   }
   return options;
 }
+
+/// Worker threads for the bench grids: HETFLOW_JOBS ("0" = all cores),
+/// else serial. Each grid cell is an independent simulation; tables are
+/// assembled from results in grid order, so the printed output is
+/// identical for any value.
+inline std::size_t jobs() { return exec::default_jobs(); }
 
 /// The six evaluation workflows used throughout the tables.
 inline std::vector<workflow::Workflow> evaluation_workflows() {

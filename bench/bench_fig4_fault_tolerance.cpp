@@ -25,20 +25,30 @@ int main() {
 
   util::Table table({"rate 1/s", "retry-same s", "inflation", "attempts",
                      "reschedule s", "inflation", "attempts"});
-  for (double rate : {0.0, 0.2, 0.5, 1.0, 2.0, 4.0}) {
-    std::vector<std::string> row = {util::format("%.1f", rate)};
-    for (core::FailurePolicy policy :
-         {core::FailurePolicy::RetrySameDevice,
-          core::FailurePolicy::Reschedule}) {
-      core::RuntimeOptions options = bench::bench_options();
-      options.failure_model = hw::FailureModel::uniform(rate);
-      options.failure_policy = policy;
-      options.max_attempts = 200;
-      const core::RunStats stats =
-          workflow::run_workflow(platform, "dmda", wf, library, options);
-      row.push_back(util::format("%.3f", stats.makespan_s));
-      row.push_back(util::format("%.2fx", stats.makespan_s / clean));
-      row.push_back(std::to_string(stats.failed_attempts));
+  const std::vector<double> rates = {0.0, 0.2, 0.5, 1.0, 2.0, 4.0};
+  const std::vector<core::FailurePolicy> recovery = {
+      core::FailurePolicy::RetrySameDevice, core::FailurePolicy::Reschedule};
+  // Flattened (rate x policy) grid over HETFLOW_JOBS workers; rows are
+  // assembled from the index-ordered results against the clean baseline.
+  const std::vector<core::RunStats> stats =
+      exec::parallel_map<core::RunStats>(
+          rates.size() * recovery.size(), bench::jobs(),
+          [&](std::size_t i) {
+            core::RuntimeOptions options = bench::bench_options();
+            options.failure_model =
+                hw::FailureModel::uniform(rates[i / recovery.size()]);
+            options.failure_policy = recovery[i % recovery.size()];
+            options.max_attempts = 200;
+            return workflow::run_workflow(platform, "dmda", wf, library,
+                                          options);
+          });
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    std::vector<std::string> row = {util::format("%.1f", rates[r])};
+    for (std::size_t p = 0; p < recovery.size(); ++p) {
+      const core::RunStats& s = stats[r * recovery.size() + p];
+      row.push_back(util::format("%.3f", s.makespan_s));
+      row.push_back(util::format("%.2fx", s.makespan_s / clean));
+      row.push_back(std::to_string(s.failed_attempts));
     }
     table.add_row(std::move(row));
   }

@@ -24,28 +24,40 @@ int main() {
     std::cout << "objective: " << surface.name() << "\n";
     util::Table table({"strategy", "success", "mean evals", "mean sim time s",
                        "mean best"});
-    for (SearchStrategy strategy :
-         {SearchStrategy::Grid, SearchStrategy::Random,
-          SearchStrategy::Surrogate}) {
+    const std::vector<SearchStrategy> strategies = {
+        SearchStrategy::Grid, SearchStrategy::Random,
+        SearchStrategy::Surrogate};
+    // Whole campaigns are the unit of parallelism here: each
+    // (strategy x seed) cell owns its Runtime/Rng, fanned out over
+    // HETFLOW_JOBS workers; inside a cell the candidate scoring stays
+    // serial (config.jobs = 1) so workers do not spawn nested pools.
+    const std::size_t n_seeds = std::size(seeds);
+    const std::vector<workflow::CampaignResult> results =
+        exec::parallel_map<workflow::CampaignResult>(
+            strategies.size() * n_seeds, bench::jobs(), [&](std::size_t i) {
+              workflow::CampaignConfig config;
+              config.max_evaluations = 256;
+              config.target_excess = 0.1;
+              config.seed = seeds[i % n_seeds];
+              config.jobs = 1;
+              return workflow::run_campaign(platform, surface,
+                                            strategies[i / n_seeds], config);
+            });
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
       std::size_t successes = 0;
       double mean_evals = 0.0;
       double mean_time = 0.0;
       double mean_best = 0.0;
-      for (std::uint64_t seed : seeds) {
-        workflow::CampaignConfig config;
-        config.max_evaluations = 256;
-        config.target_excess = 0.1;
-        config.seed = seed;
-        const workflow::CampaignResult result =
-            workflow::run_campaign(platform, surface, strategy, config);
+      for (std::size_t k = 0; k < n_seeds; ++k) {
+        const workflow::CampaignResult& result = results[s * n_seeds + k];
         successes += result.reached_target ? 1 : 0;
         mean_evals += static_cast<double>(result.evaluations);
         mean_time += result.makespan_s;
         mean_best += result.best_value;
       }
-      const double n = static_cast<double>(std::size(seeds));
-      table.add_row({to_string(strategy),
-                     util::format("%zu/%zu", successes, std::size(seeds)),
+      const double n = static_cast<double>(n_seeds);
+      table.add_row({to_string(strategies[s]),
+                     util::format("%zu/%zu", successes, n_seeds),
                      util::format("%.1f", mean_evals / n),
                      util::format("%.3f", mean_time / n),
                      util::format("%.4f", mean_best / n)});

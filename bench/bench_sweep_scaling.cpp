@@ -1,0 +1,112 @@
+// Sweep scaling — wall-clock speedup of the thread-pooled sweep engine
+// over the serial baseline on the Table-1 workload grid (6 workflows x
+// 10 policies, hpc node), with the determinism contract checked on every
+// point: the CSV emitted at every thread count must be byte-identical to
+// the serial run. Expected shape: near-linear speedup to ~4 workers
+// (the grid's 60 cells are embarrassingly parallel; the longest single
+// cell bounds the tail), then a plateau set by core count and the
+// largest workflow. Emits BENCH_sweep.json for the plotting pipeline.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "exec/sweep.hpp"
+#include "util/json.hpp"
+
+int main() {
+  using namespace hetflow;
+  bench::print_experiment_header(
+      "Sweep scaling",
+      "parallel sweep wall-clock vs --jobs on the Table-1 grid");
+
+  exec::SweepSpec spec;
+  spec.workflows = {"montage:96", "epigenomics:8,12", "cybershake:6,30",
+                    "ligo:130,10", "sipht:28,8", "cholesky:12,2048"};
+  spec.platforms = {"hpc:8,2,0"};
+  spec.schedulers = {"random", "round-robin", "eager", "work-stealing",
+                     "mct",    "min-min",     "dmda",  "dmdas",
+                     "heft",   "cpop"};
+  spec.seeds = 1;
+  spec.validate = bench::validate_requested();
+
+  const auto csv_of = [](const std::vector<exec::SweepRow>& rows) {
+    std::ostringstream out;
+    exec::write_sweep_header(out);
+    exec::write_sweep_rows(out, rows);
+    return out.str();
+  };
+  const auto timed_run = [&](std::size_t jobs, std::string& csv) {
+    spec.jobs = jobs;
+    const auto begin = std::chrono::steady_clock::now();
+    const std::vector<exec::SweepRow> rows = exec::run_sweep(spec);
+    const auto end = std::chrono::steady_clock::now();
+    csv = csv_of(rows);
+    return std::chrono::duration<double>(end - begin).count();
+  };
+
+  // Untimed warmup so the serial baseline doesn't absorb one-time costs
+  // (first-touch page faults, allocator arena growth) that later runs
+  // inherit for free — on few-core machines that alone fakes a speedup.
+  {
+    std::string ignored;
+    (void)timed_run(1, ignored);
+  }
+
+  std::string serial_csv;
+  const double serial_s = timed_run(1, serial_csv);
+  const std::size_t cells = spec.workflows.size() * spec.schedulers.size();
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "grid: " << cells << " cells, " << cores
+            << " hardware threads, serial "
+            << util::format("%.2f s\n\n", serial_s);
+
+  util::Table table({"jobs", "wall s", "speedup", "csv identical"});
+  table.add_row({"1", util::format("%.2f", serial_s), "1.00x", "yes"});
+
+  util::Json runs = util::Json::array();
+  util::Json serial_run = util::Json::object();
+  serial_run["jobs"] = 1;
+  serial_run["wall_s"] = serial_s;
+  serial_run["speedup"] = 1.0;
+  serial_run["csv_identical"] = true;
+  runs.push_back(serial_run);
+
+  bool all_identical = true;
+  for (std::size_t jobs : {2, 4, 8}) {
+    std::string csv;
+    const double wall_s = timed_run(jobs, csv);
+    const bool identical = csv == serial_csv;
+    all_identical &= identical;
+    const double speedup = serial_s / wall_s;
+    table.add_row({std::to_string(jobs), util::format("%.2f", wall_s),
+                   util::format("%.2fx", speedup), identical ? "yes" : "NO"});
+    util::Json run = util::Json::object();
+    run["jobs"] = jobs;
+    run["wall_s"] = wall_s;
+    run["speedup"] = speedup;
+    run["csv_identical"] = identical;
+    runs.push_back(run);
+  }
+  table.print(std::cout);
+  std::cout << "\n(wall-clock host seconds for the whole grid; every row "
+               "set is collected in cell order, so the CSV must not "
+               "depend on the thread count; speedup is bounded by the "
+               "hardware thread count above)\n";
+
+  util::Json doc = util::Json::object();
+  doc["bench"] = "sweep_scaling";
+  doc["hardware_threads"] = static_cast<std::size_t>(cores);
+  doc["cells"] = cells;
+  doc["workflows"] = spec.workflows.size();
+  doc["schedulers"] = spec.schedulers.size();
+  doc["serial_wall_s"] = serial_s;
+  doc["runs"] = runs;
+  std::ofstream out("BENCH_sweep.json");
+  out << doc.dump_pretty() << '\n';
+  std::cout << "\nwrote BENCH_sweep.json\n";
+
+  return all_identical ? 0 : 1;
+}

@@ -24,14 +24,26 @@ int main() {
   }
   util::Table table(columns);
 
-  for (const workflow::Workflow& wf : workflows) {
+  // Flattened (workflow x policy) grid: each cell is an independent
+  // simulation, so they fan out over HETFLOW_JOBS workers; the table is
+  // assembled from the index-ordered results afterwards.
+  const std::vector<core::RunStats> stats =
+      exec::parallel_map<core::RunStats>(
+          workflows.size() * policies.size(), bench::jobs(),
+          [&](std::size_t i) {
+            return workflow::run_workflow(
+                platform, policies[i % policies.size()],
+                workflows[i / policies.size()], library,
+                bench::bench_options());
+          });
+
+  for (std::size_t w = 0; w < workflows.size(); ++w) {
+    const workflow::Workflow& wf = workflows[w];
     std::vector<std::string> row = {util::format(
         "%s (%zu)", wf.name().c_str(), wf.task_count())};
-    for (const std::string& policy : policies) {
-      const core::RunStats stats =
-          workflow::run_workflow(platform, policy, wf, library,
-                                 bench::bench_options());
-      row.push_back(util::format("%.3f", stats.makespan_s));
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      row.push_back(util::format(
+          "%.3f", stats[w * policies.size() + p].makespan_s));
     }
     table.add_row(std::move(row));
   }

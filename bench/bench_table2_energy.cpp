@@ -17,16 +17,27 @@ int main() {
 
   util::Table table({"workflow", "policy", "makespan s", "busy J", "total J",
                      "EDP J*s"});
-  for (const workflow::Workflow& wf : bench::evaluation_workflows()) {
-    for (const std::string& policy : policies) {
-      const core::RunStats stats =
-          workflow::run_workflow(platform, policy, wf, library,
-                                 bench::bench_options());
-      table.add_row({wf.name(), policy,
-                     util::format("%.3f", stats.makespan_s),
-                     util::format("%.1f", stats.busy_energy_j()),
-                     util::format("%.1f", stats.total_energy_j()),
-                     util::format("%.1f", stats.edp())});
+  const std::vector<workflow::Workflow> workflows =
+      bench::evaluation_workflows();
+  // Independent (workflow x policy) cells fan out over HETFLOW_JOBS
+  // workers; rows are emitted from the index-ordered results.
+  const std::vector<core::RunStats> stats =
+      exec::parallel_map<core::RunStats>(
+          workflows.size() * policies.size(), bench::jobs(),
+          [&](std::size_t i) {
+            return workflow::run_workflow(
+                platform, policies[i % policies.size()],
+                workflows[i / policies.size()], library,
+                bench::bench_options());
+          });
+  for (std::size_t w = 0; w < workflows.size(); ++w) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const core::RunStats& s = stats[w * policies.size() + p];
+      table.add_row({workflows[w].name(), policies[p],
+                     util::format("%.3f", s.makespan_s),
+                     util::format("%.1f", s.busy_energy_j()),
+                     util::format("%.1f", s.total_energy_j()),
+                     util::format("%.1f", s.edp())});
     }
   }
   table.print(std::cout);

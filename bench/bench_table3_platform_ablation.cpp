@@ -22,21 +22,30 @@ int main() {
   const auto library = workflow::CodeletLibrary::standard();
   util::Table table({"workflow", "platform", "makespan s", "speedup",
                      "total J", "moved"});
-  for (const workflow::Workflow& wf : bench::evaluation_workflows()) {
-    double baseline = 0.0;
-    for (const Config& config : configs) {
-      const core::RunStats stats =
-          workflow::run_workflow(config.platform, "dmda", wf, library,
-                                 bench::bench_options());
-      if (baseline == 0.0) {
-        baseline = stats.makespan_s;
-      }
-      table.add_row({wf.name(), config.label,
-                     util::format("%.3f", stats.makespan_s),
-                     util::format("%.2fx", baseline / stats.makespan_s),
-                     util::format("%.1f", stats.total_energy_j()),
+  const std::vector<workflow::Workflow> workflows =
+      bench::evaluation_workflows();
+  // Independent (workflow x config) cells fan out over HETFLOW_JOBS
+  // workers; the cpu-only baseline for the speedup column is derived
+  // after collection, from the index-ordered results.
+  const std::vector<core::RunStats> stats =
+      exec::parallel_map<core::RunStats>(
+          workflows.size() * configs.size(), bench::jobs(),
+          [&](std::size_t i) {
+            return workflow::run_workflow(
+                configs[i % configs.size()].platform, "dmda",
+                workflows[i / configs.size()], library,
+                bench::bench_options());
+          });
+  for (std::size_t w = 0; w < workflows.size(); ++w) {
+    const double baseline = stats[w * configs.size()].makespan_s;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const core::RunStats& s = stats[w * configs.size() + c];
+      table.add_row({workflows[w].name(), configs[c].label,
+                     util::format("%.3f", s.makespan_s),
+                     util::format("%.2fx", baseline / s.makespan_s),
+                     util::format("%.1f", s.total_energy_j()),
                      util::human_bytes(static_cast<double>(
-                         stats.transfers.bytes_moved))});
+                         s.transfers.bytes_moved))});
     }
   }
   table.print(std::cout);

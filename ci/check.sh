@@ -5,7 +5,11 @@
 #   2. run the full ctest suite plain
 #   3. rebuild with HETFLOW_SANITIZE=address,undefined and run the full
 #      suite again under the sanitizers
-#   4. lint: clang-tidy over files changed vs the merge base (all
+#   4. rebuild with HETFLOW_SANITIZE=thread and run the parallel-sweep
+#      tests plus a --jobs 4 hetflow_bench smoke sweep under TSan —
+#      proves the thread-confinement contract (docs/parallelism.md), not
+#      just asserts it
+#   5. lint: clang-tidy over files changed vs the merge base (all
 #      first-party files when git history is unavailable); fails on any
 #      diagnostic. Without clang-tidy installed, tools/lint.sh falls back
 #      to a strict GCC pass.
@@ -17,20 +21,36 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${1:-$(nproc)}"
 cd "$repo_root"
 
-echo "=== [1/4] build (WERROR) ==="
+echo "=== [1/5] build (WERROR) ==="
 cmake -B build-ci -S . -DHETFLOW_WERROR=ON
 cmake --build build-ci -j "$jobs"
 
-echo "=== [2/4] ctest (plain) ==="
+echo "=== [2/5] ctest (plain) ==="
 ctest --test-dir build-ci --output-on-failure -j "$jobs"
 
-echo "=== [3/4] ctest (ASan + UBSan) ==="
+echo "=== [3/5] ctest (ASan + UBSan) ==="
 cmake -B build-asan -S . -DHETFLOW_WERROR=ON \
       -DHETFLOW_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "=== [4/4] lint (changed files) ==="
+echo "=== [4/5] parallel sweep under TSan ==="
+cmake -B build-tsan -S . -DHETFLOW_WERROR=ON -DHETFLOW_SANITIZE=thread
+cmake --build build-tsan -j "$jobs" \
+      --target exec_pool_test exec_parallel_test hetflow_bench
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+      -R 'exec_pool_test|exec_parallel_test'
+build-tsan/tools/hetflow_bench \
+    --workflows "montage:16;cholesky:6,512" --platforms hpc:4,2,0 \
+    --scheds eager,dmda,heft --seeds 2 --noise 0.2 --jobs 4 \
+    > build-tsan/sweep_jobs4.csv
+build-tsan/tools/hetflow_bench \
+    --workflows "montage:16;cholesky:6,512" --platforms hpc:4,2,0 \
+    --scheds eager,dmda,heft --seeds 2 --noise 0.2 --jobs 1 \
+    > build-tsan/sweep_jobs1.csv
+cmp build-tsan/sweep_jobs4.csv build-tsan/sweep_jobs1.csv
+
+echo "=== [5/5] lint (changed files) ==="
 changed=()
 if base="$(git merge-base HEAD origin/main 2>/dev/null ||
            git rev-parse HEAD~1 2>/dev/null)"; then

@@ -566,6 +566,18 @@ void Runtime::fail_task(Task& task, hw::DeviceId id, sim::SimTime started,
       break;
     }
     case FailurePolicy::Reschedule: {
+      // Runtime-boundary check: a rescheduled attempt re-enters
+      // on_task_ready, which a static (full-graph) plan cannot absorb —
+      // the policy would either trip a deep plan-table assertion or
+      // silently hold the task forever and stall the run.
+      if (scheduler_->requires_full_graph()) {
+        throw InvalidArgument(util::format(
+            "static scheduler '%s' cannot accept dynamically submitted "
+            "tasks: FailurePolicy::Reschedule hands failed attempts back "
+            "to the scheduler at run time; use "
+            "FailurePolicy::RetrySameDevice or a dynamic policy",
+            scheduler_->name().c_str()));
+      }
       task.set_state(TaskState::Ready);
       task.set_dvfs_state(std::nullopt);
       scheduler_->on_task_failed(task, id);

@@ -28,6 +28,14 @@ class Scheduler {
 
   virtual std::string name() const = 0;
 
+  /// Static (full-graph) policies plan every task in prepare() and can
+  /// NOT absorb tasks that first reach on_task_ready without a plan —
+  /// e.g. failed attempts handed back by FailurePolicy::Reschedule. The
+  /// runtime rejects that hand-back at its boundary (clear error instead
+  /// of a deep assertion or a stall). Submitting further waves between
+  /// wait_all() calls is fine: each wave is re-planned by prepare().
+  virtual bool requires_full_graph() const noexcept { return false; }
+
   /// Called once, before any task event, with the query/command context.
   /// The context outlives the scheduler's use of it.
   virtual void attach(SchedContext& ctx) { ctx_ = &ctx; }

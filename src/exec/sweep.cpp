@@ -1,0 +1,96 @@
+#include "exec/sweep.hpp"
+
+#include "core/runtime.hpp"
+#include "exec/thread_pool.hpp"
+#include "hw/failure.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "workflow/spec.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow::exec {
+
+std::vector<SweepRow> run_sweep(const SweepSpec& spec) {
+  HETFLOW_REQUIRE_MSG(spec.seeds >= 1, "need at least one seed");
+  HETFLOW_REQUIRE_MSG(!spec.workflows.empty(), "sweep needs a workflow");
+  HETFLOW_REQUIRE_MSG(!spec.platforms.empty(), "sweep needs a platform");
+  HETFLOW_REQUIRE_MSG(!spec.schedulers.empty(), "sweep needs a scheduler");
+
+  // Immutable inputs, built once on the driver thread (codelet
+  // construction is the one global side effect: ids draw from a process
+  // counter) and shared read-only by every worker.
+  const workflow::CodeletLibrary library =
+      workflow::CodeletLibrary::standard();
+  std::vector<hw::Platform> platforms;
+  platforms.reserve(spec.platforms.size());
+  for (const std::string& platform_spec : spec.platforms) {
+    platforms.push_back(workflow::make_platform_from_spec(platform_spec));
+  }
+  std::vector<workflow::Workflow> workflows;
+  workflows.reserve(spec.workflows.size());
+  for (const std::string& workflow_spec : spec.workflows) {
+    workflows.push_back(workflow::make_workflow_from_spec(workflow_spec));
+  }
+
+  struct Cell {
+    std::size_t platform;
+    std::size_t workflow;
+    std::size_t scheduler;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(platforms.size() * workflows.size() *
+                spec.schedulers.size() * spec.seeds);
+  for (std::size_t p = 0; p < platforms.size(); ++p) {
+    for (std::size_t w = 0; w < workflows.size(); ++w) {
+      for (std::size_t s = 0; s < spec.schedulers.size(); ++s) {
+        for (std::uint64_t seed = 1; seed <= spec.seeds; ++seed) {
+          cells.push_back(Cell{p, w, s, seed});
+        }
+      }
+    }
+  }
+
+  return parallel_map<SweepRow>(cells.size(), spec.jobs, [&](std::size_t i) {
+    const Cell& cell = cells[i];
+    core::RuntimeOptions options;
+    options.validate = spec.validate;
+    options.seed = cell.seed;
+    options.noise_cv = spec.noise_cv;
+    options.record_trace = false;
+    if (spec.failure_rate > 0.0) {
+      options.failure_model = hw::FailureModel::uniform(spec.failure_rate);
+    }
+    SweepRow row;
+    row.workflow = workflows[cell.workflow].name();
+    row.tasks = workflows[cell.workflow].task_count();
+    row.platform = platforms[cell.platform].name();
+    row.scheduler = spec.schedulers[cell.scheduler];
+    row.seed = cell.seed;
+    row.stats =
+        workflow::run_workflow(platforms[cell.platform], row.scheduler,
+                               workflows[cell.workflow], library, options);
+    return row;
+  });
+}
+
+void write_sweep_header(std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.header({"workflow", "tasks", "platform", "sched", "seed", "makespan_s",
+              "energy_j", "bytes_moved", "failed_attempts", "mean_util"});
+}
+
+void write_sweep_rows(std::ostream& out, const std::vector<SweepRow>& rows) {
+  util::CsvWriter csv(out);
+  for (const SweepRow& row : rows) {
+    csv.row({row.workflow, std::to_string(row.tasks), row.platform,
+             row.scheduler, std::to_string(row.seed),
+             util::format("%.6g", row.stats.makespan_s),
+             util::format("%.6g", row.stats.total_energy_j()),
+             std::to_string(row.stats.transfers.bytes_moved),
+             std::to_string(row.stats.failed_attempts),
+             util::format("%.4f", row.stats.mean_utilization())});
+  }
+}
+
+}  // namespace hetflow::exec

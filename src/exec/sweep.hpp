@@ -1,0 +1,52 @@
+// Grid-sweep engine: (workflow x platform x scheduler x seed) cells, each
+// an independent simulation, executed serially or across a thread pool.
+//
+// This is the engine behind `hetflow_bench`, the determinism property
+// tests and `bench_sweep_scaling`. Cells are enumerated in the canonical
+// nesting order (platform, then workflow, then scheduler, then seed) and
+// results are collected by cell index, so the CSV emitted from a run is
+// byte-identical whatever `jobs` is.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace hetflow::exec {
+
+struct SweepSpec {
+  std::vector<std::string> workflows;   ///< workflow specs or .dag paths
+  std::vector<std::string> platforms;   ///< platform specs or .json paths
+  std::vector<std::string> schedulers;  ///< scheduler names
+  std::uint64_t seeds = 1;              ///< seeds 1..N per combination
+  double noise_cv = 0.0;
+  double failure_rate = 0.0;  ///< uniform failure rate per busy-second
+  bool validate = false;      ///< hetflow-verify end-of-run audit per cell
+  std::size_t jobs = 1;       ///< worker threads (1 = serial)
+};
+
+/// One finished cell, in canonical grid order.
+struct SweepRow {
+  std::string workflow;
+  std::size_t tasks = 0;
+  std::string platform;
+  std::string scheduler;
+  std::uint64_t seed = 1;
+  core::RunStats stats;
+};
+
+/// Runs every cell of the grid and returns the rows in canonical order.
+/// Workflows and platforms are built once, up front, on the calling
+/// thread and shared read-only across workers; each cell's Runtime is
+/// thread-confined. Throws on the first failing cell (lowest cell index).
+std::vector<SweepRow> run_sweep(const SweepSpec& spec);
+
+/// The hetflow_bench CSV schema. Writing rows from run_sweep reproduces
+/// the serial tool's output byte for byte.
+void write_sweep_header(std::ostream& out);
+void write_sweep_rows(std::ostream& out, const std::vector<SweepRow>& rows);
+
+}  // namespace hetflow::exec

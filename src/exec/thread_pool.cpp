@@ -1,0 +1,147 @@
+#include "exec/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace hetflow::exec {
+
+namespace {
+
+std::size_t hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+std::size_t parse_jobs(const std::string& text) {
+  std::size_t value = 0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stoul(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != text.size() || text.empty()) {
+    throw InvalidArgument("jobs must be a non-negative integer, got '" +
+                          text + "'");
+  }
+  return value == 0 ? hardware_jobs() : value;
+}
+
+std::size_t default_jobs() {
+  const char* env = std::getenv("HETFLOW_JOBS");
+  if (env == nullptr || *env == '\0') {
+    return 1;
+  }
+  try {
+    return parse_jobs(env);
+  } catch (const InvalidArgument&) {
+    return 1;  // a library must not abort on a malformed env var
+  }
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  HETFLOW_REQUIRE_MSG(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  HETFLOW_REQUIRE_MSG(job != nullptr, "cannot submit a null job");
+  {
+    std::lock_guard lock(mutex_);
+    jobs_.push_back(std::move(job));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        return;  // stopping_ with a drained deque
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        all_idle_.notify_all();
+      }
+    }
+  }
+}
+
+namespace detail {
+
+void run_indexed(std::size_t count, std::size_t jobs,
+                 const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  if (jobs <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  const std::size_t workers = std::min(jobs, count);
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<std::size_t> next{0};
+  {
+    ThreadPool pool(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.submit([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) {
+            return;
+          }
+          try {
+            fn(i);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);  // lowest index wins, deterministically
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace hetflow::exec

@@ -1,0 +1,110 @@
+// Host-side execution: a thread pool for embarrassingly-parallel
+// experiment grids (sweeps, bench tables, campaign candidate scoring).
+//
+// Everything hetflow simulates is deterministic in *simulated* time; this
+// pool parallelizes the *host* work of running many independent
+// simulations. The contract that makes this safe is thread confinement:
+// one worker owns one simulation (Runtime, EventQueue, DataManager, Rng,
+// Tracer) end to end, and only immutable inputs (Platform,
+// CodeletLibrary, Workflow) are shared across workers. See
+// docs/parallelism.md for the full contract.
+//
+// Result ordering: parallel_map/parallel_for_each index jobs over a
+// dense range and collect results by index, so output built from the
+// results is byte-identical to a serial run regardless of the thread
+// count or interleaving.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hetflow::exec {
+
+/// Number of worker threads requested via the HETFLOW_JOBS environment
+/// variable; 1 (serial) when unset/empty/invalid. "0" means "all
+/// hardware threads".
+std::size_t default_jobs();
+
+/// Parses a --jobs style value: positive integer, or 0 for all hardware
+/// threads. Throws InvalidArgument for garbage.
+std::size_t parse_jobs(const std::string& text);
+
+/// Fixed-size pool of worker threads draining a shared job deque.
+///
+/// Workers take from the front and the submitter pushes to the back, so
+/// jobs start in submission order (FIFO); any worker going idle takes the
+/// next pending job, which is the work-stealing property that keeps an
+/// irregular grid (one slow cell, many fast ones) load-balanced without
+/// static partitioning. Coarse-grained by design: a job is a whole
+/// simulation (milliseconds and up), so one mutex around the deque is
+/// nowhere near contention.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+  /// Joins after draining every submitted job.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues one job. Jobs must not submit further jobs to the same
+  /// pool (a worker blocking on its own pool would deadlock wait_idle).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished running.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> jobs_;
+  std::size_t in_flight_ = 0;  ///< queued + currently running
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+namespace detail {
+
+/// Runs fn(i) for i in [0, count) across `jobs` threads (inline when
+/// jobs <= 1 or count <= 1). Exceptions are captured per index and the
+/// lowest-index one is rethrown after the barrier, so failure behavior
+/// is deterministic and independent of thread interleaving.
+void run_indexed(std::size_t count, std::size_t jobs,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace detail
+
+/// Parallel loop over a dense index range with a full barrier at the end.
+template <typename Fn>
+void parallel_for_each(std::size_t count, std::size_t jobs, Fn&& fn) {
+  detail::run_indexed(count, jobs,
+                      [&fn](std::size_t i) { std::forward<Fn>(fn)(i); });
+}
+
+/// Parallel map: results land in a vector slot per index, preserving the
+/// serial order no matter which worker computed which cell. R must be
+/// default-constructible.
+template <typename R, typename Fn>
+std::vector<R> parallel_map(std::size_t count, std::size_t jobs, Fn&& fn) {
+  std::vector<R> results(count);
+  detail::run_indexed(count, jobs, [&](std::size_t i) {
+    results[i] = std::forward<Fn>(fn)(i);
+  });
+  return results;
+}
+
+}  // namespace hetflow::exec

@@ -179,7 +179,8 @@ void CpopScheduler::prepare(const std::vector<core::Task*>& all_tasks) {
 void CpopScheduler::on_task_ready(core::Task& task) {
   const auto it = plans_.find(task.id());
   HETFLOW_REQUIRE_MSG(it != plans_.end(),
-                      "cpop: task became ready without a plan");
+                      "cpop: static scheduler cannot accept dynamically "
+                      "submitted tasks (task ready without a plan)");
   ready_held_[task.id()] = true;
   release_available(it->second.device);
 }

@@ -16,6 +16,7 @@ namespace hetflow::sched {
 class CpopScheduler final : public core::Scheduler {
  public:
   std::string name() const override { return "cpop"; }
+  bool requires_full_graph() const noexcept override { return true; }
 
   void prepare(const std::vector<core::Task*>& all_tasks) override;
   void on_task_ready(core::Task& task) override;

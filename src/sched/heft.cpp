@@ -8,23 +8,10 @@
 
 namespace hetflow::sched {
 
-std::uint64_t HeftScheduler::edge_bytes(const core::Task& parent,
-                                        const core::Task& child,
-                                        const data::DataRegistry& registry) {
-  std::uint64_t bytes = 0;
-  for (const data::Access& out : parent.accesses()) {
-    if (!data::is_write(out.mode)) {
-      continue;
-    }
-    for (const data::Access& in : child.accesses()) {
-      if (data::is_read(in.mode) && in.data == out.data) {
-        bytes += registry.handle(in.data).bytes;
-        break;
-      }
-    }
-  }
-  return bytes;
-}
+// Edge byte counts come from TaskGraphView::edge_bytes — the one
+// implementation shared with CPOP/PEFT, so all three rank identical
+// communication volumes (a private duplicate here once diverged on
+// Redux-mode edges).
 
 void HeftScheduler::prepare(const std::vector<core::Task*>& all_tasks) {
   plans_.clear();
@@ -118,7 +105,8 @@ hw::DeviceId HeftScheduler::planned_device(core::TaskId id) const {
 void HeftScheduler::on_task_ready(core::Task& task) {
   const auto it = plans_.find(task.id());
   HETFLOW_REQUIRE_MSG(it != plans_.end(),
-                      "heft: task became ready without a plan");
+                      "heft: static scheduler cannot accept dynamically "
+                      "submitted tasks (task ready without a plan)");
   ready_held_[task.id()] = true;
   release_available(it->second.device);
 }

@@ -23,6 +23,7 @@ namespace hetflow::sched {
 class HeftScheduler final : public core::Scheduler {
  public:
   std::string name() const override { return "heft"; }
+  bool requires_full_graph() const noexcept override { return true; }
 
   void prepare(const std::vector<core::Task*>& all_tasks) override;
   void on_task_ready(core::Task& task) override;
@@ -46,12 +47,6 @@ class HeftScheduler final : public core::Scheduler {
   double planned_makespan_ = 0.0;
 
   void release_available(hw::DeviceId device);
-
-  /// Bytes flowing over a dependency edge: handles the parent writes that
-  /// the child reads.
-  static std::uint64_t edge_bytes(const core::Task& parent,
-                                  const core::Task& child,
-                                  const data::DataRegistry& registry);
 };
 
 }  // namespace hetflow::sched

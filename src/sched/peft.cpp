@@ -132,7 +132,8 @@ void PeftScheduler::prepare(const std::vector<core::Task*>& all_tasks) {
 void PeftScheduler::on_task_ready(core::Task& task) {
   const auto it = plans_.find(task.id());
   HETFLOW_REQUIRE_MSG(it != plans_.end(),
-                      "peft: task became ready without a plan");
+                      "peft: static scheduler cannot accept dynamically "
+                      "submitted tasks (task ready without a plan)");
   ready_held_[task.id()] = true;
   release_available(it->second.device);
 }

@@ -22,6 +22,7 @@ namespace hetflow::sched {
 class PeftScheduler final : public core::Scheduler {
  public:
   std::string name() const override { return "peft"; }
+  bool requires_full_graph() const noexcept override { return true; }
 
   void prepare(const std::vector<core::Task*>& all_tasks) override;
   void on_task_ready(core::Task& task) override;

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace hetflow::sim {
@@ -9,20 +10,50 @@ EventId EventQueue::schedule_at(SimTime when, Callback fn) {
   HETFLOW_REQUIRE_MSG(std::isfinite(when), "event time must be finite");
   HETFLOW_REQUIRE_MSG(when >= now_, "cannot schedule an event in the past");
   const EventId id = next_id_++;
-  heap_.push(Event{when, next_seq_++, id});
+  heap_.push_back(Event{when, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   callbacks_.emplace(id, std::move(fn));
   ++live_events_;
   return id;
 }
 
-bool EventQueue::cancel(EventId id) noexcept {
+bool EventQueue::cancel(EventId id) {
   const auto it = callbacks_.find(id);
   if (it == callbacks_.end()) {
     return false;
   }
   callbacks_.erase(it);
   --live_events_;
+  ++carcasses_;
+  // Keep the heap at most ~1.5x the live entries: a cancel-heavy run
+  // (failure injection + retries) would otherwise pay O(cancelled) space
+  // and log-factor time until drained.
+  if (carcasses_ > live_events_ / 2 && carcasses_ > 8) {
+    compact();
+  }
   return true;
+}
+
+void EventQueue::compact() {
+  std::erase_if(heap_, [this](const Event& event) {
+    return callbacks_.find(event.id) == callbacks_.end();
+  });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  carcasses_ = 0;
+}
+
+bool EventQueue::debug_consistent() const {
+  if (callbacks_.size() != live_events_) {
+    return false;
+  }
+  if (heap_.size() != live_events_ + carcasses_) {
+    return false;
+  }
+  std::size_t live_in_heap = 0;
+  for (const Event& event : heap_) {
+    live_in_heap += callbacks_.count(event.id);
+  }
+  return live_in_heap == live_events_;
 }
 
 EventQueue::Callback EventQueue::take_callback(EventId id) noexcept {
@@ -36,13 +67,20 @@ EventQueue::Callback EventQueue::take_callback(EventId id) noexcept {
   return fn;
 }
 
+EventQueue::Event EventQueue::pop_top() noexcept {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Event event = heap_.back();
+  heap_.pop_back();
+  return event;
+}
+
 bool EventQueue::step() {
   while (!heap_.empty()) {
-    const Event event = heap_.top();
-    heap_.pop();
+    const Event event = pop_top();
     Callback fn = take_callback(event.id);
     if (!fn) {
-      continue;  // lazily deleted
+      --carcasses_;  // lazily deleted
+      continue;
     }
     now_ = event.when;
     ++executed_;
@@ -62,9 +100,10 @@ SimTime EventQueue::run_until(SimTime limit) {
   HETFLOW_REQUIRE_MSG(limit >= now_, "run_until limit is in the past");
   while (!heap_.empty()) {
     // Skip cancelled carcasses at the head without advancing time.
-    const Event event = heap_.top();
+    const Event event = heap_.front();
     if (callbacks_.find(event.id) == callbacks_.end()) {
-      heap_.pop();
+      pop_top();
+      --carcasses_;
       continue;
     }
     if (event.when > limit) {

@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -41,8 +40,11 @@ class EventQueue {
   }
 
   /// Cancels a pending event. Returns false if it already ran, was
-  /// cancelled before, or never existed. O(1) (lazy deletion).
-  bool cancel(EventId id) noexcept;
+  /// cancelled before, or never existed. Amortized O(1): deletion is
+  /// lazy, but once cancelled carcasses outnumber half the live events
+  /// the heap is compacted, so a cancel-heavy run (failure injection,
+  /// timeout retries) never holds more than ~1.5x the live entries.
+  bool cancel(EventId id);
 
   /// Runs events until the queue drains. Returns the time of the last
   /// event executed (or `now()` if none ran).
@@ -60,6 +62,16 @@ class EventQueue {
   /// Total events executed since construction (for overhead accounting).
   std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Heap entries currently held, live + cancelled carcasses
+  /// (observability for the compaction bound).
+  std::size_t heap_entries() const noexcept { return heap_.size(); }
+  /// Cancelled entries still sitting in the heap.
+  std::size_t heap_carcasses() const noexcept { return carcasses_; }
+  /// O(heap) bookkeeping audit: every live event has exactly one heap
+  /// entry and a callback, and the carcass counter matches the heap.
+  /// Exercised by `hetflow_check --selftest` and the unit tests.
+  bool debug_consistent() const;
+
  private:
   struct Event {
     SimTime when;
@@ -75,17 +87,24 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  // id -> callback; erased on execution/cancellation (lazy deletion keeps
-  // the heap untouched on cancel).
+  // Min-heap over a plain vector (std::push_heap/pop_heap) so compaction
+  // can walk and rebuild the container — std::priority_queue hides it.
+  std::vector<Event> heap_;
+  // id -> callback; erased on execution/cancellation (deletion is lazy:
+  // cancel leaves the heap entry behind as a carcass).
   std::unordered_map<EventId, Callback> callbacks_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::size_t live_events_ = 0;
+  std::size_t carcasses_ = 0;
   std::uint64_t executed_ = 0;
   SimTime now_ = 0.0;
 
   Callback take_callback(EventId id) noexcept;
+  Event pop_top() noexcept;
+  /// Drops every carcass and re-heapifies; called when carcasses exceed
+  /// half the live events.
+  void compact();
 };
 
 }  // namespace hetflow::sim

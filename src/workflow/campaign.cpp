@@ -7,6 +7,7 @@
 #include <numbers>
 
 #include "core/runtime.hpp"
+#include "exec/thread_pool.hpp"
 #include "sched/registry.hpp"
 #include "util/strings.hpp"
 #include "workflow/codelets.hpp"
@@ -272,16 +273,30 @@ CampaignResult run_campaign(const hw::Platform& platform,
             0.02, 0.3 * std::pow(0.8, static_cast<double>(result.rounds)));
         std::array<double, 6> coeffs{};
         if (fit_quadratic(observed, coeffs)) {
+          // Per-generation candidate evaluation: the pool points are
+          // drawn serially (one Rng stream), the pure surrogate
+          // evaluations fan out over the pool workers, and the argmin
+          // reduction walks in index order — so the chosen candidate is
+          // identical for any `jobs`.
+          constexpr std::size_t kPool = 256;
+          std::vector<std::pair<double, double>> candidates;
+          candidates.reserve(kPool);
+          for (std::size_t c = 0; c < kPool; ++c) {
+            candidates.push_back({rng.uniform(), rng.uniform()});
+          }
+          const std::size_t jobs =
+              config.jobs > 0 ? config.jobs : exec::default_jobs();
+          const std::vector<double> preds = exec::parallel_map<double>(
+              kPool, jobs, [&](std::size_t c) {
+                return predict(coeffs, candidates[c].first,
+                               candidates[c].second);
+              });
           double best_pred = std::numeric_limits<double>::infinity();
           std::pair<double, double> best_point{0.5, 0.5};
-          for (std::size_t c = 0; c < 256; ++c) {
-            const std::pair<double, double> candidate{rng.uniform(),
-                                                      rng.uniform()};
-            const double pred =
-                predict(coeffs, candidate.first, candidate.second);
-            if (pred < best_pred) {
-              best_pred = pred;
-              best_point = candidate;
+          for (std::size_t c = 0; c < kPool; ++c) {
+            if (preds[c] < best_pred) {
+              best_pred = preds[c];
+              best_point = candidates[c];
             }
           }
           points.push_back(best_point);

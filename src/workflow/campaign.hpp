@@ -51,6 +51,14 @@ struct CampaignConfig {
   std::uint64_t sim_bytes = 8ull << 20;  ///< result size of one simulation
   std::string scheduler = "dmda";
   std::uint64_t seed = 7;
+  /// Worker threads for the per-generation candidate evaluation (the
+  /// surrogate's candidate-pool scoring). 0 = take HETFLOW_JOBS (else
+  /// serial). Any value yields byte-identical campaign trajectories: the
+  /// candidate points are drawn serially from the campaign Rng and the
+  /// argmin reduction is index-ordered; only the pure model evaluations
+  /// fan out. The simulation batch itself stays on one Runtime so
+  /// device contention in simulated time is preserved.
+  std::size_t jobs = 0;
 };
 
 struct CampaignResult {

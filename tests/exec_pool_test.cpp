@@ -1,0 +1,135 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hetflow::exec {
+namespace {
+
+TEST(ParseJobs, AcceptsPositiveIntegers) {
+  EXPECT_EQ(parse_jobs("1"), 1u);
+  EXPECT_EQ(parse_jobs("4"), 4u);
+  EXPECT_EQ(parse_jobs("16"), 16u);
+}
+
+TEST(ParseJobs, ZeroMeansAllHardwareThreads) {
+  const std::size_t jobs = parse_jobs("0");
+  EXPECT_GE(jobs, 1u);
+}
+
+TEST(ParseJobs, RejectsGarbage) {
+  EXPECT_THROW(parse_jobs(""), InvalidArgument);
+  EXPECT_THROW(parse_jobs("abc"), InvalidArgument);
+  EXPECT_THROW(parse_jobs("4x"), InvalidArgument);
+}
+
+TEST(DefaultJobs, FollowsEnvironment) {
+  ::setenv("HETFLOW_JOBS", "3", 1);
+  EXPECT_EQ(default_jobs(), 3u);
+  ::setenv("HETFLOW_JOBS", "not-a-number", 1);
+  EXPECT_EQ(default_jobs(), 1u);  // invalid -> serial, never crashes
+  ::unsetenv("HETFLOW_JOBS");
+  EXPECT_EQ(default_jobs(), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelMap, ResultsLandInIndexOrder) {
+  const std::vector<std::size_t> out =
+      parallel_map<std::size_t>(257, 8, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ParallelForEach, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  parallel_for_each(kCount, 8, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForEach, SerialPathRunsInline) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(3);
+  parallel_for_each(3, 1, [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const std::thread::id& id : seen) {
+    EXPECT_EQ(id, caller);
+  }
+}
+
+TEST(ParallelForEach, SingleItemRunsInlineEvenWithManyJobs) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  parallel_for_each(1, 8, [&](std::size_t) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ParallelForEach, ZeroCountIsANoOp) {
+  bool called = false;
+  parallel_for_each(0, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForEach, LowestIndexExceptionWinsDeterministically) {
+  for (int round = 0; round < 10; ++round) {
+    try {
+      parallel_for_each(64, 8, [](std::size_t i) {
+        if (i == 7 || i == 3 || i == 50) {
+          throw InvalidArgument("boom at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const InvalidArgument& e) {
+      EXPECT_STREQ(e.what(), "boom at 3");
+    }
+  }
+}
+
+TEST(ParallelForEach, SerialExceptionPropagates) {
+  EXPECT_THROW(
+      parallel_for_each(4, 1,
+                        [](std::size_t i) {
+                          if (i == 2) {
+                            throw InternalError("serial boom");
+                          }
+                        }),
+      InternalError);
+}
+
+}  // namespace
+}  // namespace hetflow::exec

@@ -130,6 +130,35 @@ TEST(Heft, RespectsDeviceSupportConstraints) {
   EXPECT_EQ(rt.stats().tasks_completed, 8u);
 }
 
+TEST(Heft, DeclaresFullGraphRequirement) {
+  EXPECT_TRUE(HeftScheduler().requires_full_graph());
+  EXPECT_FALSE(make_scheduler("dmda")->requires_full_graph());
+  EXPECT_FALSE(make_scheduler("eager")->requires_full_graph());
+}
+
+// Regression: handing a failed attempt back to a static plan
+// (FailurePolicy::Reschedule) used to trip a bare plan-table assertion
+// or stall the run; the runtime now rejects it with a clear error the
+// moment the first hand-back happens.
+TEST(Heft, RescheduleFailurePolicyRejectedAtHandBack) {
+  const hw::Platform p = hw::make_hpc_node(4, 2, 0);
+  const workflow::Workflow wf = workflow::make_montage(12);
+  const auto lib = workflow::CodeletLibrary::standard();
+  core::RuntimeOptions options;
+  options.failure_model = hw::FailureModel::uniform(5.0);  // failures certain
+  options.failure_policy = core::FailurePolicy::Reschedule;
+  try {
+    workflow::run_workflow(p, "heft", wf, lib, options);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "static scheduler 'heft' cannot accept dynamically "
+                  "submitted tasks"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Heft, DeterministicPlan) {
   const hw::Platform p = hw::make_hpc_node(4, 2, 0);
   const workflow::Workflow wf = workflow::make_ligo(12, 4);

@@ -156,6 +156,74 @@ TEST(EventQueue, ZeroDelayFiresAtCurrentTime) {
   EXPECT_EQ(q.now(), 4.0);
 }
 
+TEST(EventQueue, CancelCompactsHeapCarcasses) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.schedule_at(static_cast<double>(i) + 1.0, [] {}));
+  }
+  EXPECT_TRUE(q.debug_consistent());
+  EXPECT_EQ(q.heap_entries(), 1000u);
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    EXPECT_TRUE(q.cancel(ids[i]));
+  }
+  // Lazy deletion with compaction: carcasses never exceed ~half the live
+  // events for long, so mass cancellation cannot leak heap entries.
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_LT(q.heap_entries(), 500u);
+  EXPECT_TRUE(q.debug_consistent());
+  q.run();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.heap_entries(), 0u);
+  EXPECT_EQ(q.heap_carcasses(), 0u);
+  EXPECT_TRUE(q.debug_consistent());
+}
+
+TEST(EventQueue, HeapStaysBoundedUnderChurn) {
+  // Schedule/cancel churn (the failure-injection pattern): the heap must
+  // track the live population, not the cancellation history.
+  EventQueue q;
+  std::vector<EventId> live;
+  double when = 1.0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      live.push_back(q.schedule_at(when, [] {}));
+      when += 0.5;
+    }
+    // Cancel all but one of this round's events.
+    for (std::size_t i = live.size() - 20; i + 1 < live.size(); ++i) {
+      q.cancel(live[i]);
+    }
+  }
+  EXPECT_EQ(q.pending(), 100u);
+  EXPECT_TRUE(q.debug_consistent());
+  EXPECT_LE(q.heap_entries(), 2 * q.pending() + 8);
+  q.run();
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.debug_consistent());
+}
+
+TEST(EventQueue, CancelledEntriesSkippedAcrossCompaction) {
+  // Interleave cancels with execution so step() crosses both live and
+  // carcass entries, before and after a compaction pass.
+  EventQueue q;
+  std::vector<double> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 50; ++i) {
+    const double t = static_cast<double>(i) + 1.0;
+    ids.push_back(q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); }));
+  }
+  for (int i = 0; i < 50; i += 2) {  // cancel even slots
+    q.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  q.run();
+  ASSERT_EQ(fired.size(), 25u);
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fired[i], 2.0 * static_cast<double>(i) + 2.0);
+  }
+  EXPECT_TRUE(q.debug_consistent());
+}
+
 class EventStressSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(EventStressSweep, ManyEventsAllExecuteInOrder) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "hw/failure.hpp"
 #include "hw/presets.hpp"
 
 namespace hetflow::workflow {
@@ -119,6 +120,53 @@ TEST(Streaming, DeterministicAcrossRuns) {
   EXPECT_EQ(a.total_misses(), b.total_misses());
   EXPECT_DOUBLE_EQ(a.pipelines[0].mean_latency_s,
                    b.pipelines[0].mean_latency_s);
+}
+
+// Regression: static (full-graph) schedulers cannot absorb the tasks
+// FailurePolicy::Reschedule hands back at run time. This used to die
+// deep inside the policy (or stall the wait_all loop) with a bare
+// assertion; the runtime now rejects the hand-back with a clear error
+// the moment the first failed attempt would re-enter the scheduler.
+TEST(Streaming, StaticSchedulerRejectsRescheduleAtHandBack) {
+  const hw::Platform p = hw::make_workstation();
+  const auto lib = CodeletLibrary::standard();
+  core::RuntimeOptions options;
+  // High enough that a failure is certain within the horizon.
+  options.failure_model = hw::FailureModel::uniform(50.0);
+  options.failure_policy = core::FailurePolicy::Reschedule;
+  options.max_attempts = 1000;
+  for (const char* policy : {"heft", "cpop", "peft"}) {
+    try {
+      run_streaming(p, policy, {sensing_pipeline(0.5)}, 2.0, lib, options);
+      FAIL() << policy << ": expected InvalidArgument";
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find(
+                    "cannot accept dynamically submitted tasks"),
+                std::string::npos)
+          << policy << ": " << e.what();
+    }
+  }
+}
+
+// The same failure model is fine when recovery stays on-device (no task
+// re-enters the scheduler unplanned), and fine for dynamic policies
+// under Reschedule.
+TEST(Streaming, FailureRecoveryStillWorksWhereSupported) {
+  const hw::Platform p = hw::make_workstation();
+  const auto lib = CodeletLibrary::standard();
+  core::RuntimeOptions retry;
+  retry.failure_model = hw::FailureModel::uniform(0.2);
+  retry.failure_policy = core::FailurePolicy::RetrySameDevice;
+  retry.max_attempts = 100;
+  const StreamingResult on_static =
+      run_streaming(p, "heft", {sensing_pipeline(0.5)}, 2.0, lib, retry);
+  EXPECT_EQ(on_static.total_instances(), 4u);
+
+  core::RuntimeOptions resched = retry;
+  resched.failure_policy = core::FailurePolicy::Reschedule;
+  const StreamingResult on_dynamic =
+      run_streaming(p, "dmda", {sensing_pipeline(0.5)}, 2.0, lib, resched);
+  EXPECT_EQ(on_dynamic.total_instances(), 4u);
 }
 
 class StreamingPolicySweep : public ::testing::TestWithParam<const char*> {};

@@ -10,16 +10,17 @@
 //
 //   $ hetflow_bench --workflows "montage:64;cholesky:12,2048"
 //         --platforms "hpc:8,2,0;hpc:8,4,0" --scheds dmda,heft
+//
+// Cells are independent simulations; `--jobs N` (or HETFLOW_JOBS) fans
+// them out over a thread pool. Rows are collected in grid order, so the
+// CSV is byte-identical whatever the thread count.
 #include <cstdlib>
 #include <iostream>
 
-#include "core/runtime.hpp"
-#include "sched/registry.hpp"
+#include "exec/sweep.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/cli.hpp"
-#include "util/csv.hpp"
 #include "util/strings.hpp"
-#include "workflow/spec.hpp"
-#include "workflow/workflow.hpp"
 
 namespace {
 
@@ -50,6 +51,8 @@ int main(int argc, char** argv) {
   cli.add_option("seeds", "1", "number of seeds per combination");
   cli.add_option("noise", "0", "execution-time noise (cv)");
   cli.add_option("failure-rate", "0", "failure rate per busy-second");
+  cli.add_option("jobs", "",
+                 "worker threads (0 = all cores; default HETFLOW_JOBS or 1)");
   cli.add_flag("validate",
                "audit every run (also enabled by HETFLOW_BENCH_VALIDATE=1)");
 
@@ -65,52 +68,23 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const auto workflows = split_list(cli.value("workflows"));
-    const auto platforms = split_list(cli.value("platforms"));
-    const auto scheds = util::split(cli.value("scheds"), ',');
-    const auto seeds = static_cast<std::uint64_t>(cli.number("seeds"));
-    HETFLOW_REQUIRE_MSG(seeds >= 1, "need at least one seed");
+    exec::SweepSpec spec;
+    spec.workflows = split_list(cli.value("workflows"));
+    spec.platforms = split_list(cli.value("platforms"));
+    spec.schedulers = util::split(cli.value("scheds"), ',');
+    spec.seeds = static_cast<std::uint64_t>(cli.number("seeds"));
+    spec.noise_cv = cli.number("noise");
+    spec.failure_rate = cli.number("failure-rate");
     const char* validate_env = std::getenv("HETFLOW_BENCH_VALIDATE");
-    const bool validate =
-        cli.flag("validate") ||
-        (validate_env != nullptr && *validate_env != '\0' &&
-         std::string(validate_env) != "0");
+    spec.validate = cli.flag("validate") ||
+                    (validate_env != nullptr && *validate_env != '\0' &&
+                     std::string(validate_env) != "0");
+    spec.jobs = cli.provided("jobs") ? exec::parse_jobs(cli.value("jobs"))
+                                     : exec::default_jobs();
 
-    util::CsvWriter csv(std::cout);
-    csv.header({"workflow", "tasks", "platform", "sched", "seed",
-                "makespan_s", "energy_j", "bytes_moved", "failed_attempts",
-                "mean_util"});
-    const auto library = workflow::CodeletLibrary::standard();
-    for (const std::string& platform_spec : platforms) {
-      const hw::Platform platform =
-          workflow::make_platform_from_spec(platform_spec);
-      for (const std::string& workflow_spec : workflows) {
-        const workflow::Workflow wf =
-            workflow::make_workflow_from_spec(workflow_spec);
-        for (const std::string& sched : scheds) {
-          for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-            core::RuntimeOptions options;
-            options.validate = validate;
-            options.seed = seed;
-            options.noise_cv = cli.number("noise");
-            options.record_trace = false;
-            const double rate = cli.number("failure-rate");
-            if (rate > 0.0) {
-              options.failure_model = hw::FailureModel::uniform(rate);
-            }
-            const core::RunStats stats = workflow::run_workflow(
-                platform, sched, wf, library, options);
-            csv.row({wf.name(), std::to_string(wf.task_count()),
-                     platform.name(), sched, std::to_string(seed),
-                     util::format("%.6g", stats.makespan_s),
-                     util::format("%.6g", stats.total_energy_j()),
-                     std::to_string(stats.transfers.bytes_moved),
-                     std::to_string(stats.failed_attempts),
-                     util::format("%.4f", stats.mean_utilization())});
-          }
-        }
-      }
-    }
+    const std::vector<exec::SweepRow> rows = exec::run_sweep(spec);
+    exec::write_sweep_header(std::cout);
+    exec::write_sweep_rows(std::cout, rows);
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "check/audit.hpp"
 #include "check/audit_file.hpp"
@@ -20,6 +21,7 @@
 #include "check/race.hpp"
 #include "core/runtime.hpp"
 #include "sched/registry.hpp"
+#include "sim/event_queue.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "workflow/dagfile.hpp"
@@ -212,6 +214,30 @@ int selftest() {
       found |= violation.kind == check::ViolationKind::TimeMonotonicity;
     }
     ok &= expect(found, "span ending before start -> time-monotonicity");
+  }
+  // 5. event-queue bookkeeping: cancel-heavy traffic must keep the lazy-
+  // deletion heap consistent and bounded (carcasses are compacted away
+  // once they outnumber half the live events).
+  {
+    sim::EventQueue queue;
+    std::size_t fired = 0;
+    std::vector<sim::EventId> ids;
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(queue.schedule_at(static_cast<double>(i) + 1.0,
+                                      [&fired] { ++fired; }));
+    }
+    ok &= expect(queue.debug_consistent() && queue.pending() == 1000,
+                 "1000 scheduled events -> consistent bookkeeping");
+    for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+      queue.cancel(ids[i]);
+    }
+    ok &= expect(queue.pending() == 1 && queue.debug_consistent(),
+                 "999 cancellations -> one live event, still consistent");
+    ok &= expect(queue.heap_entries() < 500,
+                 "carcass compaction bounds the heap after mass cancel");
+    queue.run();
+    ok &= expect(fired == 1 && queue.empty() && queue.debug_consistent(),
+                 "surviving event fires once; queue drains clean");
   }
   std::cout << (ok ? "selftest passed\n" : "selftest FAILED\n");
   return ok ? 0 : 1;
