@@ -5,11 +5,15 @@
 #   2. run the full ctest suite plain
 #   3. rebuild with HETFLOW_SANITIZE=address,undefined and run the full
 #      suite again under the sanitizers
-#   4. rebuild with HETFLOW_SANITIZE=thread and run the parallel-sweep
-#      tests plus a --jobs 4 hetflow_bench smoke sweep under TSan —
-#      proves the thread-confinement contract (docs/parallelism.md), not
-#      just asserts it
-#   5. lint: clang-tidy over files changed vs the merge base (all
+#   4. rebuild with HETFLOW_SANITIZE=thread and run the parallel-sweep,
+#      retry/timeout and campaign-checkpoint tests plus a --jobs 4
+#      hetflow_bench smoke sweep under TSan — proves the
+#      thread-confinement contract (docs/parallelism.md), not just
+#      asserts it
+#   5. checkpoint/resume smoke: a campaign killed after two rounds and
+#      resumed from its checkpoint must report the same result as the
+#      uninterrupted run (docs/fault_tolerance.md)
+#   6. lint: clang-tidy over files changed vs the merge base (all
 #      first-party files when git history is unavailable); fails on any
 #      diagnostic. Without clang-tidy installed, tools/lint.sh falls back
 #      to a strict GCC pass.
@@ -21,25 +25,30 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${1:-$(nproc)}"
 cd "$repo_root"
 
-echo "=== [1/5] build (WERROR) ==="
+echo "=== [1/6] build (WERROR) ==="
 cmake -B build-ci -S . -DHETFLOW_WERROR=ON
 cmake --build build-ci -j "$jobs"
 
-echo "=== [2/5] ctest (plain) ==="
+echo "=== [2/6] ctest (plain) ==="
 ctest --test-dir build-ci --output-on-failure -j "$jobs"
 
-echo "=== [3/5] ctest (ASan + UBSan) ==="
+echo "=== [3/6] ctest (ASan + UBSan) ==="
+# The full suite runs sanitized, which covers the retry/timeout/blacklist
+# tests (core_failure_test), the kill-and-resume checkpoint property
+# tests (workflow_campaign_test) and the rng state round-trip
+# (util_rng_test) introduced with the fault-tolerance subsystem.
 cmake -B build-asan -S . -DHETFLOW_WERROR=ON \
       -DHETFLOW_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "=== [4/5] parallel sweep under TSan ==="
+echo "=== [4/6] parallel sweep under TSan ==="
 cmake -B build-tsan -S . -DHETFLOW_WERROR=ON -DHETFLOW_SANITIZE=thread
 cmake --build build-tsan -j "$jobs" \
-      --target exec_pool_test exec_parallel_test hetflow_bench
+      --target exec_pool_test exec_parallel_test core_failure_test \
+               workflow_campaign_test hetflow_bench
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-      -R 'exec_pool_test|exec_parallel_test'
+      -R 'exec_pool_test|exec_parallel_test|core_failure_test|workflow_campaign_test'
 build-tsan/tools/hetflow_bench \
     --workflows "montage:16;cholesky:6,512" --platforms hpc:4,2,0 \
     --scheds eager,dmda,heft --seeds 2 --noise 0.2 --jobs 4 \
@@ -50,7 +59,19 @@ build-tsan/tools/hetflow_bench \
     > build-tsan/sweep_jobs1.csv
 cmp build-tsan/sweep_jobs4.csv build-tsan/sweep_jobs1.csv
 
-echo "=== [5/5] lint (changed files) ==="
+echo "=== [5/6] checkpoint/resume round-trip smoke ==="
+run="build-ci/tools/hetflow_run"
+campaign_args=(--campaign surrogate --surface branin --evals 24 --batch 6)
+"$run" "${campaign_args[@]}" > build-ci/campaign_straight.txt
+"$run" "${campaign_args[@]}" --max-rounds 2 \
+    --checkpoint build-ci/campaign_ckpt.json > /dev/null
+"$run" --resume build-ci/campaign_ckpt.json > build-ci/campaign_resumed.txt
+# The resumed run must land on the exact same result as the
+# uninterrupted one (byte-identical "best ..." report line).
+cmp <(grep best build-ci/campaign_straight.txt) \
+    <(grep best build-ci/campaign_resumed.txt)
+
+echo "=== [6/6] lint (changed files) ==="
 changed=()
 if base="$(git merge-base HEAD origin/main 2>/dev/null ||
            git rev-parse HEAD~1 2>/dev/null)"; then

@@ -35,9 +35,19 @@ class Runtime::Context final : public SchedContext {
 
   sim::SimTime device_available_at(const hw::Device& device) const override {
     const DeviceState& state = rt_->device_states_[device.id()];
-    const sim::SimTime base =
+    sim::SimTime base =
         state.running != nullptr ? state.busy_until : rt_->queue_.now();
+    // A quarantined device starts nothing before its probation timer
+    // fires — surface that through availability so cost-based policies
+    // steer around it without a dedicated blacklist check.
+    if (rt_->health_.blacklisted(device.id())) {
+      base = std::max(base, rt_->health_.blacklisted_until(device.id()));
+    }
     return base + state.queued_est_seconds;
+  }
+
+  bool device_blacklisted(const hw::Device& device) const override {
+    return rt_->health_.blacklisted(device.id());
   }
 
   sim::SimTime estimate_data_ready(const Task& task, const hw::Device& device,
@@ -109,8 +119,25 @@ Runtime::Runtime(const hw::Platform& platform,
       tracer_(options.record_trace),
       scheduler_(std::move(scheduler)),
       rng_(options.seed),
+      health_(platform.device_count()),
       device_states_(platform.device_count()) {
   HETFLOW_REQUIRE_MSG(scheduler_ != nullptr, "runtime needs a scheduler");
+  if (options_.retry.blacklist_after > 0 &&
+      scheduler_->requires_full_graph()) {
+    throw InvalidArgument(util::format(
+        "static scheduler '%s' cannot be combined with device "
+        "blacklisting: quarantined work re-enters the scheduler at run "
+        "time, which a full-graph plan cannot absorb",
+        scheduler_->name().c_str()));
+  }
+  if (options_.failure_model.enabled() &&
+      options_.failure_model.hang_fraction() > 0.0 &&
+      options_.retry.timeout_s <= 0.0) {
+    throw InvalidArgument(
+        "fail-silent faults (hang_fraction > 0) require a per-attempt "
+        "timeout (RetryPolicy::timeout_s): a hung attempt delivers no "
+        "failure signal, so only the watchdog can recover it");
+  }
   context_ = std::make_unique<Context>(*this);
   scheduler_->attach(*context_);
   stats_.devices.resize(platform.device_count());
@@ -244,6 +271,14 @@ TaskId Runtime::submit(std::string name, CodeletPtr codelet, double flops,
   task.mutable_times().submitted = queue_.now();
   infer_dependencies(task);
   ++pending_;
+  // A dependency abandoned in an earlier wave can never complete; the
+  // new task is lost on arrival (and so is anything submitted on top).
+  for (const TaskId dep : task.dependencies) {
+    if (tasks_[dep]->state() == TaskState::Abandoned) {
+      abandon_task(task);
+      break;
+    }
+  }
   return id;
 }
 
@@ -350,6 +385,17 @@ sim::SimTime Runtime::wait_all() {
       }
     }
   }
+  // The run is over: lift any still-pending quarantine (its probation
+  // timer would otherwise linger in the queue past the drain). The
+  // device re-enters the next wave on probation — a single failure
+  // re-quarantines it.
+  for (hw::DeviceId id = 0; id < device_states_.size(); ++id) {
+    DeviceState& state = device_states_[id];
+    if (state.probation_event != 0 && queue_.cancel(state.probation_event)) {
+      health_.end_blacklist(id);
+    }
+    state.probation_event = 0;
+  }
   finalize_stats();
   if (options_.validate) {
     check::enforce(check::audit_run(*this));
@@ -413,6 +459,11 @@ void Runtime::pump_all() {
 
 void Runtime::pump_device(hw::DeviceId id) {
   DeviceState& state = device_states_[id];
+  if (health_.blacklisted(id)) {
+    // Quarantined: starts nothing until the probation timer fires (any
+    // stragglers assigned meanwhile simply wait it out).
+    return;
+  }
   while (state.running == nullptr) {
     if (state.queue.empty()) {
       Task* pulled = scheduler_->on_device_idle(platform_->device(id));
@@ -445,9 +496,9 @@ void Runtime::start_next(hw::DeviceId id) {
 
   task.set_state(TaskState::Running);
   task.note_attempt();
-  if (task.attempts() > options_.max_attempts) {
+  if (task.attempts() > effective_max_attempts()) {
     throw Error(util::format("task '%s' exceeded %zu attempts",
-                             task.name().c_str(), options_.max_attempts));
+                             task.name().c_str(), effective_max_attempts()));
   }
 
   const sim::SimTime now = queue_.now();
@@ -480,26 +531,91 @@ void Runtime::start_next(hw::DeviceId id) {
     util::Rng failure_rng =
         rng_.split(0x8000000000000000ULL ^ (task.id() * 131 + task.attempts()));
     failure_at = options_.failure_model.sample_failure(
-        failure_rng, device.type(), pure_exec);
+        failure_rng, device.id(), device.type(), pure_exec);
   }
 
   state.running = &task;
   task.mutable_times().started = start;
+  bool hung = false;
   if (failure_at.has_value()) {
+    util::Rng hang_rng = rng_.split(0xC000000000000000ULL ^
+                                    (task.id() * 131 + task.attempts()));
+    hung = options_.failure_model.sample_hang(hang_rng);
+  }
+  if (hung) {
+    // Fail-silent: the attempt dies at the sampled instant but no signal
+    // is ever delivered — the device sits occupied until the timeout
+    // watchdog (mandatory with hangs enabled; enforced in the ctor)
+    // cancels the attempt.
+    state.busy_until = std::numeric_limits<double>::infinity();
+    state.completion_event = 0;
+  } else if (failure_at.has_value()) {
     const sim::SimTime died = start + *failure_at;
     state.busy_until = died;
-    queue_.schedule_at(died, [this, &task, id, start, busy = *failure_at,
-                              dvfs_index] {
-      fail_task(task, id, start, busy, dvfs_index);
-    });
+    state.completion_event =
+        queue_.schedule_at(died, [this, &task, id, start, busy = *failure_at,
+                                  dvfs_index] {
+          fail_task(task, id, start, busy, dvfs_index);
+        });
   } else {
     const sim::SimTime end = start + pure_exec;
     state.busy_until = end;
-    queue_.schedule_at(end, [this, &task, id, start, busy = pure_exec,
-                             dvfs_index] {
-      finish_task(task, id, start, busy, dvfs_index);
-    });
+    state.completion_event =
+        queue_.schedule_at(end, [this, &task, id, start, busy = pure_exec,
+                                 dvfs_index] {
+          finish_task(task, id, start, busy, dvfs_index);
+        });
   }
+  // Timeout watchdog: the attempt's wall budget runs from dispatch, so
+  // data stalls count against it. Whichever of {completion, watchdog}
+  // fires first cancels the other (EventQueue::cancel).
+  state.watchdog_event = 0;
+  if (options_.retry.timeout_s > 0.0) {
+    const sim::SimTime deadline = now + options_.retry.timeout_s;
+    if (deadline < state.busy_until) {
+      state.busy_until = deadline;
+    }
+    state.watchdog_event =
+        queue_.schedule_at(deadline, [this, &task, id, start, dvfs_index] {
+          timeout_task(task, id, start, dvfs_index);
+        });
+  }
+}
+
+void Runtime::timeout_task(Task& task, hw::DeviceId id, sim::SimTime started,
+                           std::size_t dvfs_index) {
+  DeviceState& state = device_states_[id];
+  const hw::Device& device = platform_->device(id);
+  HETFLOW_REQUIRE(state.running == &task);
+  state.watchdog_event = 0;
+  // Cancel the in-flight completion: the attempt is dead the moment the
+  // watchdog fires, even though the simulated execution would have ended
+  // later. A hung attempt has no completion event to cancel.
+  if (state.completion_event != 0) {
+    HETFLOW_REQUIRE(queue_.cancel(state.completion_event));
+    state.completion_event = 0;
+  }
+  state.running = nullptr;
+
+  data_.release(task.accesses(), device.memory_node());
+  // The device was occupied from attempt start until the cancellation.
+  const double busy_s = std::max(0.0, queue_.now() - started);
+  ++state.failed_attempts;
+  ++state.timeouts;
+  ++stats_.failed_attempts;
+  ++stats_.timeouts;
+  state.busy_seconds += busy_s;
+  state.busy_energy_j +=
+      perf::EnergyModel::busy_energy_j(device, dvfs_index, busy_s);
+  if (busy_s > 0.0) {
+    tracer_.add(trace::Span{task.id(), task.name(), id, started, queue_.now(),
+                            trace::SpanKind::FailedExec});
+  }
+  HETFLOW_DEBUG << "task '" << task.name() << "' timed out on "
+                << device.name() << " after "
+                << options_.retry.timeout_s << " s (attempt "
+                << task.attempts() << ")";
+  recover_attempt(task, id);
 }
 
 void Runtime::finish_task(Task& task, hw::DeviceId id, sim::SimTime started,
@@ -508,8 +624,14 @@ void Runtime::finish_task(Task& task, hw::DeviceId id, sim::SimTime started,
   const hw::Device& device = platform_->device(id);
   HETFLOW_REQUIRE(state.running == &task);
   state.running = nullptr;
+  state.completion_event = 0;
+  if (state.watchdog_event != 0) {
+    queue_.cancel(state.watchdog_event);
+    state.watchdog_event = 0;
+  }
 
   data_.release(task.accesses(), device.memory_node());
+  health_.note_success(id);
   task.set_state(TaskState::Completed);
   task.mutable_times().completed = queue_.now();
 
@@ -545,6 +667,11 @@ void Runtime::fail_task(Task& task, hw::DeviceId id, sim::SimTime started,
   const hw::Device& device = platform_->device(id);
   HETFLOW_REQUIRE(state.running == &task);
   state.running = nullptr;
+  state.completion_event = 0;
+  if (state.watchdog_event != 0) {
+    queue_.cancel(state.watchdog_event);
+    state.watchdog_event = 0;
+  }
 
   data_.release(task.accesses(), device.memory_node());
   ++state.failed_attempts;
@@ -556,9 +683,64 @@ void Runtime::fail_task(Task& task, hw::DeviceId id, sim::SimTime started,
                           trace::SpanKind::FailedExec});
   HETFLOW_DEBUG << "task '" << task.name() << "' failed on " << device.name()
                 << " (attempt " << task.attempts() << ")";
+  recover_attempt(task, id);
+}
 
-  switch (options_.failure_policy) {
+void Runtime::recover_attempt(Task& task, hw::DeviceId id) {
+  // Health tracking first: this failure may quarantine the device, which
+  // also decides where the retry itself may go.
+  if (health_.note_failure(id, options_.retry.blacklist_after,
+                           queue_.now() + options_.retry.probation_s)) {
+    blacklist_device(id);
+  }
+
+  // Attempt budget under Drop: the task (and its dependent subtree) is
+  // abandoned instead of aborting the run. Under Abort the existing
+  // guard in start_next throws when the next attempt begins.
+  if (options_.retry.on_exhausted == ExhaustionPolicy::Drop &&
+      task.attempts() >= effective_max_attempts()) {
+    abandon_task(task);
+    pump_all();
+    return;
+  }
+
+  // Exponential backoff with deterministic jitter: the retry re-enters
+  // the system only after the delay. A zero delay requeues inline,
+  // which keeps legacy runs (no backoff configured) byte-identical.
+  double delay = 0.0;
+  if (options_.retry.backoff_base_s > 0.0) {
+    util::Rng jitter_rng =
+        rng_.split(0x4000000000000000ULL ^ (task.id() * 131 + task.attempts()));
+    delay = options_.retry.backoff_delay_s(task.attempts(), jitter_rng);
+  }
+  if (delay <= 0.0) {
+    requeue_attempt(task, id);
+    pump_all();
+    return;
+  }
+  task.set_state(TaskState::Ready);  // in backoff limbo, owned by no queue
+  queue_.schedule_after(delay, [this, &task, id] {
+    if (task.state() != TaskState::Ready) {
+      return;  // abandoned while backing off
+    }
+    requeue_attempt(task, id);
+    pump_all();
+  });
+}
+
+void Runtime::requeue_attempt(Task& task, hw::DeviceId device_id) {
+  FailurePolicy policy = options_.failure_policy;
+  // A quarantined device cannot take its own retry: divert to the
+  // scheduler so the task lands on a surviving device. (Blacklisting
+  // requires a dynamic scheduler — enforced at construction.)
+  if (policy == FailurePolicy::RetrySameDevice &&
+      health_.blacklisted(device_id)) {
+    policy = FailurePolicy::Reschedule;
+  }
+  switch (policy) {
     case FailurePolicy::RetrySameDevice: {
+      const hw::Device& device = platform_->device(device_id);
+      DeviceState& state = device_states_[device_id];
       task.set_state(TaskState::Queued);
       state.queue.push_front(&task);
       state.queued_est_seconds +=
@@ -580,12 +762,78 @@ void Runtime::fail_task(Task& task, hw::DeviceId id, sim::SimTime started,
       }
       task.set_state(TaskState::Ready);
       task.set_dvfs_state(std::nullopt);
-      scheduler_->on_task_failed(task, id);
+      scheduler_->on_task_failed(task, device_id);
       scheduler_->on_task_ready(task);
       break;
     }
   }
-  pump_all();
+}
+
+void Runtime::blacklist_device(hw::DeviceId device_id) {
+  const hw::Device& device = platform_->device(device_id);
+  DeviceState& state = device_states_[device_id];
+  ++stats_.blacklist_events;
+  HETFLOW_DEBUG << "device " << device.name() << " blacklisted after "
+                << health_.consecutive_failures(device_id)
+                << " consecutive failures (probation in "
+                << options_.retry.probation_s << " s)";
+
+  // Hand the queued tasks back to the scheduler so the run degrades
+  // onto the surviving devices instead of stalling behind the sick one.
+  std::deque<Task*> orphaned;
+  orphaned.swap(state.queue);
+  state.queued_est_seconds = 0.0;
+  for (Task* orphan : orphaned) {
+    if (prefetched_.erase(orphan->id()) > 0) {
+      data_.release_prefetch(orphan->accesses(), device.memory_node());
+    }
+    orphan->set_state(TaskState::Ready);
+    orphan->set_dvfs_state(std::nullopt);
+    scheduler_->on_task_ready(*orphan);
+  }
+
+  // Probation timer: the device re-enters service tentatively — one
+  // more failure before a success re-quarantines it immediately.
+  state.probation_event =
+      queue_.schedule_after(options_.retry.probation_s, [this, device_id] {
+        device_states_[device_id].probation_event = 0;
+        health_.end_blacklist(device_id);
+        pump_device(device_id);
+      });
+}
+
+void Runtime::abandon_task(Task& task) {
+  std::vector<Task*> frontier = {&task};
+  while (!frontier.empty()) {
+    Task* doomed = frontier.back();
+    frontier.pop_back();
+    if (doomed->state() == TaskState::Abandoned ||
+        doomed->state() == TaskState::Completed) {
+      continue;
+    }
+    HETFLOW_DEBUG << "abandoning task '" << doomed->name() << "' ("
+                  << (doomed == &task ? "attempt budget exhausted"
+                                      : "dependency abandoned")
+                  << ")";
+    doomed->set_state(TaskState::Abandoned);
+    ++stats_.tasks_lost;
+    HETFLOW_REQUIRE(pending_ > 0);
+    --pending_;
+    deferred_.erase(doomed->id());
+    if (prefetched_.erase(doomed->id()) > 0) {
+      data_.release_prefetch(
+          doomed->accesses(),
+          platform_->device(doomed->device()).memory_node());
+    }
+    for (TaskId dependent : doomed->dependents) {
+      frontier.push_back(tasks_[dependent].get());
+    }
+  }
+}
+
+std::size_t Runtime::effective_max_attempts() const noexcept {
+  return options_.retry.max_attempts > 0 ? options_.retry.max_attempts
+                                         : options_.max_attempts;
 }
 
 double Runtime::exec_estimate(const Task& task, const hw::Device& device,
@@ -627,6 +875,9 @@ void Runtime::finalize_stats() {
     DeviceRunStats& out = stats_.devices[i];
     out.tasks_completed = state.tasks_completed;
     out.failed_attempts = state.failed_attempts;
+    out.timeouts = state.timeouts;
+    out.blacklist_events =
+        health_.blacklist_events(static_cast<hw::DeviceId>(i));
     out.busy_seconds = state.busy_seconds;
     out.busy_energy_j = state.busy_energy_j;
     out.idle_energy_j = perf::EnergyModel::idle_energy_j(

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/codelet.hpp"
+#include "core/retry.hpp"
 #include "core/scheduler.hpp"
 #include "core/stats.hpp"
 #include "core/task.hpp"
@@ -53,8 +54,13 @@ struct RuntimeOptions {
   hw::FailureModel failure_model;
   FailurePolicy failure_policy = FailurePolicy::RetrySameDevice;
   /// A task attempt beyond this count aborts the run (guards against
-  /// pathological failure rates).
+  /// pathological failure rates). RetryPolicy::max_attempts, when set,
+  /// takes precedence; RetryPolicy::on_exhausted decides abort vs drop.
   std::size_t max_attempts = 50;
+  /// Fault-tolerance knobs: retry backoff, per-attempt timeout, device
+  /// blacklisting (see core/retry.hpp). Defaults preserve the legacy
+  /// immediate-retry behaviour byte-for-byte.
+  RetryPolicy retry;
   bool record_trace = true;
   /// Feed measured execution times back into the history model used for
   /// estimates (on-line calibration).
@@ -127,6 +133,7 @@ class Runtime {
   const RunStats& stats() const noexcept { return stats_; }
 
   const hw::Platform& platform() const noexcept { return *platform_; }
+  const DeviceHealth& health() const noexcept { return health_; }
   const trace::Tracer& tracer() const noexcept { return tracer_; }
   const data::DataManager& data() const noexcept { return data_; }
   const perf::HistoryModel& history() const noexcept { return history_; }
@@ -141,10 +148,20 @@ class Runtime {
     std::deque<Task*> queue;        ///< assigned, waiting
     Task* running = nullptr;
     sim::SimTime busy_until = 0.0;  ///< end of the running task
+    /// Pending finish/fail event of the running task; cancelled when the
+    /// timeout watchdog wins the race (0 = none).
+    sim::EventId completion_event = 0;
+    /// Pending timeout watchdog; cancelled when the task completes or
+    /// fails naturally first (0 = none).
+    sim::EventId watchdog_event = 0;
+    /// Pending probation timer while blacklisted; cancelled (with the
+    /// quarantine lifted) when the run drains first (0 = none).
+    sim::EventId probation_event = 0;
     double queued_est_seconds = 0.0;
     // cumulative accounting
     std::size_t tasks_completed = 0;
     std::size_t failed_attempts = 0;
+    std::size_t timeouts = 0;
     double busy_seconds = 0.0;
     double busy_energy_j = 0.0;
   };
@@ -158,6 +175,7 @@ class Runtime {
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<Context> context_;
   util::Rng rng_;
+  DeviceHealth health_;
 
   std::vector<std::unique_ptr<Task>> tasks_;
   struct HandleUse {
@@ -195,6 +213,24 @@ class Runtime {
                    double busy_s, std::size_t dvfs_index);
   void fail_task(Task& task, hw::DeviceId id, sim::SimTime started,
                  double busy_s, std::size_t dvfs_index);
+  /// The per-attempt timeout watchdog fired: cancels the in-flight
+  /// completion event, charges the partial busy time as a failed
+  /// attempt, and recovers like any other failure.
+  void timeout_task(Task& task, hw::DeviceId id, sim::SimTime started,
+                    std::size_t dvfs_index);
+  /// Shared tail of fail_task and the timeout watchdog: health tracking,
+  /// attempt-budget enforcement, backoff and requeue.
+  void recover_attempt(Task& task, hw::DeviceId id);
+  /// Performs the FailurePolicy action for `task` (now, after any
+  /// backoff delay has elapsed). `device_id` is the failed device.
+  void requeue_attempt(Task& task, hw::DeviceId device_id);
+  /// Quarantines `device_id`: hands its queued tasks back to the
+  /// scheduler and arms the probation timer.
+  void blacklist_device(hw::DeviceId device_id);
+  /// Drops `task` (attempt budget exhausted under ExhaustionPolicy::Drop)
+  /// together with every task that transitively depends on it.
+  void abandon_task(Task& task);
+  std::size_t effective_max_attempts() const noexcept;
   void finalize_stats();
 
   double exec_estimate(const Task& task, const hw::Device& device,

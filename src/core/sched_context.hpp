@@ -60,6 +60,16 @@ class SchedContext {
       const Task& task, const hw::Device& device,
       std::optional<std::size_t> dvfs = std::nullopt) const = 0;
 
+  /// True while `device` is quarantined by the health tracker
+  /// (RetryPolicy::blacklist_after): it accepts assignments but starts
+  /// nothing until probation, and device_available_at() already reflects
+  /// the quarantine end — cost-based policies route around it without
+  /// consulting this. Pull-mode policies can use it to park work.
+  virtual bool device_blacklisted(const hw::Device& device) const {
+    (void)device;
+    return false;
+  }
+
   /// Number of tasks queued (not running) on `device`.
   virtual std::size_t queue_length(const hw::Device& device) const = 0;
 

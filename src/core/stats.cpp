@@ -46,7 +46,17 @@ std::string RunStats::summary(const hw::Platform& platform) const {
   std::ostringstream out;
   out << "makespan " << util::human_seconds(makespan_s) << ", "
       << tasks_completed << " tasks, " << failed_attempts
-      << " failed attempts, energy " << util::format("%.1f J", total_energy_j())
+      << " failed attempts";
+  if (timeouts > 0) {
+    out << " (" << timeouts << " timeouts)";
+  }
+  if (tasks_lost > 0) {
+    out << ", " << tasks_lost << " tasks LOST";
+  }
+  if (blacklist_events > 0) {
+    out << ", " << blacklist_events << " blacklist events";
+  }
+  out << ", energy " << util::format("%.1f J", total_energy_j())
       << " (busy " << util::format("%.1f", busy_energy_j()) << " + idle "
       << util::format("%.1f", idle_energy_j()) << "), "
       << util::human_bytes(static_cast<double>(transfers.bytes_moved))

@@ -15,6 +15,8 @@ struct DeviceRunStats {
   hw::DeviceId device = 0;
   std::size_t tasks_completed = 0;
   std::size_t failed_attempts = 0;
+  std::size_t timeouts = 0;          ///< attempts cancelled by the watchdog
+  std::size_t blacklist_events = 0;  ///< times this device was quarantined
   double busy_seconds = 0.0;     ///< compute time (successful + failed)
   double busy_energy_j = 0.0;    ///< energy while computing
   double idle_energy_j = 0.0;    ///< energy while idle over the makespan
@@ -24,6 +26,14 @@ struct RunStats {
   double makespan_s = 0.0;
   std::size_t tasks_completed = 0;
   std::size_t failed_attempts = 0;
+  /// Attempts cancelled for exceeding RetryPolicy::timeout_s (these are
+  /// also counted in failed_attempts).
+  std::size_t timeouts = 0;
+  /// Tasks abandoned under ExhaustionPolicy::Drop, including the
+  /// dependent subtrees of exhausted tasks.
+  std::size_t tasks_lost = 0;
+  /// Device quarantines triggered by RetryPolicy::blacklist_after.
+  std::size_t blacklist_events = 0;
   std::vector<DeviceRunStats> devices;
   data::TransferStats transfers;
   data::DataManagerStats data;

@@ -14,6 +14,8 @@ const char* to_string(TaskState state) noexcept {
       return "running";
     case TaskState::Completed:
       return "completed";
+    case TaskState::Abandoned:
+      return "abandoned";
   }
   return "?";
 }

@@ -23,6 +23,8 @@ enum class TaskState : std::uint8_t {
   Queued,         ///< assigned to a device, waiting in its queue
   Running,        ///< executing (in simulated time)
   Completed,
+  Abandoned,      ///< attempt budget exhausted under ExhaustionPolicy::Drop
+                  ///< (or a dependency was); will never run
 };
 
 const char* to_string(TaskState state) noexcept;

@@ -1,6 +1,7 @@
 #include "data/transfer.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace hetflow::data {
 
@@ -11,10 +12,12 @@ TransferEngine::TransferEngine(const hw::Platform& platform,
       link_busy_until_(platform.links().size(), 0.0),
       link_bytes_(platform.links().size(), 0) {}
 
+template <typename PerHop>
 sim::SimTime TransferEngine::walk_route(hw::MemoryNodeId src,
                                         hw::MemoryNodeId dst,
                                         std::uint64_t bytes,
-                                        sim::SimTime earliest, bool commit) {
+                                        sim::SimTime earliest,
+                                        PerHop&& per_hop) const {
   if (src == dst) {
     return earliest;
   }
@@ -24,17 +27,8 @@ sim::SimTime TransferEngine::walk_route(hw::MemoryNodeId src,
     const sim::SimTime start =
         std::max(arrival, link_busy_until_[link_id]);
     const sim::SimTime done = start + link.transfer_time_s(bytes);
-    if (commit) {
-      link_busy_until_[link_id] = done;
-      link_bytes_[link_id] += bytes;
-      stats_.bytes_link_hops += bytes;
-      stats_.busy_seconds += done - start;
-    }
+    per_hop(link_id, start, done);
     arrival = done;
-  }
-  if (commit) {
-    ++stats_.transfer_count;
-    stats_.bytes_moved += bytes;
   }
   return arrival;
 }
@@ -43,20 +37,34 @@ sim::SimTime TransferEngine::transfer(hw::MemoryNodeId src,
                                       hw::MemoryNodeId dst,
                                       std::uint64_t bytes,
                                       sim::SimTime earliest) {
-  HETFLOW_REQUIRE_MSG(earliest >= queue_->now() - 1e-12,
+  // Relative slack: at large sim times (e.g. ~1e7 s) one double ulp is
+  // ~1.9e-9 s, far above any fixed 1e-12 margin, so a caller that is one
+  // rounding error behind now would spuriously trip an absolute check.
+  const sim::SimTime now = queue_->now();
+  const sim::SimTime slack = 1e-12 * std::max(1.0, std::fabs(now));
+  HETFLOW_REQUIRE_MSG(earliest >= now - slack,
                       "transfer cannot start in the past");
-  return walk_route(src, dst, bytes, earliest, /*commit=*/true);
+  const sim::SimTime arrival = walk_route(
+      src, dst, bytes, earliest,
+      [&](hw::LinkId link_id, sim::SimTime start, sim::SimTime done) {
+        link_busy_until_[link_id] = done;
+        link_bytes_[link_id] += bytes;
+        stats_.bytes_link_hops += bytes;
+        stats_.busy_seconds += done - start;
+      });
+  if (src != dst) {
+    ++stats_.transfer_count;
+    stats_.bytes_moved += bytes;
+  }
+  return arrival;
 }
 
 sim::SimTime TransferEngine::estimate(hw::MemoryNodeId src,
                                       hw::MemoryNodeId dst,
                                       std::uint64_t bytes,
                                       sim::SimTime earliest) const {
-  // const_cast-free: walk without commit using a copy of the hot state is
-  // overkill; walk_route only mutates when commit is set.
-  return const_cast<TransferEngine*>(this)->walk_route(src, dst, bytes,
-                                                       earliest,
-                                                       /*commit=*/false);
+  return walk_route(src, dst, bytes, earliest,
+                    [](hw::LinkId, sim::SimTime, sim::SimTime) {});
 }
 
 sim::SimTime TransferEngine::link_free_at(hw::LinkId link) const {

@@ -50,9 +50,15 @@ class TransferEngine {
   std::vector<std::uint64_t> link_bytes_;
   TransferStats stats_;
 
+  /// Walks the route from `src` to `dst`, computing each hop's occupancy
+  /// window against the current link state without mutating it. `per_hop`
+  /// is invoked as (link, start, done) for every hop — `transfer` books
+  /// the hop from inside the callback, `estimate` passes a no-op — so the
+  /// walk itself is const and `estimate` needs no const_cast.
+  template <typename PerHop>
   sim::SimTime walk_route(hw::MemoryNodeId src, hw::MemoryNodeId dst,
                           std::uint64_t bytes, sim::SimTime earliest,
-                          bool commit);
+                          PerHop&& per_hop) const;
 };
 
 }  // namespace hetflow::data

@@ -20,8 +20,38 @@ double FailureModel::rate(DeviceType type) const noexcept {
   return rates_[static_cast<std::size_t>(type)];
 }
 
+void FailureModel::set_device_rate(DeviceId device, double rate_per_second) {
+  HETFLOW_REQUIRE_MSG(rate_per_second >= 0.0,
+                      "failure rate cannot be negative");
+  device_rates_[device] = rate_per_second;
+}
+
+double FailureModel::effective_rate(DeviceId device,
+                                    DeviceType type) const noexcept {
+  const auto it = device_rates_.find(device);
+  return it != device_rates_.end() ? it->second : rate(type);
+}
+
+void FailureModel::set_hang_fraction(double fraction) {
+  HETFLOW_REQUIRE_MSG(fraction >= 0.0 && fraction <= 1.0,
+                      "hang fraction must be in [0, 1]");
+  hang_fraction_ = fraction;
+}
+
+bool FailureModel::sample_hang(util::Rng& rng) const {
+  if (hang_fraction_ <= 0.0) {
+    return false;
+  }
+  return rng.bernoulli(hang_fraction_);
+}
+
 bool FailureModel::enabled() const noexcept {
   for (double r : rates_) {
+    if (r > 0.0) {
+      return true;
+    }
+  }
+  for (const auto& [device, r] : device_rates_) {
     if (r > 0.0) {
       return true;
     }
@@ -29,10 +59,10 @@ bool FailureModel::enabled() const noexcept {
   return false;
 }
 
-std::optional<double> FailureModel::sample_failure(util::Rng& rng,
-                                                   DeviceType type,
-                                                   double duration_s) const {
-  const double lambda = rate(type);
+namespace {
+
+std::optional<double> sample_with_rate(util::Rng& rng, double lambda,
+                                       double duration_s) {
   if (lambda <= 0.0 || duration_s <= 0.0) {
     return std::nullopt;
   }
@@ -41,6 +71,21 @@ std::optional<double> FailureModel::sample_failure(util::Rng& rng,
     return instant;
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<double> FailureModel::sample_failure(util::Rng& rng,
+                                                   DeviceType type,
+                                                   double duration_s) const {
+  return sample_with_rate(rng, rate(type), duration_s);
+}
+
+std::optional<double> FailureModel::sample_failure(util::Rng& rng,
+                                                   DeviceId device,
+                                                   DeviceType type,
+                                                   double duration_s) const {
+  return sample_with_rate(rng, effective_rate(device, type), duration_s);
 }
 
 }  // namespace hetflow::hw

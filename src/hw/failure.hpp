@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <map>
 #include <optional>
 
 #include "hw/device.hpp"
@@ -27,6 +28,23 @@ class FailureModel {
   void set_rate(DeviceType type, double rate_per_second);
   double rate(DeviceType type) const noexcept;
 
+  /// Per-device override: models a single flaky unit (one bad board in an
+  /// otherwise healthy tier). Takes precedence over the type-level rate
+  /// for that device only.
+  void set_device_rate(DeviceId device, double rate_per_second);
+
+  /// Effective rate for a concrete device: the per-device override if one
+  /// was set, otherwise the type-level rate.
+  double effective_rate(DeviceId device, DeviceType type) const noexcept;
+
+  /// Fraction of failures that are fail-silent (the task hangs instead
+  /// of crashing): no failure signal is ever delivered, so only a
+  /// per-attempt timeout (RetryPolicy::timeout_s) can recover the
+  /// attempt — the detection latency real fault-tolerant runtimes pay.
+  /// The remainder stay fail-stop (detected at the failure instant).
+  void set_hang_fraction(double fraction);
+  double hang_fraction() const noexcept { return hang_fraction_; }
+
   bool enabled() const noexcept;
 
   /// Samples the failure instant for a task of length `duration_s` on a
@@ -37,8 +55,20 @@ class FailureModel {
   std::optional<double> sample_failure(util::Rng& rng, DeviceType type,
                                        double duration_s) const;
 
+  /// Device-aware variant: honours a per-device rate override.
+  std::optional<double> sample_failure(util::Rng& rng, DeviceId device,
+                                       DeviceType type,
+                                       double duration_s) const;
+
+  /// Given that a failure was sampled, draws whether it is fail-silent.
+  /// Consumes a draw only when the hang fraction is positive, so legacy
+  /// fail-stop streams are byte-identical.
+  bool sample_hang(util::Rng& rng) const;
+
  private:
   std::array<double, kDeviceTypeCount> rates_{};  // zero-initialized
+  std::map<DeviceId, double> device_rates_;
+  double hang_fraction_ = 0.0;
 };
 
 }  // namespace hetflow::hw

@@ -9,17 +9,28 @@ void DmdaScheduler::on_task_ready(core::Task& task) {
   const hw::Device* best = nullptr;
   double best_score = std::numeric_limits<double>::infinity();
   constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
-  for (const hw::Device& device : ctx().platform().devices()) {
-    const double completion = ctx().estimate_completion(task, device);
-    if (!std::isfinite(completion)) {
-      continue;
+  // Quarantined devices are excluded outright (parking work on one
+  // serializes behind its probation timer); if every capable device is
+  // quarantined, fall back to considering them all.
+  for (const bool skip_blacklisted : {true, false}) {
+    for (const hw::Device& device : ctx().platform().devices()) {
+      if (skip_blacklisted && ctx().device_blacklisted(device)) {
+        continue;
+      }
+      const double completion = ctx().estimate_completion(task, device);
+      if (!std::isfinite(completion)) {
+        continue;
+      }
+      const double missing =
+          static_cast<double>(ctx().missing_input_bytes(task, device));
+      const double score = completion + locality_weight_ * missing / kGiB;
+      if (score < best_score) {
+        best_score = score;
+        best = &device;
+      }
     }
-    const double missing =
-        static_cast<double>(ctx().missing_input_bytes(task, device));
-    const double score = completion + locality_weight_ * missing / kGiB;
-    if (score < best_score) {
-      best_score = score;
-      best = &device;
+    if (best != nullptr) {
+      break;
     }
   }
   HETFLOW_REQUIRE_MSG(best != nullptr, "dmda: no eligible device");

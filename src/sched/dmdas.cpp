@@ -34,11 +34,21 @@ void DmdasScheduler::flush() {
     held_.pop();
     const hw::Device* best = nullptr;
     double best_completion = std::numeric_limits<double>::infinity();
-    for (const hw::Device& device : ctx().platform().devices()) {
-      const double completion = ctx().estimate_completion(*task, device);
-      if (std::isfinite(completion) && completion < best_completion) {
-        best_completion = completion;
-        best = &device;
+    // Skip quarantined devices; if every capable device is quarantined,
+    // fall back to considering them all.
+    for (const bool skip_blacklisted : {true, false}) {
+      for (const hw::Device& device : ctx().platform().devices()) {
+        if (skip_blacklisted && ctx().device_blacklisted(device)) {
+          continue;
+        }
+        const double completion = ctx().estimate_completion(*task, device);
+        if (std::isfinite(completion) && completion < best_completion) {
+          best_completion = completion;
+          best = &device;
+        }
+      }
+      if (best != nullptr) {
+        break;
       }
     }
     HETFLOW_REQUIRE_MSG(best != nullptr, "dmdas: no eligible device");

@@ -8,16 +8,26 @@ namespace hetflow::sched {
 void MctScheduler::on_task_ready(core::Task& task) {
   const hw::Device* best = nullptr;
   double best_completion = std::numeric_limits<double>::infinity();
-  for (const hw::Device& device : ctx().platform().devices()) {
-    const double exec = ctx().estimate_exec_seconds(task, device);
-    if (!std::isfinite(exec)) {
-      continue;
+  // Skip quarantined devices; if every capable device is quarantined,
+  // fall back to considering them all.
+  for (const bool skip_blacklisted : {true, false}) {
+    for (const hw::Device& device : ctx().platform().devices()) {
+      if (skip_blacklisted && ctx().device_blacklisted(device)) {
+        continue;
+      }
+      const double exec = ctx().estimate_exec_seconds(task, device);
+      if (!std::isfinite(exec)) {
+        continue;
+      }
+      // Completion without the data-movement term — deliberately blind.
+      const double completion = ctx().device_available_at(device) + exec;
+      if (completion < best_completion) {
+        best_completion = completion;
+        best = &device;
+      }
     }
-    // Completion without the data-movement term — deliberately blind.
-    const double completion = ctx().device_available_at(device) + exec;
-    if (completion < best_completion) {
-      best_completion = completion;
-      best = &device;
+    if (best != nullptr) {
+      break;
     }
   }
   HETFLOW_REQUIRE_MSG(best != nullptr, "mct: no eligible device");

@@ -57,9 +57,12 @@ std::string Tracer::ascii_gantt(const hw::Platform& platform,
     makespan = std::max(makespan, span.end);
   }
   std::string out;
-  if (makespan <= 0.0) {
+  if (spans_.empty()) {
     return "(empty trace)\n";
   }
+  // An instant run (every span at t = 0) still renders — all marks land
+  // in the first column instead of dividing by a zero makespan.
+  const double scale = makespan > 0.0 ? makespan : 1.0;
   std::size_t label_width = 0;
   for (const hw::Device& device : platform.devices()) {
     label_width = std::max(label_width, device.name().size());
@@ -70,10 +73,11 @@ std::string Tracer::ascii_gantt(const hw::Platform& platform,
       if (span.device != device.id()) {
         continue;
       }
-      const auto lo = static_cast<std::size_t>(
-          span.start / makespan * static_cast<double>(width));
-      auto hi = static_cast<std::size_t>(span.end / makespan *
+      auto lo = static_cast<std::size_t>(
+          span.start / scale * static_cast<double>(width));
+      auto hi = static_cast<std::size_t>(span.end / scale *
                                          static_cast<double>(width));
+      lo = std::min(lo, width - 1);
       hi = std::min(hi, width - 1);
       const char mark = span.kind == SpanKind::FailedExec ? 'x' : '#';
       for (std::size_t i = lo; i <= hi; ++i) {

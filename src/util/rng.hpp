@@ -70,6 +70,19 @@ class Rng {
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~0ULL; }
 
+  /// Raw 256-bit generator state, for checkpointing a stream mid-run.
+  const std::array<std::uint64_t, 4>& state() const noexcept { return state_; }
+
+  /// Restores a state captured with state(). The all-zero state is the
+  /// one fixed point of xoshiro256** (the stream would stay zero forever)
+  /// and is rejected.
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    HETFLOW_REQUIRE_MSG(
+        state[0] != 0 || state[1] != 0 || state[2] != 0 || state[3] != 0,
+        "refusing to restore the degenerate all-zero rng state");
+    state_ = state;
+  }
+
   /// Uniform double in [0, 1).
   double uniform() noexcept {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <numbers>
+#include <sstream>
 
 #include "core/runtime.hpp"
 #include "exec/thread_pool.hpp"
 #include "sched/registry.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "workflow/codelets.hpp"
 
@@ -96,6 +101,34 @@ const char* to_string(SearchStrategy strategy) noexcept {
       return "surrogate";
   }
   return "?";
+}
+
+SearchStrategy strategy_from_name(const std::string& name) {
+  if (name == "grid") {
+    return SearchStrategy::Grid;
+  }
+  if (name == "random") {
+    return SearchStrategy::Random;
+  }
+  if (name == "surrogate") {
+    return SearchStrategy::Surrogate;
+  }
+  throw util::InvalidArgument(
+      util::format("unknown search strategy '%s'", name.c_str()));
+}
+
+ResponseSurface::Kind ResponseSurface::kind_from_name(const std::string& name) {
+  if (name == "branin") {
+    return Kind::Branin;
+  }
+  if (name == "rosenbrock") {
+    return Kind::Rosenbrock;
+  }
+  if (name == "quadratic") {
+    return Kind::Quadratic;
+  }
+  throw util::InvalidArgument(
+      util::format("unknown response surface '%s'", name.c_str()));
 }
 
 // ---------------------------------------------------------------------------
@@ -203,39 +236,168 @@ void run_simulation_batch(core::Runtime& runtime,
   runtime.wait_all();
 }
 
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Campaign loop
-// ---------------------------------------------------------------------------
-
-CampaignResult run_campaign(const hw::Platform& platform,
-                            const ResponseSurface& surface,
-                            SearchStrategy strategy,
-                            const CampaignConfig& config) {
-  HETFLOW_REQUIRE_MSG(config.batch_size >= 1, "batch size must be >= 1");
-  HETFLOW_REQUIRE_MSG(config.max_evaluations >= config.batch_size,
-                      "max_evaluations below one batch");
-  util::Rng rng(config.seed);
-  const CodeletLibrary library = CodeletLibrary::standard();
-  core::RuntimeOptions options;
-  options.seed = config.seed;
-  options.record_trace = false;
-  core::Runtime runtime(platform, sched::make_scheduler(config.scheduler),
-                        options);
-
-  CampaignResult result;
-  result.best_value = std::numeric_limits<double>::infinity();
+/// Everything the campaign loop mutates between rounds — the unit of
+/// checkpoint/restart. The Runtime itself is NOT serialized: its
+/// simulated-time state is a deterministic function of (config, rounds
+/// executed), so resume replays the simulation batches instead.
+struct CampaignState {
+  util::Rng rng{0};
   std::vector<Observation> observed;
+  CampaignResult result;
+  std::size_t grid_cursor = 0;
+};
+
+// --- checkpoint serialization ----------------------------------------------
+
+/// uint64 values (rng words, seed) do not fit a JSON double losslessly;
+/// they travel as decimal strings.
+std::string u64_string(std::uint64_t value) { return std::to_string(value); }
+
+std::uint64_t parse_u64(const util::Json& node) {
+  return std::strtoull(node.as_string().c_str(), nullptr, 10);
+}
+
+void save_checkpoint(const std::string& path, const ResponseSurface& surface,
+                     SearchStrategy strategy, const CampaignConfig& config,
+                     const CampaignState& state) {
+  util::Json doc = util::Json::object();
+  doc["version"] = 1;
+  doc["strategy"] = to_string(strategy);
+  util::Json surf = util::Json::object();
+  surf["kind"] = surface.name();
+  surf["noise_sd"] = surface.noise_sd();
+  doc["surface"] = std::move(surf);
+  util::Json cfg = util::Json::object();
+  cfg["max_evaluations"] = config.max_evaluations;
+  cfg["batch_size"] = config.batch_size;
+  cfg["target_excess"] = config.target_excess;
+  cfg["sim_flops"] = config.sim_flops;
+  cfg["sim_bytes"] = u64_string(config.sim_bytes);
+  cfg["scheduler"] = config.scheduler;
+  cfg["seed"] = u64_string(config.seed);
+  cfg["jobs"] = config.jobs;
+  doc["config"] = std::move(cfg);
+  util::Json rng_state = util::Json::array();
+  for (std::uint64_t word : state.rng.state()) {
+    rng_state.push_back(u64_string(word));
+  }
+  doc["rng_state"] = std::move(rng_state);
+  doc["grid_cursor"] = state.grid_cursor;
+  util::Json observed = util::Json::array();
+  for (const Observation& p : state.observed) {
+    util::Json point = util::Json::array();
+    point.push_back(p.x);
+    point.push_back(p.y);
+    point.push_back(p.z);
+    observed.push_back(std::move(point));
+  }
+  doc["observed"] = std::move(observed);
+  util::Json res = util::Json::object();
+  res["evaluations"] = state.result.evaluations;
+  res["rounds"] = state.result.rounds;
+  res["reached_target"] = state.result.reached_target;
+  res["best_value"] = state.result.best_value;
+  res["best_x"] = state.result.best_x;
+  res["best_y"] = state.result.best_y;
+  util::Json trace = util::Json::array();
+  for (double best : state.result.best_after_round) {
+    trace.push_back(best);
+  }
+  res["best_after_round"] = std::move(trace);
+  doc["result"] = std::move(res);
+
+  // Write-then-rename so a kill mid-write leaves the previous checkpoint
+  // intact rather than a truncated file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    HETFLOW_REQUIRE_MSG(out.good(), "cannot open checkpoint file for writing");
+    out << doc.dump_pretty() << '\n';
+    HETFLOW_REQUIRE_MSG(out.good(), "checkpoint write failed");
+  }
+  HETFLOW_REQUIRE_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                      "checkpoint rename failed");
+}
+
+CampaignState load_checkpoint(const std::string& path, CampaignConfig& config,
+                              SearchStrategy& strategy,
+                              ResponseSurface::Kind& surface_kind,
+                              double& surface_noise_sd) {
+  std::ifstream in(path);
+  HETFLOW_REQUIRE_MSG(in.good(), "cannot open checkpoint file");
+  std::ostringstream text;
+  text << in.rdbuf();
+  const util::Json doc = util::Json::parse(text.str());
+  HETFLOW_REQUIRE_MSG(doc.at("version").as_number() == 1.0,
+                      "unsupported checkpoint version");
+  strategy = strategy_from_name(doc.at("strategy").as_string());
+  surface_kind =
+      ResponseSurface::kind_from_name(doc.at("surface").at("kind").as_string());
+  surface_noise_sd = doc.at("surface").at("noise_sd").as_number();
+  const util::Json& cfg = doc.at("config");
+  config.max_evaluations =
+      static_cast<std::size_t>(cfg.at("max_evaluations").as_number());
+  config.batch_size = static_cast<std::size_t>(cfg.at("batch_size").as_number());
+  config.target_excess = cfg.at("target_excess").as_number();
+  config.sim_flops = cfg.at("sim_flops").as_number();
+  config.sim_bytes = parse_u64(cfg.at("sim_bytes"));
+  config.scheduler = cfg.at("scheduler").as_string();
+  config.seed = parse_u64(cfg.at("seed"));
+  config.jobs = static_cast<std::size_t>(cfg.at("jobs").as_number());
+
+  CampaignState state;
+  const util::JsonArray& words = doc.at("rng_state").as_array();
+  HETFLOW_REQUIRE_MSG(words.size() == 4, "malformed rng state");
+  std::array<std::uint64_t, 4> rng_words{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    rng_words[i] = parse_u64(words[i]);
+  }
+  state.rng.set_state(rng_words);
+  state.grid_cursor =
+      static_cast<std::size_t>(doc.at("grid_cursor").as_number());
+  for (const util::Json& point : doc.at("observed").as_array()) {
+    const util::JsonArray& xyz = point.as_array();
+    HETFLOW_REQUIRE_MSG(xyz.size() == 3, "malformed observation");
+    state.observed.push_back(
+        {xyz[0].as_number(), xyz[1].as_number(), xyz[2].as_number()});
+  }
+  const util::Json& res = doc.at("result");
+  state.result.evaluations =
+      static_cast<std::size_t>(res.at("evaluations").as_number());
+  state.result.rounds = static_cast<std::size_t>(res.at("rounds").as_number());
+  state.result.reached_target = res.at("reached_target").as_bool();
+  state.result.best_value = res.at("best_value").as_number();
+  state.result.best_x = res.at("best_x").as_number();
+  state.result.best_y = res.at("best_y").as_number();
+  for (const util::Json& best : res.at("best_after_round").as_array()) {
+    state.result.best_after_round.push_back(best.as_number());
+  }
+  HETFLOW_REQUIRE_MSG(
+      state.result.best_after_round.size() == state.result.rounds,
+      "checkpoint rounds disagree with best-so-far trace");
+  return state;
+}
+
+// --- the loop ---------------------------------------------------------------
+
+CampaignResult campaign_loop(const ResponseSurface& surface,
+                             SearchStrategy strategy,
+                             const CampaignConfig& config,
+                             core::Runtime& runtime, CampaignState state) {
+  const CodeletLibrary library = CodeletLibrary::standard();
+  util::Rng& rng = state.rng;
+  CampaignResult& result = state.result;
+  std::vector<Observation>& observed = state.observed;
+  std::size_t& grid_cursor = state.grid_cursor;
   const double target = surface.true_minimum() + config.target_excess;
 
   // Grid layout: smallest k x k covering the budget, swept in order.
   const auto grid_k = static_cast<std::size_t>(
       std::ceil(std::sqrt(static_cast<double>(config.max_evaluations))));
-  std::size_t grid_cursor = 0;
 
   while (result.evaluations < config.max_evaluations &&
-         !result.reached_target) {
+         !result.reached_target &&
+         (config.max_rounds == 0 || result.rounds < config.max_rounds)) {
     const std::size_t batch = std::min(
         config.batch_size, config.max_evaluations - result.evaluations);
     // 1) choose the batch of parameter points
@@ -332,11 +494,82 @@ CampaignResult run_campaign(const hw::Platform& platform,
     if (result.best_value <= target) {
       result.reached_target = true;
     }
+    if (!config.checkpoint_path.empty()) {
+      save_checkpoint(config.checkpoint_path, surface, strategy, config,
+                      state);
+    }
   }
 
   result.makespan_s = runtime.now();
   result.core_seconds = runtime.stats().total_busy_seconds();
   return result;
+}
+
+/// Reconstructs the runtime's simulated-time state (clock, history-model
+/// calibration, device stats) after `rounds` completed rounds by
+/// re-running their simulation batches. The batches are a deterministic
+/// function of (config, round index) — no campaign rng draws — so the
+/// replayed runtime is identical to the one the killed campaign held.
+void replay_batches(core::Runtime& runtime, const CampaignConfig& config,
+                    std::size_t rounds, std::size_t evaluations) {
+  const CodeletLibrary library = CodeletLibrary::standard();
+  std::size_t replayed = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const std::size_t batch =
+        std::min(config.batch_size, config.max_evaluations - replayed);
+    run_simulation_batch(runtime, library, config, round, batch);
+    replayed += batch;
+  }
+  HETFLOW_REQUIRE_MSG(replayed == evaluations,
+                      "checkpoint evaluation count disagrees with its "
+                      "round/batch schedule");
+}
+
+core::RuntimeOptions campaign_runtime_options(const CampaignConfig& config) {
+  core::RuntimeOptions options;
+  options.seed = config.seed;
+  options.record_trace = false;
+  return options;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Campaign loop
+// ---------------------------------------------------------------------------
+
+CampaignResult run_campaign(const hw::Platform& platform,
+                            const ResponseSurface& surface,
+                            SearchStrategy strategy,
+                            const CampaignConfig& config) {
+  HETFLOW_REQUIRE_MSG(config.batch_size >= 1, "batch size must be >= 1");
+  HETFLOW_REQUIRE_MSG(config.max_evaluations >= config.batch_size,
+                      "max_evaluations below one batch");
+  core::Runtime runtime(platform, sched::make_scheduler(config.scheduler),
+                        campaign_runtime_options(config));
+  CampaignState state;
+  state.rng.reseed(config.seed);
+  state.result.best_value = std::numeric_limits<double>::infinity();
+  return campaign_loop(surface, strategy, config, runtime, std::move(state));
+}
+
+CampaignResult resume_campaign(const hw::Platform& platform,
+                               const std::string& checkpoint_path,
+                               std::size_t max_rounds) {
+  CampaignConfig config;
+  SearchStrategy strategy = SearchStrategy::Grid;
+  ResponseSurface::Kind kind = ResponseSurface::Kind::Branin;
+  double noise_sd = 0.0;
+  CampaignState state =
+      load_checkpoint(checkpoint_path, config, strategy, kind, noise_sd);
+  config.checkpoint_path = checkpoint_path;
+  config.max_rounds = max_rounds;
+  const ResponseSurface surface(kind, noise_sd);
+  core::Runtime runtime(platform, sched::make_scheduler(config.scheduler),
+                        campaign_runtime_options(config));
+  replay_batches(runtime, config, state.result.rounds,
+                 state.result.evaluations);
+  return campaign_loop(surface, strategy, config, runtime, std::move(state));
 }
 
 }  // namespace hetflow::workflow

@@ -33,6 +33,11 @@ class ResponseSurface {
   double observe(double x, double y, util::Rng& rng) const;
   double true_minimum() const noexcept;
   const char* name() const noexcept;
+  Kind kind() const noexcept { return kind_; }
+  double noise_sd() const noexcept { return noise_sd_; }
+
+  /// Inverse of name(); throws InvalidArgument on unknown names.
+  static Kind kind_from_name(const std::string& name);
 
  private:
   Kind kind_;
@@ -41,6 +46,8 @@ class ResponseSurface {
 
 enum class SearchStrategy { Grid, Random, Surrogate };
 const char* to_string(SearchStrategy strategy) noexcept;
+/// Inverse of to_string(); throws InvalidArgument on unknown names.
+SearchStrategy strategy_from_name(const std::string& name);
 
 struct CampaignConfig {
   std::size_t max_evaluations = 256;
@@ -59,6 +66,15 @@ struct CampaignConfig {
   /// fan out. The simulation batch itself stays on one Runtime so
   /// device contention in simulated time is preserved.
   std::size_t jobs = 0;
+  /// When non-empty, the full campaign state (config, rng stream,
+  /// observations, incumbent) is serialized here atomically after every
+  /// batch; resume_campaign() continues a killed campaign from it to a
+  /// byte-identical final result.
+  std::string checkpoint_path;
+  /// Stop after this many rounds even if neither budget nor target has
+  /// been hit (0 = no limit). Simulates a mid-campaign kill for
+  /// checkpoint/restart testing and lets long campaigns run in slices.
+  std::size_t max_rounds = 0;
 };
 
 struct CampaignResult {
@@ -81,5 +97,16 @@ CampaignResult run_campaign(const hw::Platform& platform,
                             const ResponseSurface& surface,
                             SearchStrategy strategy,
                             const CampaignConfig& config = {});
+
+/// Continues a campaign from a checkpoint written by run_campaign (or by
+/// an earlier resume). The surface, strategy, and config are restored
+/// from the file; `platform` must match the original run for the
+/// replayed simulation batches to line up. The finished campaign is
+/// byte-identical to one that was never interrupted. `max_rounds`
+/// overrides the stored config's slice limit (0 = run to completion);
+/// further checkpoints are written back to `checkpoint_path`.
+CampaignResult resume_campaign(const hw::Platform& platform,
+                               const std::string& checkpoint_path,
+                               std::size_t max_rounds = 0);
 
 }  // namespace hetflow::workflow

@@ -110,6 +110,23 @@ TEST(Runtime, StatsAccounting) {
   EXPECT_NE(summary.find("cpu0"), std::string::npos);
 }
 
+TEST(Runtime, ZeroMakespanSummaryRendersWithoutInfNan) {
+  // An empty/instant run has makespan 0 — the per-device util% column
+  // must degrade to 0.0 instead of emitting inf/nan.
+  const hw::Platform p = hw::make_cpu_only(2);
+  RunStats stats;
+  stats.devices.resize(p.device_count());
+  for (hw::DeviceId id = 0; id < p.device_count(); ++id) {
+    stats.devices[id].device = id;
+  }
+  stats.devices[0].busy_seconds = 1.0;  // degenerate: busy but no makespan
+  EXPECT_DOUBLE_EQ(stats.mean_utilization(), 0.0);
+  const std::string summary = stats.summary(p);
+  EXPECT_NE(summary.find("makespan"), std::string::npos);
+  EXPECT_EQ(summary.find("inf"), std::string::npos);
+  EXPECT_EQ(summary.find("nan"), std::string::npos);
+}
+
 TEST(Runtime, TimesAreOrdered) {
   const hw::Platform p = hw::make_cpu_only(1);
   Runtime rt(p, std::make_unique<sched::EagerScheduler>());

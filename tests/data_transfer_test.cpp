@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "hw/presets.hpp"
+#include "util/error.hpp"
 
 namespace hetflow::data {
 namespace {
@@ -108,6 +111,41 @@ TEST(TransferEngine, MultiHopStoreAndForward) {
   EXPECT_NEAR(done, 0.2 + 2e-6, 1e-9);
   EXPECT_EQ(engine.stats().bytes_moved, 1000000000ull);
   EXPECT_EQ(engine.stats().bytes_link_hops, 2000000000ull);
+}
+
+TEST(TransferEngine, RoundingErrorBehindNowAtLargeSimTimeAccepted) {
+  // Regression: at now ~ 1e7 s one double ulp is ~1.9e-9 s, so a caller
+  // holding a start time that is one rounding error behind now must not
+  // trip the "transfer cannot start in the past" guard (the old absolute
+  // 1e-12 margin rejected it).
+  const hw::Platform p = simple_platform();
+  sim::EventQueue q;
+  TransferEngine engine(p, q);
+  const double late = 1.0e7;
+  double done = 0.0;
+  q.schedule_at(late, [&] {
+    const double one_ulp_behind = std::nextafter(late, 0.0);
+    ASSERT_LT(one_ulp_behind, q.now());
+    done = engine.transfer(0, 1, 1000ull, one_ulp_behind);
+  });
+  q.run_until(late + 1.0);
+  EXPECT_GT(done, late);
+}
+
+TEST(TransferEngine, StartingClearlyInThePastStillThrows) {
+  const hw::Platform p = simple_platform();
+  sim::EventQueue q;
+  TransferEngine engine(p, q);
+  bool threw = false;
+  q.schedule_at(1.0e7, [&] {
+    try {
+      engine.transfer(0, 1, 1000ull, 9.0e6);  // 1e6 s in the past
+    } catch (const util::Error&) {
+      threw = true;
+    }
+  });
+  q.run_until(1.1e7);
+  EXPECT_TRUE(threw);
 }
 
 TEST(TransferEngine, BusySecondsAccumulate) {

@@ -224,6 +224,93 @@ TEST(EventQueue, CancelledEntriesSkippedAcrossCompaction) {
   EXPECT_TRUE(q.debug_consistent());
 }
 
+TEST(EventQueue, RunUntilWithCarcassesAtHeadBeyondLimit) {
+  // After draining up to `limit`, the heap head is a pile of cancelled
+  // carcasses whose timestamps lie beyond the limit. run_until must stop
+  // the clock at `limit` (not at a carcass time), leave the live tail
+  // pending, and keep the bookkeeping audit green.
+  EventQueue q;
+  std::vector<double> fired;
+  q.schedule_at(1.0, [&] { fired.push_back(q.now()); });
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 64; ++i) {
+    doomed.push_back(q.schedule_at(5.0 + 0.01 * i, [] {}));
+  }
+  bool tail_fired = false;
+  q.schedule_at(50.0, [&] { tail_fired = true; });
+  // Cancel a prefix only — enough carcasses survive compaction to sit at
+  // the head when run_until(2.0) returns.
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(q.cancel(doomed[i]));
+  }
+  EXPECT_TRUE(q.debug_consistent());
+  const SimTime reached = q.run_until(2.0);
+  EXPECT_EQ(reached, 2.0);
+  EXPECT_EQ(q.now(), 2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0}));
+  EXPECT_FALSE(tail_fired);
+  EXPECT_EQ(q.pending(), 45u);  // 44 survivors + the tail event
+  EXPECT_TRUE(q.debug_consistent());
+  q.run();
+  EXPECT_TRUE(tail_fired);
+  EXPECT_TRUE(q.debug_consistent());
+}
+
+TEST(EventQueue, CompactionMidDrainKeepsRunUntilExact) {
+  // A callback that mass-cancels future events forces a compaction while
+  // run_until is mid-drain; the remaining schedule must be unaffected.
+  EventQueue q;
+  std::vector<double> fired;
+  std::vector<EventId> future;
+  for (int i = 0; i < 200; ++i) {
+    future.push_back(q.schedule_at(10.0 + static_cast<double>(i), [] {}));
+  }
+  q.schedule_at(1.0, [&] {
+    fired.push_back(q.now());
+    // Cancel 199 of 200 future events: carcasses overwhelm live events
+    // and compaction fires inside the drain loop.
+    for (std::size_t i = 0; i + 1 < future.size(); ++i) {
+      EXPECT_TRUE(q.cancel(future[i]));
+    }
+    EXPECT_TRUE(q.debug_consistent());
+  });
+  q.schedule_at(2.0, [&] { fired.push_back(q.now()); });
+  const SimTime reached = q.run_until(3.0);
+  EXPECT_EQ(reached, 3.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(q.pending(), 1u);  // the lone surviving future event
+  EXPECT_LT(q.heap_entries(), 100u);
+  EXPECT_TRUE(q.debug_consistent());
+  q.run();
+  EXPECT_EQ(q.now(), 10.0 + 199.0);
+  EXPECT_TRUE(q.debug_consistent());
+}
+
+TEST(EventQueue, ConsistencyHoldsThroughCancelHeavyDrain) {
+  // Audit the bookkeeping invariant at every step of a drain where every
+  // other event cancels a later one (the timeout-watchdog pattern: the
+  // completion event cancels its watchdog or vice versa).
+  EventQueue q;
+  std::vector<EventId> watchdogs(100, 0);
+  for (int i = 0; i < 100; ++i) {
+    const double t = static_cast<double>(i) + 1.0;
+    const auto slot = static_cast<std::size_t>(i);
+    watchdogs[slot] = q.schedule_at(t + 0.5, [] { FAIL() << "watchdog"; });
+    q.schedule_at(t, [&q, &watchdogs, slot] {
+      EXPECT_TRUE(q.cancel(watchdogs[slot]));
+    });
+  }
+  while (!q.empty()) {
+    ASSERT_TRUE(q.debug_consistent());
+    q.step();
+  }
+  EXPECT_TRUE(q.debug_consistent());
+  // Deletion is lazy, so the final cancelled watchdog may linger as a
+  // carcass — but every remaining entry must be a carcass, none live.
+  EXPECT_EQ(q.heap_entries(), q.heap_carcasses());
+  EXPECT_EQ(q.executed(), 100u);
+}
+
 class EventStressSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(EventStressSweep, ManyEventsAllExecuteInOrder) {

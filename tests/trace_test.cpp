@@ -69,6 +69,23 @@ TEST(Tracer, EmptyGantt) {
   EXPECT_EQ(tracer.ascii_gantt(p), "(empty trace)\n");
 }
 
+TEST(Tracer, InstantRunGanttRendersWithoutDividingByZero) {
+  // Every span is zero-length at t = 0, so the makespan is 0; the chart
+  // must still render device rows (marks in the first column) instead of
+  // dividing by zero or degrading to "(empty trace)".
+  const hw::Platform p = hw::make_workstation();
+  Tracer tracer;
+  tracer.add(Span{1, "t", 0, 0.0, 0.0, SpanKind::Exec});
+  tracer.add(Span{2, "u", 4, 0.0, 0.0, SpanKind::FailedExec});
+  const std::string gantt = tracer.ascii_gantt(p, 40);
+  EXPECT_EQ(gantt.find("(empty trace)"), std::string::npos);
+  EXPECT_NE(gantt.find("cpu0"), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+  EXPECT_NE(gantt.find('x'), std::string::npos);
+  EXPECT_EQ(gantt.find("inf"), std::string::npos);
+  EXPECT_EQ(gantt.find("nan"), std::string::npos);
+}
+
 TEST(Report, UtilizationAggregates) {
   const hw::Platform p = hw::make_workstation();
   Tracer tracer;

@@ -305,5 +305,30 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
                          ::testing::Values(1ull, 42ull, 1234ull, 0xdeadbeefull,
                                            ~0ull));
 
+TEST(Rng, StateRoundTripResumesStreamExactly) {
+  Rng rng(97);
+  for (int i = 0; i < 1000; ++i) {
+    rng();  // advance mid-stream
+  }
+  const auto snapshot = rng.state();
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 100; ++i) {
+    expected.push_back(rng());
+  }
+  Rng restored(0);
+  restored.set_state(snapshot);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(restored(), expected[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Rng, AllZeroStateRejected) {
+  Rng rng(1);
+  EXPECT_THROW(rng.set_state({0, 0, 0, 0}), Error);
+  // A rejected restore must leave the stream untouched.
+  Rng witness(1);
+  EXPECT_EQ(rng(), witness());
+}
+
 }  // namespace
 }  // namespace hetflow::util

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "hw/presets.hpp"
 
 namespace hetflow::workflow {
@@ -164,6 +167,149 @@ TEST(Campaign, StrategyNames) {
   EXPECT_STREQ(to_string(SearchStrategy::Grid), "grid");
   EXPECT_STREQ(to_string(SearchStrategy::Random), "random");
   EXPECT_STREQ(to_string(SearchStrategy::Surrogate), "surrogate");
+  EXPECT_EQ(strategy_from_name("grid"), SearchStrategy::Grid);
+  EXPECT_EQ(strategy_from_name("random"), SearchStrategy::Random);
+  EXPECT_EQ(strategy_from_name("surrogate"), SearchStrategy::Surrogate);
+  EXPECT_THROW(strategy_from_name("simulated-annealing"), util::Error);
+  EXPECT_EQ(ResponseSurface::kind_from_name("branin"),
+            ResponseSurface::Kind::Branin);
+  EXPECT_EQ(ResponseSurface::kind_from_name("rosenbrock"),
+            ResponseSurface::Kind::Rosenbrock);
+  EXPECT_EQ(ResponseSurface::kind_from_name("quadratic"),
+            ResponseSurface::Kind::Quadratic);
+  EXPECT_THROW(ResponseSurface::kind_from_name("ackley"), util::Error);
+}
+
+// --- checkpoint / restart ---------------------------------------------------
+
+void expect_identical_results(const CampaignResult& a,
+                              const CampaignResult& b) {
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.reached_target, b.reached_target);
+  EXPECT_DOUBLE_EQ(a.best_value, b.best_value);
+  EXPECT_DOUBLE_EQ(a.best_x, b.best_x);
+  EXPECT_DOUBLE_EQ(a.best_y, b.best_y);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_DOUBLE_EQ(a.core_seconds, b.core_seconds);
+  ASSERT_EQ(a.best_after_round.size(), b.best_after_round.size());
+  for (std::size_t i = 0; i < a.best_after_round.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.best_after_round[i], b.best_after_round[i]);
+  }
+}
+
+std::string temp_checkpoint_path(const char* tag) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "hetflow_" + info->name() + "_" + tag +
+         ".json";
+}
+
+TEST(CampaignCheckpoint, MaxRoundsSlicesTheCampaign) {
+  const hw::Platform p = hw::make_workstation();
+  const ResponseSurface surface(ResponseSurface::Kind::Branin, 0.1);
+  CampaignConfig config;
+  config.max_evaluations = 64;
+  config.target_excess = -1.0;
+  config.max_rounds = 3;
+  const CampaignResult result =
+      run_campaign(p, surface, SearchStrategy::Random, config);
+  EXPECT_EQ(result.rounds, 3u);
+  EXPECT_EQ(result.evaluations, 24u);
+  EXPECT_FALSE(result.reached_target);
+}
+
+// The acceptance property: a campaign checkpointed and killed at EVERY
+// batch boundary, then resumed, must finish byte-identical to the
+// uninterrupted run — same incumbent, same trajectory, same simulated
+// clock (the runtime state is replayed, not approximated).
+TEST(CampaignCheckpoint, KillAndResumeAtEveryBatchBoundaryIsLossless) {
+  const hw::Platform p = hw::make_workstation();
+  const ResponseSurface surface(ResponseSurface::Kind::Branin, 0.1);
+  CampaignConfig config;
+  config.max_evaluations = 48;
+  config.batch_size = 8;
+  config.target_excess = -1.0;  // run the full budget
+  config.seed = 11;
+
+  for (SearchStrategy strategy :
+       {SearchStrategy::Grid, SearchStrategy::Random,
+        SearchStrategy::Surrogate}) {
+    const CampaignResult uninterrupted =
+        run_campaign(p, surface, strategy, config);
+    ASSERT_GE(uninterrupted.rounds, 2u);
+    for (std::size_t kill_after = 1; kill_after < uninterrupted.rounds;
+         ++kill_after) {
+      const std::string path = temp_checkpoint_path(to_string(strategy));
+      CampaignConfig sliced = config;
+      sliced.checkpoint_path = path;
+      sliced.max_rounds = kill_after;
+      const CampaignResult partial =
+          run_campaign(p, surface, strategy, sliced);
+      ASSERT_EQ(partial.rounds, kill_after);
+      const CampaignResult resumed = resume_campaign(p, path);
+      expect_identical_results(uninterrupted, resumed);
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(CampaignCheckpoint, ResumeAfterTargetReachedIsANoOp) {
+  const hw::Platform p = hw::make_workstation();
+  const ResponseSurface surface(ResponseSurface::Kind::Quadratic, 0.01);
+  CampaignConfig config;
+  config.max_evaluations = 256;
+  config.target_excess = 0.05;
+  config.checkpoint_path = temp_checkpoint_path("done");
+  const CampaignResult done =
+      run_campaign(p, surface, SearchStrategy::Surrogate, config);
+  ASSERT_TRUE(done.reached_target);
+  // The final checkpoint already records a finished campaign: resuming
+  // must replay to the same result without running further rounds.
+  const CampaignResult resumed =
+      resume_campaign(p, config.checkpoint_path);
+  expect_identical_results(done, resumed);
+  std::remove(config.checkpoint_path.c_str());
+}
+
+TEST(CampaignCheckpoint, ResumeCanContinueInSlices) {
+  const hw::Platform p = hw::make_workstation();
+  const ResponseSurface surface(ResponseSurface::Kind::Branin, 0.1);
+  CampaignConfig config;
+  config.max_evaluations = 40;
+  config.batch_size = 8;
+  config.target_excess = -1.0;
+  const CampaignResult uninterrupted =
+      run_campaign(p, surface, SearchStrategy::Surrogate, config);
+  // Run one round at a time: kill + resume between every single round.
+  const std::string path = temp_checkpoint_path("slices");
+  CampaignConfig sliced = config;
+  sliced.checkpoint_path = path;
+  sliced.max_rounds = 1;
+  CampaignResult result =
+      run_campaign(p, surface, SearchStrategy::Surrogate, sliced);
+  while (result.rounds < uninterrupted.rounds) {
+    result = resume_campaign(p, path, result.rounds + 1);
+  }
+  expect_identical_results(uninterrupted, result);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignCheckpoint, MissingFileThrows) {
+  const hw::Platform p = hw::make_workstation();
+  EXPECT_THROW(resume_campaign(p, "/nonexistent/dir/ckpt.json"),
+               util::Error);
+}
+
+TEST(CampaignCheckpoint, CorruptFileThrows) {
+  const hw::Platform p = hw::make_workstation();
+  const std::string path = temp_checkpoint_path("corrupt");
+  {
+    std::ofstream out(path);
+    out << "{\"version\": 1, \"strategy\": \"grid\"";  // truncated
+  }
+  EXPECT_THROW(resume_campaign(p, path), util::Error);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -18,9 +18,36 @@
 #include "trace/svg.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
+#include "workflow/campaign.hpp"
 #include "workflow/dagfile.hpp"
 #include "workflow/spec.hpp"
 #include "workflow/workflow.hpp"
+
+namespace {
+
+void print_campaign_result(const hetflow::workflow::CampaignResult& result,
+                           const char* strategy, bool csv) {
+  using hetflow::util::format;
+  if (csv) {
+    std::cout << strategy << ',' << result.evaluations << ',' << result.rounds
+              << ',' << (result.reached_target ? 1 : 0) << ','
+              << format("%.6g", result.best_value) << ','
+              << format("%.6g", result.best_x) << ','
+              << format("%.6g", result.best_y) << ','
+              << format("%.6g", result.makespan_s) << '\n';
+    return;
+  }
+  std::cout << "campaign " << strategy << ": " << result.evaluations
+            << " evaluations in " << result.rounds << " rounds, "
+            << (result.reached_target ? "target reached" : "budget exhausted")
+            << "\n  best " << format("%.6g", result.best_value) << " at ("
+            << format("%.4f", result.best_x) << ", "
+            << format("%.4f", result.best_y) << "), simulated makespan "
+            << format("%.3f s", result.makespan_s) << ", core time "
+            << format("%.3f s", result.core_seconds) << '\n';
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hetflow;
@@ -40,6 +67,37 @@ int main(int argc, char** argv) {
   cli.add_option("failure-rate", "0",
                  "transient failure rate (failures per busy-second)");
   cli.add_option("failure-policy", "retry", "retry | reschedule");
+  cli.add_option("max-attempts", "0",
+                 "per-task attempt budget (0 = runtime default)");
+  cli.add_option("backoff", "0",
+                 "base retry backoff in seconds (0 = immediate retry)");
+  cli.add_option("backoff-jitter", "0",
+                 "deterministic jitter fraction on the backoff delay");
+  cli.add_option("timeout", "0",
+                 "per-attempt timeout in seconds (0 = no timeout)");
+  cli.add_option("blacklist-after", "0",
+                 "quarantine a device after this many consecutive failures "
+                 "(0 = never; needs a dynamic scheduler)");
+  cli.add_option("probation", "5",
+                 "blacklist quarantine length in simulated seconds");
+  cli.add_option("on-exhausted", "abort",
+                 "abort | drop — what to do when a task's attempt budget "
+                 "runs out");
+  cli.add_option("campaign", "",
+                 "run a discovery campaign instead of one workflow: "
+                 "grid | random | surrogate");
+  cli.add_option("surface", "branin",
+                 "campaign response surface (branin|rosenbrock|quadratic)");
+  cli.add_option("surface-noise", "0.1",
+                 "campaign observation noise (standard deviation)");
+  cli.add_option("evals", "256", "campaign evaluation budget");
+  cli.add_option("batch", "8", "campaign simulations per round");
+  cli.add_option("max-rounds", "0",
+                 "stop the campaign after this many rounds (0 = no limit)");
+  cli.add_option("checkpoint", "",
+                 "write the campaign state here after every batch");
+  cli.add_option("resume", "",
+                 "continue a killed campaign from this checkpoint file");
   cli.add_option("scale", "1", "workflow size multiplier (generators only)");
   cli.add_option("trace-json", "", "write a Chrome trace to this path");
   cli.add_option("gantt-svg", "", "write an SVG Gantt chart to this path");
@@ -75,6 +133,38 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Campaign mode: a discovery loop over many simulation workflows,
+    // optionally checkpointed after every batch and resumable.
+    if (!cli.value("campaign").empty() || !cli.value("resume").empty()) {
+      const hw::Platform platform =
+          workflow::make_platform_from_spec(cli.value("platform"));
+      const auto max_rounds =
+          static_cast<std::size_t>(cli.number("max-rounds"));
+      if (!cli.value("resume").empty()) {
+        const workflow::CampaignResult result = workflow::resume_campaign(
+            platform, cli.value("resume"), max_rounds);
+        print_campaign_result(result, "resumed", cli.flag("csv"));
+        return 0;
+      }
+      const workflow::SearchStrategy strategy =
+          workflow::strategy_from_name(cli.value("campaign"));
+      const workflow::ResponseSurface surface(
+          workflow::ResponseSurface::kind_from_name(cli.value("surface")),
+          cli.number("surface-noise"));
+      workflow::CampaignConfig config;
+      config.max_evaluations = static_cast<std::size_t>(cli.number("evals"));
+      config.batch_size = static_cast<std::size_t>(cli.number("batch"));
+      config.scheduler = cli.value("sched");
+      config.seed = static_cast<std::uint64_t>(cli.number("seed"));
+      config.checkpoint_path = cli.value("checkpoint");
+      config.max_rounds = max_rounds;
+      const workflow::CampaignResult result =
+          workflow::run_campaign(platform, surface, strategy, config);
+      print_campaign_result(result, workflow::to_string(strategy),
+                            cli.flag("csv"));
+      return 0;
+    }
+
     const workflow::Workflow wf = workflow::make_workflow_from_spec(
         cli.value("workflow"), cli.number("scale"));
     if (!cli.value("dag-out").empty()) {
@@ -99,6 +189,19 @@ int main(int argc, char** argv) {
       options.failure_policy = core::FailurePolicy::Reschedule;
     } else if (cli.value("failure-policy") != "retry") {
       throw InvalidArgument("failure-policy must be retry or reschedule");
+    }
+    options.retry.max_attempts =
+        static_cast<std::size_t>(cli.number("max-attempts"));
+    options.retry.backoff_base_s = cli.number("backoff");
+    options.retry.backoff_jitter = cli.number("backoff-jitter");
+    options.retry.timeout_s = cli.number("timeout");
+    options.retry.blacklist_after =
+        static_cast<std::size_t>(cli.number("blacklist-after"));
+    options.retry.probation_s = cli.number("probation");
+    if (cli.value("on-exhausted") == "drop") {
+      options.retry.on_exhausted = core::ExhaustionPolicy::Drop;
+    } else if (cli.value("on-exhausted") != "abort") {
+      throw InvalidArgument("on-exhausted must be abort or drop");
     }
     options.validate = cli.flag("validate");
 
