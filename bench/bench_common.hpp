@@ -28,11 +28,25 @@ inline bool validate_requested() {
          std::string(value) != "0";
 }
 
+/// Observability hook: export HETFLOW_BENCH_METRICS=1 to run every bench
+/// workload with RuntimeOptions::metrics on. Off by default — the tables
+/// measure the runtime, and the default-off path keeps bench CSV output
+/// byte-identical to pre-observability builds.
+inline bool metrics_requested() {
+  const char* value = std::getenv("HETFLOW_BENCH_METRICS");
+  return value != nullptr && *value != '\0' &&
+         std::string(value) != "0";
+}
+
 /// Bench-wide RuntimeOptions: pass through (or start from) the given
-/// options, turning validation on when HETFLOW_BENCH_VALIDATE is set.
+/// options, turning validation on when HETFLOW_BENCH_VALIDATE is set and
+/// the observability layer on when HETFLOW_BENCH_METRICS is set.
 inline core::RuntimeOptions bench_options(core::RuntimeOptions options = {}) {
   if (validate_requested()) {
     options.validate = true;
+  }
+  if (metrics_requested()) {
+    options.metrics = true;
   }
   return options;
 }

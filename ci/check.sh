@@ -6,14 +6,17 @@
 #   3. rebuild with HETFLOW_SANITIZE=address,undefined and run the full
 #      suite again under the sanitizers
 #   4. rebuild with HETFLOW_SANITIZE=thread and run the parallel-sweep,
-#      retry/timeout and campaign-checkpoint tests plus a --jobs 4
-#      hetflow_bench smoke sweep under TSan — proves the
-#      thread-confinement contract (docs/parallelism.md), not just
-#      asserts it
+#      retry/timeout, campaign-checkpoint and observability golden/
+#      determinism tests plus a --jobs 4 hetflow_bench smoke sweep under
+#      TSan — proves the thread-confinement contract
+#      (docs/parallelism.md), not just asserts it
 #   5. checkpoint/resume smoke: a campaign killed after two rounds and
 #      resumed from its checkpoint must report the same result as the
 #      uninterrupted run (docs/fault_tolerance.md)
-#   6. lint: clang-tidy over files changed vs the merge base (all
+#   6. coverage floor: rebuild with HETFLOW_COVERAGE=ON, run the obs
+#      suites, and require >= 90% line coverage on src/obs/ (gcovr when
+#      installed, plain gcov otherwise)
+#   7. lint: clang-tidy over files changed vs the merge base (all
 #      first-party files when git history is unavailable); fails on any
 #      diagnostic. Without clang-tidy installed, tools/lint.sh falls back
 #      to a strict GCC pass.
@@ -25,14 +28,14 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${1:-$(nproc)}"
 cd "$repo_root"
 
-echo "=== [1/6] build (WERROR) ==="
+echo "=== [1/7] build (WERROR) ==="
 cmake -B build-ci -S . -DHETFLOW_WERROR=ON
 cmake --build build-ci -j "$jobs"
 
-echo "=== [2/6] ctest (plain) ==="
+echo "=== [2/7] ctest (plain) ==="
 ctest --test-dir build-ci --output-on-failure -j "$jobs"
 
-echo "=== [3/6] ctest (ASan + UBSan) ==="
+echo "=== [3/7] ctest (ASan + UBSan) ==="
 # The full suite runs sanitized, which covers the retry/timeout/blacklist
 # tests (core_failure_test), the kill-and-resume checkpoint property
 # tests (workflow_campaign_test) and the rng state round-trip
@@ -42,13 +45,14 @@ cmake -B build-asan -S . -DHETFLOW_WERROR=ON \
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "=== [4/6] parallel sweep under TSan ==="
+echo "=== [4/7] parallel sweep + obs determinism under TSan ==="
 cmake -B build-tsan -S . -DHETFLOW_WERROR=ON -DHETFLOW_SANITIZE=thread
 cmake --build build-tsan -j "$jobs" \
       --target exec_pool_test exec_parallel_test core_failure_test \
-               workflow_campaign_test hetflow_bench
+               workflow_campaign_test obs_golden_test obs_determinism_test \
+               hetflow_bench
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-      -R 'exec_pool_test|exec_parallel_test|core_failure_test|workflow_campaign_test'
+      -R 'exec_pool_test|exec_parallel_test|core_failure_test|workflow_campaign_test|obs_golden_test|obs_determinism_test'
 build-tsan/tools/hetflow_bench \
     --workflows "montage:16;cholesky:6,512" --platforms hpc:4,2,0 \
     --scheds eager,dmda,heft --seeds 2 --noise 0.2 --jobs 4 \
@@ -59,7 +63,7 @@ build-tsan/tools/hetflow_bench \
     > build-tsan/sweep_jobs1.csv
 cmp build-tsan/sweep_jobs4.csv build-tsan/sweep_jobs1.csv
 
-echo "=== [5/6] checkpoint/resume round-trip smoke ==="
+echo "=== [5/7] checkpoint/resume round-trip smoke ==="
 run="build-ci/tools/hetflow_run"
 campaign_args=(--campaign surrogate --surface branin --evals 24 --batch 6)
 "$run" "${campaign_args[@]}" > build-ci/campaign_straight.txt
@@ -71,7 +75,42 @@ campaign_args=(--campaign surrogate --surface branin --evals 24 --batch 6)
 cmp <(grep best build-ci/campaign_straight.txt) \
     <(grep best build-ci/campaign_resumed.txt)
 
-echo "=== [6/6] lint (changed files) ==="
+echo "=== [6/7] observability line-coverage floor ==="
+# The obs layer is the serialization boundary the golden suites pin
+# down; unexecuted code there is unpinned code. Floor: 90% of the lines
+# in src/obs/ must run under the obs + trace test binaries.
+cmake -B build-cov -S . -DHETFLOW_COVERAGE=ON
+cmake --build build-cov -j "$jobs" \
+      --target obs_metrics_test obs_golden_test obs_determinism_test \
+               obs_property_test trace_test
+ctest --test-dir build-cov --output-on-failure -j "$jobs" \
+      -R 'obs_metrics_test|obs_golden_test|obs_determinism_test|obs_property_test|trace_test'
+if command -v gcovr > /dev/null; then
+  gcovr --root . --filter 'src/obs/' --fail-under-line 90 \
+        --print-summary build-cov
+else
+  # gcov fallback: aggregate "Lines executed" over the hf_obs objects.
+  obs_obj_dir="build-cov/src/CMakeFiles/hf_obs.dir/obs"
+  gcov --no-output --object-directory "$obs_obj_dir" \
+       "$obs_obj_dir"/*.gcda 2> /dev/null |
+  awk '
+    /^File /      { keep = ($0 ~ /src\/obs\//) }
+    keep && /^Lines executed:/ {
+      split($0, parts, /[:%]/)        # "Lines executed" | pct | " of N"
+      pct = parts[2] + 0
+      sub(/^[^0-9]*/, "", parts[3]); n = parts[3] + 0
+      covered += pct / 100.0 * n; total += n
+      keep = 0
+    }
+    END {
+      if (total == 0) { print "coverage: no gcov data for src/obs"; exit 1 }
+      pct = 100.0 * covered / total
+      printf "src/obs line coverage: %.1f%% (floor 90%%)\n", pct
+      exit (pct >= 90.0) ? 0 : 1
+    }'
+fi
+
+echo "=== [7/7] lint (changed files) ==="
 changed=()
 if base="$(git merge-base HEAD origin/main 2>/dev/null ||
            git rev-parse HEAD~1 2>/dev/null)"; then

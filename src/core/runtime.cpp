@@ -12,6 +12,12 @@
 
 namespace hetflow::core {
 
+namespace {
+obs::Labels device_labels(const hw::Device& device) {
+  return {{"device", device.name()}};
+}
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // SchedContext implementation
 // ---------------------------------------------------------------------------
@@ -84,6 +90,10 @@ class Runtime::Context final : public SchedContext {
     return perf::EnergyModel::task_energy_j(device, state, exec);
   }
 
+  obs::Recorder* recorder() const noexcept override {
+    return rt_->recorder_.get();
+  }
+
   std::size_t queue_length(const hw::Device& device) const override {
     return rt_->device_states_[device.id()].queue.size();
   }
@@ -137,6 +147,10 @@ Runtime::Runtime(const hw::Platform& platform,
         "fail-silent faults (hang_fraction > 0) require a per-attempt "
         "timeout (RetryPolicy::timeout_s): a hung attempt delivers no "
         "failure signal, so only the watchdog can recover it");
+  }
+  if (options_.metrics) {
+    recorder_ = std::make_unique<obs::Recorder>();
+    data_.set_recorder(recorder_.get());
   }
   context_ = std::make_unique<Context>(*this);
   scheduler_->attach(*context_);
@@ -374,6 +388,11 @@ sim::SimTime Runtime::wait_all() {
   }
   pump_all();
   while (pending_ > 0) {
+    if (recorder_ != nullptr) {
+      recorder_->metrics()
+          .time_weighted("event_queue_depth")
+          .update(queue_.now(), static_cast<double>(queue_.pending()));
+    }
     if (!queue_.step()) {
       // Drained with work outstanding: give pull-mode schedulers one more
       // chance, then declare deadlock.
@@ -442,6 +461,15 @@ void Runtime::internal_assign(Task& task, const hw::Device& device,
   DeviceState& state = device_states_[device.id()];
   state.queue.push_back(&task);
   state.queued_est_seconds += exec_estimate(task, device, dvfs);
+  if (recorder_ != nullptr) {
+    recorder_->metrics()
+        .counter("tasks_scheduled", {{"device", device.name()},
+                                     {"scheduler", scheduler_->name()}})
+        .inc();
+    recorder_->metrics()
+        .time_weighted("queue_depth", device_labels(device))
+        .update(queue_.now(), static_cast<double>(state.queue.size()));
+  }
   if (options_.enable_prefetch) {
     // The task is Ready, so its inputs are final: start moving them now,
     // overlapping whatever the device is still executing.
@@ -489,6 +517,11 @@ void Runtime::start_next(hw::DeviceId id) {
   Task& task = *state.queue.front();
   state.queue.pop_front();
   const hw::Device& device = platform_->device(id);
+  if (recorder_ != nullptr) {
+    recorder_->metrics()
+        .time_weighted("queue_depth", device_labels(device))
+        .update(queue_.now(), static_cast<double>(state.queue.size()));
+  }
   state.queued_est_seconds = std::max(
       0.0,
       state.queued_est_seconds -
@@ -604,9 +637,26 @@ void Runtime::timeout_task(Task& task, hw::DeviceId id, sim::SimTime started,
   ++state.timeouts;
   ++stats_.failed_attempts;
   ++stats_.timeouts;
-  state.busy_seconds += busy_s;
-  state.busy_energy_j +=
+  const double energy_j =
       perf::EnergyModel::busy_energy_j(device, dvfs_index, busy_s);
+  state.busy_seconds += busy_s;
+  state.busy_energy_j += energy_j;
+  if (recorder_ != nullptr) {
+    obs::MetricsRegistry& metrics = recorder_->metrics();
+    const obs::Labels labels = device_labels(device);
+    metrics.counter("failed_attempts", labels).inc();
+    metrics.counter("timeouts", labels).inc();
+    metrics.counter("busy_seconds", labels).inc(busy_s);
+    metrics.counter("busy_energy_j", labels).inc(energy_j);
+    obs::Event event;
+    event.kind = obs::EventKind::Timeout;
+    event.time = queue_.now();
+    event.device = static_cast<std::int64_t>(id);
+    event.task = task.id();
+    event.aux = task.attempts();
+    event.name = task.name();
+    recorder_->record(std::move(event));
+  }
   if (busy_s > 0.0) {
     tracer_.add(trace::Span{task.id(), task.name(), id, started, queue_.now(),
                             trace::SpanKind::FailedExec});
@@ -642,9 +692,17 @@ void Runtime::finish_task(Task& task, hw::DeviceId id, sim::SimTime started,
   }
 
   ++state.tasks_completed;
-  state.busy_seconds += busy_s;
-  state.busy_energy_j +=
+  const double energy_j =
       perf::EnergyModel::busy_energy_j(device, dvfs_index, busy_s);
+  state.busy_seconds += busy_s;
+  state.busy_energy_j += energy_j;
+  if (recorder_ != nullptr) {
+    obs::MetricsRegistry& metrics = recorder_->metrics();
+    const obs::Labels labels = device_labels(device);
+    metrics.counter("tasks_completed", labels).inc();
+    metrics.counter("busy_seconds", labels).inc(busy_s);
+    metrics.counter("busy_energy_j", labels).inc(energy_j);
+  }
   tracer_.add(trace::Span{task.id(), task.name(), id, started, queue_.now(),
                           trace::SpanKind::Exec});
 
@@ -676,9 +734,17 @@ void Runtime::fail_task(Task& task, hw::DeviceId id, sim::SimTime started,
   data_.release(task.accesses(), device.memory_node());
   ++state.failed_attempts;
   ++stats_.failed_attempts;
-  state.busy_seconds += busy_s;
-  state.busy_energy_j +=
+  const double energy_j =
       perf::EnergyModel::busy_energy_j(device, dvfs_index, busy_s);
+  state.busy_seconds += busy_s;
+  state.busy_energy_j += energy_j;
+  if (recorder_ != nullptr) {
+    obs::MetricsRegistry& metrics = recorder_->metrics();
+    const obs::Labels labels = device_labels(device);
+    metrics.counter("failed_attempts", labels).inc();
+    metrics.counter("busy_seconds", labels).inc(busy_s);
+    metrics.counter("busy_energy_j", labels).inc(energy_j);
+  }
   tracer_.add(trace::Span{task.id(), task.name(), id, started, queue_.now(),
                           trace::SpanKind::FailedExec});
   HETFLOW_DEBUG << "task '" << task.name() << "' failed on " << device.name()
@@ -729,6 +795,20 @@ void Runtime::recover_attempt(Task& task, hw::DeviceId id) {
 }
 
 void Runtime::requeue_attempt(Task& task, hw::DeviceId device_id) {
+  if (recorder_ != nullptr) {
+    recorder_->metrics()
+        .counter("retry_attempts",
+                 device_labels(platform_->device(device_id)))
+        .inc();
+    obs::Event event;
+    event.kind = obs::EventKind::Retry;
+    event.time = queue_.now();
+    event.device = static_cast<std::int64_t>(device_id);
+    event.task = task.id();
+    event.aux = task.attempts();
+    event.name = task.name();
+    recorder_->record(std::move(event));
+  }
   FailurePolicy policy = options_.failure_policy;
   // A quarantined device cannot take its own retry: divert to the
   // scheduler so the task lands on a surviving device. (Blacklisting
@@ -745,6 +825,11 @@ void Runtime::requeue_attempt(Task& task, hw::DeviceId device_id) {
       state.queue.push_front(&task);
       state.queued_est_seconds +=
           exec_estimate(task, device, task.dvfs_state());
+      if (recorder_ != nullptr) {
+        recorder_->metrics()
+            .time_weighted("queue_depth", device_labels(device))
+            .update(queue_.now(), static_cast<double>(state.queue.size()));
+      }
       break;
     }
     case FailurePolicy::Reschedule: {
@@ -773,6 +858,17 @@ void Runtime::blacklist_device(hw::DeviceId device_id) {
   const hw::Device& device = platform_->device(device_id);
   DeviceState& state = device_states_[device_id];
   ++stats_.blacklist_events;
+  if (recorder_ != nullptr) {
+    recorder_->metrics()
+        .counter("blacklist_events", device_labels(device))
+        .inc();
+    obs::Event event;
+    event.kind = obs::EventKind::Blacklist;
+    event.time = queue_.now();
+    event.device = static_cast<std::int64_t>(device_id);
+    event.name = device.name();
+    recorder_->record(std::move(event));
+  }
   HETFLOW_DEBUG << "device " << device.name() << " blacklisted after "
                 << health_.consecutive_failures(device_id)
                 << " consecutive failures (probation in "
@@ -798,6 +894,14 @@ void Runtime::blacklist_device(hw::DeviceId device_id) {
       queue_.schedule_after(options_.retry.probation_s, [this, device_id] {
         device_states_[device_id].probation_event = 0;
         health_.end_blacklist(device_id);
+        if (recorder_ != nullptr) {
+          obs::Event event;
+          event.kind = obs::EventKind::Probation;
+          event.time = queue_.now();
+          event.device = static_cast<std::int64_t>(device_id);
+          event.name = platform_->device(device_id).name();
+          recorder_->record(std::move(event));
+        }
         pump_device(device_id);
       });
 }
@@ -817,6 +921,15 @@ void Runtime::abandon_task(Task& task) {
                   << ")";
     doomed->set_state(TaskState::Abandoned);
     ++stats_.tasks_lost;
+    if (recorder_ != nullptr) {
+      recorder_->metrics().counter("tasks_lost").inc();
+      obs::Event event;
+      event.kind = obs::EventKind::Abandon;
+      event.time = queue_.now();
+      event.task = doomed->id();
+      event.name = doomed->name();
+      recorder_->record(std::move(event));
+    }
     HETFLOW_REQUIRE(pending_ > 0);
     --pending_;
     deferred_.erase(doomed->id());
@@ -886,6 +999,14 @@ void Runtime::finalize_stats() {
   }
   stats_.transfers = data_.transfers().stats();
   stats_.data = data_.stats();
+  if (recorder_ != nullptr) {
+    obs::MetricsRegistry& metrics = recorder_->metrics();
+    metrics.gauge("makespan_s").set(stats_.makespan_s);
+    metrics.gauge("events_executed")
+        .set(static_cast<double>(queue_.executed()));
+    metrics.gauge("event_queue_peak_pending")
+        .set(static_cast<double>(queue_.peak_pending()));
+  }
 }
 
 }  // namespace hetflow::core

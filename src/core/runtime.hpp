@@ -33,6 +33,7 @@
 #include "data/manager.hpp"
 #include "hw/failure.hpp"
 #include "hw/platform.hpp"
+#include "obs/recorder.hpp"
 #include "perf/history_model.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/tracer.hpp"
@@ -75,6 +76,11 @@ struct RuntimeOptions {
   /// detector, trace timeline, coherence-directory invariants,
   /// event-queue drain). Violations throw check::ValidationError.
   bool validate = false;
+  /// Observability layer: collect the typed metrics registry, the
+  /// structured event log (transfers, prefetches, retries, blacklists)
+  /// and the scheduler decision log — surfaced via recorder(). Off by
+  /// default; the off path leaves every legacy output byte-identical.
+  bool metrics = false;
 };
 
 class Runtime {
@@ -141,6 +147,10 @@ class Runtime {
   const sim::EventQueue& event_queue() const noexcept { return queue_; }
   sim::SimTime now() const noexcept { return queue_.now(); }
 
+  /// Observability sink; null unless RuntimeOptions::metrics is set.
+  obs::Recorder* recorder() noexcept { return recorder_.get(); }
+  const obs::Recorder* recorder() const noexcept { return recorder_.get(); }
+
  private:
   class Context;  // SchedContext implementation
 
@@ -176,6 +186,7 @@ class Runtime {
   std::unique_ptr<Context> context_;
   util::Rng rng_;
   DeviceHealth health_;
+  std::unique_ptr<obs::Recorder> recorder_;
 
   std::vector<std::unique_ptr<Task>> tasks_;
   struct HandleUse {

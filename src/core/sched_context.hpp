@@ -10,6 +10,10 @@
 #include "hw/platform.hpp"
 #include "sim/event_queue.hpp"
 
+namespace hetflow::obs {
+class Recorder;
+}
+
 namespace hetflow::core {
 
 class Task;
@@ -69,6 +73,10 @@ class SchedContext {
     (void)device;
     return false;
   }
+
+  /// Observability sink for scheduler decision logging; null when
+  /// RuntimeOptions::metrics is off (policies must tolerate null).
+  virtual obs::Recorder* recorder() const noexcept { return nullptr; }
 
   /// Number of tasks queued (not running) on `device`.
   virtual std::size_t queue_length(const hw::Device& device) const = 0;

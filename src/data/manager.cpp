@@ -6,6 +6,13 @@
 
 namespace hetflow::data {
 
+namespace {
+obs::Labels node_labels(const hw::Platform& platform,
+                        hw::MemoryNodeId node) {
+  return {{"node", platform.memory_node(node).name()}};
+}
+}  // namespace
+
 DataManager::DataManager(const hw::Platform& platform,
                          sim::EventQueue& queue)
     : platform_(&platform),
@@ -58,6 +65,11 @@ void DataManager::ensure_capacity(hw::MemoryNodeId node, std::uint64_t needed,
         transfers_.transfer(node, home, registry_.handle(victim).bytes,
                             earliest);
         ++stats_.writebacks;
+        if (recorder_ != nullptr) {
+          recorder_->metrics()
+              .counter("writebacks", node_labels(*platform_, node))
+              .inc();
+        }
         directory_.mark_shared(victim, node);
         directory_.mark_shared(victim, home);
       } else {
@@ -74,10 +86,20 @@ void DataManager::ensure_capacity(hw::MemoryNodeId node, std::uint64_t needed,
       transfers_.transfer(node, home, registry_.handle(victim).bytes,
                           earliest);
       ++stats_.writebacks;
+      if (recorder_ != nullptr) {
+        recorder_->metrics()
+            .counter("writebacks", node_labels(*platform_, node))
+            .inc();
+      }
       directory_.mark_shared(victim, home);
     }
     directory_.mark_invalid(victim, node);
     ++stats_.evictions;
+    if (recorder_ != nullptr) {
+      recorder_->metrics()
+          .counter("evictions", node_labels(*platform_, node))
+          .inc();
+    }
   }
   if (directory_.resident_bytes(node) + needed > capacity) {
     throw ResourceExhausted(util::format(
@@ -114,6 +136,11 @@ sim::SimTime DataManager::acquire(const std::vector<Access>& accesses,
       const sim::SimTime done =
           transfers_.transfer(source, node, handle.bytes, earliest);
       ++stats_.fetches;
+      if (recorder_ != nullptr) {
+        recorder_->metrics()
+            .counter("fetches", node_labels(*platform_, node))
+            .inc();
+      }
       // MSI remote read: a Modified owner loses exclusivity but keeps
       // its (up-to-date) copy — both ends are Shared afterwards.
       if (directory_.state(access.data, source) == ReplicaState::Modified) {
@@ -177,6 +204,22 @@ void DataManager::prefetch(const std::vector<Access>& accesses,
           transfers_.transfer(source, node, handle.bytes, earliest);
       ++stats_.fetches;
       ++stats_.prefetches;
+      if (recorder_ != nullptr) {
+        recorder_->metrics()
+            .counter("fetches", node_labels(*platform_, node))
+            .inc();
+        recorder_->metrics()
+            .counter("prefetches", node_labels(*platform_, node))
+            .inc();
+        obs::Event event;
+        event.kind = obs::EventKind::Prefetch;
+        event.time = earliest;
+        event.src = static_cast<std::int64_t>(source);
+        event.dst = static_cast<std::int64_t>(node);
+        event.bytes = handle.bytes;
+        event.name = handle.name;
+        recorder_->record(std::move(event));
+      }
       // Same MSI downgrade as acquire(): remote read ends exclusivity.
       if (directory_.state(access.data, source) == ReplicaState::Modified) {
         directory_.mark_shared(access.data, source);

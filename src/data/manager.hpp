@@ -15,6 +15,7 @@
 #include "data/handle.hpp"
 #include "data/transfer.hpp"
 #include "hw/platform.hpp"
+#include "obs/recorder.hpp"
 #include "sim/event_queue.hpp"
 
 namespace hetflow::data {
@@ -41,6 +42,14 @@ class DataManager {
   const CoherenceDirectory& directory() const noexcept { return directory_; }
   const TransferEngine& transfers() const noexcept { return transfers_; }
   const DataManagerStats& stats() const noexcept { return stats_; }
+
+  /// Observability sink (null = off); forwarded to the transfer engine.
+  /// Fetch/prefetch/eviction/writeback counters and prefetch instant
+  /// events land here.
+  void set_recorder(obs::Recorder* recorder) noexcept {
+    recorder_ = recorder;
+    transfers_.set_recorder(recorder);
+  }
 
   /// Makes every access in `accesses` available on `node`, starting
   /// transfers no earlier than `earliest`. Pins all touched replicas (the
@@ -87,6 +96,7 @@ class DataManager {
   TransferEngine transfers_;
   MemoryLedger ledger_;
   DataManagerStats stats_;
+  obs::Recorder* recorder_ = nullptr;
   // (data, node) -> completion time of an in-flight prefetch; consumed
   // (erased) by the acquire() that waits on it.
   std::unordered_map<std::uint64_t, sim::SimTime> in_flight_;

@@ -44,9 +44,15 @@ sim::SimTime TransferEngine::transfer(hw::MemoryNodeId src,
   const sim::SimTime slack = 1e-12 * std::max(1.0, std::fabs(now));
   HETFLOW_REQUIRE_MSG(earliest >= now - slack,
                       "transfer cannot start in the past");
+  sim::SimTime first_hop_start = earliest;
+  bool first_hop = true;
   const sim::SimTime arrival = walk_route(
       src, dst, bytes, earliest,
       [&](hw::LinkId link_id, sim::SimTime start, sim::SimTime done) {
+        if (first_hop) {
+          first_hop_start = start;
+          first_hop = false;
+        }
         link_busy_until_[link_id] = done;
         link_bytes_[link_id] += bytes;
         stats_.bytes_link_hops += bytes;
@@ -55,6 +61,23 @@ sim::SimTime TransferEngine::transfer(hw::MemoryNodeId src,
   if (src != dst) {
     ++stats_.transfer_count;
     stats_.bytes_moved += bytes;
+    if (recorder_ != nullptr) {
+      const obs::Labels route_labels = {
+          {"src", platform_->memory_node(src).name()},
+          {"dst", platform_->memory_node(dst).name()}};
+      recorder_->metrics().counter("transfers", route_labels).inc();
+      recorder_->metrics()
+          .counter("bytes_transferred", route_labels)
+          .inc(static_cast<double>(bytes));
+      obs::Event event;
+      event.kind = obs::EventKind::Transfer;
+      event.time = first_hop_start;
+      event.duration = arrival - first_hop_start;
+      event.src = static_cast<std::int64_t>(src);
+      event.dst = static_cast<std::int64_t>(dst);
+      event.bytes = bytes;
+      recorder_->record(std::move(event));
+    }
   }
   return arrival;
 }

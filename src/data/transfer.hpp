@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "hw/platform.hpp"
+#include "obs/recorder.hpp"
 #include "sim/event_queue.hpp"
 
 namespace hetflow::data {
@@ -43,9 +44,17 @@ class TransferEngine {
   const TransferStats& stats() const noexcept { return stats_; }
   std::uint64_t link_bytes(hw::LinkId link) const;
 
+  /// Observability sink (null = off). Each booked src != dst transfer
+  /// emits a Transfer event spanning first-hop start to arrival and bumps
+  /// the transfers / bytes_transferred{src,dst} counters.
+  void set_recorder(obs::Recorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
  private:
   const hw::Platform* platform_;
   sim::EventQueue* queue_;
+  obs::Recorder* recorder_ = nullptr;
   std::vector<sim::SimTime> link_busy_until_;
   std::vector<std::uint64_t> link_bytes_;
   TransferStats stats_;

@@ -55,6 +55,7 @@ std::vector<SweepRow> run_sweep(const SweepSpec& spec) {
     const Cell& cell = cells[i];
     core::RuntimeOptions options;
     options.validate = spec.validate;
+    options.metrics = spec.metrics;
     options.seed = cell.seed;
     options.noise_cv = spec.noise_cv;
     options.record_trace = false;

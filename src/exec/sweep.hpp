@@ -25,6 +25,7 @@ struct SweepSpec {
   double noise_cv = 0.0;
   double failure_rate = 0.0;  ///< uniform failure rate per busy-second
   bool validate = false;      ///< hetflow-verify end-of-run audit per cell
+  bool metrics = false;       ///< collect the observability layer per cell
   std::size_t jobs = 1;       ///< worker threads (1 = serial)
 };
 

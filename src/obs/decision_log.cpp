@@ -1,0 +1,36 @@
+#include "obs/decision_log.hpp"
+
+#include "util/json.hpp"
+
+namespace hetflow::obs {
+
+std::string decisions_to_jsonl(const std::vector<SchedDecision>& decisions,
+                               const hw::Platform& platform) {
+  std::string out;
+  for (const SchedDecision& d : decisions) {
+    util::Json line = util::Json::object();
+    line["task"] = d.task;
+    line["name"] = d.task_name;
+    line["t"] = d.time;
+    line["sched"] = d.scheduler;
+    util::Json candidates = util::Json::array();
+    for (const DecisionCandidate& c : d.candidates) {
+      util::Json cand = util::Json::object();
+      cand["device"] = platform.device(c.device).name();
+      cand["finish_s"] = c.predicted_finish_s;
+      cand["energy_j"] = c.predicted_energy_j;
+      if (c.blacklisted) {
+        cand["blacklisted"] = true;
+      }
+      candidates.push_back(std::move(cand));
+    }
+    line["candidates"] = std::move(candidates);
+    line["winner"] = platform.device(d.winner).name();
+    line["reason"] = d.reason;
+    out += line.dump();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hetflow::obs

@@ -1,0 +1,45 @@
+// Scheduler decision log: one record per placement decision, capturing
+// what the policy saw (candidate devices with predicted finish/energy),
+// what it chose, and why. Serialized as JSONL (one compact JSON object
+// per line) so logs stream and diff cleanly.
+//
+// Pull-mode policies (work stealing) log a record at enqueue time and
+// another when the task is actually handed to a device, so the LAST
+// record for a task names the device it ran on — the invariant the
+// obs property suite cross-checks against the hetflow-verify audit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/platform.hpp"
+#include "sim/event_queue.hpp"
+
+namespace hetflow::obs {
+
+struct DecisionCandidate {
+  hw::DeviceId device = 0;
+  /// Predicted absolute completion time (scheduler's own estimate).
+  double predicted_finish_s = 0.0;
+  /// Predicted Joules on this candidate.
+  double predicted_energy_j = 0.0;
+  /// Candidate was quarantined by the health tracker when considered.
+  bool blacklisted = false;
+};
+
+struct SchedDecision {
+  std::uint64_t task = 0;
+  std::string task_name;
+  sim::SimTime time = 0.0;
+  std::string scheduler;
+  std::vector<DecisionCandidate> candidates;
+  hw::DeviceId winner = 0;
+  std::string reason;
+};
+
+/// One compact JSON object per decision, device ids resolved to names.
+std::string decisions_to_jsonl(const std::vector<SchedDecision>& decisions,
+                               const hw::Platform& platform);
+
+}  // namespace hetflow::obs

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/recorder.hpp"
 #include "sched/graph_utils.hpp"
 
 namespace hetflow::sched {
@@ -29,20 +30,31 @@ core::Task* DmdasScheduler::on_device_idle(const hw::Device& device) {
 }
 
 void DmdasScheduler::flush() {
+  obs::Recorder* recorder = ctx().recorder();
   while (!held_.empty()) {
     core::Task* task = held_.top();
     held_.pop();
     const hw::Device* best = nullptr;
     double best_completion = std::numeric_limits<double>::infinity();
+    std::vector<obs::DecisionCandidate> candidates;
     // Skip quarantined devices; if every capable device is quarantined,
     // fall back to considering them all.
     for (const bool skip_blacklisted : {true, false}) {
+      candidates.clear();
       for (const hw::Device& device : ctx().platform().devices()) {
         if (skip_blacklisted && ctx().device_blacklisted(device)) {
           continue;
         }
         const double completion = ctx().estimate_completion(*task, device);
-        if (std::isfinite(completion) && completion < best_completion) {
+        if (!std::isfinite(completion)) {
+          continue;
+        }
+        if (recorder != nullptr) {
+          candidates.push_back({device.id(), completion,
+                                ctx().estimate_energy(*task, device),
+                                ctx().device_blacklisted(device)});
+        }
+        if (completion < best_completion) {
           best_completion = completion;
           best = &device;
         }
@@ -52,6 +64,17 @@ void DmdasScheduler::flush() {
       }
     }
     HETFLOW_REQUIRE_MSG(best != nullptr, "dmdas: no eligible device");
+    if (recorder != nullptr) {
+      obs::SchedDecision decision;
+      decision.task = task->id();
+      decision.task_name = task->name();
+      decision.time = ctx().now();
+      decision.scheduler = name();
+      decision.candidates = std::move(candidates);
+      decision.winner = best->id();
+      decision.reason = "priority order, min completion";
+      recorder->add_decision(std::move(decision));
+    }
     ctx().assign(*task, *best);
   }
 }

@@ -2,7 +2,37 @@
 
 #include <limits>
 
+#include "obs/recorder.hpp"
+#include "util/strings.hpp"
+
 namespace hetflow::sched {
+
+namespace {
+
+/// Enqueue/pull decisions share this shape: one record naming the device
+/// the task is headed to. The pull/steal record comes second, so the
+/// LAST record per task names the device it actually ran on.
+void log_placement(core::SchedContext& ctx, const core::Task& task,
+                   const hw::Device& device, std::string reason) {
+  obs::Recorder* recorder = ctx.recorder();
+  if (recorder == nullptr) {
+    return;
+  }
+  obs::SchedDecision decision;
+  decision.task = task.id();
+  decision.task_name = task.name();
+  decision.time = ctx.now();
+  decision.scheduler = "work-stealing";
+  decision.candidates.push_back(
+      {device.id(), ctx.estimate_completion(task, device),
+       ctx.estimate_energy(task, device),
+       ctx.device_blacklisted(device)});
+  decision.winner = device.id();
+  decision.reason = std::move(reason);
+  recorder->add_decision(std::move(decision));
+}
+
+}  // namespace
 
 void WorkStealingScheduler::attach(core::SchedContext& ctx) {
   Scheduler::attach(ctx);
@@ -28,6 +58,8 @@ void WorkStealingScheduler::on_task_ready(core::Task& task) {
     }
   }
   HETFLOW_REQUIRE_MSG(best != nullptr, "work-stealing: no eligible device");
+  log_placement(ctx(), task, *best,
+                "enqueued: min missing bytes, then shortest queue");
   deques_[best->id()].push_back(&task);
 }
 
@@ -38,6 +70,7 @@ core::Task* WorkStealingScheduler::on_device_idle(const hw::Device& device) {
     if ((*it)->codelet().supports(device.type())) {
       core::Task* task = *it;
       own.erase(it);
+      log_placement(ctx(), *task, device, "pulled by idle owner");
       return task;
     }
   }
@@ -70,6 +103,14 @@ core::Task* WorkStealingScheduler::on_device_idle(const hw::Device& device) {
       core::Task* task = *it;
       loot.erase(std::next(it).base());
       ++steals_;
+      log_placement(
+          ctx(), *task, device,
+          util::format("stolen from %s",
+                       ctx()
+                           .platform()
+                           .device(static_cast<hw::DeviceId>(victim))
+                           .name()
+                           .c_str()));
       return task;
     }
   }

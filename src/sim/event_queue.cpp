@@ -14,6 +14,7 @@ EventId EventQueue::schedule_at(SimTime when, Callback fn) {
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   callbacks_.emplace(id, std::move(fn));
   ++live_events_;
+  peak_pending_ = std::max(peak_pending_, live_events_);
   return id;
 }
 

@@ -59,6 +59,9 @@ class EventQueue {
 
   bool empty() const noexcept { return live_events_ == 0; }
   std::size_t pending() const noexcept { return live_events_; }
+  /// Largest number of live events ever pending at once (observability:
+  /// the simulator's working-set high-water mark).
+  std::size_t peak_pending() const noexcept { return peak_pending_; }
   /// Total events executed since construction (for overhead accounting).
   std::uint64_t executed() const noexcept { return executed_; }
 
@@ -96,6 +99,7 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::size_t live_events_ = 0;
+  std::size_t peak_pending_ = 0;
   std::size_t carcasses_ = 0;
   std::uint64_t executed_ = 0;
   SimTime now_ = 0.0;

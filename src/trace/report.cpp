@@ -27,10 +27,19 @@ std::vector<DeviceUtilization> utilization(const Tracer& tracer,
       ++u.task_count;
     }
     u.busy_seconds += span.duration();
+    // Only a successful execution is useful time; failed attempts and
+    // overhead occupied the device without advancing the run.
+    if (span.kind == SpanKind::Exec) {
+      u.useful_seconds += span.duration();
+    } else {
+      u.wasted_seconds += span.duration();
+    }
   }
   if (makespan > 0.0) {
     for (DeviceUtilization& u : out) {
       u.utilization = u.busy_seconds / makespan;
+      u.useful_utilization = u.useful_seconds / makespan;
+      u.wasted_utilization = u.wasted_seconds / makespan;
     }
   }
   return out;
@@ -38,13 +47,15 @@ std::vector<DeviceUtilization> utilization(const Tracer& tracer,
 
 std::string utilization_report(const Tracer& tracer,
                                const hw::Platform& platform) {
-  util::Table table({"device", "type", "tasks", "failed", "busy", "util%"});
+  util::Table table(
+      {"device", "type", "tasks", "failed", "busy", "useful%", "wasted%"});
   for (const DeviceUtilization& u : utilization(tracer, platform)) {
     const hw::Device& device = platform.device(u.device);
     table.add_row({device.name(), to_string(device.type()),
                    std::to_string(u.task_count), std::to_string(u.failed_count),
                    util::human_seconds(u.busy_seconds),
-                   util::format("%.1f", u.utilization * 100.0)});
+                   util::format("%.1f", u.useful_utilization * 100.0),
+                   util::format("%.1f", u.wasted_utilization * 100.0)});
   }
   return table.render();
 }

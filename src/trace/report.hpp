@@ -11,8 +11,14 @@ struct DeviceUtilization {
   hw::DeviceId device = 0;
   std::size_t task_count = 0;
   std::size_t failed_count = 0;
-  double busy_seconds = 0.0;
-  double utilization = 0.0;  ///< busy / makespan
+  double busy_seconds = 0.0;    ///< useful + wasted (all span kinds)
+  double useful_seconds = 0.0;  ///< successful execution spans only
+  /// Failed attempts and overhead spans — device time that produced no
+  /// completed task.
+  double wasted_seconds = 0.0;
+  double utilization = 0.0;         ///< busy / makespan
+  double useful_utilization = 0.0;  ///< useful / makespan
+  double wasted_utilization = 0.0;  ///< wasted / makespan
 };
 
 /// Per-device utilization extracted from a trace (makespan = max span end).

@@ -276,6 +276,7 @@ void save_checkpoint(const std::string& path, const ResponseSurface& surface,
   cfg["scheduler"] = config.scheduler;
   cfg["seed"] = u64_string(config.seed);
   cfg["jobs"] = config.jobs;
+  cfg["metrics"] = config.metrics;
   doc["config"] = std::move(cfg);
   util::Json rng_state = util::Json::array();
   for (std::uint64_t word : state.rng.state()) {
@@ -344,6 +345,8 @@ CampaignState load_checkpoint(const std::string& path, CampaignConfig& config,
   config.scheduler = cfg.at("scheduler").as_string();
   config.seed = parse_u64(cfg.at("seed"));
   config.jobs = static_cast<std::size_t>(cfg.at("jobs").as_number());
+  // Absent in checkpoints written before the observability layer existed.
+  config.metrics = cfg.contains("metrics") && cfg.at("metrics").as_bool();
 
   CampaignState state;
   const util::JsonArray& words = doc.at("rng_state").as_array();
@@ -502,6 +505,11 @@ CampaignResult campaign_loop(const ResponseSurface& surface,
 
   result.makespan_s = runtime.now();
   result.core_seconds = runtime.stats().total_busy_seconds();
+  if (runtime.recorder() != nullptr) {
+    result.metrics_json = runtime.recorder()->metrics().to_json_string();
+    result.decision_log =
+        runtime.recorder()->decisions_jsonl(runtime.platform());
+  }
   return result;
 }
 
@@ -529,6 +537,7 @@ core::RuntimeOptions campaign_runtime_options(const CampaignConfig& config) {
   core::RuntimeOptions options;
   options.seed = config.seed;
   options.record_trace = false;
+  options.metrics = config.metrics;
   return options;
 }
 

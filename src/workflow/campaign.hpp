@@ -75,6 +75,11 @@ struct CampaignConfig {
   /// been hit (0 = no limit). Simulates a mid-campaign kill for
   /// checkpoint/restart testing and lets long campaigns run in slices.
   std::size_t max_rounds = 0;
+  /// Collect the observability layer (RuntimeOptions::metrics) across the
+  /// campaign's runtime; the end-of-campaign snapshot and decision log
+  /// land in CampaignResult. Persisted in checkpoints, so a resumed
+  /// campaign reproduces the uninterrupted run's snapshot byte for byte.
+  bool metrics = false;
 };
 
 struct CampaignResult {
@@ -87,6 +92,10 @@ struct CampaignResult {
   double makespan_s = 0.0;      ///< simulated wall time of the campaign
   double core_seconds = 0.0;    ///< summed device busy time
   std::vector<double> best_after_round;  ///< best-so-far trace
+  /// End-of-campaign observability snapshots; empty unless
+  /// CampaignConfig::metrics was set.
+  std::string metrics_json;
+  std::string decision_log;
 };
 
 /// Runs one campaign with the given strategy on `platform`. Every

@@ -1,0 +1,177 @@
+// Cross-layer properties of the observability exports, checked for
+// every instrumented scheduling policy:
+//
+//   1. The Chrome trace reconciles with RunStats: per device, the summed
+//      durations of the exported "X" spans equal busy_seconds.
+//   2. The metrics snapshot reconciles with RunStats — bitwise for the
+//      second-valued counters, which accumulate in the same order as the
+//      stats fields they mirror.
+//   3. The decision log tells the truth: the LAST logged decision for
+//      each task names the device the task actually ran on, as recorded
+//      by the hetflow-verify audit snapshot.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "check/audit.hpp"
+#include "core/runtime.hpp"
+#include "hw/presets.hpp"
+#include "obs/chrome_trace.hpp"
+#include "sched/registry.hpp"
+#include "util/json.hpp"
+#include "workflow/generators.hpp"
+#include "workflow/workflow.hpp"
+
+namespace hetflow {
+namespace {
+
+constexpr const char* kSchedulers[] = {"mct", "dmda", "dmdas",
+                                       "work-stealing"};
+
+/// An instrumented run of a generated workflow; noise keeps exec times
+/// irregular so accidental reconciliations can't pass. (Runtime is not
+/// movable — the scheduler context points back into it — so it lives on
+/// the heap.)
+std::unique_ptr<core::Runtime> make_run(const hw::Platform& platform,
+                                        const std::string& scheduler) {
+  core::RuntimeOptions options;
+  options.metrics = true;
+  options.seed = 13;
+  options.noise_cv = 0.15;
+  auto runtime = std::make_unique<core::Runtime>(
+      platform, sched::make_scheduler(scheduler), options);
+  workflow::submit_workflow(*runtime, workflow::make_montage(10),
+                            workflow::CodeletLibrary::standard());
+  runtime->wait_all();
+  return runtime;
+}
+
+TEST(ObsProperty, ChromeTraceSpanTimeEqualsRunStatsBusyTime) {
+  const hw::Platform p = hw::make_workstation();
+  for (const char* scheduler : kSchedulers) {
+    const std::unique_ptr<core::Runtime> run = make_run(p, scheduler);
+    core::Runtime& rt = *run;
+    const util::Json doc = util::Json::parse(
+        obs::chrome_trace_json(rt.tracer(), p, rt.recorder()));
+    std::map<std::int64_t, double> span_seconds;
+    for (const util::Json& event : doc.at("traceEvents").as_array()) {
+      if (event.at("ph").as_string() != "X") {
+        continue;
+      }
+      const auto tid =
+          static_cast<std::int64_t>(event.at("tid").as_number());
+      if (tid >= 1000) {
+        continue;  // transfer tracks are not device busy time
+      }
+      span_seconds[tid] += event.at("dur").as_number() / 1e6;
+    }
+    for (hw::DeviceId d = 0; d < p.device_count(); ++d) {
+      const double busy = rt.stats().devices[d].busy_seconds;
+      // The trace round-trips timestamps through microseconds, so allow
+      // only float noise proportional to the magnitude.
+      EXPECT_NEAR(span_seconds[d], busy, 1e-9 * (1.0 + busy))
+          << scheduler << " device " << p.device(d).name();
+    }
+  }
+}
+
+TEST(ObsProperty, MetricsSnapshotReconcilesWithRunStats) {
+  const hw::Platform p = hw::make_workstation();
+  for (const char* scheduler : kSchedulers) {
+    const std::unique_ptr<core::Runtime> run = make_run(p, scheduler);
+    core::Runtime& rt = *run;
+    const obs::MetricsRegistry& m = rt.recorder()->metrics();
+    const core::RunStats& stats = rt.stats();
+
+    EXPECT_EQ(m.counter_sum("tasks_completed"),
+              static_cast<double>(stats.tasks_completed))
+        << scheduler;
+    EXPECT_EQ(m.counter_sum("failed_attempts"),
+              static_cast<double>(stats.failed_attempts))
+        << scheduler;
+    EXPECT_EQ(m.counter_sum("bytes_transferred"),
+              static_cast<double>(stats.transfers.bytes_moved))
+        << scheduler;
+    // No fault injection in this run, so every task passes through the
+    // scheduler exactly once.
+    EXPECT_EQ(m.counter_sum("tasks_scheduled"),
+              static_cast<double>(stats.tasks_completed))
+        << scheduler;
+
+    for (hw::DeviceId d = 0; d < p.device_count(); ++d) {
+      const obs::Labels labels = {{"device", p.device(d).name()}};
+      // Bitwise: the counter accumulated the identical doubles in the
+      // identical order as DeviceRunStats::busy_seconds.
+      EXPECT_EQ(m.counter_value("busy_seconds", labels),
+                stats.devices[d].busy_seconds)
+          << scheduler << " device " << p.device(d).name();
+      EXPECT_EQ(m.counter_value("busy_energy_j", labels),
+                stats.devices[d].busy_energy_j)
+          << scheduler << " device " << p.device(d).name();
+      EXPECT_EQ(m.counter_value("tasks_completed", labels),
+                static_cast<double>(stats.devices[d].tasks_completed))
+          << scheduler << " device " << p.device(d).name();
+    }
+  }
+}
+
+TEST(ObsProperty, LastDecisionWinnerIsTheDeviceTheTaskRanOn) {
+  const hw::Platform p = hw::make_workstation();
+  for (const char* scheduler : kSchedulers) {
+    const std::unique_ptr<core::Runtime> run = make_run(p, scheduler);
+    core::Runtime& rt = *run;
+
+    // Last decision per task wins: pull-mode policies log both the
+    // enqueue-time and the hand-off decision.
+    std::map<std::uint64_t, hw::DeviceId> logged;
+    for (const obs::SchedDecision& d : rt.recorder()->decisions()) {
+      logged[d.task] = d.winner;
+    }
+    ASSERT_FALSE(logged.empty()) << scheduler;
+
+    const check::AuditRecord audit = check::snapshot_audit(rt);
+    std::size_t checked = 0;
+    for (const check::TaskRecord& task : audit.run.tasks) {
+      if (!task.completed) {
+        continue;
+      }
+      const auto it = logged.find(task.id);
+      ASSERT_NE(it, logged.end())
+          << scheduler << " never logged a decision for task " << task.id;
+      EXPECT_EQ(static_cast<std::uint32_t>(it->second), task.device)
+          << scheduler << " decision log winner disagrees with the audit "
+          << "for task " << task.id << " (" << task.name << ")";
+      ++checked;
+    }
+    EXPECT_EQ(checked, rt.stats().tasks_completed) << scheduler;
+  }
+}
+
+TEST(ObsProperty, EveryDecisionRecordsFiniteCandidatePredictions) {
+  const hw::Platform p = hw::make_workstation();
+  for (const char* scheduler : kSchedulers) {
+    const std::unique_ptr<core::Runtime> run = make_run(p, scheduler);
+    core::Runtime& rt = *run;
+    for (const obs::SchedDecision& d : rt.recorder()->decisions()) {
+      EXPECT_FALSE(d.candidates.empty()) << scheduler;
+      EXPECT_FALSE(d.reason.empty()) << scheduler;
+      bool winner_is_candidate = false;
+      for (const obs::DecisionCandidate& c : d.candidates) {
+        EXPECT_TRUE(std::isfinite(c.predicted_finish_s)) << scheduler;
+        if (c.device == d.winner) {
+          winner_is_candidate = true;
+        }
+      }
+      EXPECT_TRUE(winner_is_candidate)
+          << scheduler << " chose a device it never scored (task " << d.task
+          << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetflow

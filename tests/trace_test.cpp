@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include "core/runtime.hpp"
+#include "helpers.hpp"
 #include "hw/presets.hpp"
+#include "sched/mct.hpp"
 #include "trace/report.hpp"
 #include "util/json.hpp"
+#include "util/strings.hpp"
 
 namespace hetflow::trace {
 namespace {
@@ -99,8 +103,56 @@ TEST(Report, UtilizationAggregates) {
   EXPECT_EQ(utils[0].failed_count, 1u);
   EXPECT_DOUBLE_EQ(utils[0].busy_seconds, 2.5);
   EXPECT_DOUBLE_EQ(utils[0].utilization, 2.5 / 4.0);
+  // Failed-attempt time is busy but not useful: the 0.5 s FailedExec span
+  // lands in wasted, the two Exec spans in useful.
+  EXPECT_DOUBLE_EQ(utils[0].useful_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(utils[0].wasted_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(utils[0].useful_utilization, 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(utils[0].wasted_utilization, 0.5 / 4.0);
   EXPECT_DOUBLE_EQ(utils[4].utilization, 1.0);
+  EXPECT_DOUBLE_EQ(utils[4].wasted_seconds, 0.0);
   EXPECT_EQ(utils[1].task_count, 0u);
+}
+
+TEST(Report, UsefulPlusWastedEqualsBusy) {
+  const hw::Platform p = hw::make_workstation();
+  Tracer tracer;
+  tracer.add(Span{1, "a", 0, 0.0, 1.0, SpanKind::Exec});
+  tracer.add(Span{2, "a", 0, 1.0, 1.75, SpanKind::FailedExec});
+  tracer.add(Span{2, "a", 0, 1.75, 2.75, SpanKind::Exec});
+  tracer.add(Span{3, "o", 0, 2.75, 3.0, SpanKind::Overhead});
+  const auto utils = utilization(tracer, p);
+  EXPECT_DOUBLE_EQ(utils[0].useful_seconds + utils[0].wasted_seconds,
+                   utils[0].busy_seconds);
+  EXPECT_DOUBLE_EQ(utils[0].useful_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(utils[0].wasted_seconds, 1.0);  // retry + overhead
+  EXPECT_DOUBLE_EQ(utils[0].useful_utilization + utils[0].wasted_utilization,
+                   utils[0].utilization);
+}
+
+TEST(Report, InjectedFailuresShowUpAsWastedTime) {
+  // End-to-end regression for the useful/wasted split: a run with fault
+  // injection must report non-zero wasted time on the device that hosted
+  // the failed attempts, and useful + wasted must still cover busy.
+  const hw::Platform p = hw::make_cpu_only(1);
+  core::RuntimeOptions options;
+  options.failure_model = hw::FailureModel::uniform(2.0);
+  options.failure_policy = core::FailurePolicy::RetrySameDevice;
+  options.seed = 7;
+  core::Runtime rt(p, std::make_unique<sched::MctScheduler>(), options);
+  for (int i = 0; i < 10; ++i) {
+    rt.submit(util::format("t%d", i), hetflow::testing::cpu_only_codelet(),
+              3e9, {});
+  }
+  rt.wait_all();
+  ASSERT_GT(rt.stats().failed_attempts, 0u);
+  const auto utils = utilization(rt.tracer(), p);
+  EXPECT_GT(utils[0].wasted_seconds, 0.0);
+  EXPECT_GT(utils[0].useful_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(utils[0].useful_seconds + utils[0].wasted_seconds,
+                   utils[0].busy_seconds);
+  const std::string table = utilization_report(rt.tracer(), p);
+  EXPECT_NE(table.find("useful%"), std::string::npos);
 }
 
 TEST(Report, SpansToCsv) {
@@ -122,7 +174,8 @@ TEST(Report, RenderedTableMentionsDevices) {
   tracer.add(Span{1, "a", 0, 0.0, 1.0, SpanKind::Exec});
   const std::string table = utilization_report(tracer, p);
   EXPECT_NE(table.find("cpu0"), std::string::npos);
-  EXPECT_NE(table.find("util%"), std::string::npos);
+  EXPECT_NE(table.find("useful%"), std::string::npos);
+  EXPECT_NE(table.find("wasted%"), std::string::npos);
 }
 
 }  // namespace

@@ -55,6 +55,9 @@ int main(int argc, char** argv) {
                  "worker threads (0 = all cores; default HETFLOW_JOBS or 1)");
   cli.add_flag("validate",
                "audit every run (also enabled by HETFLOW_BENCH_VALIDATE=1)");
+  cli.add_flag("metrics",
+               "collect the observability layer per run (also enabled by "
+               "HETFLOW_BENCH_METRICS=1)");
 
   try {
     cli.parse(argc, argv);
@@ -79,6 +82,10 @@ int main(int argc, char** argv) {
     spec.validate = cli.flag("validate") ||
                     (validate_env != nullptr && *validate_env != '\0' &&
                      std::string(validate_env) != "0");
+    const char* metrics_env = std::getenv("HETFLOW_BENCH_METRICS");
+    spec.metrics = cli.flag("metrics") ||
+                   (metrics_env != nullptr && *metrics_env != '\0' &&
+                    std::string(metrics_env) != "0");
     spec.jobs = cli.provided("jobs") ? exec::parse_jobs(cli.value("jobs"))
                                      : exec::default_jobs();
 

@@ -13,6 +13,7 @@
 #include "check/audit_file.hpp"
 #include "core/analysis.hpp"
 #include "core/runtime.hpp"
+#include "obs/chrome_trace.hpp"
 #include "sched/registry.hpp"
 #include "trace/report.hpp"
 #include "trace/svg.hpp"
@@ -100,6 +101,19 @@ int main(int argc, char** argv) {
                  "continue a killed campaign from this checkpoint file");
   cli.add_option("scale", "1", "workflow size multiplier (generators only)");
   cli.add_option("trace-json", "", "write a Chrome trace to this path");
+  cli.add_option("metrics-out", "",
+                 "write the metrics snapshot as JSON to this path (implies "
+                 "--metrics)");
+  cli.add_option("metrics-csv", "",
+                 "write the metrics snapshot as CSV to this path (implies "
+                 "--metrics)");
+  cli.add_option("chrome-trace", "",
+                 "write the merged Chrome trace (exec spans + transfer/"
+                 "retry/decision events; Perfetto-loadable) to this path "
+                 "(implies --metrics)");
+  cli.add_option("decision-log", "",
+                 "write the scheduler decision log as JSONL to this path "
+                 "(implies --metrics)");
   cli.add_option("gantt-svg", "", "write an SVG Gantt chart to this path");
   cli.add_option("dag-out", "", "save the workflow as a dagfile and exit");
   cli.add_option("audit-out", "",
@@ -108,6 +122,9 @@ int main(int argc, char** argv) {
   cli.add_flag("validate",
                "run the hetflow-verify audit inside wait_all() and fail on "
                "any violation");
+  cli.add_flag("metrics",
+               "collect the observability layer (metrics registry, event "
+               "log, decision log) even without an output path");
   cli.add_flag("gantt", "print an ASCII Gantt chart");
   cli.add_flag("analyze", "print the realized critical path analysis");
   cli.add_flag("utilization", "print the per-device utilization table");
@@ -140,10 +157,35 @@ int main(int argc, char** argv) {
           workflow::make_platform_from_spec(cli.value("platform"));
       const auto max_rounds =
           static_cast<std::size_t>(cli.number("max-rounds"));
+      // Campaigns carry the end-of-run snapshot and decision log in the
+      // result (the per-batch runtime is internal); the trace/CSV
+      // exports remain single-run outputs.
+      const auto write_campaign_obs =
+          [&cli](const workflow::CampaignResult& result) {
+            const auto write = [](const std::string& path,
+                                  const std::string& content,
+                                  const char* what) {
+              std::ofstream out(path);
+              if (!out) {
+                throw Error("cannot open '" + path + "'");
+              }
+              out << content;
+              std::cout << what << " written to " << path << '\n';
+            };
+            if (!cli.value("metrics-out").empty()) {
+              write(cli.value("metrics-out"), result.metrics_json,
+                    "metrics snapshot");
+            }
+            if (!cli.value("decision-log").empty()) {
+              write(cli.value("decision-log"), result.decision_log,
+                    "decision log");
+            }
+          };
       if (!cli.value("resume").empty()) {
         const workflow::CampaignResult result = workflow::resume_campaign(
             platform, cli.value("resume"), max_rounds);
         print_campaign_result(result, "resumed", cli.flag("csv"));
+        write_campaign_obs(result);
         return 0;
       }
       const workflow::SearchStrategy strategy =
@@ -158,10 +200,14 @@ int main(int argc, char** argv) {
       config.seed = static_cast<std::uint64_t>(cli.number("seed"));
       config.checkpoint_path = cli.value("checkpoint");
       config.max_rounds = max_rounds;
+      config.metrics = cli.flag("metrics") ||
+                       !cli.value("metrics-out").empty() ||
+                       !cli.value("decision-log").empty();
       const workflow::CampaignResult result =
           workflow::run_campaign(platform, surface, strategy, config);
       print_campaign_result(result, workflow::to_string(strategy),
                             cli.flag("csv"));
+      write_campaign_obs(result);
       return 0;
     }
 
@@ -204,6 +250,11 @@ int main(int argc, char** argv) {
       throw InvalidArgument("on-exhausted must be abort or drop");
     }
     options.validate = cli.flag("validate");
+    options.metrics = cli.flag("metrics") ||
+                      !cli.value("metrics-out").empty() ||
+                      !cli.value("metrics-csv").empty() ||
+                      !cli.value("chrome-trace").empty() ||
+                      !cli.value("decision-log").empty();
 
     core::Runtime runtime(platform,
                           sched::make_scheduler(cli.value("sched"),
@@ -255,6 +306,36 @@ int main(int argc, char** argv) {
       }
       out << runtime.tracer().to_chrome_json(platform);
       std::cout << "trace written to " << cli.value("trace-json") << '\n';
+    }
+    const auto write_file = [](const std::string& path,
+                               const std::string& content,
+                               const char* what) {
+      std::ofstream out(path);
+      if (!out) {
+        throw Error("cannot open '" + path + "'");
+      }
+      out << content;
+      std::cout << what << " written to " << path << '\n';
+    };
+    if (!cli.value("metrics-out").empty()) {
+      write_file(cli.value("metrics-out"),
+                 runtime.recorder()->metrics().to_json_string(),
+                 "metrics snapshot");
+    }
+    if (!cli.value("metrics-csv").empty()) {
+      write_file(cli.value("metrics-csv"),
+                 runtime.recorder()->metrics().to_csv(), "metrics CSV");
+    }
+    if (!cli.value("chrome-trace").empty()) {
+      write_file(cli.value("chrome-trace"),
+                 obs::chrome_trace_json(runtime.tracer(), platform,
+                                        runtime.recorder()),
+                 "merged Chrome trace");
+    }
+    if (!cli.value("decision-log").empty()) {
+      write_file(cli.value("decision-log"),
+                 runtime.recorder()->decisions_jsonl(platform),
+                 "decision log");
     }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << '\n';
