@@ -20,6 +20,9 @@
 #      first-party files when git history is unavailable); fails on any
 #      diagnostic. Without clang-tidy installed, tools/lint.sh falls back
 #      to a strict GCC pass.
+#   8. hetflow_lint: the project-specific static analyzer
+#      (docs/static_analysis.md) over the whole tree in --json mode;
+#      fails on any unsuppressed finding against lint_baseline.txt.
 #
 # Usage: ci/check.sh [jobs]
 set -eu -o pipefail
@@ -28,14 +31,14 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${1:-$(nproc)}"
 cd "$repo_root"
 
-echo "=== [1/7] build (WERROR) ==="
+echo "=== [1/8] build (WERROR) ==="
 cmake -B build-ci -S . -DHETFLOW_WERROR=ON
 cmake --build build-ci -j "$jobs"
 
-echo "=== [2/7] ctest (plain) ==="
+echo "=== [2/8] ctest (plain) ==="
 ctest --test-dir build-ci --output-on-failure -j "$jobs"
 
-echo "=== [3/7] ctest (ASan + UBSan) ==="
+echo "=== [3/8] ctest (ASan + UBSan) ==="
 # The full suite runs sanitized, which covers the retry/timeout/blacklist
 # tests (core_failure_test), the kill-and-resume checkpoint property
 # tests (workflow_campaign_test) and the rng state round-trip
@@ -45,7 +48,7 @@ cmake -B build-asan -S . -DHETFLOW_WERROR=ON \
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "=== [4/7] parallel sweep + obs determinism under TSan ==="
+echo "=== [4/8] parallel sweep + obs determinism under TSan ==="
 cmake -B build-tsan -S . -DHETFLOW_WERROR=ON -DHETFLOW_SANITIZE=thread
 cmake --build build-tsan -j "$jobs" \
       --target exec_pool_test exec_parallel_test core_failure_test \
@@ -63,7 +66,7 @@ build-tsan/tools/hetflow_bench \
     > build-tsan/sweep_jobs1.csv
 cmp build-tsan/sweep_jobs4.csv build-tsan/sweep_jobs1.csv
 
-echo "=== [5/7] checkpoint/resume round-trip smoke ==="
+echo "=== [5/8] checkpoint/resume round-trip smoke ==="
 run="build-ci/tools/hetflow_run"
 campaign_args=(--campaign surrogate --surface branin --evals 24 --batch 6)
 "$run" "${campaign_args[@]}" > build-ci/campaign_straight.txt
@@ -75,7 +78,7 @@ campaign_args=(--campaign surrogate --surface branin --evals 24 --batch 6)
 cmp <(grep best build-ci/campaign_straight.txt) \
     <(grep best build-ci/campaign_resumed.txt)
 
-echo "=== [6/7] observability line-coverage floor ==="
+echo "=== [6/8] observability line-coverage floor ==="
 # The obs layer is the serialization boundary the golden suites pin
 # down; unexecuted code there is unpinned code. Floor: 90% of the lines
 # in src/obs/ must run under the obs + trace test binaries.
@@ -110,7 +113,7 @@ else
     }'
 fi
 
-echo "=== [7/7] lint (changed files) ==="
+echo "=== [7/8] lint (changed files) ==="
 changed=()
 if base="$(git merge-base HEAD origin/main 2>/dev/null ||
            git rev-parse HEAD~1 2>/dev/null)"; then
@@ -125,5 +128,19 @@ if [ "${#changed[@]}" -gt 0 ]; then
 else
   tools/lint.sh build-ci
 fi
+
+echo "=== [8/8] hetflow_lint (whole tree) ==="
+# Stage 7's lint.sh already runs the text gate; this stage pins the JSON
+# contract (docs/static_analysis.md) and the baseline workflow the way
+# downstream tooling consumes them.
+report="build-ci/hetflow_lint.json"
+build-ci/tools/hetflow_lint --json --root "$repo_root" \
+    --baseline lint_baseline.txt src tools bench tests > "$report" || {
+  echo "ci/check.sh: unsuppressed hetflow_lint findings:" >&2
+  build-ci/tools/hetflow_lint --root "$repo_root" \
+      --baseline lint_baseline.txt src tools bench tests >&2 || true
+  exit 1
+}
+grep -q '"unsuppressed": 0' "$report"
 
 echo "ci/check.sh: all gates passed"

@@ -1,0 +1,210 @@
+#include "lint/analyzer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::lint {
+
+namespace {
+
+/// Stable 16-hex-digit hash of a source line (whitespace-trimmed), used
+/// for line-number-free baseline entries.
+std::string line_hash(const std::string& line) {
+  const std::string_view trimmed = util::trim(line);
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const char c : trimmed) {
+    h = util::hash_combine(h, static_cast<std::uint64_t>(
+                                  static_cast<unsigned char>(c)));
+  }
+  return util::format("%016llx", static_cast<unsigned long long>(h));
+}
+
+const std::string& source_line(const Project& project,
+                               const Finding& finding) {
+  static const std::string empty;
+  const SourceFile* file = project.find(finding.file);
+  if (file == nullptr || finding.line < 1 ||
+      static_cast<std::size_t>(finding.line) > file->lines.size()) {
+    return empty;
+  }
+  return file->lines[static_cast<std::size_t>(finding.line) - 1];
+}
+
+bool allows_cover(const std::vector<std::string>& allows,
+                  const std::string& rule) {
+  return std::any_of(allows.begin(), allows.end(),
+                     [&rule](const std::string& allowed) {
+                       return allowed == "*" || allowed == rule;
+                     });
+}
+
+/// Inline annotation on the finding's line, the line above, or file-wide.
+bool annotation_suppresses(const Finding& finding, const Project& project) {
+  const SourceFile* file = project.find(finding.file);
+  if (file == nullptr) {
+    return false;
+  }
+  if (allows_cover(file->lex.allows_file, finding.rule)) {
+    return true;
+  }
+  for (const int line : {finding.line, finding.line - 1}) {
+    const auto hit = file->lex.allows.find(line);
+    if (hit != file->lex.allows.end() &&
+        allows_cover(hit->second, finding.rule)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string Baseline::key_for(const Finding& finding,
+                              const Project& project) {
+  return finding.rule + "|" + finding.file + "|" +
+         line_hash(source_line(project, finding));
+}
+
+Baseline Baseline::parse(const std::string& text) {
+  Baseline baseline;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') {
+      continue;
+    }
+    baseline.entries_.insert(std::string(trimmed));
+  }
+  return baseline;
+}
+
+std::string Baseline::render(const std::vector<Finding>& findings,
+                             const Project& project) {
+  std::set<std::string> keys;
+  for (const Finding& finding : findings) {
+    if (!finding.suppressed) {
+      keys.insert(key_for(finding, project));
+    }
+  }
+  std::string out =
+      "# hetflow_lint baseline — accepted pre-existing findings.\n"
+      "# Entries are rule|file|hash-of-source-line; regenerate with\n"
+      "#   hetflow_lint --write-baseline <file> <paths...>\n";
+  for (const std::string& key : keys) {
+    out += key + "\n";
+  }
+  return out;
+}
+
+bool Baseline::contains(const Finding& finding,
+                        const Project& project) const {
+  return entries_.count(key_for(finding, project)) != 0;
+}
+
+std::size_t AnalysisResult::unsuppressed() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [](const Finding& f) { return !f.suppressed; }));
+}
+
+AnalysisResult analyze(const Project& project,
+                       const std::vector<std::string>& rule_filter,
+                       const Baseline& baseline) {
+  const std::vector<std::unique_ptr<Rule>> rules = make_all_rules();
+  for (const std::string& wanted : rule_filter) {
+    const bool known =
+        std::any_of(rules.begin(), rules.end(),
+                    [&wanted](const std::unique_ptr<Rule>& rule) {
+                      return rule->id() == wanted ||
+                             rule->family() == wanted;
+                    });
+    if (!known) {
+      throw InvalidArgument("hetflow_lint: unknown rule or family '" +
+                            wanted + "' (see --list-rules)");
+    }
+  }
+
+  AnalysisResult result;
+  result.files_scanned = project.files.size();
+  for (const std::unique_ptr<Rule>& rule : rules) {
+    if (!rule_filter.empty() &&
+        std::none_of(rule_filter.begin(), rule_filter.end(),
+                     [&rule](const std::string& wanted) {
+                       return rule->id() == wanted ||
+                              rule->family() == wanted;
+                     })) {
+      continue;
+    }
+    ++result.rules_run;
+    rule->run(project, result.findings);
+  }
+
+  for (Finding& finding : result.findings) {
+    finding.suppressed = annotation_suppresses(finding, project) ||
+                         baseline.contains(finding, project);
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return result;
+}
+
+std::string render_text(const AnalysisResult& result) {
+  std::string out;
+  for (const Finding& finding : result.findings) {
+    if (!finding.suppressed) {
+      out += finding.describe() + "\n";
+    }
+  }
+  const std::size_t suppressed =
+      result.findings.size() - result.unsuppressed();
+  out += util::format(
+      "hetflow_lint: %zu finding(s) (%zu suppressed) — %zu file(s), "
+      "%zu rule(s)\n",
+      result.unsuppressed(), suppressed, result.files_scanned,
+      result.rules_run);
+  return out;
+}
+
+std::string render_json(const AnalysisResult& result) {
+  util::Json findings = util::Json::array();
+  for (const Finding& finding : result.findings) {
+    util::Json entry = util::Json::object();
+    entry["rule"] = finding.rule;
+    entry["severity"] = to_string(finding.severity);
+    entry["file"] = finding.file;
+    entry["line"] = finding.line;
+    entry["message"] = finding.message;
+    entry["suppressed"] = finding.suppressed;
+    findings.push_back(std::move(entry));
+  }
+  util::Json doc = util::Json::object();
+  doc["findings"] = std::move(findings);
+  doc["files_scanned"] = result.files_scanned;
+  doc["rules_run"] = result.rules_run;
+  doc["total"] = result.findings.size();
+  doc["unsuppressed"] = result.unsuppressed();
+  return doc.dump_pretty() + "\n";
+}
+
+std::string render_rule_list() {
+  std::string out;
+  for (const std::unique_ptr<Rule>& rule : make_all_rules()) {
+    out += util::format("%-22s %-12s %s\n",
+                        std::string(rule->id()).c_str(),
+                        std::string(rule->family()).c_str(),
+                        std::string(rule->description()).c_str());
+  }
+  return out;
+}
+
+}  // namespace hetflow::lint

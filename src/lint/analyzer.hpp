@@ -1,0 +1,61 @@
+// hetflow_lint analyzer: runs the rule registry over a Project, applies
+// inline `hetflow-lint: allow(...)` suppressions and the checked-in
+// baseline, and renders text/JSON reports.
+//
+// Static complement to the dynamic `hetflow_check`: hetflow_check proves a
+// *run* obeyed the invariants; hetflow_lint proves the *source* cannot
+// reintroduce whole classes of violations (see docs/static_analysis.md).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/project.hpp"
+#include "lint/rule.hpp"
+
+namespace hetflow::lint {
+
+/// Findings accepted as pre-existing. Entries are line-number-free
+/// ("rule|path|hash-of-source-line") so unrelated edits do not invalidate
+/// them; lines starting with '#' are comments.
+class Baseline {
+ public:
+  static Baseline parse(const std::string& text);
+
+  /// Serializes `findings` as baseline entries (sorted, deduplicated).
+  static std::string render(const std::vector<Finding>& findings,
+                            const Project& project);
+
+  bool contains(const Finding& finding, const Project& project) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  static std::string key_for(const Finding& finding, const Project& project);
+  std::set<std::string> entries_;
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;  ///< sorted; includes suppressed ones
+  std::size_t files_scanned = 0;
+  std::size_t rules_run = 0;
+
+  std::size_t unsuppressed() const noexcept;
+};
+
+/// Runs every rule (or only those named in `rule_filter`) and applies
+/// suppressions. Throws InvalidArgument for unknown rule ids in the filter.
+AnalysisResult analyze(const Project& project,
+                       const std::vector<std::string>& rule_filter,
+                       const Baseline& baseline);
+
+/// One line per unsuppressed finding plus a summary footer.
+std::string render_text(const AnalysisResult& result);
+
+/// Machine-readable report: schema documented in docs/static_analysis.md.
+std::string render_json(const AnalysisResult& result);
+
+/// "id  family  description" catalog of every registered rule.
+std::string render_rule_list();
+
+}  // namespace hetflow::lint

@@ -1,0 +1,57 @@
+#include "lint/project.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace hetflow::lint {
+
+const SourceFile* Project::find(const std::string& path) const {
+  for (const SourceFile& file : files) {
+    if (file.path == path) {
+      return &file;
+    }
+  }
+  return nullptr;
+}
+
+Project build_project(std::vector<SourceFile> files, ProjectOptions options) {
+  Project project;
+  project.files = std::move(files);
+  project.options = std::move(options);
+
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& file : project.files) {
+    by_path[file.path] = &file;
+  }
+
+  for (const SourceFile& file : project.files) {
+    std::vector<IncludeEdge>& edges = project.includes[file.path];
+    const std::string dir =
+        file.path.find('/') == std::string::npos
+            ? ""
+            : file.path.substr(0, file.path.rfind('/') + 1);
+    for (const IncludeDirective& inc : file.lex.includes) {
+      if (inc.angled) {
+        continue;
+      }
+      // Same-directory first (tests/helpers.hpp, bench/bench_common.hpp),
+      // then the project roots the build's -I flags expose.
+      std::vector<std::string> candidates = {dir + inc.target,
+                                             "src/" + inc.target,
+                                             "tests/" + inc.target,
+                                             "bench/" + inc.target,
+                                             "tools/" + inc.target};
+      for (const std::string& candidate : candidates) {
+        const auto hit = by_path.find(candidate);
+        if (hit != by_path.end()) {
+          edges.push_back(IncludeEdge{candidate, inc.line});
+          break;
+        }
+      }
+    }
+  }
+  return project;
+}
+
+}  // namespace hetflow::lint

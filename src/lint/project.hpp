@@ -1,0 +1,42 @@
+// hetflow_lint project model: the loaded file set plus the resolved
+// project-local include graph that the layering rules traverse.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/source.hpp"
+
+namespace hetflow::lint {
+
+struct ProjectOptions {
+  /// Run the header self-containment probe (spawns the compiler once per
+  /// header — opt-in because it dominates runtime).
+  bool probe_headers = false;
+  std::string compiler = "c++";
+  /// Include roots handed to the probe compiler (-I each).
+  std::vector<std::string> include_dirs = {"src", "tests", "bench", "tools"};
+};
+
+/// One resolved project-internal include edge.
+struct IncludeEdge {
+  std::string target;  ///< repo-relative path of the included file
+  int line = 0;
+};
+
+struct Project {
+  std::vector<SourceFile> files;
+  /// file path -> its resolved project-internal includes. Unresolvable
+  /// (system or out-of-set) includes are not edges.
+  std::map<std::string, std::vector<IncludeEdge>> includes;
+  ProjectOptions options;
+
+  const SourceFile* find(const std::string& path) const;
+};
+
+/// Resolves `#include "..."` targets against the includer's directory and
+/// the standard roots (src/, tests/, bench/, tools/) over the loaded set.
+Project build_project(std::vector<SourceFile> files, ProjectOptions options);
+
+}  // namespace hetflow::lint

@@ -1,0 +1,27 @@
+#include "lint/rule.hpp"
+
+#include "util/strings.hpp"
+
+namespace hetflow::lint {
+
+const char* to_string(Severity severity) noexcept {
+  return severity == Severity::Error ? "error" : "warning";
+}
+
+std::string Finding::describe() const {
+  return util::format("%s:%d: %s: [%s] %s", file.c_str(), line,
+                      to_string(severity), rule.c_str(), message.c_str());
+}
+
+std::vector<std::unique_ptr<Rule>> make_all_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  for (auto maker : {make_determinism_rules, make_layering_rules,
+                     make_lock_rules, make_hygiene_rules}) {
+    for (auto& rule : maker()) {
+      rules.push_back(std::move(rule));
+    }
+  }
+  return rules;
+}
+
+}  // namespace hetflow::lint

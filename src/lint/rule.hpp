@@ -1,0 +1,55 @@
+// hetflow_lint rule registry: findings, severities, and the Rule interface.
+//
+// A rule scans the whole Project (cross-file rules like the lock-order
+// graph need global state) and appends Findings. Suppression — inline
+// `// hetflow-lint: allow(rule)` annotations and the checked-in baseline —
+// is applied uniformly by the analyzer, never inside rules.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetflow::lint {
+
+struct Project;
+
+enum class Severity : std::uint8_t { Warning, Error };
+
+const char* to_string(Severity severity) noexcept;
+
+/// One diagnostic. `suppressed` is filled in by the analyzer.
+struct Finding {
+  std::string rule;
+  Severity severity = Severity::Error;
+  std::string file;
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+
+  /// "path:line: error: [rule] message" — the rendering used everywhere.
+  std::string describe() const;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string_view id() const noexcept = 0;
+  /// determinism | layering | locks | hygiene
+  virtual std::string_view family() const noexcept = 0;
+  virtual std::string_view description() const noexcept = 0;
+  virtual void run(const Project& project,
+                   std::vector<Finding>& findings) const = 0;
+};
+
+/// The four checker families, in catalog order.
+std::vector<std::unique_ptr<Rule>> make_determinism_rules();
+std::vector<std::unique_ptr<Rule>> make_layering_rules();
+std::vector<std::unique_ptr<Rule>> make_lock_rules();
+std::vector<std::unique_ptr<Rule>> make_hygiene_rules();
+
+/// Every rule the analyzer knows, catalog order.
+std::vector<std::unique_ptr<Rule>> make_all_rules();
+
+}  // namespace hetflow::lint

@@ -1,0 +1,325 @@
+// Determinism rules: byte-identical replay is the repo's core contract
+// (jobs-1 vs jobs-8, checkpoint/resume, metrics-off golden paths), so any
+// source of run-to-run variation — wall clocks, libc/std randomness,
+// hash-order iteration, address-dependent ordering — must go through the
+// seeded util/ wrappers or carry an explicit, justified annotation.
+#include <set>
+
+#include "lint/project.hpp"
+#include "lint/rule.hpp"
+#include "lint/scan.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::lint {
+
+namespace {
+
+using scan::after_member_access;
+using scan::is_ident;
+using scan::is_punct;
+using scan::qualified_by_non_std;
+using scan::skip_template_args;
+
+/// Files the determinism family never scans: util/ holds the approved
+/// wrappers (Rng, seeded distributions) and is the one place allowed to
+/// touch primitive sources of entropy.
+bool determinism_exempt(const SourceFile& file) {
+  return file.subsystem == "util";
+}
+
+/// rand()/srand()/time(nullptr)/std::random_device and friends.
+class BannedApiRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "det-banned-api"; }
+  std::string_view family() const noexcept override { return "determinism"; }
+  std::string_view description() const noexcept override {
+    return "libc/std randomness and time-of-day APIs are banned outside "
+           "util/ (use util::Rng and simulated time)";
+  }
+
+  void run(const Project& project,
+           std::vector<Finding>& findings) const override {
+    // Any use of these identifiers is nondeterministic, call or type.
+    static const std::set<std::string, std::less<>> banned_names = {
+        "random_device",  "mt19937",
+        "mt19937_64",     "minstd_rand",
+        "minstd_rand0",   "default_random_engine",
+        "ranlux24",       "ranlux48",
+        "knuth_b",        "uniform_int_distribution",
+        "uniform_real_distribution", "normal_distribution",
+        "bernoulli_distribution",    "discrete_distribution",
+        "exponential_distribution",  "poisson_distribution"};
+    // These only count when invoked as a free function.
+    static const std::set<std::string, std::less<>> banned_calls = {
+        "rand",     "srand",        "drand48",      "lrand48",
+        "srand48",  "gettimeofday", "clock_gettime", "localtime",
+        "gmtime",   "strftime",     "mktime"};
+
+    for (const SourceFile& file : project.files) {
+      if (determinism_exempt(file)) {
+        continue;
+      }
+      for (const IncludeDirective& inc : file.lex.includes) {
+        if (inc.angled && (inc.target == "random" || inc.target == "ctime")) {
+          findings.push_back(Finding{
+              std::string(id()), Severity::Error, file.path, inc.line,
+              "#include <" + inc.target +
+                  "> pulls in nondeterministic primitives; use "
+                  "util/rng.hpp and simulated time instead"});
+        }
+      }
+      const std::vector<Token>& tokens = file.lex.tokens;
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& token = tokens[i];
+        if (token.kind != TokenKind::Identifier) {
+          continue;
+        }
+        if (banned_names.count(token.text) != 0 &&
+            !qualified_by_non_std(tokens, i) &&
+            !after_member_access(tokens, i)) {
+          findings.push_back(Finding{
+              std::string(id()), Severity::Error, file.path, token.line,
+              "std::" + token.text +
+                  " is nondeterministic / unspecified across stdlibs; use "
+                  "util::Rng"});
+          continue;
+        }
+        const bool call = i + 1 < tokens.size() && is_punct(tokens[i + 1], "(");
+        if (call && banned_calls.count(token.text) != 0 &&
+            !after_member_access(tokens, i) &&
+            !qualified_by_non_std(tokens, i)) {
+          findings.push_back(Finding{
+              std::string(id()), Severity::Error, file.path, token.line,
+              token.text + "() is banned: results must replay bit-for-bit "
+                           "from a seed"});
+          continue;
+        }
+        // time(nullptr)/time(0)/time(NULL): `time` alone is too common a
+        // member name to ban, so require the literal-argument call shape.
+        if (call && token.text == "time" && i + 2 < tokens.size() &&
+            !after_member_access(tokens, i) &&
+            !qualified_by_non_std(tokens, i)) {
+          const Token& arg = tokens[i + 2];
+          if (is_ident(arg, "nullptr") || is_ident(arg, "NULL") ||
+              (arg.kind == TokenKind::Number && arg.text == "0")) {
+            findings.push_back(Finding{
+                std::string(id()), Severity::Error, file.path, token.line,
+                "time(...) reads the wall clock; simulation timestamps must "
+                "come from the event queue"});
+          }
+        }
+      }
+    }
+  }
+};
+
+/// std::chrono wall/monotonic clocks outside util/.
+class WallClockRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "det-wallclock"; }
+  std::string_view family() const noexcept override { return "determinism"; }
+  std::string_view description() const noexcept override {
+    return "chrono clocks (system/steady/high_resolution) are banned "
+           "outside util/; simulated time is the only clock";
+  }
+
+  void run(const Project& project,
+           std::vector<Finding>& findings) const override {
+    static const std::set<std::string, std::less<>> clocks = {
+        "system_clock", "steady_clock", "high_resolution_clock"};
+    for (const SourceFile& file : project.files) {
+      if (determinism_exempt(file)) {
+        continue;
+      }
+      for (const Token& token : file.lex.tokens) {
+        if (token.kind == TokenKind::Identifier &&
+            clocks.count(token.text) != 0) {
+          findings.push_back(Finding{
+              std::string(id()), Severity::Error, file.path, token.line,
+              "std::chrono::" + token.text +
+                  " reads host time; results would differ across runs "
+                  "(annotate only host-side throughput measurements)"});
+        }
+      }
+    }
+  }
+};
+
+/// Iterating unordered_{map,set} feeds hash order into downstream state.
+class UnorderedIterRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "det-unordered-iter";
+  }
+  std::string_view family() const noexcept override { return "determinism"; }
+  std::string_view description() const noexcept override {
+    return "iteration over unordered_map/unordered_set in non-test code "
+           "(hash order is implementation-defined; use std::map or sort)";
+  }
+
+  void run(const Project& project,
+           std::vector<Finding>& findings) const override {
+    for (const SourceFile& file : project.files) {
+      if (determinism_exempt(file) || file.is_test) {
+        continue;
+      }
+      const std::vector<Token>& tokens = file.lex.tokens;
+
+      // Pass 1: names declared with an unordered container type in this
+      // file (members, locals, params, and functions returning one).
+      std::set<std::string> unordered_names;
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (!is_ident(tokens[i], "unordered_map") &&
+            !is_ident(tokens[i], "unordered_set") &&
+            !is_ident(tokens[i], "unordered_multimap") &&
+            !is_ident(tokens[i], "unordered_multiset")) {
+          continue;
+        }
+        std::size_t j = skip_template_args(tokens, i + 1);
+        while (j < tokens.size() &&
+               (is_punct(tokens[j], "&") || is_punct(tokens[j], "*") ||
+                is_ident(tokens[j], "const"))) {
+          ++j;
+        }
+        if (j < tokens.size() && tokens[j].kind == TokenKind::Identifier) {
+          unordered_names.insert(tokens[j].text);
+        }
+      }
+      if (unordered_names.empty()) {
+        continue;
+      }
+
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        // Range-for whose range expression names an unordered container.
+        if (is_ident(tokens[i], "for") && i + 1 < tokens.size() &&
+            is_punct(tokens[i + 1], "(")) {
+          int depth = 0;
+          std::size_t colon = 0;
+          std::size_t close = 0;
+          for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+            if (is_punct(tokens[j], "(")) {
+              ++depth;
+            } else if (is_punct(tokens[j], ")")) {
+              if (--depth == 0) {
+                close = j;
+                break;
+              }
+            } else if (depth == 1 && colon == 0 && is_punct(tokens[j], ":")) {
+              colon = j;
+            } else if (depth == 1 && is_punct(tokens[j], ";")) {
+              break;  // classic for loop, not range-for
+            }
+          }
+          if (colon != 0 && close != 0) {
+            for (std::size_t j = colon + 1; j < close; ++j) {
+              if (tokens[j].kind == TokenKind::Identifier &&
+                  unordered_names.count(tokens[j].text) != 0 &&
+                  !after_member_access(tokens, j)) {
+                findings.push_back(unordered_finding(file, tokens[i].line,
+                                                     tokens[j].text));
+                break;
+              }
+            }
+          }
+          continue;
+        }
+        // name.begin()/cbegin(): explicit iterator walks and algorithms.
+        if (tokens[i].kind == TokenKind::Identifier &&
+            unordered_names.count(tokens[i].text) != 0 &&
+            !after_member_access(tokens, i) && i + 2 < tokens.size() &&
+            is_punct(tokens[i + 1], ".") &&
+            (is_ident(tokens[i + 2], "begin") ||
+             is_ident(tokens[i + 2], "cbegin"))) {
+          findings.push_back(
+              unordered_finding(file, tokens[i].line, tokens[i].text));
+        }
+      }
+    }
+  }
+
+ private:
+  Finding unordered_finding(const SourceFile& file, int line,
+                            const std::string& name) const {
+    return Finding{std::string(id()), Severity::Error, file.path, line,
+                   "iteration over unordered container '" + name +
+                       "' feeds hash order into program state; iterate a "
+                       "sorted copy or switch to std::map"};
+  }
+};
+
+/// Pointer values must never order or format output.
+class PointerOrderRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "det-pointer-order";
+  }
+  std::string_view family() const noexcept override { return "determinism"; }
+  std::string_view description() const noexcept override {
+    return "pointer-keyed ordered containers and pointer formatting leak "
+           "address-space layout into output";
+  }
+
+  void run(const Project& project,
+           std::vector<Finding>& findings) const override {
+    for (const SourceFile& file : project.files) {
+      if (determinism_exempt(file)) {
+        continue;
+      }
+      const std::vector<Token>& tokens = file.lex.tokens;
+      for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& token = tokens[i];
+        // The rule's own pattern and message literals mention the banned
+        // "%p" conversion, hence the self-suppressions below.
+        if (token.kind == TokenKind::String &&
+            // hetflow-lint: allow(det-pointer-order)
+            token.text.find("%p") != std::string::npos) {
+          findings.push_back(Finding{
+              std::string(id()), Severity::Error, file.path, token.line,
+              // hetflow-lint: allow(det-pointer-order)
+              "\"%p\" formats a raw address; pointer values differ every "
+              "run under ASLR"});
+          continue;
+        }
+        // std::map<T*, ...> / std::set<T*>: iteration order is the
+        // addresses themselves.
+        if (token.kind == TokenKind::Identifier &&
+            (token.text == "map" || token.text == "set" ||
+             token.text == "multimap" || token.text == "multiset") &&
+            !qualified_by_non_std(tokens, i) && i + 1 < tokens.size() &&
+            is_punct(tokens[i + 1], "<")) {
+          int depth = 0;
+          for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+            if (is_punct(tokens[j], "<")) {
+              ++depth;
+            } else if (is_punct(tokens[j], ">") ||
+                       is_punct(tokens[j], ">>")) {
+              break;  // end of first (or only) template argument list
+            } else if (depth == 1 && is_punct(tokens[j], ",")) {
+              break;  // end of the key type
+            } else if (depth == 1 && is_punct(tokens[j], "*")) {
+              findings.push_back(Finding{
+                  std::string(id()), Severity::Error, file.path, token.line,
+                  "std::" + token.text +
+                      " keyed by a pointer orders elements by address; key "
+                      "by a stable id instead"});
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_determinism_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<BannedApiRule>());
+  rules.push_back(std::make_unique<WallClockRule>());
+  rules.push_back(std::make_unique<UnorderedIterRule>());
+  rules.push_back(std::make_unique<PointerOrderRule>());
+  return rules;
+}
+
+}  // namespace hetflow::lint

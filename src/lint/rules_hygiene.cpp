@@ -1,0 +1,278 @@
+// Hygiene rules: include guards, `using namespace` in headers, and
+// implicit single-argument constructors in src/.
+#include <set>
+
+#include "lint/project.hpp"
+#include "lint/rule.hpp"
+#include "lint/scan.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::lint {
+
+namespace {
+
+using scan::is_ident;
+using scan::is_punct;
+using scan::skip_template_args;
+
+class IncludeGuardRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "hyg-include-guard"; }
+  std::string_view family() const noexcept override { return "hygiene"; }
+  std::string_view description() const noexcept override {
+    return "headers need #pragma once or a classic include guard";
+  }
+
+  void run(const Project& project,
+           std::vector<Finding>& findings) const override {
+    for (const SourceFile& file : project.files) {
+      if (file.is_header && !file.lex.has_pragma_once &&
+          !file.lex.has_include_guard) {
+        findings.push_back(Finding{
+            std::string(id()), Severity::Warning, file.path, 1,
+            "header has neither #pragma once nor an include guard"});
+      }
+    }
+  }
+};
+
+class UsingNamespaceRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "hyg-using-namespace";
+  }
+  std::string_view family() const noexcept override { return "hygiene"; }
+  std::string_view description() const noexcept override {
+    return "`using namespace` in a header leaks into every includer";
+  }
+
+  void run(const Project& project,
+           std::vector<Finding>& findings) const override {
+    for (const SourceFile& file : project.files) {
+      if (!file.is_header) {
+        continue;
+      }
+      const std::vector<Token>& tokens = file.lex.tokens;
+      for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (is_ident(tokens[i], "using") &&
+            is_ident(tokens[i + 1], "namespace")) {
+          findings.push_back(Finding{
+              std::string(id()), Severity::Warning, file.path,
+              tokens[i].line,
+              "`using namespace` in a header pollutes every translation "
+              "unit that includes it"});
+        }
+      }
+    }
+  }
+};
+
+/// Single-argument constructors in src/ must be `explicit` (or annotated
+/// where implicit conversion is the intended API, e.g. util::Json).
+class ExplicitCtorRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "hyg-explicit-ctor"; }
+  std::string_view family() const noexcept override { return "hygiene"; }
+  std::string_view description() const noexcept override {
+    return "single-argument constructors in src/ must be explicit";
+  }
+
+  void run(const Project& project,
+           std::vector<Finding>& findings) const override {
+    for (const SourceFile& file : project.files) {
+      if (!util::starts_with(file.path, "src/")) {
+        continue;
+      }
+      scan_file(file, findings);
+    }
+  }
+
+ private:
+  struct ClassScope {
+    std::string name;
+    int open_depth = 0;  ///< brace depth of the class's own '{'
+  };
+
+  void scan_file(const SourceFile& file,
+                 std::vector<Finding>& findings) const {
+    const std::vector<Token>& tokens = file.lex.tokens;
+    std::vector<ClassScope> classes;
+    int depth = 0;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& token = tokens[i];
+      if (is_punct(token, "{")) {
+        ++depth;
+        continue;
+      }
+      if (is_punct(token, "}")) {
+        --depth;
+        while (!classes.empty() && classes.back().open_depth > depth) {
+          classes.pop_back();
+        }
+        continue;
+      }
+      // Class definition head: class/struct Name ... {  (skip forward
+      // declarations, `enum class`, and template parameter lists).
+      if ((is_ident(token, "class") || is_ident(token, "struct")) &&
+          (i == 0 || !is_ident(tokens[i - 1], "enum")) &&
+          i + 1 < tokens.size() &&
+          tokens[i + 1].kind == TokenKind::Identifier) {
+        const std::string name = tokens[i + 1].text;
+        std::size_t j = i + 2;
+        bool is_definition = false;
+        while (j < tokens.size()) {
+          if (is_punct(tokens[j], "<")) {
+            j = skip_template_args(tokens, j);
+            continue;
+          }
+          if (is_punct(tokens[j], "{")) {
+            is_definition = true;
+            break;
+          }
+          if (is_punct(tokens[j], ";") || is_punct(tokens[j], ">") ||
+              is_punct(tokens[j], ")") || is_punct(tokens[j], ",")) {
+            break;  // fwd decl or template/function parameter
+          }
+          ++j;
+        }
+        if (is_definition) {
+          classes.push_back(ClassScope{name, depth + 1});
+          // fall through: '{' is consumed on the next iteration
+        }
+        continue;
+      }
+      // Constructor of the innermost class at member depth.
+      if (!classes.empty() && token.kind == TokenKind::Identifier &&
+          token.text == classes.back().name &&
+          depth == classes.back().open_depth && i + 1 < tokens.size() &&
+          is_punct(tokens[i + 1], "(") && is_plain_ctor_decl(tokens, i)) {
+        check_constructor(file, tokens, i, classes.back().name, findings);
+      }
+    }
+  }
+
+  /// A plain (non-explicit) constructor *declaration* starts a member
+  /// declaration: after skipping constexpr/inline, the preceding token is
+  /// a statement boundary. Anything else (`explicit`, `~Name`, a ctor
+  /// *call* after '=' or 'return', a delegating `: Name(...)`) is not a
+  /// finding site.
+  static bool is_plain_ctor_decl(const std::vector<Token>& tokens,
+                                 std::size_t i) {
+    while (i > 0 && (is_ident(tokens[i - 1], "constexpr") ||
+                     is_ident(tokens[i - 1], "inline"))) {
+      --i;
+    }
+    if (i == 0) {
+      return true;
+    }
+    const Token& prev = tokens[i - 1];
+    if (is_punct(prev, ";") || is_punct(prev, "{") || is_punct(prev, "}")) {
+      return true;
+    }
+    // Access-specifier colon ("public:") — but not a ctor-init-list or
+    // delegating constructor, whose ':' follows the parameter list's ')'.
+    if (is_punct(prev, ":") && i >= 2 && !is_punct(tokens[i - 2], ")")) {
+      return true;
+    }
+    return false;
+  }
+
+  void check_constructor(const SourceFile& file,
+                         const std::vector<Token>& tokens, std::size_t name_at,
+                         const std::string& class_name,
+                         std::vector<Finding>& findings) const {
+    // Split parameters at top level.
+    std::vector<std::vector<const Token*>> params;
+    std::vector<const Token*> current;
+    int depth = 0;
+    std::size_t i = name_at + 1;
+    for (; i < tokens.size(); ++i) {
+      const Token& token = tokens[i];
+      if (is_punct(token, "(")) {
+        if (depth++ > 0) {
+          current.push_back(&token);
+        }
+        continue;
+      }
+      if (is_punct(token, ")")) {
+        if (--depth == 0) {
+          break;
+        }
+        current.push_back(&token);
+        continue;
+      }
+      if (depth == 1 && is_punct(token, ",")) {
+        params.push_back(current);
+        current.clear();
+        continue;
+      }
+      current.push_back(&token);
+    }
+    if (!current.empty()) {
+      params.push_back(current);
+    }
+    if (params.empty()) {
+      return;  // default ctor
+    }
+    // Copy/move ctor or a parameter pack: not a conversion hazard we can
+    // reason about at token level.
+    for (const Token* t : params.front()) {
+      if (t->kind == TokenKind::Identifier && t->text == class_name) {
+        return;
+      }
+    }
+    for (const auto& param : params) {
+      for (const Token* t : param) {
+        if (t->kind == TokenKind::Punct && t->text == ".") {
+          return;  // "..." pack (lexed as '.' '.' '.')
+        }
+      }
+    }
+    // Callable with one argument: first param mandatory, rest defaulted.
+    bool single_arg = params.size() == 1;
+    if (!single_arg) {
+      single_arg = true;
+      for (std::size_t p = 1; p < params.size(); ++p) {
+        bool has_default = false;
+        int d = 0;
+        for (const Token* t : params[p]) {
+          if (t->kind == TokenKind::Punct &&
+              (t->text == "<" || t->text == "(" || t->text == "{")) {
+            ++d;
+          } else if (t->kind == TokenKind::Punct &&
+                     (t->text == ">" || t->text == ")" || t->text == "}")) {
+            --d;
+          } else if (d == 0 && t->kind == TokenKind::Punct &&
+                     t->text == "=") {
+            has_default = true;
+            break;
+          }
+        }
+        if (!has_default) {
+          single_arg = false;
+          break;
+        }
+      }
+    }
+    if (single_arg) {
+      findings.push_back(Finding{
+          std::string(id()), Severity::Warning, file.path,
+          tokens[name_at].line,
+          "constructor '" + class_name +
+              "' is callable with one argument but not explicit — it "
+              "defines an implicit conversion"});
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_hygiene_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<IncludeGuardRule>());
+  rules.push_back(std::make_unique<UsingNamespaceRule>());
+  rules.push_back(std::make_unique<ExplicitCtorRule>());
+  return rules;
+}
+
+}  // namespace hetflow::lint

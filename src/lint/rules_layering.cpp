@@ -1,0 +1,225 @@
+// Layering rules: the subsystem include DAG mirrors src/CMakeLists.txt.
+// Each module may include itself and the modules below it; split files
+// (check/audit.*, check/dag.*, exec/sweep.*) are judged as the library
+// they actually compile into. Cycles in the header include graph and
+// headers that do not parse standalone are separate findings.
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "lint/project.hpp"
+#include "lint/rule.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::lint {
+
+namespace {
+
+/// module -> modules it may include. Top-level trees (tools, bench,
+/// tests, examples) may include anything and are absent from the table.
+const std::map<std::string, std::set<std::string>>& allowed_deps() {
+  static const std::map<std::string, std::set<std::string>> table = {
+      {"util", {"util"}},
+      {"sim", {"sim", "util"}},
+      {"hw", {"hw", "sim", "util"}},
+      {"trace", {"trace", "hw", "sim", "util"}},
+      {"obs", {"obs", "trace", "hw", "sim", "util"}},
+      {"data", {"data", "obs", "trace", "hw", "sim", "util"}},
+      {"perf", {"perf", "hw", "sim", "util"}},
+      {"check",
+       {"check", "data", "obs", "trace", "perf", "hw", "sim", "util"}},
+      {"core",
+       {"core", "check", "data", "obs", "perf", "trace", "hw", "sim",
+        "util"}},
+      {"sched",
+       {"sched", "core", "check", "data", "obs", "perf", "trace", "hw",
+        "sim", "util"}},
+      {"exec", {"exec", "util"}},
+      {"lint", {"lint", "util"}},
+      {"workflow",
+       {"workflow", "sched", "exec", "core", "check", "data", "obs", "perf",
+        "trace", "hw", "sim", "util"}},
+  };
+  return table;
+}
+
+/// Forbidden cross-layer includes, judged module-against-subsystem.
+class LayerDagRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "layer-dag"; }
+  std::string_view family() const noexcept override { return "layering"; }
+  std::string_view description() const noexcept override {
+    return "src/ subsystems may only include the layers below them "
+           "(DAG mirrors src/CMakeLists.txt)";
+  }
+
+  void run(const Project& project,
+           std::vector<Finding>& findings) const override {
+    for (const SourceFile& file : project.files) {
+      const auto allowed = allowed_deps().find(file.module_name);
+      if (allowed == allowed_deps().end()) {
+        continue;  // tools/bench/tests/examples may include anything
+      }
+      const auto edges = project.includes.find(file.path);
+      if (edges == project.includes.end()) {
+        continue;
+      }
+      for (const IncludeEdge& edge : edges->second) {
+        const std::string target_subsystem = subsystem_of(edge.target);
+        if (allowed->second.count(target_subsystem) == 0) {
+          findings.push_back(Finding{
+              std::string(id()), Severity::Error, file.path, edge.line,
+              "include of '" + edge.target + "' crosses the layering DAG: " +
+                  file.module_name + " may not depend on " +
+                  target_subsystem});
+        }
+      }
+    }
+  }
+};
+
+/// Cycles in the project header include graph.
+class LayerCycleRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "layer-cycle"; }
+  std::string_view family() const noexcept override { return "layering"; }
+  std::string_view description() const noexcept override {
+    return "the header include graph must stay acyclic";
+  }
+
+  void run(const Project& project,
+           std::vector<Finding>& findings) const override {
+    // DFS over headers only (a .cpp cannot be included back into).
+    std::map<std::string, int> state;  // 0 new / 1 on stack / 2 done
+    std::vector<std::string> stack;
+    std::set<std::string> reported;  // cycle key = sorted joined members
+
+    const std::function<void(const std::string&)> visit =
+        [&](const std::string& path) {
+          state[path] = 1;
+          stack.push_back(path);
+          const auto edges = project.includes.find(path);
+          if (edges != project.includes.end()) {
+            for (const IncludeEdge& edge : edges->second) {
+              const SourceFile* target = project.find(edge.target);
+              if (target == nullptr || !target->is_header) {
+                continue;
+              }
+              const int s = state[edge.target];
+              if (s == 0) {
+                visit(edge.target);
+              } else if (s == 1) {
+                report_cycle(edge, stack, reported, findings);
+              }
+            }
+          }
+          stack.pop_back();
+          state[path] = 2;
+        };
+
+    for (const SourceFile& file : project.files) {
+      if (file.is_header && state[file.path] == 0) {
+        visit(file.path);
+      }
+    }
+  }
+
+ private:
+  void report_cycle(const IncludeEdge& edge,
+                    const std::vector<std::string>& stack,
+                    std::set<std::string>& reported,
+                    std::vector<Finding>& findings) const {
+    const auto begin =
+        std::find(stack.begin(), stack.end(), edge.target);
+    std::vector<std::string> members(begin, stack.end());
+    std::vector<std::string> key = members;
+    std::sort(key.begin(), key.end());
+    if (!reported.insert(util::join(key, "|")).second) {
+      return;
+    }
+    members.push_back(edge.target);  // close the loop for the message
+    findings.push_back(Finding{
+        std::string(id()), Severity::Error, stack.back(), edge.line,
+        "include cycle: " + util::join(members, " -> ")});
+  }
+};
+
+/// Standalone-parse probe: every header must compile on its own
+/// (include-what-you-use-lite). Opt-in via --probe-headers because it
+/// spawns the compiler once per header.
+class SelfContainedRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "layer-self-contained";
+  }
+  std::string_view family() const noexcept override { return "layering"; }
+  std::string_view description() const noexcept override {
+    return "every header must parse standalone (probe: compiler "
+           "-fsyntax-only on a TU that includes only the header)";
+  }
+
+  void run(const Project& project,
+           std::vector<Finding>& findings) const override {
+    if (!project.options.probe_headers) {
+      return;
+    }
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "hetflow_lint_probe";
+    fs::create_directories(dir);
+    const fs::path tu = dir / "probe.cpp";
+    const fs::path err = dir / "probe.err";
+
+    std::string include_flags;
+    for (const std::string& inc : project.options.include_dirs) {
+      include_flags += " -I" + inc;
+    }
+    for (const SourceFile& file : project.files) {
+      if (!file.is_header) {
+        continue;
+      }
+      // The include spelling the build uses: path relative to its root.
+      std::string spelled = file.path;
+      for (const std::string& root : project.options.include_dirs) {
+        if (util::starts_with(spelled, root + "/")) {
+          spelled.erase(0, root.size() + 1);
+          break;
+        }
+      }
+      {
+        std::ofstream out(tu);
+        out << "#include \"" << spelled << "\"\n";
+      }
+      const std::string command = project.options.compiler +
+                                  " -std=c++20 -fsyntax-only" +
+                                  include_flags + " " + tu.string() + " 2> " +
+                                  err.string();
+      if (std::system(command.c_str()) != 0) {
+        std::ifstream in(err);
+        std::string first_error;
+        std::getline(in, first_error);
+        findings.push_back(Finding{
+            std::string(id()), Severity::Error, file.path, 1,
+            "header does not parse standalone: " +
+                (first_error.empty() ? "compiler probe failed"
+                                     : first_error)});
+      }
+    }
+    fs::remove_all(dir);
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_layering_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<LayerDagRule>());
+  rules.push_back(std::make_unique<LayerCycleRule>());
+  rules.push_back(std::make_unique<SelfContainedRule>());
+  return rules;
+}
+
+}  // namespace hetflow::lint

@@ -1,0 +1,355 @@
+// Lock-discipline rules. The thread-confinement contract
+// (docs/parallelism.md) keeps simulation state single-threaded; the few
+// places that do lock (thread pool, log sink) must never deadlock. Two
+// rules enforce that statically:
+//
+//   lock-order-cycle — a global acquisition-order graph over every
+//     lock_guard/unique_lock/scoped_lock/.lock() site; any cycle (including
+//     re-acquiring a held mutex) is a potential deadlock.
+//   lock-callback    — invoking a user-supplied callable (std::function
+//     members, sinks, handlers) while holding a lock hands the callee a
+//     chance to re-enter and self-deadlock.
+//
+// Mutexes are keyed "<path-sans-extension>::<expression>" so a class's
+// .hpp/.cpp share identity; cross-file aliasing of one mutex object is
+// out of scope for a token-level analyzer (documented limitation).
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "lint/project.hpp"
+#include "lint/rule.hpp"
+#include "lint/scan.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::lint {
+
+namespace {
+
+using scan::after_member_access;
+using scan::is_ident;
+using scan::is_punct;
+using scan::skip_template_args;
+
+struct Acquisition {
+  std::string mutex_key;
+  int brace_depth = 0;  ///< scope the RAII guard lives in
+  int line = 0;
+  bool released = false;  ///< via .unlock() on the guard/mutex
+  std::string guard_name;  ///< RAII variable, for .unlock() matching
+};
+
+struct LockSite {
+  std::string file;
+  int line = 0;
+};
+
+/// Per-project accumulation shared by both lock rules: edges of the
+/// acquisition-order graph and every callback-under-lock site.
+struct LockModel {
+  /// held-mutex -> then-acquired-mutex, first site that created the edge.
+  std::map<std::pair<std::string, std::string>, LockSite> edges;
+  struct CallbackSite {
+    std::string file;
+    int line = 0;
+    std::string callee;
+    std::string held;  ///< comma-joined held mutex keys
+  };
+  std::vector<CallbackSite> callbacks;
+};
+
+bool is_guard_type(const Token& token) {
+  return is_ident(token, "lock_guard") || is_ident(token, "unique_lock") ||
+         is_ident(token, "scoped_lock") || is_ident(token, "shared_lock");
+}
+
+/// Heuristic: identifiers that name user-supplied callables.
+bool callback_name(const std::string& name) {
+  static const std::set<std::string, std::less<>> exact = {
+      "callback", "cb",   "fn",           "func",    "functor",
+      "handler",  "job",  "sink",         "hook",    "continuation",
+      "on_done",  "cont", "on_complete",  "visitor", "action"};
+  return exact.count(name) != 0 || util::ends_with(name, "_callback") ||
+         util::ends_with(name, "_cb") || util::ends_with(name, "_fn") ||
+         util::ends_with(name, "_sink") || util::ends_with(name, "_handler") ||
+         util::ends_with(name, "_hook") || util::starts_with(name, "on_");
+}
+
+/// File-stem key so thread_pool.hpp and thread_pool.cpp agree.
+std::string stem_of(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(0, dot);
+}
+
+/// Splits the parenthesized argument list starting at tokens[open] == "("
+/// into top-level argument expressions ("this->mutex_" -> "mutex_").
+std::vector<std::string> argument_exprs(const std::vector<Token>& tokens,
+                                        std::size_t open) {
+  std::vector<std::string> args;
+  std::string expr;
+  const auto flush = [&args, &expr]() {
+    if (util::starts_with(expr, "this->")) {
+      expr.erase(0, 6);
+    }
+    if (!expr.empty()) {
+      args.push_back(expr);
+    }
+    expr.clear();
+  };
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (is_punct(tokens[i], "(")) {
+      if (depth++ > 0) {
+        expr += "(";
+      }
+    } else if (is_punct(tokens[i], ")")) {
+      if (--depth == 0) {
+        flush();
+        break;
+      }
+      expr += ")";
+    } else if (depth == 1 && is_punct(tokens[i], ",")) {
+      flush();
+    } else {
+      expr += tokens[i].text;
+    }
+  }
+  return args;
+}
+
+void scan_file(const SourceFile& file, LockModel& model) {
+  const std::vector<Token>& tokens = file.lex.tokens;
+  const std::string stem = stem_of(file.path);
+  std::vector<Acquisition> active;
+  int depth = 0;
+
+  const auto held_keys = [&active]() {
+    std::vector<std::string> keys;
+    for (const Acquisition& acq : active) {
+      if (!acq.released) {
+        keys.push_back(acq.mutex_key);
+      }
+    }
+    return keys;
+  };
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (is_punct(token, "{")) {
+      ++depth;
+      continue;
+    }
+    if (is_punct(token, "}")) {
+      --depth;
+      while (!active.empty() && active.back().brace_depth > depth) {
+        active.pop_back();
+      }
+      if (depth <= 0) {
+        active.clear();  // end of any function body
+        depth = std::max(depth, 0);
+      }
+      continue;
+    }
+
+    // RAII guard declaration: lock_guard[<...>] name(mutex[, ...]);
+    if (is_guard_type(token) && !after_member_access(tokens, i)) {
+      std::size_t j = skip_template_args(tokens, i + 1);
+      if (j >= tokens.size() || tokens[j].kind != TokenKind::Identifier) {
+        continue;
+      }
+      const std::string guard = tokens[j].text;
+      if (j + 1 >= tokens.size() || !is_punct(tokens[j + 1], "(")) {
+        continue;  // e.g. a type mention, not a declaration
+      }
+      // Collect every mutex argument (scoped_lock may take several);
+      // tag arguments (defer_lock & co.) mean "no acquisition here".
+      std::vector<std::string> mutexes;
+      bool tagged = false;  // defer/try/adopt: no *new* acquisition here
+      for (const std::string& expr : argument_exprs(tokens, j + 1)) {
+        if (expr == "std::defer_lock" || expr == "defer_lock" ||
+            expr == "std::try_to_lock" || expr == "try_to_lock" ||
+            expr == "std::adopt_lock" || expr == "adopt_lock") {
+          tagged = true;
+        } else {
+          mutexes.push_back(expr);
+        }
+      }
+      if (tagged) {
+        mutexes.clear();
+      }
+      const std::vector<std::string> held = held_keys();
+      for (const std::string& mutex : mutexes) {
+        const std::string key = stem + "::" + mutex;
+        for (const std::string& prior : held) {
+          if (model.edges.count({prior, key}) == 0) {
+            model.edges[{prior, key}] = LockSite{file.path, token.line};
+          }
+        }
+        active.push_back(
+            Acquisition{key, depth, token.line, false, guard});
+      }
+      i = j + 1;
+      continue;
+    }
+
+    // Direct mutex_.lock() / guard.unlock() / cv.wait(lock) handling.
+    if (token.kind == TokenKind::Identifier && i + 2 < tokens.size() &&
+        is_punct(tokens[i + 1], ".") &&
+        tokens[i + 2].kind == TokenKind::Identifier) {
+      const std::string& object = token.text;
+      const std::string& method = tokens[i + 2].text;
+      if (method == "unlock") {
+        for (Acquisition& acq : active) {
+          if (acq.guard_name == object ||
+              acq.mutex_key == stem + "::" + object) {
+            acq.released = true;
+          }
+        }
+      } else if (method == "lock" && i + 3 < tokens.size() &&
+                 is_punct(tokens[i + 3], "(")) {
+        // Re-lock of a released guard, or a bare mutex.lock().
+        bool relocked = false;
+        for (Acquisition& acq : active) {
+          if (acq.guard_name == object && acq.released) {
+            acq.released = false;
+            relocked = true;
+          }
+        }
+        if (!relocked) {
+          const std::string key = stem + "::" + object;
+          for (const std::string& prior : held_keys()) {
+            if (model.edges.count({prior, key}) == 0) {
+              model.edges[{prior, key}] = LockSite{file.path, token.line};
+            }
+          }
+          active.push_back(Acquisition{key, depth, token.line, false, ""});
+        }
+      }
+    }
+
+    // Callback invocation while a lock is held.
+    if (token.kind == TokenKind::Identifier && i + 1 < tokens.size() &&
+        is_punct(tokens[i + 1], "(") && callback_name(token.text) &&
+        !scan::qualified_by_non_std(tokens, i) &&
+        (i == 0 || !is_punct(tokens[i - 1], "::"))) {
+      const std::vector<std::string> held = held_keys();
+      if (!held.empty()) {
+        model.callbacks.push_back(LockModel::CallbackSite{
+            file.path, token.line, token.text, util::join(held, ", ")});
+      }
+    }
+    // std::invoke(fn, ...) under a lock counts too.
+    if (is_ident(token, "invoke") && i + 1 < tokens.size() &&
+        is_punct(tokens[i + 1], "(")) {
+      const std::vector<std::string> held = held_keys();
+      if (!held.empty()) {
+        model.callbacks.push_back(LockModel::CallbackSite{
+            file.path, token.line, "std::invoke", util::join(held, ", ")});
+      }
+    }
+  }
+}
+
+LockModel build_model(const Project& project) {
+  LockModel model;
+  for (const SourceFile& file : project.files) {
+    scan_file(file, model);
+  }
+  return model;
+}
+
+class LockOrderCycleRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "lock-order-cycle"; }
+  std::string_view family() const noexcept override { return "locks"; }
+  std::string_view description() const noexcept override {
+    return "the global lock acquisition-order graph must stay acyclic "
+           "(a cycle is a potential deadlock)";
+  }
+
+  void run(const Project& project,
+           std::vector<Finding>& findings) const override {
+    const LockModel model = build_model(project);
+    // Self-edges first: re-acquiring a held (non-recursive) mutex.
+    std::map<std::string, std::set<std::string>> graph;
+    for (const auto& [edge, site] : model.edges) {
+      if (edge.first == edge.second) {
+        findings.push_back(Finding{
+            std::string(id()), Severity::Error, site.file, site.line,
+            "mutex '" + edge.first +
+                "' re-acquired while already held — immediate deadlock on "
+                "a non-recursive mutex"});
+        continue;
+      }
+      graph[edge.first].insert(edge.second);
+    }
+    // DFS cycle detection over the remaining order graph.
+    std::map<std::string, int> state;
+    std::vector<std::string> stack;
+    std::set<std::string> reported;
+    const std::function<void(const std::string&)> visit =
+        [&](const std::string& node) {
+          state[node] = 1;
+          stack.push_back(node);
+          for (const std::string& next : graph[node]) {
+            if (state[next] == 0) {
+              visit(next);
+            } else if (state[next] == 1) {
+              std::vector<std::string> cycle(
+                  std::find(stack.begin(), stack.end(), next), stack.end());
+              std::vector<std::string> key = cycle;
+              std::sort(key.begin(), key.end());
+              if (reported.insert(util::join(key, "|")).second) {
+                cycle.push_back(next);
+                const LockSite& site =
+                    model.edges.at({node, next});
+                findings.push_back(Finding{
+                    std::string(id()), Severity::Error, site.file, site.line,
+                    "lock-order cycle: " + util::join(cycle, " -> ")});
+              }
+            }
+          }
+          stack.pop_back();
+          state[node] = 2;
+        };
+    for (const auto& [node, _] : graph) {
+      if (state[node] == 0) {
+        visit(node);
+      }
+    }
+  }
+};
+
+class LockCallbackRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "lock-callback"; }
+  std::string_view family() const noexcept override { return "locks"; }
+  std::string_view description() const noexcept override {
+    return "user-supplied callables must not be invoked while a lock is "
+           "held (re-entrant callees self-deadlock)";
+  }
+
+  void run(const Project& project,
+           std::vector<Finding>& findings) const override {
+    const LockModel model = build_model(project);
+    for (const LockModel::CallbackSite& site : model.callbacks) {
+      findings.push_back(Finding{
+          std::string(id()), Severity::Error, site.file, site.line,
+          "callback '" + site.callee + "' invoked while holding {" +
+              site.held +
+              "}; copy it out and invoke after releasing the lock"});
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_lock_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<LockOrderCycleRule>());
+  rules.push_back(std::make_unique<LockCallbackRule>());
+  return rules;
+}
+
+}  // namespace hetflow::lint

@@ -1,0 +1,70 @@
+// hetflow_lint token-scanning helpers shared by the rule families.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace hetflow::lint::scan {
+
+inline bool is_ident(const Token& token, std::string_view text) {
+  return token.kind == TokenKind::Identifier && token.text == text;
+}
+
+inline bool is_punct(const Token& token, std::string_view text) {
+  return token.kind == TokenKind::Punct && token.text == text;
+}
+
+/// If tokens[at] is "<", returns the index just past its matching ">".
+/// Understands the merged ">>"/"<<" tokens. Returns `at` unchanged when
+/// tokens[at] is not "<"; returns tokens.size() on unbalanced input.
+inline std::size_t skip_template_args(const std::vector<Token>& tokens,
+                                      std::size_t at) {
+  if (at >= tokens.size() || !is_punct(tokens[at], "<")) {
+    return at;
+  }
+  int depth = 0;
+  for (std::size_t i = at; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::Punct) {
+      continue;
+    }
+    if (tokens[i].text == "<") {
+      ++depth;
+    } else if (tokens[i].text == "<<") {
+      depth += 2;
+    } else if (tokens[i].text == ">") {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    } else if (tokens[i].text == ">>") {
+      depth -= 2;
+      if (depth <= 0) {
+        return i + 1;
+      }
+    }
+  }
+  return tokens.size();
+}
+
+/// True when tokens[i] is reached via member access (".", "->").
+inline bool after_member_access(const std::vector<Token>& tokens,
+                                std::size_t i) {
+  return i > 0 && (is_punct(tokens[i - 1], ".") ||
+                   is_punct(tokens[i - 1], "->"));
+}
+
+/// True when tokens[i] is qualified by "X::" for some X other than std
+/// and its nested namespaces (std::chrono::...), i.e. a project-defined
+/// name that merely shares a banned identifier's spelling.
+inline bool qualified_by_non_std(const std::vector<Token>& tokens,
+                                 std::size_t i) {
+  if (i < 2 || !is_punct(tokens[i - 1], "::")) {
+    return false;
+  }
+  const Token& qualifier = tokens[i - 2];
+  return qualifier.kind == TokenKind::Identifier &&
+         qualifier.text != "std" && qualifier.text != "chrono";
+}
+
+}  // namespace hetflow::lint::scan

@@ -1,0 +1,132 @@
+#include "lint/source.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_source_ext(const std::string& path) {
+  return util::ends_with(path, ".cpp") || util::ends_with(path, ".hpp") ||
+         util::ends_with(path, ".h") || util::ends_with(path, ".cc");
+}
+
+std::string normalize(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  while (util::starts_with(path, "./")) {
+    path.erase(0, 2);
+  }
+  return path;
+}
+
+}  // namespace
+
+std::string subsystem_of(const std::string& path) {
+  const std::vector<std::string> parts = util::split(normalize(path), '/');
+  if (parts.empty()) {
+    return "";
+  }
+  if (parts.front() == "src" && parts.size() >= 2) {
+    return parts[1];
+  }
+  return parts.front();  // tools, bench, tests, examples, loose files
+}
+
+std::string module_of(const std::string& path) {
+  const std::string norm = normalize(path);
+  // Split files that compile into a higher-layer library than their
+  // directory suggests (see src/CMakeLists.txt): their includes are judged
+  // against the library they actually land in.
+  if (norm == "src/check/audit.hpp" || norm == "src/check/audit.cpp") {
+    return "core";
+  }
+  if (norm == "src/check/dag.hpp" || norm == "src/check/dag.cpp" ||
+      norm == "src/exec/sweep.hpp" || norm == "src/exec/sweep.cpp") {
+    return "workflow";
+  }
+  return subsystem_of(norm);
+}
+
+SourceFile make_source(std::string path, std::string_view text) {
+  SourceFile file;
+  file.path = normalize(std::move(path));
+  file.subsystem = subsystem_of(file.path);
+  file.module_name = module_of(file.path);
+  file.is_header =
+      util::ends_with(file.path, ".hpp") || util::ends_with(file.path, ".h");
+  file.is_test = util::starts_with(file.path, "tests/");
+  std::string line;
+  std::istringstream stream{std::string(text)};
+  while (std::getline(stream, line)) {
+    file.lines.push_back(line);
+  }
+  file.lex = lex(text);
+  return file;
+}
+
+std::vector<SourceFile> load_sources(
+    const std::vector<std::string>& paths, const std::string& root,
+    const std::vector<std::string>& skip_dirs) {
+  std::vector<std::string> files;
+  const auto relativize = [&root](const fs::path& p) {
+    std::string text = normalize(p.string());
+    const std::string prefix = normalize(root) + "/";
+    if (util::starts_with(text, prefix)) {
+      text.erase(0, prefix.size());
+    }
+    return text;
+  };
+  for (const std::string& path : paths) {
+    fs::path p(path);
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (!entry.is_regular_file()) {
+          continue;
+        }
+        const std::string rel = relativize(entry.path());
+        if (!is_source_ext(rel)) {
+          continue;
+        }
+        const bool skipped =
+            std::any_of(skip_dirs.begin(), skip_dirs.end(),
+                        [&rel](const std::string& dir) {
+                          return util::starts_with(rel, dir + "/");
+                        });
+        if (!skipped) {
+          files.push_back(rel);
+        }
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(relativize(p));
+    } else {
+      throw InvalidArgument("hetflow_lint: no such file or directory: '" +
+                            path + "'");
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const std::string& rel : files) {
+    const fs::path full = fs::path(root) / rel;
+    std::ifstream in(fs::exists(full) ? full : fs::path(rel));
+    if (!in) {
+      throw InvalidArgument("hetflow_lint: cannot read '" + rel + "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    sources.push_back(make_source(rel, buffer.str()));
+  }
+  return sources;
+}
+
+}  // namespace hetflow::lint

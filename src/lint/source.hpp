@@ -1,0 +1,44 @@
+// hetflow_lint source model: one lexed file plus its place in the project.
+//
+// `subsystem` is the directory a file lives in (src/<subsystem>/..., or the
+// top-level tree name for tools/bench/tests/examples). `module_name` is the
+// layering identity used by the DAG rules — usually the subsystem, except
+// for the deliberate split files that compile into a higher library
+// (check/audit.* -> core, check/dag.* and exec/sweep.* -> workflow, matching
+// src/CMakeLists.txt).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace hetflow::lint {
+
+struct SourceFile {
+  std::string path;         ///< repo-relative, '/'-separated
+  std::string subsystem;    ///< "util", "core", ..., "tools", "bench", "tests"
+  std::string module_name;  ///< layering module after split-file overrides
+  bool is_header = false;
+  bool is_test = false;  ///< under tests/
+  std::vector<std::string> lines;  ///< raw text, 1-indexed via lines[i-1]
+  LexedFile lex;
+};
+
+/// Classifies a repo-relative path into its subsystem and layering module.
+std::string subsystem_of(const std::string& path);
+std::string module_of(const std::string& path);
+
+/// Lexes one file's contents into a SourceFile.
+SourceFile make_source(std::string path, std::string_view text);
+
+/// Loads every .cpp/.hpp/.h under the given files/directories (recursing,
+/// sorted for determinism). Paths are made relative to `root` when they
+/// fall under it. Directories named in `skip_dirs` (repo-relative prefixes,
+/// e.g. "tests/lint") are excluded from directory walks but not from
+/// explicitly listed files — the linter's own known-bad fixtures live there.
+std::vector<SourceFile> load_sources(const std::vector<std::string>& paths,
+                                     const std::string& root,
+                                     const std::vector<std::string>& skip_dirs);
+
+}  // namespace hetflow::lint

@@ -1,0 +1,339 @@
+#include "lint/token.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace hetflow::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Parses `hetflow-lint: allow(a, b)` / `allow-file(a)` occurrences out of
+/// one comment's text and records them against `line`.
+void scan_annotations(std::string_view comment, int line, LexedFile& out) {
+  const std::string_view marker = "hetflow-lint:";
+  std::size_t at = comment.find(marker);
+  while (at != std::string_view::npos) {
+    const std::string_view rest = comment.substr(at + marker.size());
+    const std::size_t file_at = rest.find("allow-file(");
+    const std::size_t line_at = rest.find("allow(");
+    const bool file_wide = file_at != std::string_view::npos;
+    if (!file_wide && line_at == std::string_view::npos) {
+      return;
+    }
+    const std::size_t open = file_wide ? file_at + 10 : line_at + 5;
+    const std::size_t close = rest.find(')', open);
+    if (close == std::string_view::npos) {
+      return;
+    }
+    for (const std::string& rule :
+         util::split(rest.substr(open + 1, close - open - 1), ',')) {
+      const std::string trimmed{util::trim(rule)};
+      if (trimmed.empty()) {
+        continue;
+      }
+      if (file_wide) {
+        out.allows_file.push_back(trimmed);
+      } else {
+        out.allows[line].push_back(trimmed);
+      }
+    }
+    at = comment.find(marker, at + marker.size() + close);
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  LexedFile run() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (ident_start(c)) {
+        lex_identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        lex_number();
+        continue;
+      }
+      if (c == '"') {
+        lex_string();
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void push(TokenKind kind, std::string text) {
+    out_.tokens.push_back(Token{kind, std::move(text), line_});
+  }
+
+  void lex_line_comment() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\n') {
+      ++pos_;
+    }
+    scan_annotations(text_.substr(start, pos_ - start), line_, out_);
+  }
+
+  void lex_block_comment() {
+    const std::size_t start = pos_;
+    const int start_line = line_;
+    pos_ += 2;
+    while (pos_ < text_.size() &&
+           !(text_[pos_] == '*' && peek(1) == '/')) {
+      if (text_[pos_] == '\n') {
+        ++line_;
+      }
+      ++pos_;
+    }
+    pos_ = pos_ < text_.size() ? pos_ + 2 : text_.size();
+    scan_annotations(text_.substr(start, pos_ - start), start_line, out_);
+  }
+
+  /// Consumes a whole preprocessor directive line (plus continuations),
+  /// recording includes, pragma once and the leading include-guard pair.
+  void lex_directive() {
+    ++pos_;  // '#'
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+    std::string name;
+    while (pos_ < text_.size() && ident_char(text_[pos_])) {
+      name += text_[pos_++];
+    }
+    ++directive_count_;
+    if (name == "include") {
+      lex_include_target();
+    } else if (name == "pragma") {
+      const std::string rest = directive_rest();
+      if (util::trim(rest) == "once") {
+        out_.has_pragma_once = true;
+      }
+      return;  // directive_rest consumed the line
+    } else if (name == "ifndef" && directive_count_ == 1) {
+      guard_macro_ = std::string(util::trim(directive_rest()));
+      guard_candidate_ = !guard_macro_.empty();
+      return;
+    } else if (name == "define" && directive_count_ == 2 && guard_candidate_) {
+      if (util::trim(directive_rest()) == guard_macro_) {
+        out_.has_include_guard = true;
+      }
+      return;
+    } else if (name == "define") {
+      return;  // macro bodies stay out of the token stream
+    }
+    skip_to_eol();
+  }
+
+  /// Text after the directive name up to end of line (no continuations —
+  /// guards and pragma once never use them).
+  std::string directive_rest() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\n') {
+      ++pos_;
+    }
+    std::string rest(text_.substr(start, pos_ - start));
+    const std::size_t comment = rest.find("//");
+    if (comment != std::string::npos) {
+      rest.resize(comment);
+    }
+    return rest;
+  }
+
+  void lex_include_target() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+    const char open = peek();
+    if (open != '"' && open != '<') {
+      return;
+    }
+    const char close = open == '<' ? '>' : '"';
+    ++pos_;
+    std::string target;
+    while (pos_ < text_.size() && text_[pos_] != close &&
+           text_[pos_] != '\n') {
+      target += text_[pos_++];
+    }
+    out_.includes.push_back(IncludeDirective{target, open == '<', line_});
+  }
+
+  void skip_to_eol() {
+    // Honours backslash continuations so multi-line macros stay opaque.
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '\\' && peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (text_[pos_] == '\n') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  void lex_identifier() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && ident_char(text_[pos_])) {
+      ++pos_;
+    }
+    std::string word(text_.substr(start, pos_ - start));
+    // Raw string literal prefix? (R"delim( ... )delim")
+    if (peek() == '"' &&
+        (word == "R" || word == "u8R" || word == "uR" || word == "UR" ||
+         word == "LR")) {
+      lex_raw_string();
+      return;
+    }
+    push(TokenKind::Identifier, std::move(word));
+  }
+
+  void lex_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (ident_char(text_[pos_]) || text_[pos_] == '.' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E' ||
+              text_[pos_ - 1] == 'p' || text_[pos_ - 1] == 'P')))) {
+      ++pos_;
+    }
+    push(TokenKind::Number, std::string(text_.substr(start, pos_ - start)));
+  }
+
+  void lex_string() {
+    ++pos_;  // opening quote
+    std::string content;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        content += text_[pos_];
+        content += text_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (text_[pos_] == '\n') {
+        break;  // unterminated; degrade gracefully
+      }
+      content += text_[pos_++];
+    }
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      ++pos_;
+    }
+    push(TokenKind::String, std::move(content));
+  }
+
+  void lex_raw_string() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < text_.size() && text_[pos_] != '(') {
+      delim += text_[pos_++];
+    }
+    ++pos_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = text_.find(closer, pos_);
+    const std::size_t stop = end == std::string_view::npos ? text_.size() : end;
+    std::string content(text_.substr(pos_, stop - pos_));
+    for (char c : content) {
+      if (c == '\n') {
+        ++line_;
+      }
+    }
+    pos_ = stop == text_.size() ? stop : stop + closer.size();
+    out_.tokens.push_back(
+        Token{TokenKind::String, std::move(content), start_line});
+  }
+
+  void lex_char() {
+    ++pos_;
+    std::string content;
+    while (pos_ < text_.size() && text_[pos_] != '\'') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        content += text_[pos_];
+        content += text_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (text_[pos_] == '\n') {
+        break;
+      }
+      content += text_[pos_++];
+    }
+    if (pos_ < text_.size() && text_[pos_] == '\'') {
+      ++pos_;
+    }
+    push(TokenKind::CharLit, std::move(content));
+  }
+
+  void lex_punct() {
+    const char c = text_[pos_];
+    // Merge the two-char operators rules care about; everything else is
+    // one char per token (rules never need e.g. "+=" as a unit).
+    if ((c == ':' && peek(1) == ':') || (c == '-' && peek(1) == '>') ||
+        (c == '<' && peek(1) == '<') || (c == '>' && peek(1) == '>')) {
+      push(TokenKind::Punct, std::string(text_.substr(pos_, 2)));
+      pos_ += 2;
+      return;
+    }
+    push(TokenKind::Punct, std::string(1, c));
+    ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  int directive_count_ = 0;
+  bool guard_candidate_ = false;
+  std::string guard_macro_;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view text) { return Lexer(text).run(); }
+
+}  // namespace hetflow::lint

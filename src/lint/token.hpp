@@ -1,0 +1,55 @@
+// hetflow_lint lexer: comment/string-stripping tokenizer for C++ sources.
+//
+// The analyzer works on a per-file token stream, not an AST — rules match
+// token shapes (identifiers, balanced template args, brace depth), which
+// keeps the whole linter dependency-free and fast enough to run on every
+// CI invocation. Comments never become tokens, but `hetflow-lint:`
+// suppression annotations inside them are collected, as are preprocessor
+// include directives and include-guard/pragma-once structure.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetflow::lint {
+
+enum class TokenKind : std::uint8_t {
+  Identifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  Number,      ///< numeric literal (pp-number, kept verbatim)
+  String,      ///< string literal content without quotes ("" / R"()" )
+  CharLit,     ///< character literal content without quotes
+  Punct,       ///< one operator/punctuator; "::", "->", "<<", ">>" merged
+};
+
+struct Token {
+  TokenKind kind = TokenKind::Punct;
+  std::string text;
+  int line = 0;
+};
+
+/// One `#include` directive. `target` is the path between the delimiters.
+struct IncludeDirective {
+  std::string target;
+  bool angled = false;  ///< <system> vs "project"
+  int line = 0;
+};
+
+/// Result of lexing one file.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  /// line -> rule ids allowed on that line and the next ("*" = all).
+  std::map<int, std::vector<std::string>> allows;
+  /// rule ids allowed for the whole file via allow-file(...).
+  std::vector<std::string> allows_file;
+  bool has_pragma_once = false;
+  bool has_include_guard = false;  ///< leading #ifndef X / #define X pair
+};
+
+/// Tokenizes `text`. Never throws on malformed input — unterminated
+/// comments/strings lex to end-of-file so the linter degrades gracefully.
+LexedFile lex(std::string_view text);
+
+}  // namespace hetflow::lint

@@ -22,6 +22,10 @@ using JsonArray = std::vector<Json>;
 using JsonObject = std::map<std::string, Json>;
 
 /// One JSON value. Value-semantic; cheap to move.
+///
+/// The single-argument constructors are implicit BY DESIGN: JSON literals
+/// like `doc["seed"] = 42` and `row.push_back("name")` are the whole API.
+// hetflow-lint: allow-file(hyg-explicit-ctor)
 class Json {
  public:
   Json() : value_(nullptr) {}

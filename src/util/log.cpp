@@ -51,9 +51,16 @@ void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) {
     return;
   }
-  std::lock_guard lock(g_sink_mutex);
-  if (g_sink) {
-    g_sink(level, message);
+  // Copy the sink out and invoke it unlocked: a sink that logs (or swaps
+  // the sink) from inside its own invocation must not self-deadlock on
+  // the non-recursive g_sink_mutex.
+  LogSink sink;
+  {
+    std::lock_guard lock(g_sink_mutex);
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, message);
   } else {
     default_sink(level, message);
   }

@@ -25,7 +25,7 @@ class ResponseSurface {
     Quadratic,   ///< single bowl centered at (0.7, 0.3); min 0
   };
 
-  ResponseSurface(Kind kind, double noise_sd = 0.0);
+  explicit ResponseSurface(Kind kind, double noise_sd = 0.0);
 
   /// Noiseless objective at (x, y) in [0,1]^2.
   double value(double x, double y) const;

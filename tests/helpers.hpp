@@ -1,6 +1,8 @@
 // Shared fixtures for runtime/scheduler tests.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <map>
 #include <memory>
 #include <string>

@@ -1,0 +1,8 @@
+// Fixture: det-banned-api must flag <random>, std::mt19937, rand() and
+// time(nullptr). Fed to the analyzer as virtual src/ code by lint_test.
+#include <random>
+
+int entropy() {
+  std::mt19937 gen(42);
+  return rand() + static_cast<int>(time(nullptr));
+}

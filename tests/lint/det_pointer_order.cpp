@@ -1,0 +1,12 @@
+// Fixture: det-pointer-order must flag the pointer-keyed std::map and
+// the pointer-formatting conversion in the printf string.
+#include <cstdio>
+#include <map>
+
+struct Task {};
+
+void dump(const std::map<Task*, int>& by_task) {
+  for (const auto& [task, count] : by_task) {
+    std::printf("%p: %d\n", static_cast<const void*>(task), count);
+  }
+}

@@ -1,0 +1,15 @@
+// Fixture: det-unordered-iter must flag both the range-for and the
+// explicit .begin() walk over an unordered container.
+#include <string>
+#include <unordered_map>
+
+int sum(const std::unordered_map<std::string, int>& weights) {
+  int total = 0;
+  for (const auto& [name, w] : weights) {
+    total += w;
+  }
+  for (auto it = weights.begin(); it != weights.end(); ++it) {
+    total += it->second;
+  }
+  return total;
+}

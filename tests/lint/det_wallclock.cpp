@@ -1,0 +1,7 @@
+// Fixture: det-wallclock must flag std::chrono::steady_clock.
+#include <chrono>
+
+double now_s() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,9 @@
+// Fixture: single-argument converting constructor without `explicit` —
+// hyg-explicit-ctor must flag it when the file maps into src/.
+class Widget {
+ public:
+  Widget(int size) : size_(size) {}
+
+ private:
+  int size_;
+};

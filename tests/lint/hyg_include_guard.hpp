@@ -1,0 +1,3 @@
+// Fixture: header with neither #pragma once nor an include guard —
+// hyg-include-guard must warn.
+inline int unguarded() { return 1; }

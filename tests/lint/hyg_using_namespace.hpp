@@ -1,0 +1,9 @@
+// Fixture: using-namespace at header scope — hyg-using-namespace must
+// warn (it leaks the namespace into every includer).
+#pragma once
+
+#include <vector>
+
+using namespace std;
+
+inline vector<int> three() { return {1, 2, 3}; }

@@ -1,0 +1,4 @@
+// Fixture: half of an include cycle (a -> b -> a) for layer-cycle.
+#pragma once
+
+#include "util/cycle_b.hpp"

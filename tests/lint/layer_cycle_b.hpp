@@ -1,0 +1,4 @@
+// Fixture: other half of the include cycle for layer-cycle.
+#pragma once
+
+#include "util/cycle_a.hpp"

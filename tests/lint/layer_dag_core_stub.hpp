@@ -1,0 +1,5 @@
+// Fixture: mapped to src/core/runtime_stub.hpp — the illegal include
+// target for the layer-dag fixture.
+#pragma once
+
+inline int core_stub() { return 1; }

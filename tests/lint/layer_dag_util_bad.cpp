@@ -1,0 +1,5 @@
+// Fixture: mapped to src/util/bad_dep.cpp by lint_test — util/ reaching
+// up into core/ must trip layer-dag.
+#include "core/runtime_stub.hpp"
+
+int use_core() { return core_stub(); }

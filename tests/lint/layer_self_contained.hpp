@@ -1,0 +1,5 @@
+// Fixture: uses std::string without including <string>, so the
+// layer-self-contained compiler probe must fail on it.
+#pragma once
+
+inline std::string fixture_name() { return "bad"; }

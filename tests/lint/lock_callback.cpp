@@ -1,0 +1,14 @@
+// Fixture: lock-callback must flag the std::function member invoked
+// while the guard is still held.
+#include <functional>
+#include <mutex>
+
+struct Notifier {
+  std::mutex mu_;
+  std::function<void(int)> on_done;
+
+  void fire(int value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    on_done(value);
+  }
+};

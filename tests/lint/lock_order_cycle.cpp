@@ -1,0 +1,21 @@
+// Fixture: lock-order-cycle must flag both the a->b / b->a ordering
+// cycle and the immediate self-deadlock re-acquisition.
+#include <mutex>
+
+std::mutex mu_a;
+std::mutex mu_b;
+
+void first() {
+  std::lock_guard<std::mutex> ga(mu_a);
+  std::lock_guard<std::mutex> gb(mu_b);
+}
+
+void second() {
+  std::lock_guard<std::mutex> gb(mu_b);
+  std::lock_guard<std::mutex> ga(mu_a);
+}
+
+void reentrant() {
+  std::lock_guard<std::mutex> g1(mu_a);
+  std::lock_guard<std::mutex> g2(mu_a);
+}

@@ -1,0 +1,9 @@
+// Fixture: the annotation on the line above the violation must suppress
+// the det-wallclock finding (it still appears, marked suppressed).
+#include <chrono>
+
+double now_s() {
+  // hetflow-lint: allow(det-wallclock)
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,319 @@
+// hetflow_lint rule-by-rule fixture suite: every rule in the catalog must
+// fire on its known-bad fixture under tests/lint/, and the suppression and
+// baseline machinery must behave as documented in docs/static_analysis.md.
+//
+// Fixtures are lexed from disk but re-homed onto virtual src/ paths so the
+// non-test rules (det-unordered-iter skips tests/, hyg-explicit-ctor only
+// scans src/) treat them as production code.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.hpp"
+#include "lint/project.hpp"
+#include "lint/source.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace lint = hetflow::lint;
+
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(HETFLOW_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name));
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct VirtualFile {
+  std::string virtual_path;  ///< where the analyzer believes the file lives
+  std::string fixture;       ///< file name under tests/lint/
+};
+
+lint::Project project_of(const std::vector<VirtualFile>& files,
+                         lint::ProjectOptions options = {}) {
+  std::vector<lint::SourceFile> sources;
+  for (const VirtualFile& file : files) {
+    sources.push_back(
+        lint::make_source(file.virtual_path, read_fixture(file.fixture)));
+  }
+  return lint::build_project(std::move(sources), std::move(options));
+}
+
+lint::AnalysisResult analyze_rule(const std::string& rule,
+                                  const std::vector<VirtualFile>& files,
+                                  lint::ProjectOptions options = {}) {
+  return lint::analyze(project_of(files, std::move(options)), {rule},
+                       lint::Baseline{});
+}
+
+std::size_t count_rule(const lint::AnalysisResult& result,
+                       const std::string& rule) {
+  std::size_t n = 0;
+  for (const lint::Finding& finding : result.findings) {
+    n += finding.rule == rule ? 1 : 0;
+  }
+  return n;
+}
+
+int line_of_first(const lint::AnalysisResult& result) {
+  return result.findings.empty() ? 0 : result.findings.front().line;
+}
+
+// --- determinism family ---------------------------------------------------
+
+TEST(LintDeterminism, BannedApiFlagsRandomHeaderEngineAndCalls) {
+  const auto result = analyze_rule(
+      "det-banned-api", {{"src/core/fixture.cpp", "det_banned_api.cpp"}});
+  // <random> include, std::mt19937, rand(), time(nullptr).
+  EXPECT_EQ(count_rule(result, "det-banned-api"), 4u);
+  EXPECT_EQ(result.unsuppressed(), 4u);
+}
+
+TEST(LintDeterminism, BannedApiExemptsUtil) {
+  const auto result = analyze_rule(
+      "det-banned-api", {{"src/util/fixture.cpp", "det_banned_api.cpp"}});
+  EXPECT_EQ(result.unsuppressed(), 0u);
+}
+
+TEST(LintDeterminism, WallClockFlagsSteadyClock) {
+  const auto result = analyze_rule(
+      "det-wallclock", {{"src/core/fixture.cpp", "det_wallclock.cpp"}});
+  ASSERT_EQ(count_rule(result, "det-wallclock"), 1u);
+  EXPECT_EQ(line_of_first(result), 5);
+}
+
+TEST(LintDeterminism, UnorderedIterFlagsRangeForAndBegin) {
+  const auto result = analyze_rule(
+      "det-unordered-iter",
+      {{"src/core/fixture.cpp", "det_unordered_iter.cpp"}});
+  EXPECT_EQ(count_rule(result, "det-unordered-iter"), 2u);
+}
+
+TEST(LintDeterminism, UnorderedIterSkipsTestCode) {
+  const auto result = analyze_rule(
+      "det-unordered-iter",
+      {{"tests/fixture_test.cpp", "det_unordered_iter.cpp"}});
+  EXPECT_EQ(result.unsuppressed(), 0u);
+}
+
+TEST(LintDeterminism, PointerOrderFlagsFormatAndPointerKeyedMap) {
+  const auto result = analyze_rule(
+      "det-pointer-order",
+      {{"src/core/fixture.cpp", "det_pointer_order.cpp"}});
+  // One for the pointer-keyed std::map, one for the format string.
+  EXPECT_EQ(count_rule(result, "det-pointer-order"), 2u);
+}
+
+// --- layering family ------------------------------------------------------
+
+TEST(LintLayering, DagFlagsUpwardInclude) {
+  const auto result = analyze_rule(
+      "layer-dag", {{"src/util/bad_dep.cpp", "layer_dag_util_bad.cpp"},
+                    {"src/core/runtime_stub.hpp", "layer_dag_core_stub.hpp"}});
+  ASSERT_EQ(count_rule(result, "layer-dag"), 1u);
+  EXPECT_NE(result.findings.front().message.find("may not depend on core"),
+            std::string::npos);
+}
+
+TEST(LintLayering, DagAllowsDownwardInclude) {
+  // The same include is legal when the includer sits above the target.
+  const auto result = analyze_rule(
+      "layer-dag", {{"src/sched/bad_dep.cpp", "layer_dag_util_bad.cpp"},
+                    {"src/core/runtime_stub.hpp", "layer_dag_core_stub.hpp"}});
+  EXPECT_EQ(result.unsuppressed(), 0u);
+}
+
+TEST(LintLayering, CycleFlagsMutualIncludeOnce) {
+  const auto result = analyze_rule(
+      "layer-cycle", {{"src/util/cycle_a.hpp", "layer_cycle_a.hpp"},
+                      {"src/util/cycle_b.hpp", "layer_cycle_b.hpp"}});
+  // The a->b->a loop is one cycle, deduplicated across entry points.
+  ASSERT_EQ(count_rule(result, "layer-cycle"), 1u);
+  EXPECT_NE(result.findings.front().message.find("include cycle"),
+            std::string::npos);
+}
+
+TEST(LintLayering, SelfContainedProbeCatchesMissingInclude) {
+  lint::ProjectOptions options;
+  options.probe_headers = true;
+  options.include_dirs = {HETFLOW_LINT_FIXTURE_DIR};
+  const auto bad = analyze_rule(
+      "layer-self-contained",
+      {{fixture_path("layer_self_contained.hpp"), "layer_self_contained.hpp"}},
+      options);
+  EXPECT_EQ(count_rule(bad, "layer-self-contained"), 1u);
+
+  const auto good = analyze_rule(
+      "layer-self-contained",
+      {{fixture_path("layer_dag_core_stub.hpp"), "layer_dag_core_stub.hpp"}},
+      options);
+  EXPECT_EQ(good.unsuppressed(), 0u);
+}
+
+// --- lock family ----------------------------------------------------------
+
+TEST(LintLocks, OrderCycleFlagsAbBaAndReacquisition) {
+  const auto result = analyze_rule(
+      "lock-order-cycle", {{"src/exec/fixture.cpp", "lock_order_cycle.cpp"}});
+  ASSERT_EQ(count_rule(result, "lock-order-cycle"), 2u);
+  bool saw_cycle = false;
+  bool saw_self = false;
+  for (const lint::Finding& finding : result.findings) {
+    saw_cycle |= finding.message.find("lock-order cycle") != std::string::npos;
+    saw_self |= finding.message.find("re-acquired") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_cycle);
+  EXPECT_TRUE(saw_self);
+}
+
+TEST(LintLocks, CallbackUnderLockFlagged) {
+  const auto result = analyze_rule(
+      "lock-callback", {{"src/exec/fixture.cpp", "lock_callback.cpp"}});
+  ASSERT_EQ(count_rule(result, "lock-callback"), 1u);
+  EXPECT_NE(result.findings.front().message.find("on_done"),
+            std::string::npos);
+}
+
+// --- hygiene family -------------------------------------------------------
+
+TEST(LintHygiene, MissingIncludeGuardWarned) {
+  const auto result = analyze_rule(
+      "hyg-include-guard",
+      {{"src/core/fixture.hpp", "hyg_include_guard.hpp"}});
+  ASSERT_EQ(count_rule(result, "hyg-include-guard"), 1u);
+  EXPECT_EQ(result.findings.front().severity, lint::Severity::Warning);
+}
+
+TEST(LintHygiene, UsingNamespaceInHeaderWarned) {
+  const auto result = analyze_rule(
+      "hyg-using-namespace",
+      {{"src/core/fixture.hpp", "hyg_using_namespace.hpp"}});
+  EXPECT_EQ(count_rule(result, "hyg-using-namespace"), 1u);
+}
+
+TEST(LintHygiene, NonExplicitSingleArgCtorFlaggedInSrcOnly) {
+  const auto in_src = analyze_rule(
+      "hyg-explicit-ctor",
+      {{"src/core/widget.cpp", "hyg_explicit_ctor.cpp"}});
+  EXPECT_EQ(count_rule(in_src, "hyg-explicit-ctor"), 1u);
+
+  const auto in_tools = analyze_rule(
+      "hyg-explicit-ctor", {{"tools/widget.cpp", "hyg_explicit_ctor.cpp"}});
+  EXPECT_EQ(in_tools.unsuppressed(), 0u);
+}
+
+// --- suppression ----------------------------------------------------------
+
+TEST(LintSuppression, AllowOnPrecedingLineSuppresses) {
+  const auto result = analyze_rule(
+      "det-wallclock", {{"src/core/fixture.cpp", "suppressed_wallclock.cpp"}});
+  // The finding is still produced and reported, but marked suppressed.
+  ASSERT_EQ(count_rule(result, "det-wallclock"), 1u);
+  EXPECT_TRUE(result.findings.front().suppressed);
+  EXPECT_EQ(result.unsuppressed(), 0u);
+}
+
+TEST(LintSuppression, AllowForDifferentRuleDoesNotSuppress) {
+  const std::string text =
+      "// hetflow-lint: allow(det-banned-api)\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  auto project = lint::build_project(
+      {lint::make_source("src/core/fixture.cpp", text)}, {});
+  const auto result =
+      lint::analyze(project, {"det-wallclock"}, lint::Baseline{});
+  EXPECT_EQ(result.unsuppressed(), 1u);
+}
+
+TEST(LintSuppression, AllowStarAndAllowFileSuppress) {
+  const std::string starred =
+      "// hetflow-lint: allow(*)\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  auto star_project = lint::build_project(
+      {lint::make_source("src/core/fixture.cpp", starred)}, {});
+  EXPECT_EQ(lint::analyze(star_project, {"det-wallclock"}, lint::Baseline{})
+                .unsuppressed(),
+            0u);
+
+  const std::string file_wide =
+      "// hetflow-lint: allow-file(det-wallclock)\n"
+      "auto a = std::chrono::steady_clock::now();\n"
+      "auto b = std::chrono::system_clock::now();\n";
+  auto file_project = lint::build_project(
+      {lint::make_source("src/core/fixture.cpp", file_wide)}, {});
+  const auto result =
+      lint::analyze(file_project, {"det-wallclock"}, lint::Baseline{});
+  EXPECT_EQ(count_rule(result, "det-wallclock"), 2u);
+  EXPECT_EQ(result.unsuppressed(), 0u);
+}
+
+// --- baseline -------------------------------------------------------------
+
+TEST(LintBaseline, RoundTripSuppressesAndSurvivesLineShifts) {
+  const VirtualFile fixture{"src/core/fixture.cpp", "det_wallclock.cpp"};
+  auto project = project_of({fixture});
+  const auto fresh =
+      lint::analyze(project, {"det-wallclock"}, lint::Baseline{});
+  ASSERT_EQ(fresh.unsuppressed(), 1u);
+
+  const std::string text = lint::Baseline::render(fresh.findings, project);
+  const lint::Baseline baseline = lint::Baseline::parse(text);
+  EXPECT_EQ(baseline.size(), 1u);
+  EXPECT_EQ(
+      lint::analyze(project, {"det-wallclock"}, baseline).unsuppressed(), 0u);
+
+  // Entries key on the source-line text, not its number: shifting the
+  // violation down by three lines must not invalidate the baseline.
+  auto shifted = lint::build_project(
+      {lint::make_source(fixture.virtual_path,
+                         "\n\n\n" + read_fixture(fixture.fixture))},
+      {});
+  EXPECT_EQ(
+      lint::analyze(shifted, {"det-wallclock"}, baseline).unsuppressed(), 0u);
+
+  // Rewriting the flagged line is a new finding again.
+  auto edited = lint::build_project(
+      {lint::make_source(fixture.virtual_path,
+                         "auto later = std::chrono::steady_clock::now();\n")},
+      {});
+  EXPECT_EQ(
+      lint::analyze(edited, {"det-wallclock"}, baseline).unsuppressed(), 1u);
+}
+
+// --- analyzer surface -----------------------------------------------------
+
+TEST(LintAnalyzer, UnknownRuleFilterThrows) {
+  auto project =
+      lint::build_project({lint::make_source("src/core/a.cpp", "int x;\n")}, {});
+  EXPECT_THROW(lint::analyze(project, {"no-such-rule"}, lint::Baseline{}),
+               hetflow::InvalidArgument);
+}
+
+TEST(LintAnalyzer, FamilyNameSelectsWholeFamily) {
+  const auto result = analyze_rule(
+      "determinism", {{"src/core/fixture.cpp", "det_banned_api.cpp"}});
+  EXPECT_GE(result.unsuppressed(), 4u);
+  EXPECT_EQ(count_rule(result, "hyg-include-guard"), 0u);
+}
+
+TEST(LintAnalyzer, JsonReportParsesAndCounts) {
+  const auto result = analyze_rule(
+      "det-wallclock", {{"src/core/fixture.cpp", "det_wallclock.cpp"}});
+  const hetflow::util::Json doc =
+      hetflow::util::Json::parse(lint::render_json(result));
+  EXPECT_EQ(doc.at("unsuppressed").as_number(), 1.0);
+  ASSERT_EQ(doc.at("findings").size(), 1u);
+  EXPECT_EQ(doc.at("findings").as_array()[0].at("rule").as_string(),
+            "det-wallclock");
+}
+
+}  // namespace

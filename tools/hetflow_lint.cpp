@@ -1,0 +1,138 @@
+// hetflow_lint — project-specific static analyzer enforcing the
+// determinism, layering and lock-discipline contracts (plus hygiene).
+//
+//   $ hetflow_lint src tools bench tests            # lint the tree
+//   $ hetflow_lint --json src                       # machine-readable
+//   $ hetflow_lint --baseline lint_baseline.txt src # accept pre-existing
+//   $ hetflow_lint --write-baseline lint_baseline.txt src
+//   $ hetflow_lint --rule determinism src           # one family only
+//   $ hetflow_lint --probe-headers src              # + header standalone
+//   $ hetflow_lint --list-rules
+//
+// Suppress a single finding inline with a justifying comment:
+//   // hetflow-lint: allow(det-wallclock) — host throughput measurement
+// (covers its own line and the next), or file-wide with allow-file(...).
+//
+// Exit status: 0 = clean, 1 = unsuppressed findings, 2 = usage error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.hpp"
+#include "lint/project.hpp"
+#include "lint/source.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: hetflow_lint [options] <file-or-dir>...\n"
+    "  --json                  JSON report instead of text\n"
+    "  --baseline <file>       suppress findings listed in the baseline\n"
+    "  --write-baseline <file> write current findings as the new baseline\n"
+    "  --rule <id|family>      run only this rule/family (repeatable)\n"
+    "  --probe-headers         also compile-probe header self-containment\n"
+    "  --compiler <cc>         compiler for the probe (default: c++)\n"
+    "  --root <dir>            repo root paths are relative to (default: .)\n"
+    "  --list-rules            print the rule catalog and exit\n";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw hetflow::InvalidArgument("hetflow_lint: cannot open '" + path +
+                                   "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hetflow;
+  std::vector<std::string> paths;
+  std::vector<std::string> rule_filter;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string root = ".";
+  lint::ProjectOptions options;
+  bool json = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next_value = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw InvalidArgument("hetflow_lint: " + arg + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--json") {
+        json = true;
+      } else if (arg == "--baseline") {
+        baseline_path = next_value();
+      } else if (arg == "--write-baseline") {
+        write_baseline_path = next_value();
+      } else if (arg == "--rule") {
+        rule_filter.push_back(next_value());
+      } else if (arg == "--probe-headers") {
+        options.probe_headers = true;
+      } else if (arg == "--compiler") {
+        options.compiler = next_value();
+      } else if (arg == "--root") {
+        root = next_value();
+      } else if (arg == "--list-rules") {
+        std::cout << lint::render_rule_list();
+        return 0;
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << kUsage;
+        return 0;
+      } else if (!arg.empty() && arg.front() == '-') {
+        throw InvalidArgument("hetflow_lint: unknown option '" + arg + "'");
+      } else {
+        paths.push_back(arg);
+      }
+    }
+    if (paths.empty()) {
+      std::cerr << kUsage;
+      return 2;
+    }
+
+    // The linter's own known-bad fixtures must not fail a tree-wide scan.
+    const std::vector<std::string> skip_dirs = {"tests/lint"};
+    lint::Project project = lint::build_project(
+        lint::load_sources(paths, root, skip_dirs), options);
+
+    lint::Baseline baseline;
+    if (!baseline_path.empty()) {
+      baseline = lint::Baseline::parse(read_file(baseline_path));
+    }
+    const lint::AnalysisResult result =
+        lint::analyze(project, rule_filter, baseline);
+
+    if (!write_baseline_path.empty()) {
+      std::ofstream out(write_baseline_path);
+      if (!out) {
+        throw InvalidArgument("hetflow_lint: cannot write '" +
+                              write_baseline_path + "'");
+      }
+      out << lint::Baseline::render(result.findings, project);
+      std::cerr << "hetflow_lint: baseline written to "
+                << write_baseline_path << "\n";
+      return 0;
+    }
+
+    std::cout << (json ? lint::render_json(result)
+                       : lint::render_text(result));
+    return result.unsuppressed() == 0 ? 0 : 1;
+  } catch (const InvalidArgument& error) {
+    std::cerr << error.what() << "\n";
+    return 2;
+  } catch (const Error& error) {
+    std::cerr << "hetflow_lint: " << error.what() << "\n";
+    return 2;
+  }
+}

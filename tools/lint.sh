@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # hetflow-verify lint runner.
 #
-# Preferred backend: clang-tidy with the repo's .clang-tidy profile over
-# every first-party translation unit (src/, tools/, bench/, tests/).
-# When clang-tidy is not installed (minimal CI images), falls back to a
+# Stage 1: hetflow_lint — the project-specific analyzer enforcing the
+# determinism, layering, lock-discipline and hygiene contracts
+# (docs/static_analysis.md). Runs whenever the binary has been built.
+#
+# Stage 2: clang-tidy with the repo's .clang-tidy profile over every
+# first-party translation unit (src/, tools/, bench/, tests/). When
+# clang-tidy is not installed (minimal CI images), falls back to a
 # strict warnings-as-errors GCC pass with the extra warning set below so
 # the entry point still catches the bulk of bugprone patterns.
 #
@@ -19,6 +23,17 @@ build_dir="${1:-$repo_root/build}"
 shift $(( $# > 0 ? 1 : 0 ))
 
 cd "$repo_root"
+
+hetflow_lint="$build_dir/tools/hetflow_lint"
+if [ -x "$hetflow_lint" ]; then
+  echo "lint.sh: hetflow_lint over src tools bench tests"
+  if ! "$hetflow_lint" --root "$repo_root" src tools bench tests; then
+    exit 1
+  fi
+else
+  echo "lint.sh: $hetflow_lint not built — skipping project rules" >&2
+  echo "  (build it: cmake --build $build_dir --target hetflow_lint)" >&2
+fi
 
 sources=("$@")
 if [ "${#sources[@]}" -eq 0 ]; then
