@@ -3,24 +3,27 @@
 #
 #   1. configure + build with -DHETFLOW_WERROR=ON (warnings are errors)
 #   2. run the full ctest suite plain
-#   3. rebuild with HETFLOW_SANITIZE=address,undefined and run the full
+#   3. core-overhead bench smoke: every synthetic DAG shape at 10^4
+#      tasks through bench_core_overhead --smoke (throughput sanity,
+#      exact completion counts, HEFT plan-time bound)
+#   4. rebuild with HETFLOW_SANITIZE=address,undefined and run the full
 #      suite again under the sanitizers
-#   4. rebuild with HETFLOW_SANITIZE=thread and run the parallel-sweep,
+#   5. rebuild with HETFLOW_SANITIZE=thread and run the parallel-sweep,
 #      retry/timeout, campaign-checkpoint and observability golden/
 #      determinism tests plus a --jobs 4 hetflow_bench smoke sweep under
 #      TSan — proves the thread-confinement contract
 #      (docs/parallelism.md), not just asserts it
-#   5. checkpoint/resume smoke: a campaign killed after two rounds and
+#   6. checkpoint/resume smoke: a campaign killed after two rounds and
 #      resumed from its checkpoint must report the same result as the
 #      uninterrupted run (docs/fault_tolerance.md)
-#   6. coverage floor: rebuild with HETFLOW_COVERAGE=ON, run the obs
+#   7. coverage floor: rebuild with HETFLOW_COVERAGE=ON, run the obs
 #      suites, and require >= 90% line coverage on src/obs/ (gcovr when
 #      installed, plain gcov otherwise)
-#   7. lint: clang-tidy over files changed vs the merge base (all
+#   8. lint: clang-tidy over files changed vs the merge base (all
 #      first-party files when git history is unavailable); fails on any
 #      diagnostic. Without clang-tidy installed, tools/lint.sh falls back
 #      to a strict GCC pass.
-#   8. hetflow_lint: the project-specific static analyzer
+#   9. hetflow_lint: the project-specific static analyzer
 #      (docs/static_analysis.md) over the whole tree in --json mode;
 #      fails on any unsuppressed finding against lint_baseline.txt.
 #
@@ -31,14 +34,21 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${1:-$(nproc)}"
 cd "$repo_root"
 
-echo "=== [1/8] build (WERROR) ==="
+echo "=== [1/9] build (WERROR) ==="
 cmake -B build-ci -S . -DHETFLOW_WERROR=ON
 cmake --build build-ci -j "$jobs"
 
-echo "=== [2/8] ctest (plain) ==="
+echo "=== [2/9] ctest (plain) ==="
 ctest --test-dir build-ci --output-on-failure -j "$jobs"
 
-echo "=== [3/8] ctest (ASan + UBSan) ==="
+echo "=== [3/9] core-overhead bench smoke (10^4 tasks) ==="
+# Catches hot-path regressions that unit tests miss: the smoke mode runs
+# every DAG shape at 10^4 tasks plus the HEFT plan sanity, and exits
+# non-zero on zero throughput, a failed count cross-check, or a blown
+# HEFT time bound.
+build-ci/bench/bench_core_overhead --smoke
+
+echo "=== [4/9] ctest (ASan + UBSan) ==="
 # The full suite runs sanitized, which covers the retry/timeout/blacklist
 # tests (core_failure_test), the kill-and-resume checkpoint property
 # tests (workflow_campaign_test) and the rng state round-trip
@@ -47,8 +57,9 @@ cmake -B build-asan -S . -DHETFLOW_WERROR=ON \
       -DHETFLOW_SANITIZE=address,undefined
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
+build-asan/bench/bench_core_overhead --smoke
 
-echo "=== [4/8] parallel sweep + obs determinism under TSan ==="
+echo "=== [5/9] parallel sweep + obs determinism under TSan ==="
 cmake -B build-tsan -S . -DHETFLOW_WERROR=ON -DHETFLOW_SANITIZE=thread
 cmake --build build-tsan -j "$jobs" \
       --target exec_pool_test exec_parallel_test core_failure_test \
@@ -66,7 +77,7 @@ build-tsan/tools/hetflow_bench \
     > build-tsan/sweep_jobs1.csv
 cmp build-tsan/sweep_jobs4.csv build-tsan/sweep_jobs1.csv
 
-echo "=== [5/8] checkpoint/resume round-trip smoke ==="
+echo "=== [6/9] checkpoint/resume round-trip smoke ==="
 run="build-ci/tools/hetflow_run"
 campaign_args=(--campaign surrogate --surface branin --evals 24 --batch 6)
 "$run" "${campaign_args[@]}" > build-ci/campaign_straight.txt
@@ -78,7 +89,7 @@ campaign_args=(--campaign surrogate --surface branin --evals 24 --batch 6)
 cmp <(grep best build-ci/campaign_straight.txt) \
     <(grep best build-ci/campaign_resumed.txt)
 
-echo "=== [6/8] observability line-coverage floor ==="
+echo "=== [7/9] observability line-coverage floor ==="
 # The obs layer is the serialization boundary the golden suites pin
 # down; unexecuted code there is unpinned code. Floor: 90% of the lines
 # in src/obs/ must run under the obs + trace test binaries.
@@ -113,7 +124,7 @@ else
     }'
 fi
 
-echo "=== [7/8] lint (changed files) ==="
+echo "=== [8/9] lint (changed files) ==="
 changed=()
 if base="$(git merge-base HEAD origin/main 2>/dev/null ||
            git rev-parse HEAD~1 2>/dev/null)"; then
@@ -129,7 +140,7 @@ else
   tools/lint.sh build-ci
 fi
 
-echo "=== [8/8] hetflow_lint (whole tree) ==="
+echo "=== [9/9] hetflow_lint (whole tree) ==="
 # Stage 7's lint.sh already runs the text gate; this stage pins the JSON
 # contract (docs/static_analysis.md) and the baseline workflow the way
 # downstream tooling consumes them.

@@ -28,8 +28,10 @@ RunRecord snapshot_run(const core::Runtime& runtime) {
     TaskRecord record;
     record.id = task.id();
     record.name = task.name();
-    record.accesses = task.accesses();
-    record.dependencies = task.dependencies;
+    const auto accesses = task.accesses();
+    record.accesses.assign(accesses.begin(), accesses.end());
+    record.dependencies.assign(task.dependencies.begin(),
+                               task.dependencies.end());
     record.completed = task.state() == core::TaskState::Completed;
     if (record.completed) {
       record.device = task.device();
@@ -77,7 +79,7 @@ CheckReport audit_run(const core::Runtime& runtime) {
 }
 
 std::vector<Violation> check_accesses(
-    const std::vector<data::Access>& accesses, const std::string& task_name) {
+    std::span<const data::Access> accesses, const std::string& task_name) {
   std::vector<Violation> out;
   std::unordered_set<data::DataId> seen;
   for (const data::Access& access : accesses) {

@@ -7,6 +7,7 @@
 // enforce() when RuntimeOptions::validate is set.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "check/invariants.hpp"
@@ -33,7 +34,7 @@ CheckReport audit_run(const core::Runtime& runtime);
 /// Submit-time access-list sanity: duplicate handles in one access list
 /// (the dependency inference would silently treat them as one access).
 std::vector<Violation> check_accesses(
-    const std::vector<data::Access>& accesses, const std::string& task_name);
+    std::span<const data::Access> accesses, const std::string& task_name);
 
 /// Throws ValidationError unless the report passed.
 void enforce(const CheckReport& report);

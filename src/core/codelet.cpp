@@ -30,16 +30,9 @@ bool Codelet::implemented() const noexcept {
   return false;
 }
 
-double Codelet::compute_seconds(const hw::Device& device, double flops) const {
-  const double eff = efficiency(device.type());
-  if (eff <= 0.0) {
-    throw InvalidArgument("codelet '" + name_ + "' has no implementation for " +
-                          std::string(hw::to_string(device.type())));
-  }
-  if (flops <= 0.0) {
-    return 0.0;
-  }
-  return flops / (device.peak_gflops() * 1e9 * eff);
+void Codelet::throw_no_implementation(hw::DeviceType type) const {
+  throw InvalidArgument("codelet '" + name_ + "' has no implementation for " +
+                        std::string(hw::to_string(type)));
 }
 
 std::shared_ptr<const Codelet> Codelet::make(

@@ -47,7 +47,18 @@ class Codelet {
 
   /// Analytic pure-compute time (excl. launch overhead) on `device` at its
   /// nominal DVFS point. Throws InvalidArgument when unsupported.
-  double compute_seconds(const hw::Device& device, double flops) const;
+  /// Inline: called ~3x per task from the assignment hot path, and the
+  /// body is one divide off a cached efficiency table.
+  double compute_seconds(const hw::Device& device, double flops) const {
+    const double eff = efficiency(device.type());
+    if (eff <= 0.0) {
+      throw_no_implementation(device.type());
+    }
+    if (flops <= 0.0) {
+      return 0.0;
+    }
+    return flops / (device.peak_gflops() * 1e9 * eff);
+  }
 
   /// Convenience factory returning a shared immutable codelet.
   static std::shared_ptr<const Codelet> make(
@@ -55,6 +66,10 @@ class Codelet {
       std::initializer_list<std::pair<hw::DeviceType, double>> impls);
 
  private:
+  /// Cold path of compute_seconds, kept out of line so the inline body
+  /// stays a divide.
+  [[noreturn]] void throw_no_implementation(hw::DeviceType type) const;
+
   std::uint32_t id_;
   std::string name_;
   std::array<double, hw::kDeviceTypeCount> efficiency_{};

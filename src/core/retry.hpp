@@ -99,11 +99,11 @@ class DeviceHealth {
   bool blacklisted(hw::DeviceId id) const {
     return entry(id).state == State::Blacklisted;
   }
-  std::size_t consecutive_failures(hw::DeviceId id) const {
+  std::uint64_t consecutive_failures(hw::DeviceId id) const {
     return entry(id).consecutive_failures;
   }
   /// Times this device has been quarantined so far.
-  std::size_t blacklist_events(hw::DeviceId id) const {
+  std::uint64_t blacklist_events(hw::DeviceId id) const {
     return entry(id).blacklist_events;
   }
   /// Absolute simulated time at which the current quarantine ends
@@ -127,8 +127,8 @@ class DeviceHealth {
  private:
   struct Entry {
     State state = State::Healthy;
-    std::size_t consecutive_failures = 0;
-    std::size_t blacklist_events = 0;
+    std::uint64_t consecutive_failures = 0;
+    std::uint64_t blacklist_events = 0;
     sim::SimTime blacklisted_until = 0.0;
   };
 

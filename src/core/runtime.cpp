@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_set>
 
 #include "check/audit.hpp"
 #include "perf/energy_model.hpp"
@@ -166,7 +165,7 @@ data::DataId Runtime::register_data(std::string name, std::uint64_t bytes,
                                     hw::MemoryNodeId home_node) {
   const data::DataId id =
       data_.register_data(std::move(name), bytes, home_node);
-  handle_uses_.resize(data_.registry().count());
+  handle_uses_.emplace_back();  // one slot per handle; ids are sequential
   return id;
 }
 
@@ -277,10 +276,9 @@ TaskId Runtime::submit(std::string name, CodeletPtr codelet, double flops,
     check::enforce(report);
   }
   const TaskId id = tasks_.size();
-  tasks_.push_back(std::make_unique<Task>(id, std::move(name),
-                                          std::move(codelet), flops,
-                                          std::move(accesses)));
-  Task& task = *tasks_.back();
+  Task& task = tasks_.emplace_back(id, std::move(name), std::move(codelet),
+                                   flops, std::move(accesses));
+  dep_mark_.push_back(0);  // ids are sequential; one stamp slot per task
   task.set_priority(priority);
   task.mutable_times().submitted = queue_.now();
   infer_dependencies(task);
@@ -288,7 +286,7 @@ TaskId Runtime::submit(std::string name, CodeletPtr codelet, double flops,
   // A dependency abandoned in an earlier wave can never complete; the
   // new task is lost on arrival (and so is anything submitted on top).
   for (const TaskId dep : task.dependencies) {
-    if (tasks_[dep]->state() == TaskState::Abandoned) {
+    if (tasks_[dep].state() == TaskState::Abandoned) {
       abandon_task(task);
       break;
     }
@@ -298,23 +296,30 @@ TaskId Runtime::submit(std::string name, CodeletPtr codelet, double flops,
 
 Task& Runtime::task(TaskId id) {
   HETFLOW_REQUIRE_MSG(id < tasks_.size(), "task id out of range");
-  return *tasks_[id];
+  return tasks_[id];
 }
 
 const Task& Runtime::task(TaskId id) const {
   HETFLOW_REQUIRE_MSG(id < tasks_.size(), "task id out of range");
-  return *tasks_[id];
+  return tasks_[id];
 }
 
 void Runtime::infer_dependencies(Task& task) {
-  std::unordered_set<TaskId> deps;
+  // Duplicate-parent detection by stamping: dep_mark_[p] == task.id() + 1
+  // iff p was already recorded as a parent of *this* task. O(1) per edge,
+  // no allocation, no clearing between submits (stamps from earlier tasks
+  // are simply stale), and — unlike a hash set — iteration-order-free:
+  // dependencies are recorded in exactly the order add_dep sees them,
+  // which the static schedulers' tie-breaks depend on.
+  const TaskId stamp = task.id() + 1;
   const auto add_dep = [&](Task* parent) {
     if (parent == nullptr || parent == &task) {
       return;
     }
-    if (!deps.insert(parent->id()).second) {
+    if (dep_mark_[parent->id()] == stamp) {
       return;
     }
+    dep_mark_[parent->id()] = stamp;
     task.dependencies.push_back(parent->id());
     if (parent->state() != TaskState::Completed) {
       parent->dependents.push_back(task.id());
@@ -371,9 +376,9 @@ void Runtime::infer_dependencies(Task& task) {
 sim::SimTime Runtime::wait_all() {
   // Static pre-pass over every not-yet-completed task.
   std::vector<Task*> open_tasks;
-  for (const auto& task : tasks_) {
-    if (task->state() == TaskState::Submitted) {
-      open_tasks.push_back(task.get());
+  for (Task& task : tasks_) {
+    if (task.state() == TaskState::Submitted) {
+      open_tasks.push_back(&task);
     }
   }
   if (!open_tasks.empty()) {
@@ -382,7 +387,7 @@ sim::SimTime Runtime::wait_all() {
   }
   for (Task* task : open_tasks) {
     if (task->unfinished_deps == 0 && task->state() == TaskState::Submitted &&
-        deferred_.count(task->id()) == 0) {
+        (deferred_.empty() || deferred_.count(task->id()) == 0)) {
       ready_or_defer(*task);
     }
   }
@@ -460,7 +465,8 @@ void Runtime::internal_assign(Task& task, const hw::Device& device,
   task.set_dvfs_state(dvfs);
   DeviceState& state = device_states_[device.id()];
   state.queue.push_back(&task);
-  state.queued_est_seconds += exec_estimate(task, device, dvfs);
+  task.queued_est_s = exec_estimate(task, device, dvfs);
+  state.queued_est_seconds += task.queued_est_s;
   if (recorder_ != nullptr) {
     recorder_->metrics()
         .counter("tasks_scheduled", {{"device", device.name()},
@@ -494,6 +500,9 @@ void Runtime::pump_device(hw::DeviceId id) {
   }
   while (state.running == nullptr) {
     if (state.queue.empty()) {
+      if (!scheduler_->has_retained_work()) {
+        return;  // nothing to pull; skip the per-device probe
+      }
       Task* pulled = scheduler_->on_device_idle(platform_->device(id));
       if (pulled == nullptr) {
         return;
@@ -522,10 +531,8 @@ void Runtime::start_next(hw::DeviceId id) {
         .time_weighted("queue_depth", device_labels(device))
         .update(queue_.now(), static_cast<double>(state.queue.size()));
   }
-  state.queued_est_seconds = std::max(
-      0.0,
-      state.queued_est_seconds -
-          exec_estimate(task, device, task.dvfs_state()));
+  state.queued_est_seconds =
+      std::max(0.0, state.queued_est_seconds - task.queued_est_s);
 
   task.set_state(TaskState::Running);
   task.note_attempt();
@@ -535,8 +542,9 @@ void Runtime::start_next(hw::DeviceId id) {
   }
 
   const sim::SimTime now = queue_.now();
-  // Hand prefetch pins over to the execution-time acquire.
-  if (prefetched_.erase(task.id()) > 0) {
+  // Hand prefetch pins over to the execution-time acquire. (Guard on
+  // empty: the common no-prefetch run skips the hash probe per task.)
+  if (!prefetched_.empty() && prefetched_.erase(task.id()) > 0) {
     data_.release_prefetch(task.accesses(), device.memory_node());
   }
   // Data transfers begin immediately; the launch overhead overlaps them.
@@ -703,13 +711,17 @@ void Runtime::finish_task(Task& task, hw::DeviceId id, sim::SimTime started,
     metrics.counter("busy_seconds", labels).inc(busy_s);
     metrics.counter("busy_energy_j", labels).inc(energy_j);
   }
-  tracer_.add(trace::Span{task.id(), task.name(), id, started, queue_.now(),
-                          trace::SpanKind::Exec});
+  if (tracer_.enabled()) {
+    // Hoisted enabled check: Span construction copies the task name, a
+    // real cost per task when tracing is off.
+    tracer_.add(trace::Span{task.id(), task.name(), id, started,
+                            queue_.now(), trace::SpanKind::Exec});
+  }
 
   --pending_;
   scheduler_->on_task_complete(task);
   for (TaskId dependent_id : task.dependents) {
-    Task& dependent = *tasks_[dependent_id];
+    Task& dependent = tasks_[dependent_id];
     HETFLOW_REQUIRE(dependent.unfinished_deps > 0);
     if (--dependent.unfinished_deps == 0 &&
         dependent.state() == TaskState::Submitted) {
@@ -823,8 +835,8 @@ void Runtime::requeue_attempt(Task& task, hw::DeviceId device_id) {
       DeviceState& state = device_states_[device_id];
       task.set_state(TaskState::Queued);
       state.queue.push_front(&task);
-      state.queued_est_seconds +=
-          exec_estimate(task, device, task.dvfs_state());
+      task.queued_est_s = exec_estimate(task, device, task.dvfs_state());
+      state.queued_est_seconds += task.queued_est_s;
       if (recorder_ != nullptr) {
         recorder_->metrics()
             .time_weighted("queue_depth", device_labels(device))
@@ -939,7 +951,7 @@ void Runtime::abandon_task(Task& task) {
           platform_->device(doomed->device()).memory_node());
     }
     for (TaskId dependent : doomed->dependents) {
-      frontier.push_back(tasks_[dependent].get());
+      frontier.push_back(&tasks_[dependent]);
     }
   }
 }
@@ -978,8 +990,8 @@ double Runtime::exec_estimate(const Task& task, const hw::Device& device,
 void Runtime::finalize_stats() {
   stats_.makespan_s = queue_.now();
   stats_.tasks_completed = 0;
-  for (const auto& task : tasks_) {
-    if (task->state() == TaskState::Completed) {
+  for (const Task& task : tasks_) {
+    if (task.state() == TaskState::Completed) {
       ++stats_.tasks_completed;
     }
   }

@@ -38,6 +38,7 @@
 #include "sim/event_queue.hpp"
 #include "trace/tracer.hpp"
 #include "util/rng.hpp"
+#include "util/stable_vector.hpp"
 
 namespace hetflow::core {
 
@@ -168,10 +169,11 @@ class Runtime {
     /// quarantine lifted) when the run drains first (0 = none).
     sim::EventId probation_event = 0;
     double queued_est_seconds = 0.0;
-    // cumulative accounting
-    std::size_t tasks_completed = 0;
-    std::size_t failed_attempts = 0;
-    std::size_t timeouts = 0;
+    // cumulative accounting (uint64_t: explicit width for campaign-scale
+    // attempt counts; size_t is only guaranteed 16 bits)
+    std::uint64_t tasks_completed = 0;
+    std::uint64_t failed_attempts = 0;
+    std::uint64_t timeouts = 0;
     double busy_seconds = 0.0;
     double busy_energy_j = 0.0;
   };
@@ -188,13 +190,20 @@ class Runtime {
   DeviceHealth health_;
   std::unique_ptr<obs::Recorder> recorder_;
 
-  std::vector<std::unique_ptr<Task>> tasks_;
+  /// Task pool: chunked storage with stable addresses (the runtime hands
+  /// out Task* into handle-use chains, device queues and schedulers), one
+  /// allocation per 256 tasks instead of one unique_ptr each.
+  util::StableVector<Task, 256> tasks_;
   struct HandleUse {
     Task* last_writer = nullptr;
-    std::vector<Task*> readers_since_write;
-    std::vector<Task*> redux_since_write;  ///< unordered contributors
+    util::SmallVector<Task*, 4> readers_since_write;
+    util::SmallVector<Task*, 4> redux_since_write;  ///< unordered contributors
   };
   std::vector<HandleUse> handle_uses_;
+  /// Scratch for infer_dependencies' duplicate-parent check: slot p holds
+  /// `child + 1` when parent p was already recorded for that child —
+  /// an O(1) stamped lookup with no per-submit allocation or clearing.
+  std::vector<TaskId> dep_mark_;
   struct PartitionInfo {
     std::vector<data::DataId> children;
     bool active = false;
@@ -204,7 +213,7 @@ class Runtime {
   std::unordered_map<data::DataId, data::DataId> child_parent_;
 
   std::vector<DeviceState> device_states_;
-  std::size_t pending_ = 0;  ///< submitted, not yet completed
+  std::uint64_t pending_ = 0;  ///< submitted, not yet completed
   std::unordered_set<TaskId> deferred_;  ///< waiting on release_time
   std::unordered_set<TaskId> prefetched_;  ///< holding prefetch pins
   RunStats stats_;

@@ -57,6 +57,14 @@ class Scheduler {
     return nullptr;
   }
 
+  /// Pull-model fast path: returning false guarantees on_device_idle
+  /// would return nullptr for every device right now, so the runtime may
+  /// skip the per-device probe after each completion (it probes every
+  /// device each time a task finishes — a real cost at 10^6 tasks).
+  /// Policies retaining ready tasks should override it alongside
+  /// on_device_idle; the conservative default never skips.
+  virtual bool has_retained_work() const noexcept { return true; }
+
   /// A task finished successfully (informational; fires before dependents
   /// become ready).
   virtual void on_task_complete(const Task& task) { (void)task; }

@@ -11,12 +11,15 @@
 
 namespace hetflow::core {
 
+// Event counters are std::uint64_t, not std::size_t: campaign-scale runs
+// accumulate well past 2^32 attempts across sweeps, and size_t is only
+// guaranteed 16 bits. uint64_t makes the width explicit on every platform.
 struct DeviceRunStats {
   hw::DeviceId device = 0;
-  std::size_t tasks_completed = 0;
-  std::size_t failed_attempts = 0;
-  std::size_t timeouts = 0;          ///< attempts cancelled by the watchdog
-  std::size_t blacklist_events = 0;  ///< times this device was quarantined
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t failed_attempts = 0;
+  std::uint64_t timeouts = 0;          ///< attempts cancelled by the watchdog
+  std::uint64_t blacklist_events = 0;  ///< times this device was quarantined
   double busy_seconds = 0.0;     ///< compute time (successful + failed)
   double busy_energy_j = 0.0;    ///< energy while computing
   double idle_energy_j = 0.0;    ///< energy while idle over the makespan
@@ -24,16 +27,16 @@ struct DeviceRunStats {
 
 struct RunStats {
   double makespan_s = 0.0;
-  std::size_t tasks_completed = 0;
-  std::size_t failed_attempts = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t failed_attempts = 0;
   /// Attempts cancelled for exceeding RetryPolicy::timeout_s (these are
   /// also counted in failed_attempts).
-  std::size_t timeouts = 0;
+  std::uint64_t timeouts = 0;
   /// Tasks abandoned under ExhaustionPolicy::Drop, including the
   /// dependent subtrees of exhausted tasks.
-  std::size_t tasks_lost = 0;
+  std::uint64_t tasks_lost = 0;
   /// Device quarantines triggered by RetryPolicy::blacklist_after.
-  std::size_t blacklist_events = 0;
+  std::uint64_t blacklist_events = 0;
   std::vector<DeviceRunStats> devices;
   data::TransferStats transfers;
   data::DataManagerStats data;

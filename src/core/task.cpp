@@ -26,7 +26,7 @@ Task::Task(TaskId id, std::string name, CodeletPtr codelet, double flops,
       name_(std::move(name)),
       codelet_(std::move(codelet)),
       flops_(flops),
-      accesses_(std::move(accesses)) {
+      accesses_(accesses.begin(), accesses.end()) {
   HETFLOW_REQUIRE_MSG(codelet_ != nullptr, "task needs a codelet");
   HETFLOW_REQUIRE_MSG(codelet_->implemented(),
                       "codelet has no implementation on any device type");

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -12,10 +13,18 @@
 #include "data/access.hpp"
 #include "hw/device.hpp"
 #include "sim/event_queue.hpp"
+#include "util/small_vector.hpp"
 
 namespace hetflow::core {
 
 using TaskId = std::uint64_t;
+
+/// Inline capacities for per-task edge/access lists. Workflow DAGs are
+/// sparse (Montage medians: 2 dependencies, 3 dependents, ≤4 accesses),
+/// so these keep the common case allocation-free; hub tasks spill to the
+/// heap transparently.
+using AccessList = util::SmallVector<data::Access, 4>;
+using TaskIdList = util::SmallVector<TaskId, 4>;
 
 enum class TaskState : std::uint8_t {
   Submitted = 0,  ///< dependencies not yet satisfied
@@ -47,8 +56,8 @@ class Task {
   const Codelet& codelet() const noexcept { return *codelet_; }
   const CodeletPtr& codelet_ptr() const noexcept { return codelet_; }
   double flops() const noexcept { return flops_; }
-  const std::vector<data::Access>& accesses() const noexcept {
-    return accesses_;
+  std::span<const data::Access> accesses() const noexcept {
+    return {accesses_.data(), accesses_.size()};
   }
 
   /// Scheduler priority hint; larger = more urgent. Defaults to 0. Static
@@ -81,16 +90,22 @@ class Task {
   }
   void note_attempt() noexcept { ++attempts_; }
 
-  std::size_t unfinished_deps = 0;       ///< decremented as parents finish
-  std::vector<TaskId> dependents;        ///< tasks waiting on this one
-  std::vector<TaskId> dependencies;      ///< parents (for static schedulers)
+  std::uint64_t unfinished_deps = 0;  ///< decremented as parents finish
+  TaskIdList dependents;              ///< tasks waiting on this one
+  TaskIdList dependencies;            ///< parents (for static schedulers)
+
+  /// Estimate added to the device's queued_est_seconds when this task was
+  /// enqueued; subtracted back on dequeue. Cached so the dequeue side
+  /// does not recompute it (same inputs — device and DVFS are fixed while
+  /// Queued — so the cached value is bit-identical to a recompute).
+  double queued_est_s = 0.0;
 
  private:
   TaskId id_;
   std::string name_;
   CodeletPtr codelet_;
   double flops_;
-  std::vector<data::Access> accesses_;
+  AccessList accesses_;
   double priority_ = 0.0;
   sim::SimTime release_time_ = 0.0;
   TaskState state_ = TaskState::Submitted;

@@ -2,42 +2,55 @@
 
 #include <algorithm>
 
+#include "util/error.hpp"
+
 namespace hetflow::data {
+
+namespace {
+/// Grows a flat directory so `slot` exists (doubling amortizes the
+/// resize over handle registrations).
+template <typename T>
+T& grow_to(std::vector<T>& directory, std::size_t slot) {
+  if (slot >= directory.size()) {
+    directory.resize(std::max(slot + 1, directory.size() * 2));
+  }
+  return directory[slot];
+}
+}  // namespace
 
 MemoryLedger::MemoryLedger(const hw::Platform& platform)
     : node_count_(platform.memory_node_count()) {}
 
 void MemoryLedger::pin(DataId data, hw::MemoryNodeId node) {
-  ++pins_[key(data, node)];
+  ++grow_to(pins_, key(data, node));
 }
 
 void MemoryLedger::unpin(DataId data, hw::MemoryNodeId node) {
-  const auto it = pins_.find(key(data, node));
-  HETFLOW_REQUIRE_MSG(it != pins_.end() && it->second > 0,
+  const std::size_t slot = key(data, node);
+  HETFLOW_REQUIRE_MSG(slot < pins_.size() && pins_[slot] > 0,
                       "unpin without matching pin");
-  if (--it->second == 0) {
-    pins_.erase(it);
-  }
+  --pins_[slot];
 }
 
 bool MemoryLedger::pinned(DataId data, hw::MemoryNodeId node) const {
-  return pins_.count(key(data, node)) > 0;
+  const std::size_t slot = key(data, node);
+  return slot < pins_.size() && pins_[slot] > 0;
 }
 
 std::size_t MemoryLedger::pin_count(DataId data, hw::MemoryNodeId node) const {
-  const auto it = pins_.find(key(data, node));
-  return it == pins_.end() ? 0 : it->second;
+  const std::size_t slot = key(data, node);
+  return slot < pins_.size() ? pins_[slot] : 0;
 }
 
 void MemoryLedger::touch(DataId data, hw::MemoryNodeId node) {
-  last_use_[key(data, node)] = ++clock_;
+  grow_to(last_use_, key(data, node)) = ++clock_;
 }
 
 void MemoryLedger::lru_order(hw::MemoryNodeId node,
                              std::vector<DataId>& candidates) const {
   const auto stamp = [&](DataId data) -> std::uint64_t {
-    const auto it = last_use_.find(key(data, node));
-    return it == last_use_.end() ? 0 : it->second;
+    const std::size_t slot = key(data, node);
+    return slot < last_use_.size() ? last_use_[slot] : 0;
   };
   std::stable_sort(candidates.begin(), candidates.end(),
                    [&](DataId a, DataId b) { return stamp(a) < stamp(b); });

@@ -4,10 +4,13 @@
 // combines it with the coherence directory for that — it tracks which
 // replicas are pinned by in-flight tasks and in what recency order the
 // unpinned ones were last used.
+//
+// Storage is a flat (data, node) directory like the coherence
+// directory's: pin/touch on the acquire/release hot path are array
+// loads, not hash probes. Vectors grow on demand as handles register.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "data/handle.hpp"
@@ -35,12 +38,12 @@ class MemoryLedger {
 
  private:
   std::size_t node_count_;
-  std::unordered_map<std::uint64_t, std::uint32_t> pins_;
-  std::unordered_map<std::uint64_t, std::uint64_t> last_use_;
+  std::vector<std::uint32_t> pins_;      ///< nested-pin counts
+  std::vector<std::uint64_t> last_use_;  ///< LRU stamps (0 = never)
   std::uint64_t clock_ = 0;
 
-  std::uint64_t key(DataId data, hw::MemoryNodeId node) const {
-    return static_cast<std::uint64_t>(data) * node_count_ + node;
+  std::size_t key(DataId data, hw::MemoryNodeId node) const {
+    return static_cast<std::size_t>(data) * node_count_ + node;
   }
 };
 

@@ -10,9 +10,4 @@ DataId DataRegistry::register_data(std::string name, std::uint64_t bytes,
   return id;
 }
 
-const DataHandle& DataRegistry::handle(DataId id) const {
-  HETFLOW_REQUIRE_MSG(id < handles_.size(), "data id out of range");
-  return handles_[id];
-}
-
 }  // namespace hetflow::data

@@ -31,7 +31,11 @@ class DataRegistry {
   DataId register_data(std::string name, std::uint64_t bytes,
                        hw::MemoryNodeId home_node);
 
-  const DataHandle& handle(DataId id) const;
+  // Inline: probed several times per task on the assignment hot path.
+  const DataHandle& handle(DataId id) const {
+    HETFLOW_REQUIRE_MSG(id < handles_.size(), "data id out of range");
+    return handles_[id];
+  }
   std::size_t count() const noexcept { return handles_.size(); }
   const std::vector<DataHandle>& handles() const noexcept { return handles_; }
 

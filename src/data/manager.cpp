@@ -29,12 +29,14 @@ DataId DataManager::register_data(std::string name, std::uint64_t bytes,
       "datum larger than its home memory node");
   const DataId id = registry_.register_data(std::move(name), bytes, home_node);
   directory_.sync_with_registry();
+  in_flight_.resize(registry_.count() * platform_->memory_node_count(),
+                    kNotInFlight);
   return id;
 }
 
 void DataManager::ensure_capacity(hw::MemoryNodeId node, std::uint64_t needed,
                                   sim::SimTime earliest,
-                                  const std::vector<Access>& do_not_evict) {
+                                  std::span<const Access> do_not_evict) {
   const std::uint64_t capacity =
       platform_->memory_node(node).capacity_bytes();
   if (directory_.resident_bytes(node) + needed <= capacity) {
@@ -112,7 +114,7 @@ void DataManager::ensure_capacity(hw::MemoryNodeId node, std::uint64_t needed,
   }
 }
 
-sim::SimTime DataManager::acquire(const std::vector<Access>& accesses,
+sim::SimTime DataManager::acquire(std::span<const Access> accesses,
                                   hw::MemoryNodeId node,
                                   sim::SimTime earliest) {
   HETFLOW_REQUIRE_MSG(node < platform_->memory_node_count(),
@@ -123,12 +125,12 @@ sim::SimTime DataManager::acquire(const std::vector<Access>& accesses,
     const bool local = directory_.has_valid_replica(access.data, node);
     // An in-flight prefetch counts as "arriving": wait for it instead of
     // transferring again.
-    const auto flight = in_flight_.find(flight_key(access.data, node));
-    if (flight != in_flight_.end()) {
+    sim::SimTime& flight = in_flight_[flight_key(access.data, node)];
+    if (flight != kNotInFlight) {
       if (is_read(access.mode)) {
-        ready = std::max(ready, flight->second);
+        ready = std::max(ready, flight);
       }
-      in_flight_.erase(flight);
+      flight = kNotInFlight;
     } else if (is_read(access.mode) && !local && handle.bytes > 0) {
       ensure_capacity(node, handle.bytes, earliest, accesses);
       const hw::MemoryNodeId source =
@@ -168,14 +170,14 @@ sim::SimTime DataManager::acquire(const std::vector<Access>& accesses,
   return ready;
 }
 
-void DataManager::release(const std::vector<Access>& accesses,
+void DataManager::release(std::span<const Access> accesses,
                           hw::MemoryNodeId node) {
   for (const Access& access : accesses) {
     ledger_.unpin(access.data, node);
   }
 }
 
-void DataManager::prefetch(const std::vector<Access>& accesses,
+void DataManager::prefetch(std::span<const Access> accesses,
                            hw::MemoryNodeId node, sim::SimTime earliest) {
   for (const Access& access : accesses) {
     if (!is_read(access.mode)) {
@@ -184,7 +186,7 @@ void DataManager::prefetch(const std::vector<Access>& accesses,
     const DataHandle& handle = registry_.handle(access.data);
     const bool local = directory_.has_valid_replica(access.data, node);
     const bool already_in_flight =
-        in_flight_.count(flight_key(access.data, node)) > 0;
+        in_flight_[flight_key(access.data, node)] != kNotInFlight;
     if (!local && !already_in_flight && handle.bytes > 0 &&
         directory_.any_valid(access.data)) {
       // Best-effort: deep queues can want more than the memory holds
@@ -233,7 +235,7 @@ void DataManager::prefetch(const std::vector<Access>& accesses,
   }
 }
 
-void DataManager::release_prefetch(const std::vector<Access>& accesses,
+void DataManager::release_prefetch(std::span<const Access> accesses,
                                    hw::MemoryNodeId node) {
   for (const Access& access : accesses) {
     if (is_read(access.mode)) {
@@ -243,7 +245,7 @@ void DataManager::release_prefetch(const std::vector<Access>& accesses,
 }
 
 sim::SimTime DataManager::estimate_ready_time(
-    const std::vector<Access>& accesses, hw::MemoryNodeId node,
+    std::span<const Access> accesses, hw::MemoryNodeId node,
     sim::SimTime earliest) const {
   sim::SimTime ready = earliest;
   for (const Access& access : accesses) {
@@ -266,7 +268,7 @@ sim::SimTime DataManager::estimate_ready_time(
 }
 
 std::uint64_t DataManager::missing_input_bytes(
-    const std::vector<Access>& accesses, hw::MemoryNodeId node) const {
+    std::span<const Access> accesses, hw::MemoryNodeId node) const {
   std::uint64_t missing = 0;
   for (const Access& access : accesses) {
     if (!is_read(access.mode)) {

@@ -6,7 +6,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "data/access.hpp"
@@ -58,11 +58,11 @@ class DataManager {
   ///
   /// Precondition (guaranteed by runtime dependency tracking): no other
   /// in-flight task holds a conflicting access to any of these handles.
-  sim::SimTime acquire(const std::vector<Access>& accesses,
+  sim::SimTime acquire(std::span<const Access> accesses,
                        hw::MemoryNodeId node, sim::SimTime earliest);
 
   /// Unpins the replicas pinned by the matching acquire().
-  void release(const std::vector<Access>& accesses, hw::MemoryNodeId node);
+  void release(std::span<const Access> accesses, hw::MemoryNodeId node);
 
   /// Starts moving the Read inputs of a *queued* task toward `node` so the
   /// transfers overlap whatever the device is still executing. Only legal
@@ -70,23 +70,23 @@ class DataManager {
   /// Pins every Read replica involved; pair with release_prefetch().
   /// Completion times are remembered so a later acquire() on `node` waits
   /// for in-flight arrivals instead of double-transferring.
-  void prefetch(const std::vector<Access>& accesses, hw::MemoryNodeId node,
+  void prefetch(std::span<const Access> accesses, hw::MemoryNodeId node,
                 sim::SimTime earliest);
 
   /// Releases the pins taken by the matching prefetch().
-  void release_prefetch(const std::vector<Access>& accesses,
+  void release_prefetch(std::span<const Access> accesses,
                         hw::MemoryNodeId node);
 
   /// Side-effect-free estimate of acquire()'s ready time (ignores
   /// capacity pressure; includes current link occupancy).
-  sim::SimTime estimate_ready_time(const std::vector<Access>& accesses,
+  sim::SimTime estimate_ready_time(std::span<const Access> accesses,
                                    hw::MemoryNodeId node,
                                    sim::SimTime earliest) const;
 
   /// Bytes among read accesses that are NOT yet valid on `node` — the
   /// data-locality metric used by dmda-style schedulers (0 = everything
   /// already local).
-  std::uint64_t missing_input_bytes(const std::vector<Access>& accesses,
+  std::uint64_t missing_input_bytes(std::span<const Access> accesses,
                                     hw::MemoryNodeId node) const;
 
  private:
@@ -97,13 +97,15 @@ class DataManager {
   MemoryLedger ledger_;
   DataManagerStats stats_;
   obs::Recorder* recorder_ = nullptr;
-  // (data, node) -> completion time of an in-flight prefetch; consumed
-  // (erased) by the acquire() that waits on it.
-  std::unordered_map<std::uint64_t, sim::SimTime> in_flight_;
+  /// Flat (data, node) directory of in-flight prefetch completion times,
+  /// kNotInFlight when none; consumed (reset) by the acquire() that waits
+  /// on it. Indexed data * node_count + node, like the coherence
+  /// directory — a load instead of a hash probe on every acquire.
+  static constexpr sim::SimTime kNotInFlight = -1.0;
+  std::vector<sim::SimTime> in_flight_;
 
-  std::uint64_t flight_key(DataId data, hw::MemoryNodeId node) const {
-    return static_cast<std::uint64_t>(data) *
-               platform_->memory_node_count() +
+  std::size_t flight_key(DataId data, hw::MemoryNodeId node) const {
+    return static_cast<std::size_t>(data) * platform_->memory_node_count() +
            node;
   }
 
@@ -113,7 +115,7 @@ class DataManager {
   /// Throws ResourceExhausted when pinned data alone exceeds capacity.
   void ensure_capacity(hw::MemoryNodeId node, std::uint64_t needed,
                        sim::SimTime earliest,
-                       const std::vector<Access>& do_not_evict);
+                       std::span<const Access> do_not_evict);
 };
 
 }  // namespace hetflow::data

@@ -25,6 +25,7 @@ class BatchScheduler final : public core::Scheduler {
   std::string name() const override { return to_string(policy_); }
   void on_task_ready(core::Task& task) override;
   core::Task* on_device_idle(const hw::Device& device) override;
+  bool has_retained_work() const noexcept override { return !held_.empty(); }
 
  private:
   BatchPolicy policy_;

@@ -19,6 +19,7 @@ class DmdasScheduler final : public core::Scheduler {
   void prepare(const std::vector<core::Task*>& all_tasks) override;
   void on_task_ready(core::Task& task) override;
   core::Task* on_device_idle(const hw::Device& device) override;
+  bool has_retained_work() const noexcept override { return !held_.empty(); }
 
  private:
   struct LowerRank {

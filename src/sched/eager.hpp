@@ -14,6 +14,7 @@ class EagerScheduler final : public core::Scheduler {
   std::string name() const override { return "eager"; }
   void on_task_ready(core::Task& task) override;
   core::Task* on_device_idle(const hw::Device& device) override;
+  bool has_retained_work() const noexcept override { return !fifo_.empty(); }
 
  private:
   std::deque<core::Task*> fifo_;

@@ -21,6 +21,9 @@ TaskGraphView TaskGraphView::build(const core::SchedContext& ctx,
   }
 
   const data::DataRegistry& registry = ctx.data_registry();
+  // Workflow DAGs are sparse — a couple of parents per task — so sizing
+  // for 2 edges per task absorbs nearly every rehash up front.
+  view.edge_bytes_.reserve(tasks.size() * 2);
   for (std::size_t child = 0; child < tasks.size(); ++child) {
     for (core::TaskId parent_id : tasks[child]->dependencies) {
       const auto it = index.find(parent_id);
@@ -85,12 +88,24 @@ std::vector<double> TaskGraphView::downward_ranks(
 
 double InsertionTimeline::earliest_fit(hw::DeviceId device, double ready,
                                        double duration) const {
+  const std::vector<Slot>& slots = slots_[device];
+  // Slots are sorted and non-overlapping, so their end times are ordered
+  // too; skip straight past every slot that ends at or before `ready` —
+  // none of them can host or constrain a fit that starts at >= ready.
+  // (A zero-length slot exactly at `ready` is skipped as well: the scan
+  // below then finds the same gap at `ready` the full scan would.)
+  // Without the skip, a plan-time loop over N tasks goes quadratic: HEFT
+  // probes every device timeline once per task, and each probe walked
+  // the whole booked prefix.
+  auto it = std::partition_point(
+      slots.begin(), slots.end(),
+      [ready](const Slot& slot) { return slot.end <= ready; });
   double cursor = ready;
-  for (const Slot& slot : slots_[device]) {
-    if (cursor + duration <= slot.start) {
+  for (; it != slots.end(); ++it) {
+    if (cursor + duration <= it->start) {
       return cursor;
     }
-    cursor = std::max(cursor, slot.end);
+    cursor = std::max(cursor, it->end);
   }
   return cursor;
 }

@@ -18,6 +18,10 @@ void HeftScheduler::prepare(const std::vector<core::Task*>& all_tasks) {
   device_sequence_.assign(ctx().platform().device_count(), {});
   next_to_release_.assign(ctx().platform().device_count(), 0);
   ready_held_.clear();
+  // Size the per-task maps up front: at 10^5+ planned tasks, letting the
+  // hash tables rehash their way up dominates plan time.
+  plans_.reserve(all_tasks.size());
+  ready_held_.reserve(all_tasks.size());
   planned_makespan_ = 0.0;
   if (all_tasks.empty()) {
     return;

@@ -21,6 +21,14 @@ class WorkStealingScheduler final : public core::Scheduler {
   void attach(core::SchedContext& ctx) override;
   void on_task_ready(core::Task& task) override;
   core::Task* on_device_idle(const hw::Device& device) override;
+  bool has_retained_work() const noexcept override {
+    for (const auto& dq : deques_) {
+      if (!dq.empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
 
   /// Steals performed so far (ablation metric).
   std::size_t steal_count() const noexcept { return steals_; }

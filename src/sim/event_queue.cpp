@@ -1,6 +1,7 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace hetflow::sim {
@@ -8,22 +9,55 @@ namespace hetflow::sim {
 EventId EventQueue::schedule_at(SimTime when, Callback fn) {
   HETFLOW_REQUIRE_MSG(fn != nullptr, "cannot schedule a null callback");
   HETFLOW_REQUIRE_MSG(std::isfinite(when), "event time must be finite");
-  HETFLOW_REQUIRE_MSG(when >= now_, "cannot schedule an event in the past");
-  const EventId id = next_id_++;
+  if (when < now_) {
+    // Accumulated floating-point error over ~10^6 `now + duration` hops
+    // can land a deadline a few ulps below now(); clamp those to fire
+    // immediately. A gap beyond rounding slack is a logic bug upstream.
+    const SimTime slack = 1e-9 * std::max(1.0, std::abs(now_));
+    HETFLOW_REQUIRE_MSG(when >= now_ - slack,
+                        "cannot schedule an event in the past");
+    assert(now_ - when <= slack && "schedule_at clamped an almost-past time");
+    when = now_;
+  }
+
+  std::uint32_t index;
+  if (free_head_ != kNil) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    HETFLOW_REQUIRE_MSG(slots_.size() < kNil, "event slab exhausted");
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  const EventId id =
+      (static_cast<EventId>(index) << 32) | static_cast<EventId>(slot.gen);
+
   heap_.push_back(Event{when, next_seq_++, id});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  callbacks_.emplace(id, std::move(fn));
   ++live_events_;
   peak_pending_ = std::max(peak_pending_, live_events_);
   return id;
 }
 
+void EventQueue::retire_slot(std::uint32_t index) noexcept {
+  Slot& slot = slots_[index];
+  ++slot.gen;
+  if (slot.gen == 0) {
+    slot.gen = 1;  // keep ids nonzero so 0 stays the "no event" sentinel
+  }
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
 bool EventQueue::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) {
+  if (!is_live(id)) {
     return false;
   }
-  callbacks_.erase(it);
+  const std::uint32_t index = slot_index(id);
+  slots_[index].fn = nullptr;
+  retire_slot(index);
   --live_events_;
   ++carcasses_;
   // Keep the heap at most ~1.5x the live entries: a cancel-heavy run
@@ -36,15 +70,18 @@ bool EventQueue::cancel(EventId id) {
 }
 
 void EventQueue::compact() {
-  std::erase_if(heap_, [this](const Event& event) {
-    return callbacks_.find(event.id) == callbacks_.end();
-  });
+  std::erase_if(heap_,
+                [this](const Event& event) { return !is_live(event.id); });
   std::make_heap(heap_.begin(), heap_.end(), Later{});
   carcasses_ = 0;
 }
 
 bool EventQueue::debug_consistent() const {
-  if (callbacks_.size() != live_events_) {
+  std::size_t occupied = 0;
+  for (const Slot& slot : slots_) {
+    occupied += slot.fn != nullptr ? 1 : 0;
+  }
+  if (occupied != live_events_) {
     return false;
   }
   if (heap_.size() != live_events_ + carcasses_) {
@@ -52,18 +89,31 @@ bool EventQueue::debug_consistent() const {
   }
   std::size_t live_in_heap = 0;
   for (const Event& event : heap_) {
-    live_in_heap += callbacks_.count(event.id);
+    live_in_heap += is_live(event.id) ? 1 : 0;
   }
-  return live_in_heap == live_events_;
+  if (live_in_heap != live_events_) {
+    return false;
+  }
+  // The free list must thread exactly the unoccupied slots, acyclically.
+  std::size_t free_len = 0;
+  for (std::uint32_t walk = free_head_; walk != kNil;
+       walk = slots_[walk].next_free) {
+    if (walk >= slots_.size() || slots_[walk].fn != nullptr ||
+        ++free_len > slots_.size()) {
+      return false;
+    }
+  }
+  return free_len == slots_.size() - occupied;
 }
 
 EventQueue::Callback EventQueue::take_callback(EventId id) noexcept {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) {
+  if (!is_live(id)) {
     return nullptr;  // cancelled
   }
-  Callback fn = std::move(it->second);
-  callbacks_.erase(it);
+  const std::uint32_t index = slot_index(id);
+  Callback fn = std::move(slots_[index].fn);
+  slots_[index].fn = nullptr;
+  retire_slot(index);
   --live_events_;
   return fn;
 }
@@ -102,7 +152,7 @@ SimTime EventQueue::run_until(SimTime limit) {
   while (!heap_.empty()) {
     // Skip cancelled carcasses at the head without advancing time.
     const Event event = heap_.front();
-    if (callbacks_.find(event.id) == callbacks_.end()) {
+    if (!is_live(event.id)) {
       pop_top();
       --carcasses_;
       continue;

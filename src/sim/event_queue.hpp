@@ -6,14 +6,19 @@
 // timestamp fire in the order they were scheduled (FIFO tie-break by a
 // monotonically increasing sequence number), so a given seed always yields
 // the identical trace.
+//
+// Storage: callbacks live in a slab of recycled slots (free-list arena)
+// instead of a node-based map — scheduling an event at 10^6-task scale is
+// a slot reuse plus a heap push, with the callback capture stored inline
+// in the slot (util::SmallFunction). EventIds encode (slot, generation)
+// so a stale cancel of a recycled slot is detected in O(1).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/small_function.hpp"
 
 namespace hetflow::sim {
 
@@ -25,13 +30,18 @@ using EventId = std::uint64_t;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// 64 bytes of inline capture: the runtime's largest callback (`this`,
+  /// task, device id, two doubles, a size_t) fits without a heap hop.
+  using Callback = util::SmallFunction<void(), 64>;
 
   /// Current simulated time. Starts at 0.
   SimTime now() const noexcept { return now_; }
 
-  /// Schedules `fn` to run at absolute time `when` (>= now). Returns an id
-  /// that may be passed to `cancel`.
+  /// Schedules `fn` to run at absolute time `when`. Returns an id that
+  /// may be passed to `cancel`. A `when` within floating-point rounding
+  /// distance below now() is clamped to now() (accumulated fp error over
+  /// ~10^6 events lands exactly there); anything further in the past
+  /// still throws — that is API misuse, not rounding.
   EventId schedule_at(SimTime when, Callback fn);
 
   /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
@@ -70,8 +80,12 @@ class EventQueue {
   std::size_t heap_entries() const noexcept { return heap_.size(); }
   /// Cancelled entries still sitting in the heap.
   std::size_t heap_carcasses() const noexcept { return carcasses_; }
-  /// O(heap) bookkeeping audit: every live event has exactly one heap
-  /// entry and a callback, and the carcass counter matches the heap.
+  /// Slab slots currently allocated (live + free-listed; observability
+  /// for the arena's high-water mark).
+  std::size_t slab_slots() const noexcept { return slots_.size(); }
+  /// O(heap + slab) bookkeeping audit: every live event has exactly one
+  /// heap entry and an occupied slot, the carcass counter matches the
+  /// heap, and the free list is exactly the unoccupied slots.
   /// Exercised by `hetflow_check --selftest` and the unit tests.
   bool debug_consistent() const;
 
@@ -89,22 +103,46 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  /// One arena slot. Occupied iff `fn` is non-null; `gen` distinguishes
+  /// reuses of the same slot (ids of executed/cancelled events go stale).
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNil;
+  };
+  static constexpr std::uint32_t kNil = 0xffffffffU;
+
+  static std::uint32_t slot_index(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static std::uint32_t slot_gen(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id);
+  }
+
+  bool is_live(EventId id) const noexcept {
+    const std::uint32_t index = slot_index(id);
+    return index < slots_.size() && slots_[index].gen == slot_gen(id) &&
+           slots_[index].fn != nullptr;
+  }
 
   // Min-heap over a plain vector (std::push_heap/pop_heap) so compaction
   // can walk and rebuild the container — std::priority_queue hides it.
   std::vector<Event> heap_;
-  // id -> callback; erased on execution/cancellation (deletion is lazy:
-  // cancel leaves the heap entry behind as a carcass).
-  std::unordered_map<EventId, Callback> callbacks_;
+  // Callback arena: slots recycled through an intrusive free list.
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNil;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::size_t live_events_ = 0;
   std::size_t peak_pending_ = 0;
   std::size_t carcasses_ = 0;
   std::uint64_t executed_ = 0;
   SimTime now_ = 0.0;
 
+  /// Takes the callback out of a live event's slot and retires the slot.
+  /// Returns a null callback for stale ids (cancelled / already run).
   Callback take_callback(EventId id) noexcept;
+  /// Retires a slot: bumps the generation and links it into the free list.
+  void retire_slot(std::uint32_t index) noexcept;
   Event pop_top() noexcept;
   /// Drops every carcass and re-heapifies; called when carcasses exceed
   /// half the live events.

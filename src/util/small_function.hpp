@@ -1,0 +1,143 @@
+// SmallFunction — a move-only callable wrapper with guaranteed inline
+// storage for small captures.
+//
+// std::function's small-buffer optimization (16 bytes on libstdc++) is
+// smaller than a typical simulator callback capture (`this` + task
+// pointer + device id + a couple of doubles ≈ 48 bytes), so every
+// EventQueue::schedule_at paid a heap allocation per event. SmallFunction
+// inlines captures up to `Capacity` bytes into the object — which the
+// event queue's slab then recycles — and falls back to the heap only for
+// oversized or throwing-move captures.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hetflow::util {
+
+template <typename Signature, std::size_t Capacity = 64>
+class SmallFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallFunction<R(Args...), Capacity> {
+ public:
+  SmallFunction() noexcept = default;
+  // hetflow-lint: allow(hyg-explicit-ctor) — std::function-style nullptr
+  SmallFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  // Implicit by design, mirroring std::function — callers hand lambdas
+  // straight to schedule_at().  hetflow-lint: allow(hyg-explicit-ctor)
+  SmallFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace<std::decay_t<F>>(std::forward<F>(fn));
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { take(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+  friend bool operator==(const SmallFunction& f, std::nullptr_t) noexcept {
+    return f.ops_ == nullptr;
+  }
+  friend bool operator!=(const SmallFunction& f, std::nullptr_t) noexcept {
+    return f.ops_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    return ops_->invoke(&storage_, std::forward<Args>(args)...);
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when the held callable lives inside the object (no heap).
+  bool is_inline() const noexcept { return ops_ != nullptr && ops_->inline_; }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src) noexcept;  ///< move + destroy src
+    void (*destroy)(void*) noexcept;
+    bool inline_;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  void emplace(F fn) {
+    if constexpr (fits_inline<F>) {
+      ::new (static_cast<void*>(&storage_)) F(std::move(fn));
+      static constexpr Ops ops = {
+          [](void* s, Args&&... args) -> R {
+            return (*std::launder(static_cast<F*>(s)))(
+                std::forward<Args>(args)...);
+          },
+          [](void* dst, void* src) noexcept {
+            F* from = std::launder(static_cast<F*>(src));
+            ::new (dst) F(std::move(*from));
+            from->~F();
+          },
+          [](void* s) noexcept { std::launder(static_cast<F*>(s))->~F(); },
+          true};
+      ops_ = &ops;
+    } else {
+      ::new (static_cast<void*>(&storage_)) F*(new F(std::move(fn)));
+      static constexpr Ops ops = {
+          [](void* s, Args&&... args) -> R {
+            return (**std::launder(static_cast<F**>(s)))(
+                std::forward<Args>(args)...);
+          },
+          [](void* dst, void* src) noexcept {
+            // The stored F* is trivially destructible; relocation is a copy.
+            ::new (dst) F*(*std::launder(static_cast<F**>(src)));
+          },
+          [](void* s) noexcept { delete *std::launder(static_cast<F**>(s)); },
+          false};
+      ops_ = &ops;
+    }
+  }
+
+  /// Moves `other`'s callable into this empty object.
+  void take(SmallFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+};
+
+}  // namespace hetflow::util

@@ -1,0 +1,235 @@
+// SmallVector — a vector with inline storage for the first N elements.
+//
+// Most tasks in a workflow DAG have a handful of edges (Montage medians:
+// 2 dependencies, 3 dependents, ≤4 data accesses), so storing those lists
+// in std::vector costs one heap allocation per list per task — the
+// dominant allocation at 10^6-task scale. SmallVector keeps up to N
+// elements inside the object and only touches the heap when a list
+// spills; iteration stays contiguous either way.
+//
+// Supported surface is the subset the runtime needs (push_back/
+// emplace_back, reserve, clear, random access, iteration, copy/move);
+// grow policy is 2x, spill never shrinks back to inline.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace hetflow::util {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be at least 1");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using size_type = std::size_t;
+
+  SmallVector() noexcept : data_(inline_data()) {}
+
+  // Implicit, like every initializer_list constructor in the standard
+  // library (vector, array...).  hetflow-lint: allow(hyg-explicit-ctor)
+  SmallVector(std::initializer_list<T> init) : SmallVector() {
+    reserve(init.size());
+    for (const T& value : init) {
+      emplace_back(value);
+    }
+  }
+
+  template <typename InputIt>
+  SmallVector(InputIt first, InputIt last) : SmallVector() {
+    if constexpr (std::is_base_of_v<
+                      std::random_access_iterator_tag,
+                      typename std::iterator_traits<InputIt>::
+                          iterator_category>) {
+      reserve(static_cast<size_type>(last - first));
+    }
+    for (; first != last; ++first) {
+      emplace_back(*first);
+    }
+  }
+
+  SmallVector(const SmallVector& other) : SmallVector() {
+    reserve(other.size_);
+    for (const T& value : other) {
+      emplace_back(value);
+    }
+  }
+
+  SmallVector(SmallVector&& other) noexcept : SmallVector() {
+    steal(std::move(other));
+  }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (const T& value : other) {
+        emplace_back(value);
+      }
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = inline_data();
+      capacity_ = N;
+      size_ = 0;
+      steal(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { release(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  size_type size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  size_type capacity() const noexcept { return capacity_; }
+  static constexpr size_type inline_capacity() noexcept { return N; }
+  bool is_inline() const noexcept { return data_ == inline_data(); }
+
+  iterator begin() noexcept { return data_; }
+  iterator end() noexcept { return data_ + size_; }
+  const_iterator begin() const noexcept { return data_; }
+  const_iterator end() const noexcept { return data_ + size_; }
+
+  T& operator[](size_type i) noexcept { return data_[i]; }
+  const T& operator[](size_type i) const noexcept { return data_[i]; }
+  T& front() noexcept { return data_[0]; }
+  const T& front() const noexcept { return data_[0]; }
+  T& back() noexcept { return data_[size_ - 1]; }
+  const T& back() const noexcept { return data_[size_ - 1]; }
+
+  void reserve(size_type wanted) {
+    if (wanted > capacity_) {
+      grow(wanted);
+    }
+  }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      grow(capacity_ * 2);
+    }
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() noexcept {
+    --size_;
+    data_[size_].~T();
+  }
+
+  void clear() noexcept {
+    for (size_type i = 0; i < size_; ++i) {
+      data_[i].~T();
+    }
+    size_ = 0;
+  }
+
+ private:
+  T* inline_data() noexcept {
+    return std::launder(reinterpret_cast<T*>(inline_storage_));
+  }
+  const T* inline_data() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(inline_storage_));
+  }
+
+  void grow(size_type wanted) {
+    const size_type next = wanted > capacity_ * 2 ? wanted : capacity_ * 2;
+    T* fresh = std::allocator<T>().allocate(next);
+    for (size_type i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!is_inline()) {
+      std::allocator<T>().deallocate(data_, capacity_);
+    }
+    data_ = fresh;
+    capacity_ = next;
+  }
+
+  /// Moves `other`'s contents into this (which must be empty + inline):
+  /// steals the heap buffer when spilled, moves element-wise when inline.
+  void steal(SmallVector&& other) noexcept {
+    if (other.is_inline()) {
+      for (size_type i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+      }
+      size_ = other.size_;
+      other.clear();
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+      other.size_ = 0;
+    }
+  }
+
+  /// Destroys elements and frees any heap buffer (leaves members stale).
+  void release() noexcept {
+    clear();
+    if (!is_inline()) {
+      std::allocator<T>().deallocate(data_, capacity_);
+    }
+  }
+
+  T* data_;
+  size_type size_ = 0;
+  size_type capacity_ = N;
+  alignas(T) std::byte inline_storage_[N * sizeof(T)];
+};
+
+template <typename T, std::size_t N>
+bool operator==(const SmallVector<T, N>& a, const SmallVector<T, N>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Element-wise comparison against std::vector (tests state expectations
+// as vectors; edge lists migrated to SmallVector without churning them).
+template <typename T, std::size_t N>
+bool operator==(const SmallVector<T, N>& a, const std::vector<T>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename T, std::size_t N>
+bool operator==(const std::vector<T>& a, const SmallVector<T, N>& b) {
+  return b == a;
+}
+
+}  // namespace hetflow::util

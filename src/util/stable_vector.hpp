@@ -1,0 +1,123 @@
+// StableVector — a chunked pool with stable element addresses.
+//
+// The runtime hands out raw Task* pointers (handle-use chains, device
+// queues, scheduler state), so task storage must never relocate; the seed
+// used one unique_ptr per task — 10^6 individual heap objects with no
+// locality. StableVector allocates fixed-size chunks and
+// placement-constructs elements into them: one allocation per ChunkElems
+// elements, contiguous within a chunk, addresses stable forever, O(1)
+// index access. Elements live until clear()/destruction (no per-element
+// free — matches the runtime's task lifetime, which is the whole run).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace hetflow::util {
+
+template <typename T, std::size_t ChunkElems = 256>
+class StableVector {
+  static_assert(ChunkElems > 0, "chunk must hold at least one element");
+
+ public:
+  StableVector() = default;
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+
+  StableVector(StableVector&& other) noexcept
+      : chunks_(std::move(other.chunks_)), size_(other.size_) {
+    other.chunks_.clear();
+    other.size_ = 0;
+  }
+
+  StableVector& operator=(StableVector&& other) noexcept {
+    if (this != &other) {
+      clear();
+      chunks_ = std::move(other.chunks_);
+      size_ = other.size_;
+      other.chunks_.clear();
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~StableVector() { clear(); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return *slot(i); }
+  const T& operator[](std::size_t i) const noexcept { return *slot(i); }
+  T& back() noexcept { return *slot(size_ - 1); }
+  const T& back() const noexcept { return *slot(size_ - 1); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == chunks_.size() * ChunkElems) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    T* fresh = slot(size_);
+    ::new (static_cast<void*>(fresh)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *fresh;
+  }
+
+  void clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) {
+      slot(i)->~T();
+    }
+    size_ = 0;
+    chunks_.clear();
+  }
+
+  template <typename Self, typename Ref>
+  class Iterator {
+   public:
+    Iterator(Self* owner, std::size_t index) : owner_(owner), index_(index) {}
+    Ref operator*() const { return (*owner_)[index_]; }
+    Iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const {
+      return index_ != other.index_;
+    }
+    bool operator==(const Iterator& other) const {
+      return index_ == other.index_;
+    }
+
+   private:
+    Self* owner_;
+    std::size_t index_;
+  };
+
+  using iterator = Iterator<StableVector, T&>;
+  using const_iterator = Iterator<const StableVector, const T&>;
+
+  iterator begin() noexcept { return iterator(this, 0); }
+  iterator end() noexcept { return iterator(this, size_); }
+  const_iterator begin() const noexcept { return const_iterator(this, 0); }
+  const_iterator end() const noexcept { return const_iterator(this, size_); }
+
+ private:
+  struct Chunk {
+    alignas(T) std::byte storage[ChunkElems * sizeof(T)];
+  };
+
+  T* slot(std::size_t i) noexcept {
+    return std::launder(reinterpret_cast<T*>(
+        chunks_[i / ChunkElems]->storage + (i % ChunkElems) * sizeof(T)));
+  }
+  const T* slot(std::size_t i) const noexcept {
+    return std::launder(reinterpret_cast<const T*>(
+        chunks_[i / ChunkElems]->storage + (i % ChunkElems) * sizeof(T)));
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hetflow::util

@@ -208,9 +208,10 @@ TEST(DataManager, MissingInputBytes) {
                                         {b, AccessMode::Read}};
   EXPECT_EQ(mgr.missing_input_bytes(accesses, 1), 5 * kMiB);
   EXPECT_EQ(mgr.missing_input_bytes(accesses, 0), 0u);
-  mgr.acquire({{a, AccessMode::Read}}, 1, 0.0);
+  const std::vector<Access> read_a = {{a, AccessMode::Read}};
+  mgr.acquire(read_a, 1, 0.0);
   EXPECT_EQ(mgr.missing_input_bytes(accesses, 1), 2 * kMiB);
-  mgr.release({{a, AccessMode::Read}}, 1);
+  mgr.release(read_a, 1);
 }
 
 TEST(DataManager, WriteOutputsDoNotCountAsMissing) {
@@ -218,7 +219,8 @@ TEST(DataManager, WriteOutputsDoNotCountAsMissing) {
   sim::EventQueue q;
   DataManager mgr(p, q);
   const DataId d = mgr.register_data("out", 4 * kMiB, 0);
-  EXPECT_EQ(mgr.missing_input_bytes({{d, AccessMode::Write}}, 1), 0u);
+  const std::vector<Access> write_d = {{d, AccessMode::Write}};
+  EXPECT_EQ(mgr.missing_input_bytes(write_d, 1), 0u);
 }
 
 TEST(DataManager, ZeroByteHandleNeedsNoTransfer) {

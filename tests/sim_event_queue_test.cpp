@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "util/error.hpp"
@@ -330,6 +332,64 @@ TEST_P(EventStressSweep, ManyEventsAllExecuteInOrder) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, EventStressSweep,
                          ::testing::Values(10, 1000, 20000));
+
+// Regression: >10^6 sequential `now + dt` hops with a binary-inexact dt.
+// Accumulated rounding once pushed a computed deadline a few ulps below
+// now() deep into long runs, and schedule_at aborted what was a healthy
+// simulation. The clock must stay monotonic and every event must fire.
+TEST(EventQueue, MillionSequentialHopsKeepClockMonotonic) {
+  EventQueue q;
+  constexpr std::uint64_t kEvents = 1'200'000;
+  const double dt = 0.1;  // not representable in binary — error accrues
+  std::uint64_t fired = 0;
+  double last_now = -1.0;
+  std::function<void()> hop = [&] {
+    EXPECT_GE(q.now(), last_now);
+    last_now = q.now();
+    if (++fired < kEvents) {
+      // Recompute the target from an accumulated product, not from
+      // now(): this is the caller-side arithmetic that drifts.
+      q.schedule_at(static_cast<double>(fired) * dt, hop);
+    }
+  };
+  q.schedule_at(0.0, hop);
+  q.run();
+  EXPECT_EQ(fired, kEvents);
+  EXPECT_EQ(q.executed(), kEvents);
+  EXPECT_NEAR(q.now(), static_cast<double>(kEvents - 1) * dt, 1.0);
+}
+
+// The clamp itself: a deadline within rounding slack of now() fires
+// immediately at now(); a deadline clearly in the past still fails.
+TEST(EventQueue, NearPastWithinSlackClampsToNow) {
+  EventQueue q;
+  q.schedule_at(1000.0, [] {});
+  q.run();
+  ASSERT_EQ(q.now(), 1000.0);
+  // slack = 1e-9 * |now| = 1e-6 here; an ulp-scale shortfall clamps...
+  double fired_at = -1.0;
+  q.schedule_at(1000.0 - 1e-7, [&] { fired_at = q.now(); });
+  q.run();
+  EXPECT_EQ(fired_at, 1000.0);
+  EXPECT_EQ(q.now(), 1000.0);
+  // ...but a real gap is still an upstream logic bug.
+  EXPECT_THROW(q.schedule_at(1000.0 - 1e-3, [] {}), util::InternalError);
+}
+
+// Slab slot reuse must never resurrect a cancelled id: the generation
+// stamp in the EventId changes when the slot is recycled.
+TEST(EventQueue, RecycledSlotDoesNotResurrectOldId) {
+  EventQueue q;
+  const EventId stale = q.schedule_at(1.0, [] {});
+  ASSERT_TRUE(q.cancel(stale));
+  // Reuses the freed slot (same index, bumped generation).
+  bool fired = false;
+  const EventId fresh = q.schedule_at(2.0, [&] { fired = true; });
+  EXPECT_NE(stale, fresh);
+  EXPECT_FALSE(q.cancel(stale));  // stale id must not hit the new event
+  q.run();
+  EXPECT_TRUE(fired);
+}
 
 }  // namespace
 }  // namespace hetflow::sim
