@@ -11,16 +11,27 @@
 //   layered  — W-wide layers, each task writes its own handle and reads
 //              K=3 handles of the previous layer: the realistic regime
 //              (registration, dependency inference, coherence directory
-//              all at full tilt).
+//              all at full tilt);
+//   burst    — repeated barrier + wide fan-out on one handle: with 8
+//              identical CPUs and identical task costs, completions land
+//              8-at-a-time on identical timestamps, the stress case for
+//              the batched completion drain (EventQueue::drain_ready).
 //
 // Host wall-clock is the measurand (simulated results stay seed-exact;
 // checked by the determinism suites, not here). Emits BENCH_core.json so
-// the throughput trajectory is tracked across PRs.
+// the throughput trajectory is tracked across PRs (tools/bench_diff.py
+// compares two such files).
 //
 // Usage: bench_core_overhead [--smoke] [--tasks N[,N...]]
-//   --smoke   CI mode: one 10^4-task size per shape + the HEFT sanity
-//             run at 10^4 (exit non-zero on zero throughput, a failed
-//             count cross-check, or a blown HEFT time bound).
+//                            [--validate] [--metrics]
+//   --smoke     CI mode: one 10^4-task size per shape + the HEFT sanity
+//               run at 10^4 (exit non-zero on zero throughput, a failed
+//               count cross-check, or a blown HEFT time bound).
+//   --validate  run every workload with the end-of-run audit enabled
+//               (also via HETFLOW_BENCH_VALIDATE=1).
+//   --metrics   run with the observability layer on (also via
+//               HETFLOW_BENCH_METRICS=1). Both skew throughput; the
+//               recorded BENCH_core.json runs keep them off.
 //
 // hetflow-lint: allow-file(det-wallclock)  — wall time is the measurand
 #include <chrono>
@@ -28,9 +39,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/runtime.hpp"
 #include "hw/presets.hpp"
 #include "sched/registry.hpp"
@@ -43,10 +56,25 @@ namespace {
 
 using namespace hetflow;
 
-core::RuntimeOptions lean_options() {
+/// Set by --validate / --metrics (or the HETFLOW_BENCH_* env hooks).
+bool g_validate = false;
+bool g_metrics = false;
+
+core::RuntimeOptions lean_options(std::size_t expected_tasks = 0,
+                                  std::size_t expected_data = 0) {
   core::RuntimeOptions options;
   options.record_trace = false;      // measuring the runtime, not the tracer
   options.use_history_model = false; // static cost model only
+  // The throughput configuration this bench exists to track: one
+  // scheduler probe per completion batch instead of per event.
+  options.batch_completions = true;
+  // Capacity hints: generators know their exact task/handle counts, so
+  // the pools are pre-faulted in the (untimed) constructor — the timed
+  // region measures steady-state per-task cost, not one-time allocation.
+  options.expected_tasks = expected_tasks;
+  options.expected_data = expected_data;
+  options.validate = g_validate;
+  options.metrics = g_metrics;
   return options;
 }
 
@@ -86,7 +114,8 @@ double wall_since(std::chrono::steady_clock::time_point begin) {
 
 /// chain: task i RW-accesses the single handle -> depends on task i-1.
 ShapeResult run_chain(const hw::Platform& platform, std::size_t n) {
-  core::Runtime rt(platform, sched::make_scheduler("eager"), lean_options());
+  core::Runtime rt(platform, sched::make_scheduler("eager"),
+                   lean_options(n, 1));
   const data::DataId h = rt.register_data("h", 1024);
   // hetflow-lint: allow(det-wallclock)
   const auto t0 = std::chrono::steady_clock::now();
@@ -108,7 +137,8 @@ ShapeResult run_chain(const hw::Platform& platform, std::size_t n) {
 
 /// fanout: one writer, n-2 parallel readers, one RW sink (WAR fan-in).
 ShapeResult run_fanout(const hw::Platform& platform, std::size_t n) {
-  core::Runtime rt(platform, sched::make_scheduler("eager"), lean_options());
+  core::Runtime rt(platform, sched::make_scheduler("eager"),
+                   lean_options(n, 1));
   const data::DataId h = rt.register_data("h", 1024);
   // hetflow-lint: allow(det-wallclock)
   const auto t0 = std::chrono::steady_clock::now();
@@ -137,7 +167,7 @@ ShapeResult run_layered(const hw::Platform& platform, std::size_t n,
                         const std::string& scheduler = "eager",
                         std::size_t width = 1024) {
   core::Runtime rt(platform, sched::make_scheduler(scheduler),
-                   lean_options());
+                   lean_options(n, n));
   util::Rng rng(7);
   std::vector<data::DataId> prev;
   std::vector<data::DataId> current;
@@ -149,21 +179,69 @@ ShapeResult run_layered(const hw::Platform& platform, std::size_t n,
     current.clear();
     for (std::size_t i = 0; i < w; ++i) {
       const data::DataId own = rt.register_data("d", 1024);
-      std::vector<data::Access> accesses;
-      accesses.reserve(4);
+      // Stack-built access list: submit() takes a span, so the hot loop
+      // allocates nothing per task.
+      data::Access accesses[4];
+      std::size_t count = 0;
       for (std::size_t k = 0; k < 3 && !prev.empty(); ++k) {
         const auto pick = static_cast<std::size_t>(rng.uniform_int(
             0, static_cast<std::int64_t>(prev.size()) - 1));
-        accesses.push_back({prev[pick], data::AccessMode::Read});
+        // Same rng stream, but a repeated pick is dropped: an access list
+        // must not name a handle twice (hetflow-verify access-mode rule).
+        bool seen = false;
+        for (std::size_t j = 0; j < count; ++j) {
+          seen = seen || accesses[j].data == prev[pick];
+        }
+        if (!seen) {
+          accesses[count++] = {prev[pick], data::AccessMode::Read};
+        }
       }
-      accesses.push_back({own, data::AccessMode::Write});
-      rt.submit("l", noop_codelet(), kNoopFlops, std::move(accesses));
+      accesses[count++] = {own, data::AccessMode::Write};
+      rt.submit("l", noop_codelet(), kNoopFlops,
+                std::span<const data::Access>(accesses, count));
       current.push_back(own);
       ++made;
     }
     prev.swap(current);
   }
   ShapeResult out{"layered", n};
+  out.submit_s = wall_since(t0);
+  // hetflow-lint: allow(det-wallclock)
+  const auto t1 = std::chrono::steady_clock::now();
+  rt.wait_all();
+  out.run_s = wall_since(t1);
+  out.events = rt.event_queue().executed();
+  out.peak_pending = rt.event_queue().peak_pending();
+  out.completed = rt.stats().tasks_completed;
+  return out;
+}
+
+/// burst: repeated (barrier RW, W readers) rounds on a single handle.
+/// Every reader in a round has identical cost and the preset CPUs are
+/// identical, so one completion event fires per device at the exact same
+/// timestamp — the event queue spends the whole run in same-time batches
+/// and the batched drain (drain_ready + one scheduler probe per batch)
+/// is what separates it from the per-event path.
+ShapeResult run_burst(const hw::Platform& platform, std::size_t n,
+                      std::size_t width = 512) {
+  core::Runtime rt(platform, sched::make_scheduler("eager"),
+                   lean_options(n, 1));
+  const data::DataId h = rt.register_data("h", 1024);
+  // hetflow-lint: allow(det-wallclock)
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t made = 0;
+  while (made < n) {
+    rt.submit("b", noop_codelet(), kNoopFlops,
+              {{h, data::AccessMode::ReadWrite}});
+    ++made;
+    const std::size_t w = std::min(width, n - made);
+    for (std::size_t i = 0; i < w; ++i) {
+      rt.submit("w", noop_codelet(), kNoopFlops,
+                {{h, data::AccessMode::Read}});
+      ++made;
+    }
+  }
+  ShapeResult out{"burst", n};
   out.submit_s = wall_since(t0);
   // hetflow-lint: allow(det-wallclock)
   const auto t1 = std::chrono::steady_clock::now();
@@ -193,6 +271,7 @@ util::Json to_json(const ShapeResult& r) {
 int main(int argc, char** argv) {
   using namespace hetflow;
   bool smoke = false;
+  std::string shape_filter;
   std::vector<std::size_t> sizes = {100000, 1000000};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -203,11 +282,20 @@ int main(int argc, char** argv) {
       for (const std::string& part : util::split(argv[++i], ',')) {
         sizes.push_back(static_cast<std::size_t>(std::stoull(part)));
       }
+    } else if (std::strcmp(argv[i], "--validate") == 0) {
+      g_validate = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      g_metrics = true;
+    } else if (std::strcmp(argv[i], "--shape") == 0 && i + 1 < argc) {
+      shape_filter = argv[++i];  // profiling aid: run one shape only
     } else {
-      std::cerr << "usage: bench_core_overhead [--smoke] [--tasks N[,N...]]\n";
+      std::cerr << "usage: bench_core_overhead [--smoke] [--tasks N[,N...]]"
+                   " [--shape NAME] [--validate] [--metrics]\n";
       return 2;
     }
   }
+  g_validate = g_validate || bench::validate_requested();
+  g_metrics = g_metrics || bench::metrics_requested();
 
   std::cout << "\n=== Core overhead — tasks/second through "
                "submit -> release -> schedule -> complete ===\n\n";
@@ -219,10 +307,14 @@ int main(int argc, char** argv) {
   bool ok = true;
 
   std::vector<ShapeResult> results;
+  const auto wanted = [&](const char* name) {
+    return shape_filter.empty() || shape_filter == name;
+  };
   for (std::size_t n : sizes) {
-    results.push_back(run_chain(platform, n));
-    results.push_back(run_fanout(platform, n));
-    results.push_back(run_layered(platform, n));
+    if (wanted("chain")) results.push_back(run_chain(platform, n));
+    if (wanted("fanout")) results.push_back(run_fanout(platform, n));
+    if (wanted("layered")) results.push_back(run_layered(platform, n));
+    if (wanted("burst")) results.push_back(run_burst(platform, n));
   }
   for (const ShapeResult& r : results) {
     // Every submitted task must have completed: a silent loss at scale is
@@ -242,6 +334,12 @@ int main(int argc, char** argv) {
     runs.push_back(to_json(r));
   }
   table.print(std::cout);
+
+  // A --shape run is a profiling aid: no HEFT sanity, no JSON (a partial
+  // file must never masquerade as a full BENCH_core.json).
+  if (!shape_filter.empty()) {
+    return ok ? 0 : 1;
+  }
 
   // HEFT static-planning sanity bound: a 10^5-task layered DAG must plan
   // and run without quadratic blowup. The bound is deliberately loose —

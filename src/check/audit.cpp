@@ -79,7 +79,7 @@ CheckReport audit_run(const core::Runtime& runtime) {
 }
 
 std::vector<Violation> check_accesses(
-    std::span<const data::Access> accesses, const std::string& task_name) {
+    std::span<const data::Access> accesses, std::string_view task_name) {
   std::vector<Violation> out;
   std::unordered_set<data::DataId> seen;
   for (const data::Access& access : accesses) {
@@ -88,7 +88,7 @@ std::vector<Violation> check_accesses(
           {ViolationKind::AccessMode,
            util::format("task '%s' lists handle %u more than once in its "
                         "access list",
-                        task_name.c_str(), access.data),
+                        std::string(task_name).c_str(), access.data),
            Violation::npos, Violation::npos, access.data, Violation::npos});
     }
   }

@@ -34,7 +34,7 @@ CheckReport audit_run(const core::Runtime& runtime);
 /// Submit-time access-list sanity: duplicate handles in one access list
 /// (the dependency inference would silently treat them as one access).
 std::vector<Violation> check_accesses(
-    std::span<const data::Access> accesses, const std::string& task_name);
+    std::span<const data::Access> accesses, std::string_view task_name);
 
 /// Throws ValidationError unless the report passed.
 void enforce(const CheckReport& report);

@@ -124,7 +124,7 @@ std::vector<Violation> check_trace(const RunRecord& run) {
           {ViolationKind::TimeMonotonicity,
            util::format("span '%s' (task #%llu) ends at %.9g before it "
                         "starts at %.9g",
-                        span.name.c_str(),
+                        std::string(span.name).c_str(),
                         static_cast<unsigned long long>(span.task_id),
                         span.end, span.start),
            span.task_id, Violation::npos, Violation::npos, span.device});
@@ -135,7 +135,7 @@ std::vector<Violation> check_trace(const RunRecord& run) {
            util::format("trace emission order not completion-monotone: span "
                         "%zu ('%s') completes at %.9g after span %zu "
                         "recorded %.9g — simulated time went backwards",
-                        i, span.name.c_str(), span.end, i - 1,
+                        i, std::string(span.name).c_str(), span.end, i - 1,
                         run.spans[i - 1].end),
            span.task_id, run.spans[i - 1].task_id, Violation::npos,
            Violation::npos});
@@ -143,7 +143,7 @@ std::vector<Violation> check_trace(const RunRecord& run) {
     if (run.device_count > 0 && span.device >= run.device_count) {
       out.push_back({ViolationKind::DanglingReference,
                      util::format("span '%s' references unknown device %u",
-                                  span.name.c_str(), span.device),
+                                  std::string(span.name).c_str(), span.device),
                      span.task_id, Violation::npos, Violation::npos,
                      span.device});
     }
@@ -169,11 +169,11 @@ std::vector<Violation> check_trace(const RunRecord& run) {
             {ViolationKind::DeviceOverlap,
              util::format("device %u runs '%s' (task #%llu, [%.9g, %.9g]) "
                           "overlapping '%s' (task #%llu, [%.9g, %.9g])",
-                          spans[i]->device, spans[i - 1]->name.c_str(),
+                          spans[i]->device, std::string(spans[i - 1]->name).c_str(),
                           static_cast<unsigned long long>(
                               spans[i - 1]->task_id),
                           spans[i - 1]->start, spans[i - 1]->end,
-                          spans[i]->name.c_str(),
+                          std::string(spans[i]->name).c_str(),
                           static_cast<unsigned long long>(spans[i]->task_id),
                           spans[i]->start, spans[i]->end),
              spans[i - 1]->task_id, spans[i]->task_id, Violation::npos,

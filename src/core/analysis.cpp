@@ -113,9 +113,8 @@ ScheduleAnalysis analyze_schedule(const Runtime& runtime) {
   // Slack: forward tolerance per task = min over dependents of (dependent
   // start - this end), and makespan - end for terminal tasks.
   for (TaskTiming& timing : analysis.tasks) {
-    const Task& task = runtime.task(timing.task);
     double slack = analysis.makespan - timing.end;
-    for (TaskId dependent : task.dependents) {
+    for (TaskId dependent : runtime.dependents(timing.task)) {
       const auto it = span_of.find(dependent);
       if (it != span_of.end()) {
         slack = std::min(slack, it->second->start - timing.end);

@@ -8,9 +8,9 @@ namespace {
 std::atomic<std::uint32_t> g_next_codelet_id{0};
 }
 
-Codelet::Codelet(std::string name)
+Codelet::Codelet(std::string_view name)
     : id_(g_next_codelet_id.fetch_add(1, std::memory_order_relaxed)),
-      name_(std::move(name)) {
+      name_(name) {
   HETFLOW_REQUIRE_MSG(!name_.empty(), "codelet name cannot be empty");
 }
 
@@ -36,9 +36,9 @@ void Codelet::throw_no_implementation(hw::DeviceType type) const {
 }
 
 std::shared_ptr<const Codelet> Codelet::make(
-    std::string name,
+    std::string_view name,
     std::initializer_list<std::pair<hw::DeviceType, double>> impls) {
-  auto codelet = std::make_shared<Codelet>(std::move(name));
+  auto codelet = std::make_shared<Codelet>(name);
   for (const auto& [type, eff] : impls) {
     codelet->implement(type, eff);
   }

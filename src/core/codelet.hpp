@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "hw/device.hpp"
 #include "util/error.hpp"
@@ -25,7 +26,10 @@ namespace hetflow::core {
 
 class Codelet {
  public:
-  explicit Codelet(std::string name);
+  /// Storage stays owning (codelets are shared across runtimes, so they
+  /// cannot borrow from any one runtime's interner); the view parameter
+  /// just avoids a temporary std::string at the call sites.
+  explicit Codelet(std::string_view name);
 
   /// Globally unique id (used to key performance histories).
   std::uint32_t id() const noexcept { return id_; }
@@ -62,7 +66,7 @@ class Codelet {
 
   /// Convenience factory returning a shared immutable codelet.
   static std::shared_ptr<const Codelet> make(
-      std::string name,
+      std::string_view name,
       std::initializer_list<std::pair<hw::DeviceType, double>> impls);
 
  private:

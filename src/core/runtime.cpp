@@ -7,6 +7,7 @@
 #include "check/audit.hpp"
 #include "perf/energy_model.hpp"
 #include "util/log.hpp"
+#include "util/prefetch.hpp"
 #include "util/strings.hpp"
 
 namespace hetflow::core {
@@ -151,28 +152,41 @@ Runtime::Runtime(const hw::Platform& platform,
     recorder_ = std::make_unique<obs::Recorder>();
     data_.set_recorder(recorder_.get());
   }
+  cost_cache_.attach(platform);
   context_ = std::make_unique<Context>(*this);
   scheduler_->attach(*context_);
   stats_.devices.resize(platform.device_count());
   for (std::size_t i = 0; i < platform.device_count(); ++i) {
     stats_.devices[i].device = static_cast<hw::DeviceId>(i);
   }
+  // Capacity hints: pure reservation (allocation + first-touch), zero
+  // effect on the submit sequence or any simulated result.
+  if (options_.expected_tasks > 0) {
+    tasks_.reserve(options_.expected_tasks);
+    dependents_.reserve(options_.expected_tasks);
+    dep_mark_.reserve(options_.expected_tasks);
+    deps_open_.reserve(options_.expected_tasks);
+    task_states_.reserve(options_.expected_tasks);
+  }
+  if (options_.expected_data > 0) {
+    handle_uses_.reserve(options_.expected_data);
+    data_.reserve(options_.expected_data);
+  }
 }
 
 Runtime::~Runtime() = default;
 
-data::DataId Runtime::register_data(std::string name, std::uint64_t bytes,
+data::DataId Runtime::register_data(std::string_view name,
+                                    std::uint64_t bytes,
                                     hw::MemoryNodeId home_node) {
-  const data::DataId id =
-      data_.register_data(std::move(name), bytes, home_node);
+  const data::DataId id = data_.register_data(name, bytes, home_node);
   handle_uses_.emplace_back();  // one slot per handle; ids are sequential
   return id;
 }
 
-TaskId Runtime::submit(std::string name, CodeletPtr codelet, double flops,
-                       std::vector<data::Access> accesses) {
-  return submit(std::move(name), std::move(codelet), flops,
-                std::move(accesses), 0.0);
+TaskId Runtime::submit(std::string_view name, CodeletPtr codelet, double flops,
+                       std::span<const data::Access> accesses) {
+  return submit(name, std::move(codelet), flops, accesses, 0.0);
 }
 
 std::vector<data::DataId> Runtime::partition_data(data::DataId parent,
@@ -189,6 +203,7 @@ std::vector<data::DataId> Runtime::partition_data(data::DataId parent,
   }
   // Copy: registering children reallocates the registry's storage.
   const data::DataHandle parent_handle = data_.registry().handle(parent);
+  const std::string parent_name(parent_handle.name);
   PartitionInfo info;
   info.active = true;
   const std::uint64_t block = parent_handle.bytes / parts;
@@ -196,8 +211,8 @@ std::vector<data::DataId> Runtime::partition_data(data::DataId parent,
     const std::uint64_t bytes =
         i + 1 == parts ? parent_handle.bytes - block * (parts - 1) : block;
     const data::DataId child = register_data(
-        util::format("%s[%zu/%zu]", parent_handle.name.c_str(), i, parts),
-        bytes, parent_handle.home_node);
+        util::format("%s[%zu/%zu]", parent_name.c_str(), i, parts), bytes,
+        parent_handle.home_node);
     // Children inherit the parent's ordering point: a child's first
     // reader/writer orders after whatever last wrote the parent.
     handle_uses_[child].last_writer = handle_uses_[parent].last_writer;
@@ -219,13 +234,13 @@ void Runtime::unpartition_data(data::DataId parent) {
     // of the parent's next accessor — expressed via the redux list,
     // whose semantics are exactly "next read/write orders after all".
     HandleUse& child_use = handle_uses_[child];
-    if (child_use.last_writer != nullptr) {
+    if (child_use.last_writer != kInvalidTask) {
       parent_use.redux_since_write.push_back(child_use.last_writer);
     }
-    for (Task* reader : child_use.readers_since_write) {
+    for (TaskId reader : child_use.readers_since_write) {
       parent_use.redux_since_write.push_back(reader);
     }
-    for (Task* contributor : child_use.redux_since_write) {
+    for (TaskId contributor : child_use.redux_since_write) {
       parent_use.redux_since_write.push_back(contributor);
     }
   }
@@ -237,8 +252,9 @@ bool Runtime::is_partitioned(data::DataId parent) const {
   return it != partitions_.end() && it->second.active;
 }
 
-TaskId Runtime::submit(std::string name, CodeletPtr codelet, double flops,
-                       std::vector<data::Access> accesses, double priority) {
+TaskId Runtime::submit(std::string_view name, CodeletPtr codelet, double flops,
+                       std::span<const data::Access> accesses,
+                       double priority) {
   // The codelet must be runnable somewhere on this platform.
   bool supported = false;
   for (const hw::Device& device : platform_->devices()) {
@@ -252,13 +268,25 @@ TaskId Runtime::submit(std::string name, CodeletPtr codelet, double flops,
                           "' runs on no device of platform '" +
                           platform_->name() + "'");
   }
+  // Guard the per-access partition probes on the maps being non-empty:
+  // runs that never partition (the 10^6-task regime) skip two hash
+  // lookups per access.
+  const bool partitions_possible = !partitions_.empty();
+  std::uint64_t working_set = 0;
   for (const data::Access& access : accesses) {
     HETFLOW_REQUIRE_MSG(access.data < data_.registry().count(),
                         "task references an unregistered data handle");
+    // infer_dependencies walks these same handles' use chains in a few
+    // hundred cycles; start pulling the scattered rows now.
+    util::prefetch_write(&handle_uses_[access.data]);
+    working_set += data_.registry().handle(access.data).bytes;
+    if (!partitions_possible) {
+      continue;
+    }
     if (is_partitioned(access.data)) {
       throw InvalidArgument(
           "task accesses handle '" +
-          data_.registry().handle(access.data).name +
+          std::string(data_.registry().handle(access.data).name) +
           "' while it is partitioned — access its children instead");
     }
     const auto parent_it = child_parent_.find(access.data);
@@ -266,7 +294,7 @@ TaskId Runtime::submit(std::string name, CodeletPtr codelet, double flops,
         !partitions_.at(parent_it->second).active) {
       throw InvalidArgument(
           "task accesses partition child '" +
-          data_.registry().handle(access.data).name +
+          std::string(data_.registry().handle(access.data).name) +
           "' after unpartition");
     }
   }
@@ -276,9 +304,13 @@ TaskId Runtime::submit(std::string name, CodeletPtr codelet, double flops,
     check::enforce(report);
   }
   const TaskId id = tasks_.size();
-  Task& task = tasks_.emplace_back(id, std::move(name), std::move(codelet),
-                                   flops, std::move(accesses));
+  Task& task = tasks_.emplace_back(id, names_.intern_view(name),
+                                   std::move(codelet), flops, accesses);
+  task.set_working_set_bytes(working_set);
   dep_mark_.push_back(0);  // ids are sequential; one stamp slot per task
+  deps_open_.push_back(0);
+  dependents_.emplace_back();
+  task_states_.push_back(TaskState::Submitted);
   task.set_priority(priority);
   task.mutable_times().submitted = queue_.now();
   infer_dependencies(task);
@@ -286,7 +318,7 @@ TaskId Runtime::submit(std::string name, CodeletPtr codelet, double flops,
   // A dependency abandoned in an earlier wave can never complete; the
   // new task is lost on arrival (and so is anything submitted on top).
   for (const TaskId dep : task.dependencies) {
-    if (tasks_[dep].state() == TaskState::Abandoned) {
+    if (task_states_[dep] == TaskState::Abandoned) {
       abandon_task(task);
       break;
     }
@@ -304,6 +336,16 @@ const Task& Runtime::task(TaskId id) const {
   return tasks_[id];
 }
 
+std::uint64_t Runtime::unfinished_deps(TaskId id) const {
+  HETFLOW_REQUIRE_MSG(id < deps_open_.size(), "task id out of range");
+  return deps_open_[id];
+}
+
+const TaskIdList& Runtime::dependents(TaskId id) const {
+  HETFLOW_REQUIRE_MSG(id < dependents_.size(), "task id out of range");
+  return dependents_[id];
+}
+
 void Runtime::infer_dependencies(Task& task) {
   // Duplicate-parent detection by stamping: dep_mark_[p] == task.id() + 1
   // iff p was already recorded as a parent of *this* task. O(1) per edge,
@@ -311,35 +353,40 @@ void Runtime::infer_dependencies(Task& task) {
   // are simply stale), and — unlike a hash set — iteration-order-free:
   // dependencies are recorded in exactly the order add_dep sees them,
   // which the static schedulers' tie-breaks depend on.
-  const TaskId stamp = task.id() + 1;
-  const auto add_dep = [&](Task* parent) {
-    if (parent == nullptr || parent == &task) {
+  const TaskId self = task.id();
+  const TaskId stamp = self + 1;
+  // Edges are recorded by TaskId against the dense side arrays only —
+  // the parent Task object (5 cache lines, randomly placed) is never
+  // loaded. On wide random DAGs this halves the submit path's working
+  // set and is a measurable share of end-to-end throughput.
+  const auto add_dep = [&](TaskId parent) {
+    if (parent == kInvalidTask || parent == self) {
       return;
     }
-    if (dep_mark_[parent->id()] == stamp) {
+    if (dep_mark_[parent] == stamp) {
       return;
     }
-    dep_mark_[parent->id()] = stamp;
-    task.dependencies.push_back(parent->id());
-    if (parent->state() != TaskState::Completed) {
-      parent->dependents.push_back(task.id());
-      ++task.unfinished_deps;
+    dep_mark_[parent] = stamp;
+    task.dependencies.push_back(parent);
+    if (task_states_[parent] != TaskState::Completed) {
+      dependents_[parent].push_back(self);
+      ++deps_open_[self];
     }
   };
   for (const data::Access& access : task.accesses()) {
     HandleUse& use = handle_uses_[access.data];
     if (data::is_read(access.mode)) {
       add_dep(use.last_writer);  // RAW
-      for (Task* contributor : use.redux_since_write) {
+      for (TaskId contributor : use.redux_since_write) {
         add_dep(contributor);  // read sees the combined reduction
       }
     }
     if (data::is_write(access.mode)) {
       add_dep(use.last_writer);  // WAW
-      for (Task* reader : use.readers_since_write) {
+      for (TaskId reader : use.readers_since_write) {
         add_dep(reader);  // WAR
       }
-      for (Task* contributor : use.redux_since_write) {
+      for (TaskId contributor : use.redux_since_write) {
         add_dep(contributor);  // write overwrites the reduction result
       }
     }
@@ -347,7 +394,7 @@ void Runtime::infer_dependencies(Task& task) {
       // Contributors order after the preceding writer and readers, but
       // NOT after each other — that is the whole point of Redux.
       add_dep(use.last_writer);
-      for (Task* reader : use.readers_since_write) {
+      for (TaskId reader : use.readers_since_write) {
         add_dep(reader);
       }
     }
@@ -356,15 +403,15 @@ void Runtime::infer_dependencies(Task& task) {
   for (const data::Access& access : task.accesses()) {
     HandleUse& use = handle_uses_[access.data];
     if (data::is_write(access.mode)) {
-      use.last_writer = &task;
+      use.last_writer = self;
       use.readers_since_write.clear();
       use.redux_since_write.clear();
     }
     if (access.mode == data::AccessMode::Read) {
-      use.readers_since_write.push_back(&task);
+      use.readers_since_write.push_back(self);
     }
     if (data::is_redux(access.mode)) {
-      use.redux_since_write.push_back(&task);
+      use.redux_since_write.push_back(self);
     }
   }
 }
@@ -374,11 +421,13 @@ void Runtime::infer_dependencies(Task& task) {
 // ---------------------------------------------------------------------------
 
 sim::SimTime Runtime::wait_all() {
-  // Static pre-pass over every not-yet-completed task.
+  // Static pre-pass over every not-yet-completed task. Scans the dense
+  // state mirror so repeated waves skip finished tasks without paging
+  // their Task objects back in.
   std::vector<Task*> open_tasks;
-  for (Task& task : tasks_) {
-    if (task.state() == TaskState::Submitted) {
-      open_tasks.push_back(&task);
+  for (TaskId id = 0; id < task_states_.size(); ++id) {
+    if (task_states_[id] == TaskState::Submitted) {
+      open_tasks.push_back(&tasks_[id]);
     }
   }
   if (!open_tasks.empty()) {
@@ -386,7 +435,7 @@ sim::SimTime Runtime::wait_all() {
     prepared_anything_ = true;
   }
   for (Task* task : open_tasks) {
-    if (task->unfinished_deps == 0 && task->state() == TaskState::Submitted &&
+    if (deps_open_[task->id()] == 0 && task->state() == TaskState::Submitted &&
         (deferred_.empty() || deferred_.count(task->id()) == 0)) {
       ready_or_defer(*task);
     }
@@ -398,7 +447,20 @@ sim::SimTime Runtime::wait_all() {
           .time_weighted("event_queue_depth")
           .update(queue_.now(), static_cast<double>(queue_.pending()));
     }
-    if (!queue_.step()) {
+    // Batched mode drains the whole same-timestamp completion batch and
+    // pumps the schedulers once at its end (request_pump defers the
+    // per-completion pump_all into pump_deferred_); legacy mode steps
+    // one event and pumps inside the callback as before.
+    const bool ran = options_.batch_completions ? queue_.drain_ready() > 0
+                                                : queue_.step();
+    if (!ready_batch_.empty()) {
+      flush_ready_batch();
+    }
+    if (pump_deferred_) {
+      pump_deferred_ = false;
+      pump_all();
+    }
+    if (!ran) {
       // Drained with work outstanding: give pull-mode schedulers one more
       // chance, then declare deadlock.
       pump_all();
@@ -434,7 +496,7 @@ void Runtime::ready_or_defer(Task& task) {
       deferred_.erase(task.id());
       if (task.state() == TaskState::Submitted) {
         make_ready(task);
-        pump_all();
+        request_pump();
       }
     });
     return;
@@ -444,8 +506,8 @@ void Runtime::ready_or_defer(Task& task) {
 
 void Runtime::make_ready(Task& task) {
   HETFLOW_REQUIRE(task.state() == TaskState::Submitted);
-  HETFLOW_REQUIRE(task.unfinished_deps == 0);
-  task.set_state(TaskState::Ready);
+  HETFLOW_REQUIRE(deps_open_[task.id()] == 0);
+  set_task_state(task, TaskState::Ready);
   task.mutable_times().ready = queue_.now();
   scheduler_->on_task_ready(task);
 }
@@ -460,7 +522,7 @@ void Runtime::internal_assign(Task& task, const hw::Device& device,
     HETFLOW_REQUIRE_MSG(*dvfs < device.dvfs_states().size(),
                         "DVFS index out of range");
   }
-  task.set_state(TaskState::Queued);
+  set_task_state(task, TaskState::Queued);
   task.set_device(device.id());
   task.set_dvfs_state(dvfs);
   DeviceState& state = device_states_[device.id()];
@@ -491,6 +553,38 @@ void Runtime::pump_all() {
   }
 }
 
+void Runtime::request_pump() {
+  if (options_.batch_completions) {
+    // Inside a drain batch: wait_all() pumps once after the whole
+    // same-timestamp batch has been processed.
+    pump_deferred_ = true;
+    return;
+  }
+  pump_all();
+}
+
+void Runtime::flush_ready_batch() {
+  // Two concerns meet here. Correctness: a fail/abandon event later in
+  // the same drained batch may have doomed an id recorded earlier, so
+  // each task is re-checked against the dense state mirror. Throughput:
+  // the Ready transition is the first touch of a Task object placed at
+  // the whim of submission order, so the batch is walked with the
+  // objects prefetched a few iterations ahead — scattered stalls become
+  // pipelined misses.
+  constexpr std::size_t kPrefetchAhead = 8;
+  for (std::size_t i = 0; i < ready_batch_.size(); ++i) {
+    if (i + kPrefetchAhead < ready_batch_.size()) {
+      util::prefetch_range_write(&tasks_[ready_batch_[i + kPrefetchAhead]],
+                                 sizeof(Task));
+    }
+    const TaskId id = ready_batch_[i];
+    if (task_states_[id] == TaskState::Submitted) {
+      ready_or_defer(tasks_[id]);
+    }
+  }
+  ready_batch_.clear();
+}
+
 void Runtime::pump_device(hw::DeviceId id) {
   DeviceState& state = device_states_[id];
   if (health_.blacklisted(id)) {
@@ -503,11 +597,32 @@ void Runtime::pump_device(hw::DeviceId id) {
       if (!scheduler_->has_retained_work()) {
         return;  // nothing to pull; skip the per-device probe
       }
-      Task* pulled = scheduler_->on_device_idle(platform_->device(id));
+      const hw::Device& device = platform_->device(id);
+      Task* pulled = scheduler_->on_device_idle(device);
       if (pulled == nullptr) {
         return;
       }
-      internal_assign(*pulled, platform_->device(id), std::nullopt);
+      // Fused pull fast path: the queue is empty and the device idle, so
+      // internal_assign would push the task only for start_next to pop
+      // it back within this same call — and with no recorder, no
+      // prefetch and no queued-estimate mass the round-trip (deque
+      // churn, one exec_estimate, the est add/subtract that cancels to
+      // exactly 0.0) is unobservable. Dispatch directly.
+      if (recorder_ == nullptr && !options_.enable_prefetch &&
+          state.queued_est_seconds == 0.0) {
+        Task& task = *pulled;
+        HETFLOW_REQUIRE_MSG(task.state() == TaskState::Ready,
+                            "pulled task is not Ready");
+        HETFLOW_REQUIRE_MSG(
+            task.codelet().supports(device.type()),
+            "pulled task lacks an implementation for this device type");
+        set_task_state(task, TaskState::Queued);
+        task.set_device(id);
+        task.set_dvfs_state(std::nullopt);
+        begin_execution(task, id);
+        return;
+      }
+      internal_assign(*pulled, device, std::nullopt);
       // internal_assign recursed into pump_device; stop this frame.
       return;
     }
@@ -525,20 +640,25 @@ void Runtime::start_next(hw::DeviceId id) {
   HETFLOW_REQUIRE(state.running == nullptr && !state.queue.empty());
   Task& task = *state.queue.front();
   state.queue.pop_front();
-  const hw::Device& device = platform_->device(id);
   if (recorder_ != nullptr) {
     recorder_->metrics()
-        .time_weighted("queue_depth", device_labels(device))
+        .time_weighted("queue_depth", device_labels(platform_->device(id)))
         .update(queue_.now(), static_cast<double>(state.queue.size()));
   }
   state.queued_est_seconds =
       std::max(0.0, state.queued_est_seconds - task.queued_est_s);
+  begin_execution(task, id);
+}
 
-  task.set_state(TaskState::Running);
+void Runtime::begin_execution(Task& task, hw::DeviceId id) {
+  DeviceState& state = device_states_[id];
+  const hw::Device& device = platform_->device(id);
+  set_task_state(task, TaskState::Running);
   task.note_attempt();
   if (task.attempts() > effective_max_attempts()) {
     throw Error(util::format("task '%s' exceeded %zu attempts",
-                             task.name().c_str(), effective_max_attempts()));
+                             std::string(task.name()).c_str(),
+                             effective_max_attempts()));
   }
 
   const sim::SimTime now = queue_.now();
@@ -690,7 +810,7 @@ void Runtime::finish_task(Task& task, hw::DeviceId id, sim::SimTime started,
 
   data_.release(task.accesses(), device.memory_node());
   health_.note_success(id);
-  task.set_state(TaskState::Completed);
+  set_task_state(task, TaskState::Completed);
   task.mutable_times().completed = queue_.now();
 
   // Feed the measurement back, normalized to the nominal DVFS point.
@@ -720,15 +840,25 @@ void Runtime::finish_task(Task& task, hw::DeviceId id, sim::SimTime started,
 
   --pending_;
   scheduler_->on_task_complete(task);
-  for (TaskId dependent_id : task.dependents) {
-    Task& dependent = tasks_[dependent_id];
-    HETFLOW_REQUIRE(dependent.unfinished_deps > 0);
-    if (--dependent.unfinished_deps == 0 &&
-        dependent.state() == TaskState::Submitted) {
-      ready_or_defer(dependent);
+  for (TaskId dependent_id : dependents_[task.id()]) {
+    // Touch only the dense counter (and state mirror) per edge; the
+    // Task object itself is loaded just once, when its last parent
+    // completes.
+    std::uint32_t& open = deps_open_[dependent_id];
+    HETFLOW_REQUIRE(open > 0);
+    if (--open == 0 && task_states_[dependent_id] == TaskState::Submitted) {
+      if (options_.batch_completions) {
+        // Deferred like the pump: the ids accumulate over the drained
+        // batch and flush_ready_batch() releases them together, so the
+        // scattered Task objects can be prefetched ahead. Same release
+        // order; the scheduler just sees the batch's completions first.
+        ready_batch_.push_back(dependent_id);
+      } else {
+        ready_or_defer(tasks_[dependent_id]);
+      }
     }
   }
-  pump_all();
+  request_pump();
 }
 
 void Runtime::fail_task(Task& task, hw::DeviceId id, sim::SimTime started,
@@ -778,7 +908,7 @@ void Runtime::recover_attempt(Task& task, hw::DeviceId id) {
   if (options_.retry.on_exhausted == ExhaustionPolicy::Drop &&
       task.attempts() >= effective_max_attempts()) {
     abandon_task(task);
-    pump_all();
+    request_pump();
     return;
   }
 
@@ -793,16 +923,16 @@ void Runtime::recover_attempt(Task& task, hw::DeviceId id) {
   }
   if (delay <= 0.0) {
     requeue_attempt(task, id);
-    pump_all();
+    request_pump();
     return;
   }
-  task.set_state(TaskState::Ready);  // in backoff limbo, owned by no queue
+  set_task_state(task, TaskState::Ready);  // in backoff limbo, owned by no queue
   queue_.schedule_after(delay, [this, &task, id] {
     if (task.state() != TaskState::Ready) {
       return;  // abandoned while backing off
     }
     requeue_attempt(task, id);
-    pump_all();
+    request_pump();
   });
 }
 
@@ -833,7 +963,7 @@ void Runtime::requeue_attempt(Task& task, hw::DeviceId device_id) {
     case FailurePolicy::RetrySameDevice: {
       const hw::Device& device = platform_->device(device_id);
       DeviceState& state = device_states_[device_id];
-      task.set_state(TaskState::Queued);
+      set_task_state(task, TaskState::Queued);
       state.queue.push_front(&task);
       task.queued_est_s = exec_estimate(task, device, task.dvfs_state());
       state.queued_est_seconds += task.queued_est_s;
@@ -857,7 +987,7 @@ void Runtime::requeue_attempt(Task& task, hw::DeviceId device_id) {
             "FailurePolicy::RetrySameDevice or a dynamic policy",
             scheduler_->name().c_str()));
       }
-      task.set_state(TaskState::Ready);
+      set_task_state(task, TaskState::Ready);
       task.set_dvfs_state(std::nullopt);
       scheduler_->on_task_failed(task, device_id);
       scheduler_->on_task_ready(task);
@@ -895,7 +1025,7 @@ void Runtime::blacklist_device(hw::DeviceId device_id) {
     if (prefetched_.erase(orphan->id()) > 0) {
       data_.release_prefetch(orphan->accesses(), device.memory_node());
     }
-    orphan->set_state(TaskState::Ready);
+    set_task_state(*orphan, TaskState::Ready);
     orphan->set_dvfs_state(std::nullopt);
     scheduler_->on_task_ready(*orphan);
   }
@@ -931,7 +1061,7 @@ void Runtime::abandon_task(Task& task) {
                   << (doomed == &task ? "attempt budget exhausted"
                                       : "dependency abandoned")
                   << ")";
-    doomed->set_state(TaskState::Abandoned);
+    set_task_state(*doomed, TaskState::Abandoned);
     ++stats_.tasks_lost;
     if (recorder_ != nullptr) {
       recorder_->metrics().counter("tasks_lost").inc();
@@ -950,7 +1080,7 @@ void Runtime::abandon_task(Task& task) {
           doomed->accesses(),
           platform_->device(doomed->device()).memory_node());
     }
-    for (TaskId dependent : doomed->dependents) {
+    for (TaskId dependent : dependents_[doomed->id()]) {
       frontier.push_back(&tasks_[dependent]);
     }
   }
@@ -963,35 +1093,63 @@ std::size_t Runtime::effective_max_attempts() const noexcept {
 
 double Runtime::exec_estimate(const Task& task, const hw::Device& device,
                               std::optional<std::size_t> dvfs) const {
-  if (!task.codelet().supports(device.type())) {
+  if (!options_.memoize_costs) {
+    // Reference path: the pre-memoization computation, kept verbatim as
+    // the oracle for the memo-vs-direct bitwise property test.
+    if (!task.codelet().supports(device.type())) {
+      return std::numeric_limits<double>::infinity();
+    }
+    // A device whose memory cannot hold the task's working set even when
+    // empty is not a feasible target; cost-model policies route around it.
+    std::uint64_t working_set = 0;
+    for (const data::Access& access : task.accesses()) {
+      working_set += data_.registry().handle(access.data).bytes;
+    }
+    if (working_set >
+        platform_->memory_node(device.memory_node()).capacity_bytes()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    double pure = -1.0;
+    if (options_.use_history_model) {
+      pure =
+          history_.estimate(task.codelet().id(), device.type(), task.flops());
+    }
+    if (pure < 0.0) {
+      pure = task.codelet().compute_seconds(device, task.flops());
+    }
+    const std::size_t index = dvfs.value_or(device.nominal_dvfs_index());
+    return device.launch_overhead_s() + pure * device.time_scale(index);
+  }
+
+  // Memoized path — bitwise-identical to the reference above: the entry
+  // caches the exact analytic denominator (divided per call, never its
+  // reciprocal) and the calibrated mean seconds-per-flop under the
+  // history model's current version; the working set was summed once at
+  // submit in the same access order.
+  const CostModelCache::Entry& entry = cost_cache_.entry(
+      task.codelet(), device,
+      options_.use_history_model ? &history_ : nullptr);
+  if (!entry.supported) {
     return std::numeric_limits<double>::infinity();
   }
-  // A device whose memory cannot hold the task's working set even when
-  // empty is not a feasible target; cost-model policies route around it.
-  std::uint64_t working_set = 0;
-  for (const data::Access& access : task.accesses()) {
-    working_set += data_.registry().handle(access.data).bytes;
-  }
-  if (working_set >
-      platform_->memory_node(device.memory_node()).capacity_bytes()) {
+  if (task.working_set_bytes() > entry.capacity_bytes) {
     return std::numeric_limits<double>::infinity();
   }
-  double pure = -1.0;
-  if (options_.use_history_model) {
-    pure = history_.estimate(task.codelet().id(), device.type(), task.flops());
+  double pure = 0.0;
+  if (entry.hist_spf >= 0.0) {
+    pure = entry.hist_spf * task.flops();
+  } else if (task.flops() > 0.0) {
+    pure = task.flops() / entry.denom;
   }
-  if (pure < 0.0) {
-    pure = task.codelet().compute_seconds(device, task.flops());
-  }
-  const std::size_t index = dvfs.value_or(device.nominal_dvfs_index());
-  return device.launch_overhead_s() + pure * device.time_scale(index);
+  const std::size_t index = dvfs.value_or(entry.nominal_dvfs);
+  return entry.launch_overhead_s + pure * device.time_scale(index);
 }
 
 void Runtime::finalize_stats() {
   stats_.makespan_s = queue_.now();
   stats_.tasks_completed = 0;
-  for (const Task& task : tasks_) {
-    if (task.state() == TaskState::Completed) {
+  for (const TaskState state : task_states_) {
+    if (state == TaskState::Completed) {
       ++stats_.tasks_completed;
     }
   }

@@ -19,13 +19,16 @@
 #pragma once
 
 #include <deque>
+#include <initializer_list>
 #include <memory>
 #include <optional>
-#include <string>
+#include <span>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
 #include "core/codelet.hpp"
+#include "core/cost_cache.hpp"
 #include "core/retry.hpp"
 #include "core/scheduler.hpp"
 #include "core/stats.hpp"
@@ -37,6 +40,7 @@
 #include "perf/history_model.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/tracer.hpp"
+#include "util/interner.hpp"
 #include "util/rng.hpp"
 #include "util/stable_vector.hpp"
 
@@ -82,6 +86,31 @@ struct RuntimeOptions {
   /// and the scheduler decision log — surfaced via recorder(). Off by
   /// default; the off path leaves every legacy output byte-identical.
   bool metrics = false;
+  /// Drain same-timestamp completion batches through
+  /// EventQueue::drain_ready() and probe the schedulers once per batch
+  /// instead of once per completion. Deterministic for a given seed, but
+  /// NOT stream-identical to the unbatched engine: deferring the pump
+  /// changes which device pulls which ready task within a timestamp, so
+  /// it is opt-in to keep legacy traces byte-for-byte (the throughput
+  /// benches and batching tests turn it on; see docs/performance.md).
+  bool batch_completions = false;
+  /// Memoize the per-(codelet, device) cost-model terms (analytic
+  /// denominator, capacity bound, calibrated seconds-per-flop) behind
+  /// estimate_exec_seconds/estimate_completion/estimate_energy.
+  /// Bitwise-identical to the direct computation (property-tested in
+  /// tests/core_memo_test.cpp); the off switch exists as the reference
+  /// path for that proof.
+  bool memoize_costs = true;
+  /// Capacity hints: expected task / data-handle counts for this run
+  /// (0 = unknown). When set, the constructor pre-allocates and
+  /// pre-faults the per-task and per-handle pools so the submit loop
+  /// pays no chunk allocations, vector growth copies, or first-touch
+  /// page faults. Pure reservation — the submit/registration sequence
+  /// and every simulated result are identical with or without hints
+  /// (property-tested in core_memo_test). Over- or under-estimating is
+  /// safe; growth past a hint falls back to the normal amortized path.
+  std::size_t expected_tasks = 0;
+  std::size_t expected_data = 0;
 };
 
 class Runtime {
@@ -93,8 +122,9 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  /// Registers a datum with its initial copy on `home_node`.
-  data::DataId register_data(std::string name, std::uint64_t bytes,
+  /// Registers a datum with its initial copy on `home_node`. The name is
+  /// interned by the data registry — no per-handle string allocation.
+  data::DataId register_data(std::string_view name, std::uint64_t bytes,
                              hw::MemoryNodeId home_node = 0);
 
   /// Splits `parent` into `parts` equal block children (last child takes
@@ -118,16 +148,40 @@ class Runtime {
   bool is_partitioned(data::DataId parent) const;
 
   /// Submits one task. Dependencies are inferred from `accesses` against
-  /// all previously submitted tasks. Returns the task id.
-  TaskId submit(std::string name, CodeletPtr codelet, double flops,
-                std::vector<data::Access> accesses);
+  /// all previously submitted tasks. Returns the task id. The name is
+  /// interned (tasks borrow a stable view — no per-task string copy) and
+  /// the accesses are copied into the task's inline access list, so both
+  /// arguments may be transient.
+  TaskId submit(std::string_view name, CodeletPtr codelet, double flops,
+                std::span<const data::Access> accesses);
 
   /// Submits with an explicit priority hint (larger = more urgent).
-  TaskId submit(std::string name, CodeletPtr codelet, double flops,
-                std::vector<data::Access> accesses, double priority);
+  TaskId submit(std::string_view name, CodeletPtr codelet, double flops,
+                std::span<const data::Access> accesses, double priority);
+
+  /// Braced-list conveniences: submit("t", c, flops, {{a, Mode::Read}}).
+  TaskId submit(std::string_view name, CodeletPtr codelet, double flops,
+                std::initializer_list<data::Access> accesses) {
+    return submit(name, std::move(codelet), flops,
+                  std::span<const data::Access>(accesses.begin(),
+                                                accesses.size()));
+  }
+  TaskId submit(std::string_view name, CodeletPtr codelet, double flops,
+                std::initializer_list<data::Access> accesses,
+                double priority) {
+    return submit(name, std::move(codelet), flops,
+                  std::span<const data::Access>(accesses.begin(),
+                                                accesses.size()),
+                  priority);
+  }
 
   Task& task(TaskId id);
   const Task& task(TaskId id) const;
+  /// Number of this task's parents that have not completed yet (the
+  /// counter finish_task drains; 0 once the task is ready or beyond).
+  std::uint64_t unfinished_deps(TaskId id) const;
+  /// Tasks that depend on `id` (the reverse of Task::dependencies).
+  const TaskIdList& dependents(TaskId id) const;
   std::size_t task_count() const noexcept { return tasks_.size(); }
 
   /// Executes every submitted-but-unfinished task to completion in
@@ -151,6 +205,12 @@ class Runtime {
   /// Observability sink; null unless RuntimeOptions::metrics is set.
   obs::Recorder* recorder() noexcept { return recorder_.get(); }
   const obs::Recorder* recorder() const noexcept { return recorder_.get(); }
+
+  /// Drops every memoized cost-model entry. The platform is immutable
+  /// during a normal run, so this only matters for callers that mutate
+  /// device DVFS tables or memory capacities between waves — the cache
+  /// cannot observe those, per the CostModelCache contract.
+  void invalidate_cost_cache() { cost_cache_.invalidate(); }
 
  private:
   class Context;  // SchedContext implementation
@@ -180,6 +240,9 @@ class Runtime {
 
   const hw::Platform* platform_;
   RuntimeOptions options_;
+  /// Task-name arena. Declared before every member that can hold views
+  /// into it (tasks_, tracer_, recorder_) so it is destroyed last.
+  util::StringInterner names_;
   sim::EventQueue queue_;
   data::DataManager data_;
   perf::HistoryModel history_;
@@ -191,19 +254,49 @@ class Runtime {
   std::unique_ptr<obs::Recorder> recorder_;
 
   /// Task pool: chunked storage with stable addresses (the runtime hands
-  /// out Task* into handle-use chains, device queues and schedulers), one
-  /// allocation per 256 tasks instead of one unique_ptr each.
-  util::StableVector<Task, 256> tasks_;
+  /// out Task* into handle-use chains, device queues and schedulers).
+  /// 8192-element chunks put each chunk past StableVector's 2 MiB
+  /// huge-page threshold: a 10^6-task pool is ~320 MB touched in
+  /// DAG-completion order, and 2 MiB pages cut its first-touch faults
+  /// ~500x and keep the walk inside the dTLB.
+  util::StableVector<Task, 8192> tasks_;
+  /// Per-handle sequential-consistency chain. Holds TaskIds, not Task*:
+  /// dependency inference only needs the id, the state (from the dense
+  /// task_states_ mirror) and the dependents list (dense dependents_),
+  /// so the scattered 320-byte Task objects stay untouched on the
+  /// submit path.
   struct HandleUse {
-    Task* last_writer = nullptr;
-    util::SmallVector<Task*, 4> readers_since_write;
-    util::SmallVector<Task*, 4> redux_since_write;  ///< unordered contributors
+    TaskId last_writer = kInvalidTask;
+    util::SmallVector<TaskId, 4> readers_since_write;
+    util::SmallVector<TaskId, 4> redux_since_write;  ///< unordered contributors
   };
-  std::vector<HandleUse> handle_uses_;
+  /// One slot per handle, chunked like the task pool: HandleUse carries
+  /// two SmallVectors, so a std::vector's growth reallocs would move a
+  /// million elements element-by-element; StableVector never relocates.
+  /// 65536-element chunks (~3.7 MB) ride the huge-page path — this
+  /// array takes the submit loop's random parent-chain hits.
+  util::StableVector<HandleUse, 65536> handle_uses_;
   /// Scratch for infer_dependencies' duplicate-parent check: slot p holds
   /// `child + 1` when parent p was already recorded for that child —
   /// an O(1) stamped lookup with no per-submit allocation or clearing.
   std::vector<TaskId> dep_mark_;
+  /// Unfinished-parent counters, indexed by TaskId. Kept out of Task on
+  /// purpose: the completion hot loop decrements one counter per
+  /// dependent edge, and a dense 4-byte array keeps those writes inside
+  /// a few-KiB working set instead of scattering across Task objects.
+  std::vector<std::uint32_t> deps_open_;
+  /// Dependents lists, indexed by TaskId — the reverse edges. Out of
+  /// Task for the same reason as deps_open_: infer_dependencies appends
+  /// to an arbitrary parent's list per edge, and the dense array keeps
+  /// that random write inside a window ~6x smaller than the Task pool.
+  /// Chunked (not std::vector) so growth never moves a million
+  /// SmallVectors; 65536-element chunks for huge pages, as above.
+  util::StableVector<TaskIdList, 65536> dependents_;
+  /// Dense mirror of every task's state, maintained by set_task_state
+  /// (the only place runtime.cpp transitions a task). Lets the submit
+  /// path test "parent completed?" / "dependency abandoned?" against a
+  /// 1-byte-per-task array instead of loading the parent Task.
+  std::vector<TaskState> task_states_;
   struct PartitionInfo {
     std::vector<data::DataId> children;
     bool active = false;
@@ -218,8 +311,23 @@ class Runtime {
   std::unordered_set<TaskId> prefetched_;  ///< holding prefetch pins
   RunStats stats_;
   bool prepared_anything_ = false;
+  /// Batched mode only: tasks released by the current completion batch,
+  /// handed to the scheduler together once the batch has drained (see
+  /// flush_ready_batch). Member, not a local, to reuse its capacity.
+  std::vector<TaskId> ready_batch_;
+  /// Set by request_pump() inside event callbacks while a batched drain
+  /// is in flight; wait_all() pumps once per drained batch.
+  bool pump_deferred_ = false;
+  /// Memoized cost-model terms (mutable: a cache behind the logically
+  /// const exec_estimate).
+  mutable CostModelCache cost_cache_;
 
   // --- engine ------------------------------------------------------------
+  /// Sole state-transition point: updates the Task and the dense mirror.
+  void set_task_state(Task& task, TaskState state) noexcept {
+    task.set_state(state);
+    task_states_[task.id()] = state;
+  }
   void infer_dependencies(Task& task);
   /// Makes the task Ready now, or schedules that for its release time.
   void ready_or_defer(Task& task);
@@ -228,7 +336,19 @@ class Runtime {
                        std::optional<std::size_t> dvfs);
   void pump_device(hw::DeviceId id);
   void pump_all();
+  /// Hands every task in ready_batch_ to the scheduler (batched mode:
+  /// completions only record released ids; the Ready transitions happen
+  /// here, once per drained batch, with the scattered Task objects
+  /// prefetched a few iterations ahead).
+  void flush_ready_batch();
+  /// pump_all(), or — with batch_completions, from inside an event
+  /// callback — a deferral of it to the end of the current drain batch.
+  void request_pump();
   void start_next(hw::DeviceId id);
+  /// Dispatches `task` on device `id` (shared tail of start_next and the
+  /// fused pull path in pump_device): attempt accounting, data acquire,
+  /// noise/failure sampling, completion + watchdog events.
+  void begin_execution(Task& task, hw::DeviceId id);
   void finish_task(Task& task, hw::DeviceId id, sim::SimTime started,
                    double busy_s, std::size_t dvfs_index);
   void fail_task(Task& task, hw::DeviceId id, sim::SimTime started,

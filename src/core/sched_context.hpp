@@ -33,6 +33,14 @@ class SchedContext {
   /// (nominal when omitted), including launch overhead, excluding data
   /// movement and queueing. Uses the calibrated history when available,
   /// else the codelet's analytic model. +inf when unsupported.
+  ///
+  /// Cost: the per-(codelet, device) model terms behind this call (and
+  /// estimate_completion / estimate_energy, which derive from it) are
+  /// memoized in the runtime's CostModelCache (core/cost_cache.hpp) —
+  /// bitwise-identical to a direct recompute, so every candidate loop in
+  /// src/sched/ may call these freely per (task, device) pair. History
+  /// recalibration invalidates automatically; platform mutations require
+  /// Runtime::invalidate_cost_cache().
   virtual double estimate_exec_seconds(
       const Task& task, const hw::Device& device,
       std::optional<std::size_t> dvfs = std::nullopt) const = 0;

@@ -20,10 +20,10 @@ const char* to_string(TaskState state) noexcept {
   return "?";
 }
 
-Task::Task(TaskId id, std::string name, CodeletPtr codelet, double flops,
-           std::vector<data::Access> accesses)
+Task::Task(TaskId id, std::string_view name, CodeletPtr codelet, double flops,
+           std::span<const data::Access> accesses)
     : id_(id),
-      name_(std::move(name)),
+      name_(name),
       codelet_(std::move(codelet)),
       flops_(flops),
       accesses_(accesses.begin(), accesses.end()) {

@@ -6,8 +6,7 @@
 #include <limits>
 #include <optional>
 #include <span>
-#include <string>
-#include <vector>
+#include <string_view>
 
 #include "core/codelet.hpp"
 #include "data/access.hpp"
@@ -18,6 +17,9 @@
 namespace hetflow::core {
 
 using TaskId = std::uint64_t;
+
+/// Sentinel for "no task" (e.g. a handle that was never written).
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
 
 /// Inline capacities for per-task edge/access lists. Workflow DAGs are
 /// sparse (Montage medians: 2 dependencies, 3 dependents, ≤4 accesses),
@@ -48,11 +50,15 @@ struct TaskTimes {
 
 class Task {
  public:
-  Task(TaskId id, std::string name, CodeletPtr codelet, double flops,
-       std::vector<data::Access> accesses);
+  /// `name` is borrowed, not copied — the caller (Runtime interns task
+  /// names; tests may pass string literals) must keep the characters
+  /// alive for the task's lifetime. `accesses` is copied into the inline
+  /// access list.
+  Task(TaskId id, std::string_view name, CodeletPtr codelet, double flops,
+       std::span<const data::Access> accesses);
 
   TaskId id() const noexcept { return id_; }
-  const std::string& name() const noexcept { return name_; }
+  std::string_view name() const noexcept { return name_; }
   const Codelet& codelet() const noexcept { return *codelet_; }
   const CodeletPtr& codelet_ptr() const noexcept { return codelet_; }
   double flops() const noexcept { return flops_; }
@@ -81,6 +87,13 @@ class Task {
 
   std::uint32_t attempts() const noexcept { return attempts_; }
 
+  /// Total bytes of the handles this task accesses, summed in access
+  /// order at submit time. Device-invariant, so the cost model reads it
+  /// instead of re-walking the access list per (task, device) estimate.
+  std::uint64_t working_set_bytes() const noexcept {
+    return working_set_bytes_;
+  }
+
   // --- runtime-internal interface (used by Runtime and schedulers) ------
   void set_state(TaskState state) noexcept { state_ = state; }
   TaskTimes& mutable_times() noexcept { return times_; }
@@ -89,10 +102,18 @@ class Task {
     dvfs_ = dvfs;
   }
   void note_attempt() noexcept { ++attempts_; }
+  void set_working_set_bytes(std::uint64_t bytes) noexcept {
+    working_set_bytes_ = bytes;
+  }
 
-  std::uint64_t unfinished_deps = 0;  ///< decremented as parents finish
-  TaskIdList dependents;              ///< tasks waiting on this one
-  TaskIdList dependencies;            ///< parents (for static schedulers)
+  // The unfinished-parent counter and the dependents list live in the
+  // Runtime (dense arrays indexed by TaskId), not here: dependency
+  // inference appends to a random parent's dependents and finish_task
+  // decrements one counter per edge, and keeping both in flat side
+  // arrays turns scattered 320-byte Task-object touches into hits in a
+  // small dense window. Read them via Runtime::unfinished_deps(id) and
+  // Runtime::dependents(id).
+  TaskIdList dependencies;  ///< parents (for static schedulers)
 
   /// Estimate added to the device's queued_est_seconds when this task was
   /// enqueued; subtracted back on dequeue. Cached so the dequeue side
@@ -102,10 +123,11 @@ class Task {
 
  private:
   TaskId id_;
-  std::string name_;
+  std::string_view name_;
   CodeletPtr codelet_;
   double flops_;
   AccessList accesses_;
+  std::uint64_t working_set_bytes_ = 0;
   double priority_ = 0.0;
   sim::SimTime release_time_ = 0.0;
   TaskState state_ = TaskState::Submitted;

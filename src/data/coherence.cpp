@@ -74,16 +74,26 @@ void CoherenceDirectory::set_state(DataId data, hw::MemoryNodeId node,
   if (slot == next) {
     return;
   }
-  const std::uint64_t bytes = registry_->handle(data).bytes;
   const bool was_valid = slot != ReplicaState::Invalid;
   const bool now_valid = next != ReplicaState::Invalid;
   slot = next;
   if (was_valid == now_valid) {
+    // Shared<->Modified transition: residency unchanged. Returning before
+    // the handle lookup keeps the (randomly indexed) registry row out of
+    // the write hot path.
     return;
   }
+  const std::uint64_t bytes = registry_->handle(data).bytes;
   std::vector<DataId>& list = resident_[node];
   if (now_valid) {
-    list.insert(std::lower_bound(list.begin(), list.end(), data), data);
+    // Handles register in ascending id order, so the overwhelmingly
+    // common insert position is the back — skip the binary search there
+    // (the list stays sorted either way).
+    if (list.empty() || list.back() < data) {
+      list.push_back(data);
+    } else {
+      list.insert(std::lower_bound(list.begin(), list.end(), data), data);
+    }
     resident_bytes_[node] += bytes;
   } else {
     const auto it = std::lower_bound(list.begin(), list.end(), data);
@@ -130,8 +140,9 @@ hw::MemoryNodeId CoherenceDirectory::pick_source(DataId data,
       found = true;
     }
   }
-  HETFLOW_REQUIRE_MSG(found, "pick_source: no valid replica for handle '" +
-                                 registry_->handle(data).name + "'");
+  HETFLOW_REQUIRE_MSG(found,
+                      "pick_source: no valid replica for handle '" +
+                          std::string(registry_->handle(data).name) + "'");
   return best;
 }
 

@@ -30,6 +30,30 @@ class CoherenceDirectory {
   /// The home node of each new handle starts as its sole Shared replica.
   void sync_with_registry();
 
+  /// Capacity hint for a known registration count (pure reservation;
+  /// states_.size() keeps tracking the registered count exactly).
+  void reserve(std::size_t handles) { states_.reserve(handles * node_count_); }
+
+  /// Fast-path equivalent of sync_with_registry for exactly one freshly
+  /// registered handle (the DataManager::register_data hot loop): appends
+  /// the handle's per-node slots and seeds the home replica directly,
+  /// skipping the catch-up scan. Inline because a million-handle
+  /// registration phase calls this once per handle.
+  void note_registered(const DataHandle& handle) {
+    HETFLOW_REQUIRE_MSG(
+        states_.size() == static_cast<std::size_t>(handle.id) * node_count_,
+        "note_registered out of sync with registry");
+    for (std::size_t n = 0; n < node_count_; ++n) {
+      states_.push_back(ReplicaState::Invalid);
+    }
+    states_[static_cast<std::size_t>(handle.id) * node_count_ +
+            handle.home_node] = ReplicaState::Shared;
+    // Ids register in ascending order, so the sorted residency list
+    // grows at the back.
+    resident_[handle.home_node].push_back(handle.id);
+    resident_bytes_[handle.home_node] += handle.bytes;
+  }
+
   ReplicaState state(DataId data, hw::MemoryNodeId node) const;
   bool has_valid_replica(DataId data, hw::MemoryNodeId node) const {
     return state(data, node) != ReplicaState::Invalid;

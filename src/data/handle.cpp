@@ -2,10 +2,11 @@
 
 namespace hetflow::data {
 
-DataId DataRegistry::register_data(std::string name, std::uint64_t bytes,
+DataId DataRegistry::register_data(std::string_view name, std::uint64_t bytes,
                                    hw::MemoryNodeId home_node) {
   const auto id = static_cast<DataId>(handles_.size());
-  handles_.push_back(DataHandle{id, std::move(name), bytes, home_node});
+  handles_.push_back(
+      DataHandle{id, names_.intern_view(name), bytes, home_node});
   total_bytes_ += bytes;
   return id;
 }

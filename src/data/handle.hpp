@@ -6,11 +6,12 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "hw/device.hpp"
 #include "util/error.hpp"
+#include "util/interner.hpp"
 
 namespace hetflow::data {
 
@@ -18,7 +19,9 @@ using DataId = std::uint32_t;
 
 struct DataHandle {
   DataId id = 0;
-  std::string name;
+  /// View into the owning registry's interner — valid for the
+  /// registry's lifetime, no per-handle string allocation.
+  std::string_view name;
   std::uint64_t bytes = 0;
   hw::MemoryNodeId home_node = 0;
 };
@@ -27,8 +30,10 @@ struct DataHandle {
 class DataRegistry {
  public:
   /// Registers a datum whose initial valid copy lives on `home_node`.
-  /// Zero-byte data is allowed (pure control dependencies).
-  DataId register_data(std::string name, std::uint64_t bytes,
+  /// Zero-byte data is allowed (pure control dependencies). The name is
+  /// copied once into the registry's interner; the argument may be
+  /// transient.
+  DataId register_data(std::string_view name, std::uint64_t bytes,
                        hw::MemoryNodeId home_node);
 
   // Inline: probed several times per task on the assignment hot path.
@@ -39,10 +44,15 @@ class DataRegistry {
   std::size_t count() const noexcept { return handles_.size(); }
   const std::vector<DataHandle>& handles() const noexcept { return handles_; }
 
+  /// Capacity hint for a known registration count (pure reservation).
+  void reserve(std::size_t handles) { handles_.reserve(handles); }
+
   /// Total bytes across all handles.
   std::uint64_t total_bytes() const noexcept { return total_bytes_; }
 
  private:
+  /// Declared before handles_ so handle name views die first.
+  util::StringInterner names_;
   std::vector<DataHandle> handles_;
   std::uint64_t total_bytes_ = 0;
 };

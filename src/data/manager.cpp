@@ -20,17 +20,30 @@ DataManager::DataManager(const hw::Platform& platform,
       transfers_(platform, queue),
       ledger_(platform) {}
 
-DataId DataManager::register_data(std::string name, std::uint64_t bytes,
+void DataManager::reserve(std::size_t handles) {
+  registry_.reserve(handles);
+  directory_.reserve(handles);
+  ledger_.reserve(handles);
+  in_flight_.reserve(handles * platform_->memory_node_count());
+}
+
+DataId DataManager::register_data(std::string_view name, std::uint64_t bytes,
                                   hw::MemoryNodeId home_node) {
   HETFLOW_REQUIRE_MSG(home_node < platform_->memory_node_count(),
                       "home node out of range");
   HETFLOW_REQUIRE_MSG(
       bytes <= platform_->memory_node(home_node).capacity_bytes(),
       "datum larger than its home memory node");
-  const DataId id = registry_.register_data(std::move(name), bytes, home_node);
-  directory_.sync_with_registry();
-  in_flight_.resize(registry_.count() * platform_->memory_node_count(),
-                    kNotInFlight);
+  const DataId id = registry_.register_data(name, bytes, home_node);
+  directory_.note_registered(registry_.handle(id));
+  // Ids are dense, so the new handle's per-node slots are exactly the
+  // vector tail. Appended with inline push_backs: the generic
+  // fill-insert is an out-of-line call per registration, and this runs
+  // a million times in a large submit phase.
+  const std::size_t nodes = platform_->memory_node_count();
+  for (std::size_t n = 0; n < nodes; ++n) {
+    in_flight_.push_back(kNotInFlight);
+  }
   return id;
 }
 
@@ -121,7 +134,6 @@ sim::SimTime DataManager::acquire(std::span<const Access> accesses,
                       "memory node out of range");
   sim::SimTime ready = earliest;
   for (const Access& access : accesses) {
-    const DataHandle& handle = registry_.handle(access.data);
     const bool local = directory_.has_valid_replica(access.data, node);
     // An in-flight prefetch counts as "arriving": wait for it instead of
     // transferring again.
@@ -131,29 +143,34 @@ sim::SimTime DataManager::acquire(std::span<const Access> accesses,
         ready = std::max(ready, flight);
       }
       flight = kNotInFlight;
-    } else if (is_read(access.mode) && !local && handle.bytes > 0) {
-      ensure_capacity(node, handle.bytes, earliest, accesses);
-      const hw::MemoryNodeId source =
-          directory_.pick_source(access.data, node);
-      const sim::SimTime done =
-          transfers_.transfer(source, node, handle.bytes, earliest);
-      ++stats_.fetches;
-      if (recorder_ != nullptr) {
-        recorder_->metrics()
-            .counter("fetches", node_labels(*platform_, node))
-            .inc();
+    } else if (!local) {
+      // Only the transfer paths need the handle row (bytes); the
+      // everything-local fast path above never touches the registry.
+      const DataHandle& handle = registry_.handle(access.data);
+      if (is_read(access.mode) && handle.bytes > 0) {
+        ensure_capacity(node, handle.bytes, earliest, accesses);
+        const hw::MemoryNodeId source =
+            directory_.pick_source(access.data, node);
+        const sim::SimTime done =
+            transfers_.transfer(source, node, handle.bytes, earliest);
+        ++stats_.fetches;
+        if (recorder_ != nullptr) {
+          recorder_->metrics()
+              .counter("fetches", node_labels(*platform_, node))
+              .inc();
+        }
+        // MSI remote read: a Modified owner loses exclusivity but keeps
+        // its (up-to-date) copy — both ends are Shared afterwards.
+        if (directory_.state(access.data, source) == ReplicaState::Modified) {
+          directory_.mark_shared(access.data, source);
+        }
+        directory_.mark_shared(access.data, node);
+        ready = std::max(ready, done);
+      } else if (handle.bytes > 0) {
+        // Write-only: allocate space, no fetch of the stale value.
+        ensure_capacity(node, handle.bytes, earliest, accesses);
+        directory_.mark_shared(access.data, node);  // placeholder until write
       }
-      // MSI remote read: a Modified owner loses exclusivity but keeps
-      // its (up-to-date) copy — both ends are Shared afterwards.
-      if (directory_.state(access.data, source) == ReplicaState::Modified) {
-        directory_.mark_shared(access.data, source);
-      }
-      directory_.mark_shared(access.data, node);
-      ready = std::max(ready, done);
-    } else if (!local && handle.bytes > 0) {
-      // Write-only: allocate space, no fetch of the stale value.
-      ensure_capacity(node, handle.bytes, earliest, accesses);
-      directory_.mark_shared(access.data, node);  // placeholder until write
     }
     if (is_write(access.mode)) {
       const auto invalidated = directory_.mark_modified(access.data, node);

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hw/platform.hpp"
@@ -30,8 +31,11 @@ struct DecisionCandidate {
 
 struct SchedDecision {
   std::uint64_t task = 0;
-  std::string task_name;
+  /// Borrowed view of the interned task name (stable for the runtime's
+  /// lifetime — decisions are resolved lazily at serialization time).
+  std::string_view task_name;
   sim::SimTime time = 0.0;
+  /// Owning: Scheduler::name() returns by value, a view would dangle.
   std::string scheduler;
   std::vector<DecisionCandidate> candidates;
   hw::DeviceId winner = 0;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/decision_log.hpp"
@@ -47,7 +48,10 @@ struct Event {
   std::uint64_t task = kNoTask;
   std::uint64_t bytes = 0;
   std::uint64_t aux = 0;  ///< attempt number for Retry/Timeout
-  std::string name;       ///< task/datum name or free-form detail
+  /// Task/datum name or free-form detail. Borrowed view into a source
+  /// stable for the runtime's lifetime (interned task/handle names,
+  /// Device::name()) — recording an event copies no string.
+  std::string_view name;
 };
 
 class Recorder {

@@ -11,6 +11,7 @@ void HistoryModel::record(std::uint32_t codelet_id, hw::DeviceType type,
     return;  // zero-work tasks carry no throughput information
   }
   history_[key(codelet_id, type)].add(seconds / flops);
+  ++version_;
 }
 
 bool HistoryModel::calibrated(std::uint32_t codelet_id,
@@ -26,6 +27,15 @@ double HistoryModel::estimate(std::uint32_t codelet_id, hw::DeviceType type,
     return -1.0;
   }
   return it->second.mean() * flops;
+}
+
+double HistoryModel::seconds_per_flop(std::uint32_t codelet_id,
+                                      hw::DeviceType type) const {
+  const auto it = history_.find(key(codelet_id, type));
+  if (it == history_.end() || it->second.count() < kMinSamples) {
+    return -1.0;
+  }
+  return it->second.mean();
 }
 
 std::size_t HistoryModel::sample_count(std::uint32_t codelet_id,

@@ -35,10 +35,25 @@ class HistoryModel {
   double estimate(std::uint32_t codelet_id, hw::DeviceType type,
                   double flops) const;
 
+  /// Calibrated mean seconds-per-flop for the pair, or a negative value
+  /// when uncalibrated. estimate() is exactly this value * flops, which
+  /// is what makes the pair memoizable bitwise: callers may cache the
+  /// rate under the current version() and reproduce estimate() exactly.
+  double seconds_per_flop(std::uint32_t codelet_id,
+                          hw::DeviceType type) const;
+
   std::size_t sample_count(std::uint32_t codelet_id,
                            hw::DeviceType type) const;
 
-  void clear() { history_.clear(); }
+  /// Monotonic generation counter, bumped whenever a recorded sample (or
+  /// clear()) may have changed some pair's estimate. Cost-model caches
+  /// key their history snapshot on this.
+  std::uint64_t version() const noexcept { return version_; }
+
+  void clear() {
+    history_.clear();
+    ++version_;
+  }
 
  private:
   static std::uint64_t key(std::uint32_t codelet_id,
@@ -49,6 +64,7 @@ class HistoryModel {
 
   // Welford stats over seconds-per-flop samples.
   std::unordered_map<std::uint64_t, util::RunningStats> history_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace hetflow::perf

@@ -1,9 +1,11 @@
 #include "sched/dmdas.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "obs/recorder.hpp"
+#include "perf/energy_model.hpp"
 #include "sched/graph_utils.hpp"
 
 namespace hetflow::sched {
@@ -45,14 +47,25 @@ void DmdasScheduler::flush() {
         if (skip_blacklisted && ctx().device_blacklisted(device)) {
           continue;
         }
-        const double completion = ctx().estimate_completion(*task, device);
-        if (!std::isfinite(completion)) {
+        // One exec estimate per candidate, shared by the completion
+        // score and the decision-log energy column — the per-push
+        // estimate_completion + estimate_energy pair used to derive the
+        // same exec twice. Reassembles SchedContext::estimate_completion
+        // exactly: max(avail, data_ready) + exec.
+        const double exec = ctx().estimate_exec_seconds(*task, device);
+        if (!std::isfinite(exec)) {
           continue;
         }
+        const sim::SimTime avail = ctx().device_available_at(device);
+        const sim::SimTime data_ready =
+            ctx().estimate_data_ready(*task, device, avail);
+        const double completion = std::max(avail, data_ready) + exec;
         if (recorder != nullptr) {
-          candidates.push_back({device.id(), completion,
-                                ctx().estimate_energy(*task, device),
-                                ctx().device_blacklisted(device)});
+          candidates.push_back(
+              {device.id(), completion,
+               perf::EnergyModel::task_energy_j(
+                   device, device.nominal_dvfs_index(), exec),
+               ctx().device_blacklisted(device)});
         }
         if (completion < best_completion) {
           best_completion = completion;

@@ -1,5 +1,9 @@
 #include "sched/eager.hpp"
 
+#include <algorithm>
+
+#include "util/prefetch.hpp"
+
 namespace hetflow::sched {
 
 void EagerScheduler::on_task_ready(core::Task& task) {
@@ -7,14 +11,41 @@ void EagerScheduler::on_task_ready(core::Task& task) {
 }
 
 core::Task* EagerScheduler::on_device_idle(const hw::Device& device) {
-  for (auto it = fifo_.begin(); it != fifo_.end(); ++it) {
-    if ((*it)->codelet().supports(device.type())) {
-      core::Task* task = *it;
-      fifo_.erase(it);
-      return task;
+  if (head_ == fifo_.size()) {
+    return nullptr;
+  }
+  core::Task* picked = nullptr;
+  // Fast path: the head of the queue runs here (always true on uniform
+  // platforms, the million-task regime). Same pick as the scan below.
+  if (fifo_[head_]->codelet().supports(device.type())) {
+    picked = fifo_[head_];
+    ++head_;
+  } else {
+    for (std::size_t i = head_ + 1; i < fifo_.size(); ++i) {
+      if (fifo_[i]->codelet().supports(device.type())) {
+        picked = fifo_[i];
+        fifo_.erase(fifo_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
     }
   }
-  return nullptr;
+  // The runtime dispatches the picked task immediately and pulls again
+  // for the next idle device within the same pump, so the next entry's
+  // Task object (scattered in the pool) is wanted ~one dispatch from
+  // now — far enough out for a prefetch to hide the miss.
+  if (head_ < fifo_.size()) {
+    util::prefetch_range_read(fifo_[head_], sizeof(core::Task));
+  }
+  // Trim the consumed prefix once it dominates the buffer (amortized
+  // O(1)); resetting outright when the queue drains is the common case.
+  if (head_ == fifo_.size()) {
+    fifo_.clear();
+    head_ = 0;
+  } else if (head_ >= 1024 && head_ * 2 >= fifo_.size()) {
+    fifo_.erase(fifo_.begin(), fifo_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  return picked;
 }
 
 }  // namespace hetflow::sched

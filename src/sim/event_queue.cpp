@@ -141,6 +141,37 @@ bool EventQueue::step() {
   return false;
 }
 
+std::size_t EventQueue::drain_ready() {
+  // Find the live head (skipping carcasses without advancing time) to
+  // learn the batch timestamp.
+  while (!heap_.empty() && !is_live(heap_.front().id)) {
+    pop_top();
+    --carcasses_;
+  }
+  if (heap_.empty()) {
+    return 0;
+  }
+  const SimTime batch_time = heap_.front().when;
+  std::size_t ran = 0;
+  // Callbacks may schedule new events at batch_time (they join the batch,
+  // FIFO by seq) or cancel pending ones (the carcass is skipped below; a
+  // mid-drain compact() is safe because the heap front is re-read each
+  // iteration).
+  while (!heap_.empty() && heap_.front().when == batch_time) {
+    const Event event = pop_top();
+    Callback fn = take_callback(event.id);
+    if (!fn) {
+      --carcasses_;
+      continue;
+    }
+    now_ = event.when;
+    ++executed_;
+    ++ran;
+    fn();
+  }
+  return ran;
+}
+
 SimTime EventQueue::run() {
   while (step()) {
   }

@@ -65,7 +65,7 @@ std::string spans_to_csv(const Tracer& tracer) {
   util::CsvWriter csv(out);
   csv.header({"task", "name", "device", "start_s", "end_s", "kind"});
   for (const Span& span : tracer.spans()) {
-    csv.row({std::to_string(span.task_id), span.name,
+    csv.row({std::to_string(span.task_id), std::string(span.name),
              std::to_string(span.device), util::format("%.9f", span.start),
              util::format("%.9f", span.end),
              span.kind == SpanKind::Exec

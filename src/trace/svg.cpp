@@ -1,6 +1,7 @@
 #include "trace/svg.hpp"
 
 #include <algorithm>
+#include <string_view>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -13,7 +14,7 @@ namespace hetflow::trace {
 namespace {
 
 /// Stable categorical color per span name: hash -> HSL-ish palette.
-std::string color_for(const std::string& name) {
+std::string color_for(std::string_view name) {
   std::uint64_t state = 0x243f6a8885a308d3ULL;
   for (char c : name) {
     state = util::hash_combine(state, static_cast<std::uint64_t>(
@@ -24,7 +25,7 @@ std::string color_for(const std::string& name) {
   return util::format("hsl(%.0f, 62%%, 62%%)", hue);
 }
 
-std::string escape_xml(const std::string& text) {
+std::string escape_xml(std::string_view text) {
   std::string out;
   out.reserve(text.size());
   for (char c : text) {

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hw/platform.hpp"
@@ -16,7 +17,11 @@ enum class SpanKind : std::uint8_t { Exec = 0, FailedExec, Overhead };
 
 struct Span {
   std::uint64_t task_id = 0;
-  std::string name;
+  /// Borrowed view — sources are stable for the runtime's lifetime
+  /// (interned task names, Device::name()); exporters that outlive the
+  /// runtime serialize to owning strings first. Keeps span capture on
+  /// the hot path copy-free.
+  std::string_view name;
   hw::DeviceId device = 0;
   sim::SimTime start = 0.0;
   sim::SimTime end = 0.0;

@@ -37,6 +37,7 @@ class Json {
   Json(std::size_t i) : value_(static_cast<double>(i)) {}
   Json(const char* s) : value_(std::string(s)) {}
   Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
   Json(JsonArray a) : value_(std::move(a)) {}
   Json(JsonObject o) : value_(std::move(o)) {}
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 #include "core/task.hpp"
 #include "util/error.hpp"
 
@@ -68,13 +71,16 @@ TEST(Task, ConstructionValidates) {
   EXPECT_THROW(Task(0, "t", nullptr, 1e9, {}), util::InternalError);
   EXPECT_THROW(Task(0, "t", c, -1.0, {}), util::InternalError);
   const auto empty = std::make_shared<Codelet>("empty");
-  EXPECT_THROW(Task(0, "t", empty, 1.0, {}), util::InternalError);
+  EXPECT_THROW(Task(0, "t", empty, 1.0,
+                    std::span<const data::Access>{}),
+               util::InternalError);
 }
 
 TEST(Task, InitialState) {
   const CodeletPtr c = Codelet::make("k", {{hw::DeviceType::Cpu, 0.5}});
-  const Task t(3, "mytask", c, 2e9,
-               {{0, data::AccessMode::Read}, {1, data::AccessMode::Write}});
+  const std::vector<data::Access> accesses = {
+      {0, data::AccessMode::Read}, {1, data::AccessMode::Write}};
+  const Task t(3, "mytask", c, 2e9, accesses);
   EXPECT_EQ(t.id(), 3u);
   EXPECT_EQ(t.name(), "mytask");
   EXPECT_EQ(t.state(), TaskState::Submitted);

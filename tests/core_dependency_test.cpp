@@ -27,7 +27,7 @@ TEST_F(DependencyTest, RawReaderAfterWriter) {
   const TaskId w = rt.submit("w", codelet, 1e9, {{d, data::AccessMode::Write}});
   const TaskId r = rt.submit("r", codelet, 1e9, {{d, data::AccessMode::Read}});
   EXPECT_EQ(rt.task(r).dependencies, (std::vector<TaskId>{w}));
-  EXPECT_EQ(rt.task(w).dependents, (std::vector<TaskId>{r}));
+  EXPECT_EQ(rt.dependents(w), (std::vector<TaskId>{r}));
   rt.wait_all();
   const auto windows = exec_windows(rt.tracer());
   EXPECT_GE(windows.at(r).first, windows.at(w).second - 1e-12);
@@ -117,7 +117,7 @@ TEST_F(DependencyTest, DuplicateDependencyCountedOnce) {
                              {{a, data::AccessMode::Read},
                               {b, data::AccessMode::Read}});
   EXPECT_EQ(rt.task(r).dependencies, (std::vector<TaskId>{w}));
-  EXPECT_EQ(rt.task(r).unfinished_deps, 1u);
+  EXPECT_EQ(rt.unfinished_deps(r), 1u);
   rt.wait_all();
   EXPECT_EQ(rt.task(r).state(), TaskState::Completed);
 }
@@ -140,7 +140,7 @@ TEST_F(DependencyTest, CompletedParentDoesNotBlockLateSubmission) {
       rt.submit("late", codelet, 1e9, {{d, data::AccessMode::Read}});
   // Dependency recorded for lineage, but not counted as unfinished.
   EXPECT_EQ(rt.task(r).dependencies, (std::vector<TaskId>{w}));
-  EXPECT_EQ(rt.task(r).unfinished_deps, 0u);
+  EXPECT_EQ(rt.unfinished_deps(r), 0u);
   rt.wait_all();
   EXPECT_EQ(rt.task(r).state(), TaskState::Completed);
 }

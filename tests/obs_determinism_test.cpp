@@ -38,14 +38,17 @@ struct Artifacts {
 
 /// One cell of the determinism grid: an instrumented run of a generated
 /// workflow with noise and fault injection live (the hardest case for
-/// byte-stability).
-Artifacts run_cell(const std::string& scheduler, std::uint64_t seed) {
+/// byte-stability). `memoize` toggles the cost-model cache so the grid
+/// can cross-compare the memoized and direct estimate paths.
+Artifacts run_cell(const std::string& scheduler, std::uint64_t seed,
+                   bool memoize = true) {
   const hw::Platform p = hw::make_workstation();
   core::RuntimeOptions options;
   options.metrics = true;
   options.seed = seed;
   options.noise_cv = 0.2;
   options.failure_model = hw::FailureModel::uniform(0.3);
+  options.memoize_costs = memoize;
   core::Runtime rt(p, sched::make_scheduler(scheduler), options);
   workflow::submit_workflow(rt, workflow::make_montage(10),
                             workflow::CodeletLibrary::standard());
@@ -99,6 +102,38 @@ TEST(ObsDeterminism, RepeatedRunsReproduceTheSameBytes) {
   const Artifacts first = run_cell("dmda", 11);
   const Artifacts second = run_cell("dmda", 11);
   EXPECT_TRUE(first == second);
+}
+
+// Cross-property: the cost-model cache (memoize_costs, the default) and
+// the direct recompute path serialize identical bytes even when the
+// memoized grid runs on an 8-worker pool and the direct grid serially —
+// memoization, name interning and host parallelism together leave no
+// fingerprint in any artifact.
+TEST(ObsDeterminism, MemoizedPooledGridMatchesDirectSerialGrid) {
+  struct Cell {
+    std::string scheduler;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> cells;
+  for (const char* scheduler : {"mct", "dmda", "dmdas", "work-stealing"}) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      cells.push_back({scheduler, seed});
+    }
+  }
+  std::vector<Artifacts> direct_serial;
+  direct_serial.reserve(cells.size());
+  for (const Cell& cell : cells) {
+    direct_serial.push_back(run_cell(cell.scheduler, cell.seed, false));
+  }
+  const std::vector<Artifacts> memo_pooled = exec::parallel_map<Artifacts>(
+      cells.size(), 8, [&](std::size_t i) {
+        return run_cell(cells[i].scheduler, cells[i].seed, true);
+      });
+  ASSERT_EQ(memo_pooled.size(), direct_serial.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_TRUE(memo_pooled[i] == direct_serial[i])
+        << cells[i].scheduler << " seed " << cells[i].seed;
+  }
 }
 
 /// A cancel-heavy fault run: tight per-attempt timeouts race the

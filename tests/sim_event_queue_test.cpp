@@ -376,6 +376,118 @@ TEST(EventQueue, NearPastWithinSlackClampsToNow) {
   EXPECT_THROW(q.schedule_at(1000.0 - 1e-3, [] {}), util::InternalError);
 }
 
+// --- drain_ready: the batched completion drain -------------------------
+
+TEST(EventQueueDrain, DrainsExactlyTheSameTimestampBatchInFifoOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(1.0, [&] { fired.push_back(0); });
+  q.schedule_at(1.0, [&] { fired.push_back(1); });
+  q.schedule_at(1.0, [&] { fired.push_back(2); });
+  q.schedule_at(2.0, [&] { fired.push_back(9); });
+  EXPECT_EQ(q.drain_ready(), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.now(), 1.0);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.drain_ready(), 1u);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 9}));
+  EXPECT_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueueDrain, ReturnsZeroOnEmptyQueue) {
+  EventQueue q;
+  EXPECT_EQ(q.drain_ready(), 0u);
+  q.schedule_at(1.0, [] {});
+  q.run();
+  EXPECT_EQ(q.drain_ready(), 0u);  // drained queue stays drained
+}
+
+TEST(EventQueueDrain, SkipsCarcassesAtHeadAndInsideTheBatch) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId head = q.schedule_at(1.0, [&] { fired.push_back(-1); });
+  q.schedule_at(1.0, [&] { fired.push_back(0); });
+  const EventId mid = q.schedule_at(1.0, [&] { fired.push_back(-2); });
+  q.schedule_at(1.0, [&] { fired.push_back(1); });
+  q.cancel(head);
+  q.cancel(mid);
+  EXPECT_EQ(q.drain_ready(), 2u);  // counts executed events, not carcasses
+  EXPECT_EQ(fired, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(q.debug_consistent());
+}
+
+TEST(EventQueueDrain, ZeroDelayEventsScheduledDuringDrainJoinTheBatch) {
+  // A callback scheduling at the batch timestamp (the requeue /
+  // immediate-retry pattern) must run within the same drain call — that
+  // is what makes drain_ready equivalent to the step() loop, which would
+  // also reach that event before the clock moves.
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(1.0, [&] {
+    fired.push_back(0);
+    q.schedule_after(0.0, [&] { fired.push_back(2); });
+  });
+  q.schedule_at(1.0, [&] { fired.push_back(1); });
+  q.schedule_at(3.0, [&] { fired.push_back(9); });
+  EXPECT_EQ(q.drain_ready(), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.now(), 1.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueDrain, CallbackCancellingBatchMemberSuppressesIt) {
+  // The watchdog-vs-completion race inside one timestamp: the first
+  // event cancels the second; drain_ready must not run the corpse.
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  ids.push_back(q.schedule_at(1.0, [&] {
+    fired.push_back(0);
+    EXPECT_TRUE(q.cancel(ids[1]));
+  }));
+  ids.push_back(q.schedule_at(1.0, [&] { fired.push_back(-1); }));
+  ids.push_back(q.schedule_at(1.0, [&] { fired.push_back(2); }));
+  EXPECT_EQ(q.drain_ready(), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{0, 2}));
+  EXPECT_TRUE(q.debug_consistent());
+}
+
+TEST(EventQueueDrain, FullRunMatchesStepLoopEventForEvent) {
+  // Property: over a schedule dense with same-time ties, cancellations
+  // and mid-run insertions, the drain_ready loop executes the exact same
+  // event sequence as the step() loop.
+  const auto build_and_run = [](bool batched) {
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 300; ++i) {
+      const double t = static_cast<double>(i % 7) + 1.0;  // heavy ties
+      ids.push_back(q.schedule_at(t, [&order, &q, i] {
+        order.push_back(i);
+        if (i % 11 == 0) {
+          // Mid-run insertion at the current batch timestamp.
+          q.schedule_after(0.0, [&order, i] { order.push_back(1000 + i); });
+        }
+      }));
+    }
+    for (int i = 0; i < 300; i += 5) {
+      q.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    if (batched) {
+      while (q.drain_ready() > 0) {
+      }
+    } else {
+      while (q.step()) {
+      }
+    }
+    return order;
+  };
+  const std::vector<int> stepped = build_and_run(false);
+  const std::vector<int> drained = build_and_run(true);
+  EXPECT_EQ(stepped, drained);
+  EXPECT_FALSE(stepped.empty());
+}
+
 // Slab slot reuse must never resurrect a cancelled id: the generation
 // stamp in the EventId changes when the slot is recycled.
 TEST(EventQueue, RecycledSlotDoesNotResurrectOldId) {

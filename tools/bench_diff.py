@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_core.json files and report per-shape throughput deltas.
+
+Usage: bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Rows are matched on (shape, tasks); rows present in only one file (e.g. a
+smoke run diffed against a full run, or a newly added shape) are listed
+but never fail the comparison. With --threshold, exits 1 when any matched
+row's tasks/s regressed by more than PCT percent; without it the tool is
+purely informational. ci/check.sh runs it advisory (no threshold) so a
+slow CI machine cannot fail the gate on noise.
+
+Stdlib only by design — the CI image has no third-party Python packages.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    """Returns {(shape, tasks): tasks_per_s} for one BENCH_core.json."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        sys.exit(f"bench_diff: {path}: no 'runs' array (not a BENCH_core.json?)")
+    out = {}
+    for row in runs:
+        try:
+            out[(row["shape"], int(row["tasks"]))] = float(row["tasks_per_s"])
+        except (KeyError, TypeError, ValueError):
+            sys.exit(f"bench_diff: {path}: malformed run row: {row!r}")
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Per-shape tasks/s deltas between two BENCH_core.json files.")
+    parser.add_argument("baseline", help="baseline BENCH_core.json")
+    parser.add_argument("candidate", help="candidate BENCH_core.json")
+    parser.add_argument(
+        "--threshold", type=float, default=None, metavar="PCT",
+        help="fail (exit 1) if any matched row regresses by more than PCT%% "
+             "(default: report only)")
+    args = parser.parse_args()
+
+    base = load_runs(args.baseline)
+    cand = load_runs(args.candidate)
+    matched = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    if not matched:
+        print("bench_diff: no (shape, tasks) rows in common — nothing to "
+              "compare (smoke vs full run?)")
+        for key in only_base:
+            print(f"  baseline only:  {key[0]:<10} {key[1]:>9}")
+        for key in only_cand:
+            print(f"  candidate only: {key[0]:<10} {key[1]:>9}")
+        return 0
+
+    header = (f"{'shape':<10} {'tasks':>9} {'base tasks/s':>14} "
+              f"{'cand tasks/s':>14} {'delta':>8}")
+    print(header)
+    print("-" * len(header))
+    worst = None  # (delta_pct, key)
+    for key in matched:
+        shape, tasks = key
+        b, c = base[key], cand[key]
+        delta_pct = (c - b) / b * 100.0 if b > 0.0 else float("inf")
+        print(f"{shape:<10} {tasks:>9} {b:>14,.0f} {c:>14,.0f} "
+              f"{delta_pct:>+7.1f}%")
+        if worst is None or delta_pct < worst[0]:
+            worst = (delta_pct, key)
+    for key in only_base:
+        print(f"{key[0]:<10} {key[1]:>9} {'(baseline only)':>14}")
+    for key in only_cand:
+        print(f"{key[0]:<10} {key[1]:>9} {'(candidate only)':>37}")
+
+    if args.threshold is not None and worst is not None:
+        delta_pct, key = worst
+        if delta_pct < -args.threshold:
+            print(f"\nFAIL: {key[0]} @ {key[1]} regressed {delta_pct:+.1f}% "
+                  f"(threshold -{args.threshold:.1f}%)")
+            return 1
+        print(f"\nok: worst delta {delta_pct:+.1f}% within "
+              f"-{args.threshold:.1f}% threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
