@@ -1,0 +1,232 @@
+// Serve-layer load generator: closed-loop multi-tenant throughput vs
+// tail latency.
+//
+// Each scale point registers N tenants on one ServeEngine (shared HPC
+// platform) and drives a closed loop: every round each tenant offers one
+// small workflow, admission decides (per-tenant backlog caps + global
+// ceiling with deferral), then batches run until every queue is empty
+// (full drain — the structural p99 bound is stated per round). Admission
+// keeps the queue bounded by construction; the bench verifies the two
+// service-level claims:
+//
+//   bounded queues   peak pending never exceeds max_pending + defer_cap
+//                    (backpressure engaged, nothing grew without bound);
+//   bounded p99      p99 workflow latency (service-clock seconds from
+//                    admission to last task) stays under the structural
+//                    bound (backlog-cap/max-in-flight + overflow-drain +
+//                    2 batches) x the worst observed batch makespan.
+//
+// Emits BENCH_serve.json. --smoke shrinks the grid for CI/ASan runs;
+// full mode spans 10^3..10^5 tenants.
+//
+// hetflow-lint: allow-file(det-wallclock)  — wall time is the measurand
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/engine.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace hetflow;
+
+struct ScaleResult {
+  std::size_t tenants = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t deferred = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::size_t batches = 0;
+  std::size_t peak_pending = 0;
+  std::size_t pending_bound = 0;
+  double wall_s = 0.0;
+  double clock_s = 0.0;
+  double submissions_per_s = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double p99_bound_s = 0.0;
+  bool ok = false;
+};
+
+double wall_since(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
+ScaleResult run_scale(std::size_t tenants, std::size_t rounds) {
+  const hw::Platform platform = hw::make_hpc_node(16, 4);
+
+  serve::ServeConfig config;
+  config.seed = 42;
+  config.batch_limit = 4096;
+  config.backlog_cap = 4;
+  config.max_in_flight = 2;
+  // The global ceiling is deliberately far below tenants x backlog_cap at
+  // the larger scales, so backpressure (deferral, then rejection) is the
+  // steady state rather than a corner case.
+  config.admission.max_pending = std::max<std::size_t>(tenants / 2, 256);
+  config.admission.defer_cap = config.admission.max_pending / 4;
+  config.admission.policy = serve::BackpressurePolicy::Defer;
+
+  serve::ServeEngine engine(platform, config);
+  for (std::size_t i = 0; i < tenants; ++i) {
+    serve::TenantSpec spec;
+    // Three weight classes so fair-share has real work to do.
+    spec.weight = 1.0 + static_cast<double>(i % 3);
+    engine.add_tenant(spec);
+  }
+
+  serve::JobSpec job;
+  job.shape = serve::JobShape::Chain;
+  job.tasks = 2;
+  job.flops = 5e8;
+  job.bytes = 1 << 16;
+
+  ScaleResult r;
+  r.tenants = tenants;
+  r.pending_bound = config.admission.max_pending + config.admission.defer_cap;
+  double max_makespan_s = 0.0;
+  const auto begin = std::chrono::steady_clock::now();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < tenants; ++i) {
+      ++r.offered;
+      engine.submit(static_cast<serve::TenantId>(i), job);
+      r.peak_pending = std::max(r.peak_pending, engine.total_pending());
+    }
+    // Closed loop: service gates the next arrival wave. A full drain per
+    // round keeps the structural wait bound honest — every admitted job
+    // is behind at most pending_bound others and each batch releases
+    // batch_limit of them, so nothing lingers across rounds.
+    while (engine.total_pending() > 0) {
+      const serve::BatchResult batch = engine.run_batch();
+      max_makespan_s = std::max(max_makespan_s, batch.makespan_s);
+      if (batch.released == 0) {
+        break;  // wedged; the invariant check below will fail loudly
+      }
+    }
+  }
+  r.wall_s = wall_since(begin);
+
+  util::Sample latency;
+  for (serve::TenantId t = 0; t < engine.tenant_count(); ++t) {
+    const serve::TenantStats& stats = engine.stats(t);
+    r.admitted += stats.admitted;
+    r.deferred += stats.deferred;
+    r.rejected += stats.rejected;
+    r.completed += stats.completed;
+    for (double x : stats.latency.values()) {
+      latency.add(x);
+    }
+  }
+  r.batches = engine.batches_run();
+  r.clock_s = engine.clock();
+  r.submissions_per_s =
+      r.wall_s > 0.0 ? static_cast<double>(r.offered) / r.wall_s : 0.0;
+  if (!latency.empty()) {
+    r.p50_s = latency.quantile(0.5);
+    r.p99_s = latency.quantile(0.99);
+  }
+  // Structural wait bound, in batches: a job in the system is behind at
+  // most pending_bound others, each non-wedged batch releases up to
+  // batch_limit of them, a full tenant backlog adds
+  // backlog_cap/max_in_flight tenant-local batches, and +2 covers the
+  // admission and completion batches.
+  const double wait_batches =
+      static_cast<double>(r.pending_bound) /
+          static_cast<double>(config.batch_limit) +
+      static_cast<double>(config.backlog_cap) /
+          static_cast<double>(config.max_in_flight) +
+      2.0;
+  r.p99_bound_s = wait_batches * max_makespan_s;
+  // `admitted` counts entries into a backlog, so a deferred job shows up
+  // there too once the overflow drains; after a full drain every admitted
+  // job must have completed.
+  r.ok = r.completed == r.admitted && engine.total_pending() == 0 &&
+         r.peak_pending <= r.pending_bound && r.p99_s <= r.p99_bound_s &&
+         r.completed > 0;
+  return r;
+}
+
+util::Json to_json(const ScaleResult& r) {
+  util::Json doc = util::Json::object();
+  doc["tenants"] = static_cast<double>(r.tenants);
+  doc["offered"] = static_cast<double>(r.offered);
+  doc["admitted"] = static_cast<double>(r.admitted);
+  doc["deferred"] = static_cast<double>(r.deferred);
+  doc["rejected"] = static_cast<double>(r.rejected);
+  doc["completed"] = static_cast<double>(r.completed);
+  doc["batches"] = static_cast<double>(r.batches);
+  doc["peak_pending"] = static_cast<double>(r.peak_pending);
+  doc["pending_bound"] = static_cast<double>(r.pending_bound);
+  doc["wall_s"] = r.wall_s;
+  doc["clock_s"] = r.clock_s;
+  doc["submissions_per_s"] = r.submissions_per_s;
+  doc["p50_latency_s"] = r.p50_s;
+  doc["p99_latency_s"] = r.p99_s;
+  doc["p99_bound_s"] = r.p99_bound_s;
+  doc["ok"] = r.ok;
+  return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    }
+  }
+  bench::print_experiment_header(
+      "serve load", "sustained multi-tenant submission throughput vs "
+                    "p50/p99 workflow latency under backpressure");
+
+  const std::vector<std::size_t> scales =
+      smoke ? std::vector<std::size_t>{200, 2000}
+            : std::vector<std::size_t>{1000, 10000, 100000};
+  const std::size_t rounds = smoke ? 2 : 3;
+
+  util::Table table({"tenants", "offered", "admitted", "deferred",
+                     "rejected", "peak q", "batches", "subs/s", "p50 s",
+                     "p99 s", "bound s", "ok"});
+  util::Json runs = util::Json::array();
+  bool ok = true;
+  for (std::size_t tenants : scales) {
+    const ScaleResult r = run_scale(tenants, rounds);
+    ok = ok && r.ok;
+    table.add_row({std::to_string(r.tenants), std::to_string(r.offered),
+                   std::to_string(r.admitted), std::to_string(r.deferred),
+                   std::to_string(r.rejected),
+                   std::to_string(r.peak_pending),
+                   std::to_string(r.batches),
+                   util::format("%.0f", r.submissions_per_s),
+                   util::format("%.3f", r.p50_s),
+                   util::format("%.3f", r.p99_s),
+                   util::format("%.3f", r.p99_bound_s), r.ok ? "ok" : "FAIL"});
+    runs.push_back(to_json(r));
+  }
+  table.print(std::cout);
+
+  // A smoke run is a CI gate, not a measurement: no JSON (a shrunken grid
+  // must never masquerade as the recorded BENCH_serve.json).
+  if (!smoke) {
+    util::Json doc = util::Json::object();
+    doc["bench"] = "serve_load";
+    doc["smoke"] = false;
+    doc["runs"] = runs;
+    std::ofstream out("BENCH_serve.json");
+    out << doc.dump_pretty() << '\n';
+    std::cout << "\nwrote BENCH_serve.json\n";
+  }
+  if (!ok) {
+    std::cerr << "FAIL: a serve scale point violated its queue or latency "
+                 "bound\n";
+  }
+  return ok ? 0 : 1;
+}

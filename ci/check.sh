@@ -6,24 +6,28 @@
 #   3. core-overhead bench smoke: every synthetic DAG shape at 10^4
 #      tasks through bench_core_overhead --smoke (throughput sanity,
 #      exact completion counts, HEFT plan-time bound)
-#   4. rebuild with HETFLOW_SANITIZE=address,undefined and run the full
-#      suite again under the sanitizers
-#   5. rebuild with HETFLOW_SANITIZE=thread and run the parallel-sweep,
+#   4. serve front-end smoke: bench_serve_load --smoke (closed-loop
+#      multi-tenant load with bounded-queue/bounded-p99 assertions), the
+#      fairness/starvation checkers via hetflow_check --selftest, and
+#      bench_diff.py --selftest
+#   5. rebuild with HETFLOW_SANITIZE=address,undefined and run the full
+#      suite again under the sanitizers (including the serve smoke)
+#   6. rebuild with HETFLOW_SANITIZE=thread and run the parallel-sweep,
 #      retry/timeout, campaign-checkpoint and observability golden/
 #      determinism tests plus a --jobs 4 hetflow_bench smoke sweep under
 #      TSan — proves the thread-confinement contract
 #      (docs/parallelism.md), not just asserts it
-#   6. checkpoint/resume smoke: a campaign killed after two rounds and
+#   7. checkpoint/resume smoke: a campaign killed after two rounds and
 #      resumed from its checkpoint must report the same result as the
 #      uninterrupted run (docs/fault_tolerance.md)
-#   7. coverage floor: rebuild with HETFLOW_COVERAGE=ON, run the obs
+#   8. coverage floor: rebuild with HETFLOW_COVERAGE=ON, run the obs
 #      suites, and require >= 90% line coverage on src/obs/ (gcovr when
 #      installed, plain gcov otherwise)
-#   8. lint: clang-tidy over files changed vs the merge base (all
+#   9. lint: clang-tidy over files changed vs the merge base (all
 #      first-party files when git history is unavailable); fails on any
 #      diagnostic. Without clang-tidy installed, tools/lint.sh falls back
 #      to a strict GCC pass.
-#   9. hetflow_lint: the project-specific static analyzer
+#  10. hetflow_lint: the project-specific static analyzer
 #      (docs/static_analysis.md) over the whole tree in --json mode;
 #      fails on any unsuppressed finding against lint_baseline.txt.
 #
@@ -34,14 +38,14 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${1:-$(nproc)}"
 cd "$repo_root"
 
-echo "=== [1/9] build (WERROR) ==="
+echo "=== [1/10] build (WERROR) ==="
 cmake -B build-ci -S . -DHETFLOW_WERROR=ON
 cmake --build build-ci -j "$jobs"
 
-echo "=== [2/9] ctest (plain) ==="
+echo "=== [2/10] ctest (plain) ==="
 ctest --test-dir build-ci --output-on-failure -j "$jobs"
 
-echo "=== [3/9] core-overhead bench smoke (10^4 tasks) ==="
+echo "=== [3/10] core-overhead bench smoke (10^4 tasks) ==="
 # Catches hot-path regressions that unit tests miss: the smoke mode runs
 # every DAG shape at 10^4 tasks plus the HEFT plan sanity, and exits
 # non-zero on zero throughput, a failed count cross-check, or a blown
@@ -58,7 +62,17 @@ echo "=== [3/9] core-overhead bench smoke (10^4 tasks) ==="
 # full-run rows anyway — the table is for the reviewer's eyes.
 python3 tools/bench_diff.py BENCH_core.json build-ci/bench/BENCH_core.json || true
 
-echo "=== [4/9] ctest (ASan + UBSan) ==="
+echo "=== [4/10] serve front-end smoke ==="
+# The serve smoke drives the closed-loop multi-tenant load generator at
+# two scale points and fails on any bounded-queue or bounded-p99
+# violation; the fairness/starvation detectors prove themselves live in
+# the hetflow_check selftest (also a ctest, repeated here so this stage
+# stands alone); bench_diff validates its own matching/threshold logic.
+(cd build-ci/bench && ./bench_serve_load --smoke)
+build-ci/tools/hetflow_check --selftest > /dev/null
+python3 tools/bench_diff.py --selftest > /dev/null
+
+echo "=== [5/10] ctest (ASan + UBSan) ==="
 # The full suite runs sanitized, which covers the retry/timeout/blacklist
 # tests (core_failure_test), the kill-and-resume checkpoint property
 # tests (workflow_campaign_test) and the rng state round-trip
@@ -68,8 +82,9 @@ cmake -B build-asan -S . -DHETFLOW_WERROR=ON \
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 (cd build-asan/bench && ./bench_core_overhead --smoke --validate --metrics)
+(cd build-asan/bench && ./bench_serve_load --smoke)
 
-echo "=== [5/9] parallel sweep + obs determinism under TSan ==="
+echo "=== [6/10] parallel sweep + obs determinism under TSan ==="
 cmake -B build-tsan -S . -DHETFLOW_WERROR=ON -DHETFLOW_SANITIZE=thread
 cmake --build build-tsan -j "$jobs" \
       --target exec_pool_test exec_parallel_test core_failure_test \
@@ -87,7 +102,7 @@ build-tsan/tools/hetflow_bench \
     > build-tsan/sweep_jobs1.csv
 cmp build-tsan/sweep_jobs4.csv build-tsan/sweep_jobs1.csv
 
-echo "=== [6/9] checkpoint/resume round-trip smoke ==="
+echo "=== [7/10] checkpoint/resume round-trip smoke ==="
 run="build-ci/tools/hetflow_run"
 campaign_args=(--campaign surrogate --surface branin --evals 24 --batch 6)
 "$run" "${campaign_args[@]}" > build-ci/campaign_straight.txt
@@ -99,7 +114,7 @@ campaign_args=(--campaign surrogate --surface branin --evals 24 --batch 6)
 cmp <(grep best build-ci/campaign_straight.txt) \
     <(grep best build-ci/campaign_resumed.txt)
 
-echo "=== [7/9] observability line-coverage floor ==="
+echo "=== [8/10] observability line-coverage floor ==="
 # The obs layer is the serialization boundary the golden suites pin
 # down; unexecuted code there is unpinned code. Floor: 90% of the lines
 # in src/obs/ must run under the obs + trace test binaries.
@@ -134,7 +149,7 @@ else
     }'
 fi
 
-echo "=== [8/9] lint (changed files) ==="
+echo "=== [9/10] lint (changed files) ==="
 changed=()
 if base="$(git merge-base HEAD origin/main 2>/dev/null ||
            git rev-parse HEAD~1 2>/dev/null)"; then
@@ -150,7 +165,7 @@ else
   tools/lint.sh build-ci
 fi
 
-echo "=== [9/9] hetflow_lint (whole tree) ==="
+echo "=== [10/10] hetflow_lint (whole tree) ==="
 # Stage 7's lint.sh already runs the text gate; this stage pins the JSON
 # contract (docs/static_analysis.md) and the baseline workflow the way
 # downstream tooling consumes them.

@@ -30,6 +30,14 @@ const char* to_string(ViolationKind kind) noexcept {
       return "access-mode";
     case ViolationKind::EventResidue:
       return "event-residue";
+    case ViolationKind::FairShare:
+      return "fair-share";
+    case ViolationKind::Starvation:
+      return "starvation";
+    case ViolationKind::AdmissionWedge:
+      return "admission-wedge";
+    case ViolationKind::TenantAccounting:
+      return "tenant-accounting";
   }
   return "unknown";
 }

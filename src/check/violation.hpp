@@ -45,6 +45,18 @@ enum class ViolationKind : std::uint8_t {
   AccessMode,
   /// The event queue still holds events after the run drained.
   EventResidue,
+  /// Fair-share order broken: a batch released a tenant that was not the
+  /// deficit-ordered front (serve-layer scheduling invariant).
+  FairShare,
+  /// A ready tenant starved beyond the bounded deficit the weighted
+  /// fair-share policy guarantees.
+  Starvation,
+  /// Admission control wedged: pending work existed but a batch released
+  /// nothing, or a drain ended with work still queued.
+  AdmissionWedge,
+  /// Per-tenant serve accounting disagrees with the runtime's RunStats
+  /// (task counts or attributed device-seconds fail to reconcile).
+  TenantAccounting,
 };
 
 const char* to_string(ViolationKind kind) noexcept;

@@ -8,6 +8,7 @@ void CostModelCache::invalidate() {
   entries_.clear();
   index_.clear();
   filled_ = 0;
+  ++invalidations_;
 }
 
 void CostModelCache::grow_index() {

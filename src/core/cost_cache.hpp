@@ -81,11 +81,19 @@ class CostModelCache {
 
   /// Drops every cached entry; they refill lazily. Must be called after
   /// any platform mutation (DVFS tables, capacities, device set) — see
-  /// the invalidation contract above.
+  /// the invalidation contract above. The Runtime also calls this on
+  /// every DeviceHealth blacklist transition (quarantine, probation,
+  /// recovery): the cached terms themselves are health-independent, but
+  /// dropping the memo on each transition keeps the contract simple and
+  /// future-proofs any entry field that starts depending on health.
   void invalidate();
 
   /// Codelets currently cached (observability / tests).
   std::size_t cached_codelets() const noexcept { return filled_; }
+
+  /// Times invalidate() has run since construction (observability /
+  /// tests — regression coverage that health transitions drop the memo).
+  std::uint64_t invalidations() const noexcept { return invalidations_; }
 
  private:
   static constexpr std::uint64_t kNeverRefreshed =
@@ -122,6 +130,7 @@ class CostModelCache {
   std::vector<Entry> entries_;     ///< filled_ rows × device_count
   std::vector<IndexSlot> index_;   ///< open addressing, power-of-two size
   std::size_t filled_ = 0;
+  std::uint64_t invalidations_ = 0;
 };
 
 }  // namespace hetflow::core

@@ -46,12 +46,14 @@ bool DeviceHealth::note_failure(hw::DeviceId id, std::size_t blacklist_after,
   return true;
 }
 
-void DeviceHealth::note_success(hw::DeviceId id) {
+bool DeviceHealth::note_success(hw::DeviceId id) {
   Entry& e = entry(id);
   e.consecutive_failures = 0;
   if (e.state == State::Probation) {
     e.state = State::Healthy;
+    return true;
   }
+  return false;
 }
 
 void DeviceHealth::end_blacklist(hw::DeviceId id) {

@@ -479,6 +479,7 @@ sim::SimTime Runtime::wait_all() {
     DeviceState& state = device_states_[id];
     if (state.probation_event != 0 && queue_.cancel(state.probation_event)) {
       health_.end_blacklist(id);
+      cost_cache_.invalidate();
     }
     state.probation_event = 0;
   }
@@ -809,7 +810,9 @@ void Runtime::finish_task(Task& task, hw::DeviceId id, sim::SimTime started,
   }
 
   data_.release(task.accesses(), device.memory_node());
-  health_.note_success(id);
+  if (health_.note_success(id)) {
+    cost_cache_.invalidate();  // Probation -> Healthy transition
+  }
   set_task_state(task, TaskState::Completed);
   task.mutable_times().completed = queue_.now();
 
@@ -1000,6 +1003,10 @@ void Runtime::blacklist_device(hw::DeviceId device_id) {
   const hw::Device& device = platform_->device(device_id);
   DeviceState& state = device_states_[device_id];
   ++stats_.blacklist_events;
+  // Health transition (Healthy/Probation -> Blacklisted): drop the cost
+  // memo so no estimate computed against the pre-quarantine device set
+  // survives the transition.
+  cost_cache_.invalidate();
   if (recorder_ != nullptr) {
     recorder_->metrics()
         .counter("blacklist_events", device_labels(device))
@@ -1036,6 +1043,7 @@ void Runtime::blacklist_device(hw::DeviceId device_id) {
       queue_.schedule_after(options_.retry.probation_s, [this, device_id] {
         device_states_[device_id].probation_event = 0;
         health_.end_blacklist(device_id);
+        cost_cache_.invalidate();  // Blacklisted -> Probation transition
         if (recorder_ != nullptr) {
           obs::Event event;
           event.kind = obs::EventKind::Probation;

@@ -212,6 +212,9 @@ class Runtime {
   /// cannot observe those, per the CostModelCache contract.
   void invalidate_cost_cache() { cost_cache_.invalidate(); }
 
+  /// Read-only view of the memo (tests: invalidation-counter probes).
+  const CostModelCache& cost_cache() const noexcept { return cost_cache_; }
+
  private:
   class Context;  // SchedContext implementation
 

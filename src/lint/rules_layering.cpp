@@ -43,6 +43,12 @@ const std::map<std::string, std::set<std::string>>& allowed_deps() {
       {"workflow",
        {"workflow", "sched", "exec", "core", "check", "data", "obs", "perf",
         "trace", "hw", "sim", "util"}},
+      // serve sits beside workflow at the top of the DAG: it may use the
+      // scheduling/execution stack, and nothing in src/ may include it —
+      // only tools, benches and tests (absent from this table) link it.
+      {"serve",
+       {"serve", "sched", "exec", "core", "check", "data", "obs", "perf",
+        "trace", "hw", "sim", "util"}},
   };
   return table;
 }

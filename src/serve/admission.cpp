@@ -1,0 +1,27 @@
+#include "serve/admission.hpp"
+
+namespace hetflow::serve {
+
+const char* to_string(AdmissionDecision decision) noexcept {
+  switch (decision) {
+    case AdmissionDecision::Admitted:
+      return "admitted";
+    case AdmissionDecision::Deferred:
+      return "deferred";
+    case AdmissionDecision::Rejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+const char* to_string(BackpressurePolicy policy) noexcept {
+  switch (policy) {
+    case BackpressurePolicy::Reject:
+      return "reject";
+    case BackpressurePolicy::Defer:
+      return "defer";
+  }
+  return "?";
+}
+
+}  // namespace hetflow::serve

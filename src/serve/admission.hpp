@@ -1,0 +1,75 @@
+// Admission control for the serve front end.
+//
+// Two caps guard the shared engine, checked in order:
+//
+//   1. per-tenant backlog cap — a tenant that already has backlog_cap
+//      jobs queued is rejected outright (its problem, not the system's);
+//   2. global pending cap — when the total queued work (backlogs +
+//      overflow) reaches max_pending, the BackpressurePolicy decides:
+//      Reject turns the job away, Defer parks it in a bounded overflow
+//      queue that drains FIFO into the backlogs as batches free room
+//      (overflow full => reject after all).
+//
+// The controller is pure policy: it looks at counts and answers; the
+// engine owns the queues and applies the decision. That keeps the logic
+// trivially mirrorable by the fairness auditor.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace hetflow::serve {
+
+enum class BackpressurePolicy : std::uint8_t {
+  Reject = 0,  ///< over the global cap: turn the job away
+  Defer,       ///< over the global cap: park in the overflow queue
+};
+
+enum class AdmissionDecision : std::uint8_t {
+  Admitted = 0,  ///< enqueued on the tenant's backlog
+  Deferred,      ///< parked in the overflow queue
+  Rejected,      ///< turned away; the client must resubmit later
+};
+
+const char* to_string(AdmissionDecision decision) noexcept;
+const char* to_string(BackpressurePolicy policy) noexcept;
+
+class AdmissionController {
+ public:
+  struct Limits {
+    std::size_t max_pending = 4096;  ///< global backlog + overflow cap
+    std::size_t defer_cap = 1024;    ///< overflow queue bound (Defer only)
+    BackpressurePolicy policy = BackpressurePolicy::Reject;
+  };
+
+  AdmissionController() = default;
+  explicit AdmissionController(Limits limits) : limits_(limits) {}
+
+  const Limits& limits() const noexcept { return limits_; }
+
+  /// Decides for one submission given the current queue depths.
+  /// `tenant_backlog` and `tenant_cap` are the submitting tenant's queue
+  /// and its per-tenant cap; `total_pending` counts backlogs + overflow;
+  /// `overflow_size` is the current overflow occupancy.
+  AdmissionDecision decide(std::size_t tenant_backlog,
+                           std::size_t tenant_cap,
+                           std::size_t total_pending,
+                           std::size_t overflow_size) const noexcept {
+    if (tenant_backlog >= tenant_cap) {
+      return AdmissionDecision::Rejected;
+    }
+    if (total_pending < limits_.max_pending) {
+      return AdmissionDecision::Admitted;
+    }
+    if (limits_.policy == BackpressurePolicy::Defer &&
+        overflow_size < limits_.defer_cap) {
+      return AdmissionDecision::Deferred;
+    }
+    return AdmissionDecision::Rejected;
+  }
+
+ private:
+  Limits limits_;
+};
+
+}  // namespace hetflow::serve

@@ -1,0 +1,179 @@
+#include "serve/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace hetflow::serve {
+
+void FairnessMonitor::add_tenant(double weight, int priority,
+                                 std::size_t max_in_flight) {
+  Mirror mirror;
+  mirror.weight = weight;
+  mirror.priority = priority;
+  mirror.max_in_flight = max_in_flight;
+  tenants_.push_back(mirror);
+}
+
+void FairnessMonitor::on_admit(TenantId t) { ++tenants_.at(t).backlog; }
+
+TenantId FairnessMonitor::expected_next() const {
+  TenantId best = kInvalidTenant;
+  int best_priority = 0;
+  double best_norm = 0.0;
+  for (TenantId t = 0; t < tenants_.size(); ++t) {
+    const Mirror& m = tenants_[t];
+    if (m.backlog == 0 || m.released_in_batch >= m.max_in_flight) {
+      continue;
+    }
+    const double norm = m.consumed / m.weight;
+    if (best == kInvalidTenant || m.priority > best_priority ||
+        (m.priority == best_priority && norm < best_norm)) {
+      best = t;
+      best_priority = m.priority;
+      best_norm = norm;
+    }
+  }
+  return best;
+}
+
+void FairnessMonitor::on_release(TenantId t) {
+  ++releases_checked_;
+  const TenantId expected = expected_next();
+  if (t != expected) {
+    check::Violation violation;
+    violation.kind = check::ViolationKind::FairShare;
+    violation.task_a = t;
+    violation.task_b = expected;
+    violation.message = util::format(
+        "batch released tenant %u but the fair-share rule picks tenant "
+        "%u (priority tier, weighted deficit, id)",
+        static_cast<unsigned>(t), static_cast<unsigned>(expected));
+    report_.add(violation);
+  }
+  Mirror& m = tenants_.at(t);
+  if (m.backlog > 0) {
+    --m.backlog;
+  }
+  ++m.released_in_batch;
+}
+
+void FairnessMonitor::on_consume(TenantId t, double device_seconds) {
+  tenants_.at(t).consumed += device_seconds;
+  max_job_seconds_ = std::max(max_job_seconds_, device_seconds);
+}
+
+void FairnessMonitor::begin_batch() {
+  for (Mirror& m : tenants_) {
+    m.released_in_batch = 0;
+  }
+}
+
+void FairnessMonitor::end_batch(std::size_t released,
+                                std::size_t pending_before) {
+  ++batches_checked_;
+  if (pending_before > 0 && released == 0) {
+    check::Violation violation;
+    violation.kind = check::ViolationKind::AdmissionWedge;
+    violation.message = util::format(
+        "batch released nothing with %zu job(s) pending", pending_before);
+    report_.add(violation);
+  }
+  // Starvation window bookkeeping: a tenant participates from the first
+  // batch boundary where its backlog is non-empty, and drops out the
+  // moment it drains (its deficit is then allowed to lag arbitrarily —
+  // an idle tenant accrues no entitlement).
+  for (Mirror& m : tenants_) {
+    m.continuously_backlogged = m.backlog > 0;
+  }
+  check_starvation();
+}
+
+void FairnessMonitor::check_starvation() {
+  // Bounded deficit: two same-tier tenants that BOTH still have work
+  // queued may differ in weighted consumption by at most what one batch
+  // can hand a single tenant before attribution catches up — its
+  // in-flight cap worth of the largest job seen — scaled by the smaller
+  // weight, with 2x slack for cost variance across job mixes.
+  if (max_job_seconds_ <= 0.0) {
+    return;
+  }
+  for (TenantId a = 0; a < tenants_.size(); ++a) {
+    const Mirror& ma = tenants_[a];
+    if (!ma.continuously_backlogged) {
+      continue;
+    }
+    for (TenantId b = a + 1; b < tenants_.size(); ++b) {
+      const Mirror& mb = tenants_[b];
+      if (!mb.continuously_backlogged || ma.priority != mb.priority) {
+        continue;
+      }
+      const double norm_a = ma.consumed / ma.weight;
+      const double norm_b = mb.consumed / mb.weight;
+      const double cap = static_cast<double>(
+          std::max(ma.max_in_flight, mb.max_in_flight));
+      const double min_weight = std::min(ma.weight, mb.weight);
+      const double bound = 2.0 * cap * max_job_seconds_ / min_weight + 1e-9;
+      if (std::abs(norm_a - norm_b) > bound) {
+        check::Violation violation;
+        violation.kind = check::ViolationKind::Starvation;
+        violation.task_a = a;
+        violation.task_b = b;
+        violation.message = util::format(
+            "tenants %u and %u (same tier, both backlogged) drifted "
+            "%.3f weighted device-seconds apart; bounded deficit is %.3f",
+            static_cast<unsigned>(a), static_cast<unsigned>(b),
+            std::abs(norm_a - norm_b), bound);
+        report_.add(violation);
+      }
+    }
+  }
+}
+
+void FairnessMonitor::reconcile_batch(std::uint64_t engine_tasks,
+                                      std::uint64_t runtime_tasks,
+                                      double engine_device_seconds,
+                                      double runtime_device_seconds) {
+  ++reconciliations_;
+  if (engine_tasks != runtime_tasks) {
+    check::Violation violation;
+    violation.kind = check::ViolationKind::TenantAccounting;
+    violation.message = util::format(
+        "per-tenant task counts sum to %llu but RunStats completed %llu",
+        static_cast<unsigned long long>(engine_tasks),
+        static_cast<unsigned long long>(runtime_tasks));
+    report_.add(violation);
+  }
+  const double scale =
+      std::max({1.0, engine_device_seconds, runtime_device_seconds});
+  if (std::abs(engine_device_seconds - runtime_device_seconds) >
+      1e-9 * scale) {
+    check::Violation violation;
+    violation.kind = check::ViolationKind::TenantAccounting;
+    violation.message = util::format(
+        "per-tenant device-seconds sum to %.9f but RunStats measured "
+        "%.9f busy seconds",
+        engine_device_seconds, runtime_device_seconds);
+    report_.add(violation);
+  }
+}
+
+void FairnessMonitor::on_drained(std::size_t total_pending) {
+  if (total_pending > 0) {
+    check::Violation violation;
+    violation.kind = check::ViolationKind::AdmissionWedge;
+    violation.message = util::format(
+        "drain finished with %zu job(s) still queued", total_pending);
+    report_.add(violation);
+  }
+}
+
+const check::CheckReport& FairnessMonitor::finish() {
+  report_.note_check("fair-share releases", releases_checked_);
+  report_.note_check("batches", batches_checked_);
+  report_.note_check("stat reconciliations", reconciliations_);
+  return report_;
+}
+
+}  // namespace hetflow::serve

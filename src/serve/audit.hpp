@@ -1,0 +1,102 @@
+// Fairness/starvation auditor for the serve layer.
+//
+// The monitor is an independent online mirror of the fair-share and
+// admission state: the engine feeds it the same observable events it
+// acts on (admit/defer/reject, release, consumption attribution, batch
+// boundaries), and the monitor re-derives what SHOULD have happened from
+// its own copy. Any disagreement is a Violation in the shared
+// hetflow-verify taxonomy:
+//
+//   fair-share        a released tenant was not the lexicographic argmin
+//                     (priority tier, then weighted deficit, then id)
+//                     among the eligible tenants of the monitor's mirror;
+//   starvation        two tenants in the same tier stayed continuously
+//                     backlogged while their weighted consumptions
+//                     drifted apart beyond the bounded deficit one batch
+//                     can add (max observed job cost x in-flight cap,
+//                     with 2x slack for attribution rounding);
+//   admission-wedge   pending work existed but a batch released nothing,
+//                     or a drain finished with work still queued;
+//   tenant-accounting per-batch sums of attributed task counts /
+//                     device-seconds disagree with the runtime's
+//                     RunStats for that batch.
+//
+// Keeping the mirror inside src/serve (not src/check) lets the check
+// layer stay below serve in the layering DAG; the report type is shared.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "check/violation.hpp"
+#include "serve/tenant.hpp"
+
+namespace hetflow::serve {
+
+class FairnessMonitor {
+ public:
+  /// Mirrors one tenant registration (same call order as the engine).
+  void add_tenant(double weight, int priority, std::size_t max_in_flight);
+
+  /// Mirrors one admitted job entering the tenant's backlog.
+  void on_admit(TenantId t);
+  /// Mirrors a release: the engine chose `t` for the current batch.
+  void on_release(TenantId t);
+  /// Mirrors post-batch attribution of executed device-seconds.
+  void on_consume(TenantId t, double device_seconds);
+  /// Checkpoint restore: re-seeds the consumption ledger without
+  /// treating the aggregate as one observed job (which would inflate the
+  /// bounded-deficit unit).
+  void restore_consumption(TenantId t, double device_seconds) {
+    tenants_.at(t).consumed += device_seconds;
+  }
+
+  /// Marks the start of a release loop (resets per-batch counters).
+  void begin_batch();
+  /// Ends a batch. `released` is how many jobs the engine released;
+  /// `pending_before` is the total backlog before the release loop.
+  void end_batch(std::size_t released, std::size_t pending_before);
+  /// Per-batch reconciliation against the runtime ledger: sums of what
+  /// the engine attributed must match what the runtime measured.
+  void reconcile_batch(std::uint64_t engine_tasks,
+                       std::uint64_t runtime_tasks,
+                       double engine_device_seconds,
+                       double runtime_device_seconds);
+  /// A drain loop claims completion: every queue must be empty.
+  void on_drained(std::size_t total_pending);
+
+  const check::CheckReport& report() const noexcept { return report_; }
+  bool passed() const noexcept { return report_.passed(); }
+  /// Finalizes coverage notes ("fair-share: N releases checked") and
+  /// returns the report.
+  const check::CheckReport& finish();
+
+ private:
+  struct Mirror {
+    double weight = 1.0;
+    int priority = 0;
+    std::size_t max_in_flight = 1;
+    std::size_t backlog = 0;
+    std::size_t released_in_batch = 0;
+    double consumed = 0.0;
+    /// True when the tenant had a non-empty backlog at every batch
+    /// boundary since `drift_base` was snapshotted (starvation window).
+    bool continuously_backlogged = false;
+  };
+
+  TenantId expected_next() const;
+  void check_starvation();
+
+  std::vector<Mirror> tenants_;
+  check::CheckReport report_;
+  std::size_t releases_checked_ = 0;
+  std::size_t batches_checked_ = 0;
+  std::size_t reconciliations_ = 0;
+  /// Largest single-job device-seconds attribution seen so far — the
+  /// unit the bounded-deficit guarantee is expressed in.
+  double max_job_seconds_ = 0.0;
+};
+
+}  // namespace hetflow::serve

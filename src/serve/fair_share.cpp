@@ -1,0 +1,76 @@
+#include "serve/fair_share.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hetflow::serve {
+
+TenantId FairShareQueue::add_tenant(TenantSpec spec) {
+  HETFLOW_REQUIRE_MSG(spec.weight > 0.0, "tenant weight must be > 0");
+  const TenantId id = static_cast<TenantId>(tenants_.size());
+  Entry entry;
+  entry.spec = std::move(spec);
+  tenants_.push_back(std::move(entry));
+  return id;
+}
+
+void FairShareQueue::push(TenantId t, JobRef job) {
+  tenants_.at(t).backlog.push_back(job);
+  ++total_backlog_;
+  heap_dirty_ = true;
+}
+
+void FairShareQueue::begin_batch() {
+  for (Entry& entry : tenants_) {
+    entry.released_in_batch = 0;
+  }
+  heap_dirty_ = true;
+}
+
+void FairShareQueue::rebuild_heap() const {
+  heap_.clear();
+  for (TenantId t = 0; t < tenants_.size(); ++t) {
+    if (!eligible(t)) {
+      continue;
+    }
+    const Entry& e = tenants_[t];
+    heap_.push_back({e.spec.priority, e.consumed / e.spec.weight, t});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), &FairShareQueue::heap_less);
+  heap_dirty_ = false;
+}
+
+TenantId FairShareQueue::next_tenant() const {
+  if (heap_dirty_) {
+    rebuild_heap();
+  }
+  // Lazy deletion: keys are frozen within a batch, so the front entry is
+  // either still the argmin or its tenant went ineligible — shed those.
+  while (!heap_.empty()) {
+    const TenantId t = heap_.front().id;
+    if (eligible(t)) {
+      return t;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), &FairShareQueue::heap_less);
+    heap_.pop_back();
+  }
+  return kInvalidTenant;
+}
+
+JobRef FairShareQueue::pop(TenantId t) {
+  Entry& e = tenants_.at(t);
+  HETFLOW_REQUIRE_MSG(!e.backlog.empty(), "pop from empty tenant backlog");
+  const JobRef job = e.backlog.front();
+  e.backlog.pop_front();
+  --total_backlog_;
+  ++e.released_in_batch;
+  return job;
+}
+
+void FairShareQueue::note_consumed(TenantId t, double device_seconds) {
+  tenants_.at(t).consumed += device_seconds;
+  heap_dirty_ = true;
+}
+
+}  // namespace hetflow::serve

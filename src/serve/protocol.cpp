@@ -1,0 +1,145 @@
+#include "serve/protocol.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace hetflow::serve {
+
+JobShape parse_job_shape(const std::string& name) {
+  if (name == "chain") {
+    return JobShape::Chain;
+  }
+  if (name == "fanout") {
+    return JobShape::Fanout;
+  }
+  if (name == "diamond") {
+    return JobShape::Diamond;
+  }
+  throw util::InvalidArgument(
+      util::format("unknown job shape '%s' (chain|fanout|diamond)",
+                   name.c_str()));
+}
+
+const char* to_string(JobShape shape) noexcept {
+  switch (shape) {
+    case JobShape::Chain:
+      return "chain";
+    case JobShape::Fanout:
+      return "fanout";
+    case JobShape::Diamond:
+      return "diamond";
+  }
+  return "?";
+}
+
+namespace {
+
+double number_or(const util::Json& obj, const std::string& key,
+                 double fallback) {
+  return obj.contains(key) ? obj.at(key).as_number() : fallback;
+}
+
+ScriptOp parse_op(const util::Json& obj) {
+  const std::string& op = obj.at("op").as_string();
+  ScriptOp out;
+  if (op == "tenant") {
+    out.kind = ScriptOp::Kind::Tenant;
+    out.tenant.name =
+        obj.contains("name") ? obj.at("name").as_string() : std::string();
+    out.tenant.weight = number_or(obj, "weight", 1.0);
+    out.tenant.priority = static_cast<int>(number_or(obj, "priority", 0.0));
+    out.tenant.backlog_cap =
+        static_cast<std::size_t>(number_or(obj, "backlog_cap", 0.0));
+    out.tenant.max_in_flight =
+        static_cast<std::size_t>(number_or(obj, "max_in_flight", 0.0));
+  } else if (op == "submit") {
+    out.kind = ScriptOp::Kind::Submit;
+    out.target = static_cast<TenantId>(obj.at("tenant").as_number());
+    if (obj.contains("shape")) {
+      out.job.shape = parse_job_shape(obj.at("shape").as_string());
+    }
+    out.job.tasks = static_cast<std::uint32_t>(number_or(obj, "tasks", 4.0));
+    out.job.flops = number_or(obj, "flops", 1e9);
+    out.job.bytes = static_cast<std::uint64_t>(
+        number_or(obj, "bytes", static_cast<double>(1 << 20)));
+    out.count = static_cast<std::uint32_t>(number_or(obj, "count", 1.0));
+    if (out.job.tasks == 0) {
+      throw util::InvalidArgument("submit: tasks must be >= 1");
+    }
+  } else if (op == "batch") {
+    out.kind = ScriptOp::Kind::Batch;
+  } else if (op == "drain") {
+    out.kind = ScriptOp::Kind::Drain;
+  } else {
+    throw util::InvalidArgument(util::format(
+        "unknown op '%s' (tenant|submit|batch|drain)", op.c_str()));
+  }
+  return out;
+}
+
+}  // namespace
+
+ServeScript parse_script(const std::string& text) {
+  ServeScript script;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    ++line_no;
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    // Trim whitespace; skip blanks and comments.
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      if (end == text.size()) {
+        break;
+      }
+      continue;
+    }
+    try {
+      script.push_back(parse_op(util::Json::parse(line)));
+    } catch (const util::Error& err) {
+      throw util::ParseError(util::format("script line %zu: %s", line_no,
+                                          err.what()));
+    }
+    if (end == text.size()) {
+      break;
+    }
+  }
+  return script;
+}
+
+util::Json op_to_json(const ScriptOp& op) {
+  util::Json out = util::Json::object();
+  switch (op.kind) {
+    case ScriptOp::Kind::Tenant:
+      out["op"] = "tenant";
+      out["name"] = op.tenant.name;
+      out["weight"] = op.tenant.weight;
+      out["priority"] = op.tenant.priority;
+      out["backlog_cap"] = op.tenant.backlog_cap;
+      out["max_in_flight"] = op.tenant.max_in_flight;
+      break;
+    case ScriptOp::Kind::Submit:
+      out["op"] = "submit";
+      out["tenant"] = static_cast<std::size_t>(op.target);
+      out["shape"] = to_string(op.job.shape);
+      out["tasks"] = static_cast<std::size_t>(op.job.tasks);
+      out["flops"] = op.job.flops;
+      out["bytes"] = op.job.bytes;
+      out["count"] = static_cast<std::size_t>(op.count);
+      break;
+    case ScriptOp::Kind::Batch:
+      out["op"] = "batch";
+      break;
+    case ScriptOp::Kind::Drain:
+      out["op"] = "drain";
+      break;
+  }
+  return out;
+}
+
+}  // namespace hetflow::serve

@@ -1,0 +1,79 @@
+// Serve wire protocol: workflow-job specs and the JSONL script format.
+//
+// Transport is deliberately dumb — one JSON object per line on stdin (or
+// a file), replayed in order. Four operations:
+//
+//   {"op":"tenant","name":"lab-a","weight":2.0,"priority":1,
+//    "backlog_cap":64,"max_in_flight":4}
+//       registers a tenant; ids are assigned in line order (0, 1, ...).
+//
+//   {"op":"submit","tenant":0,"shape":"chain","tasks":8,
+//    "flops":1e9,"bytes":1048576,"count":3}
+//       submits `count` (default 1) copies of the described workflow on
+//       behalf of tenant 0.
+//
+//   {"op":"batch"}
+//       releases one execution batch (admission drain + fair-share
+//       selection + run on the shared platform).
+//
+//   {"op":"drain"}
+//       runs batches until every backlog and the overflow queue are
+//       empty.
+//
+// The same structs serve the in-process client API: build JobSpecs
+// directly and skip the text round-trip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/tenant.hpp"
+#include "util/json.hpp"
+
+namespace hetflow::serve {
+
+/// Built-in workflow shapes. serve sits below src/workflow/ in the layer
+/// DAG, so it carries its own small shape vocabulary instead of the full
+/// generator library (chain covers critical-path latency, fanout covers
+/// width/contention, diamond covers join pressure).
+enum class JobShape : std::uint8_t {
+  Chain = 0,   ///< t0 -> t1 -> ... -> tN-1 through one handle
+  Fanout,      ///< one producer, N-1 parallel consumers
+  Diamond,     ///< producer -> N-2 middles -> joining consumer
+};
+
+JobShape parse_job_shape(const std::string& name);
+const char* to_string(JobShape shape) noexcept;
+
+/// One workflow submission: shape + scale. The engine materializes it
+/// into tasks/data on the per-batch runtime at release time.
+struct JobSpec {
+  JobShape shape = JobShape::Chain;
+  std::uint32_t tasks = 4;      ///< total task count (>= 1)
+  double flops = 1e9;           ///< per task
+  std::uint64_t bytes = 1 << 20;  ///< per data handle
+};
+
+/// One parsed script line.
+struct ScriptOp {
+  enum class Kind : std::uint8_t { Tenant, Submit, Batch, Drain };
+  Kind kind = Kind::Batch;
+  TenantSpec tenant;      // Kind::Tenant
+  TenantId target = 0;    // Kind::Submit
+  JobSpec job;            // Kind::Submit
+  std::uint32_t count = 1;  // Kind::Submit
+};
+
+using ServeScript = std::vector<ScriptOp>;
+
+/// Parses a JSONL script; throws util::ParseError on malformed lines
+/// (with the 1-based line number in the message). Blank lines and lines
+/// starting with '#' are skipped.
+ServeScript parse_script(const std::string& text);
+
+/// Serializes one op back to its JSONL line (checkpoint manifests and
+/// tests round-trip through this).
+util::Json op_to_json(const ScriptOp& op);
+
+}  // namespace hetflow::serve

@@ -1,0 +1,59 @@
+// Multi-tenant serving: tenant identity, policy knobs and accounting.
+//
+// A tenant is one client of the shared platform — a lab, a pipeline, a
+// user — identified by a dense TenantId handed out at registration. The
+// spec carries the three levers the fair-share layer schedules by
+// (weight, priority, per-batch in-flight cap) plus the per-tenant
+// admission cap; the stats struct is the ledger every serve-layer
+// invariant reconciles against (see serve/audit.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace hetflow::serve {
+
+using TenantId = std::uint32_t;
+inline constexpr TenantId kInvalidTenant =
+    static_cast<TenantId>(-1);
+
+/// Registration-time policy for one tenant.
+struct TenantSpec {
+  std::string name;
+  /// Fair-share weight: a tenant with weight 2 is entitled to twice the
+  /// device-seconds of a weight-1 tenant. Must be > 0.
+  double weight = 1.0;
+  /// Priority tier: higher tiers are released strictly before lower
+  /// ones; fair share applies *within* a tier. Also forwarded to the
+  /// runtime as task priority so dmdas orders accordingly.
+  int priority = 0;
+  /// Admission: jobs queued (not yet released) beyond this are rejected.
+  /// 0 inherits ServeConfig::backlog_cap.
+  std::size_t backlog_cap = 0;
+  /// Release: at most this many of the tenant's jobs join one batch.
+  /// 0 inherits ServeConfig::max_in_flight.
+  std::size_t max_in_flight = 0;
+};
+
+/// Per-tenant ledger maintained by the engine. `device_seconds` is the
+/// execution time attributed to the tenant's tasks (successful-attempt
+/// spans), the quantity the weighted deficit is accounted in.
+struct TenantStats {
+  std::uint64_t submitted = 0;  ///< submit() calls seen
+  /// Entries into the backlog — a deferred job counts here a second
+  /// time when the overflow drains, so after a full drain
+  /// completed == admitted.
+  std::uint64_t admitted = 0;
+  std::uint64_t deferred = 0;   ///< parked in the overflow queue
+  std::uint64_t rejected = 0;   ///< turned away by admission control
+  std::uint64_t completed = 0;  ///< workflows finished
+  std::uint64_t tasks_completed = 0;
+  double device_seconds = 0.0;
+  /// Per-workflow latency (arrival -> last task completion), service
+  /// clock seconds. Feeds the p50/p99 columns of the latency CSV.
+  util::Sample latency;
+};
+
+}  // namespace hetflow::serve

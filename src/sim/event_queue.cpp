@@ -130,6 +130,7 @@ bool EventQueue::step() {
     const Event event = pop_top();
     Callback fn = take_callback(event.id);
     if (!fn) {
+      assert(carcasses_ > 0 && "dead heap entry with no carcass counted");
       --carcasses_;  // lazily deleted
       continue;
     }
@@ -146,6 +147,7 @@ std::size_t EventQueue::drain_ready() {
   // learn the batch timestamp.
   while (!heap_.empty() && !is_live(heap_.front().id)) {
     pop_top();
+    assert(carcasses_ > 0 && "dead heap entry with no carcass counted");
     --carcasses_;
   }
   if (heap_.empty()) {
@@ -154,13 +156,22 @@ std::size_t EventQueue::drain_ready() {
   const SimTime batch_time = heap_.front().when;
   std::size_t ran = 0;
   // Callbacks may schedule new events at batch_time (they join the batch,
-  // FIFO by seq) or cancel pending ones (the carcass is skipped below; a
-  // mid-drain compact() is safe because the heap front is re-read each
-  // iteration).
+  // FIFO by seq) or cancel pending ones — including events already IN
+  // this batch (a completion's finish path cancelling the same-timestamp
+  // retry watchdog, or the watchdog cancelling the completion). The
+  // cancelled-carcass check below is the only delivery gate, and it is
+  // authoritative: cancel() retires the slot (bumping its generation),
+  // so take_callback's is_live test rejects the dead id no matter when
+  // within the batch the cancel landed. A mid-drain compact() is safe
+  // because the heap front is re-read each iteration, and it cannot
+  // desynchronize the carcass count: compact() removes every dead entry
+  // and zeroes carcasses_ together, so each dead entry popped here was
+  // counted exactly once (asserted below).
   while (!heap_.empty() && heap_.front().when == batch_time) {
     const Event event = pop_top();
     Callback fn = take_callback(event.id);
     if (!fn) {
+      assert(carcasses_ > 0 && "dead heap entry with no carcass counted");
       --carcasses_;
       continue;
     }
@@ -185,6 +196,7 @@ SimTime EventQueue::run_until(SimTime limit) {
     const Event event = heap_.front();
     if (!is_live(event.id)) {
       pop_top();
+      assert(carcasses_ > 0 && "dead heap entry with no carcass counted");
       --carcasses_;
       continue;
     }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "helpers.hpp"
 #include "hw/failure.hpp"
 #include "hw/presets.hpp"
 #include "obs/chrome_trace.hpp"
@@ -181,6 +182,44 @@ TEST(BatchedCompletions, BatchedRunsAreByteReproducible) {
   EXPECT_TRUE(run() == run());
 }
 
+// Cancel-heavy batched drain: with a per-attempt timeout every dispatch
+// arms a watchdog that the completion path cancels (one carcass per
+// successful attempt, many landing inside drained batches), and the
+// fail-silent hang fraction makes the race go the other way too — the
+// watchdog fires and cancels the hung completion event. With
+// batch_completions=true this is exactly the drain_ready + lazy-cancel
+// interaction under real load. The full audit (validate) plus exact
+// completion counts prove no cancelled event delivered and no task was
+// lost; a second identical run proves the path is self-reproducible.
+TEST(BatchedCompletions, CancelHeavyFaultRunValidatesCleanAndReproduces) {
+  const auto run = [] {
+    const hw::Platform p = hw::make_workstation();
+    core::RuntimeOptions options;
+    options.metrics = true;
+    options.validate = true;
+    options.seed = 29;
+    options.noise_cv = 0.3;
+    options.failure_model = hw::FailureModel::uniform(10.0);
+    options.failure_model.set_hang_fraction(0.3);
+    options.failure_policy = core::FailurePolicy::Reschedule;
+    options.max_attempts = 500;
+    options.retry.timeout_s = 5.0;  // generous: successes finish inside it
+    options.retry.backoff_base_s = 0.01;
+    options.retry.blacklist_after = 3;
+    options.retry.probation_s = 1.0;
+    options.batch_completions = true;
+    options.memoize_costs = true;
+    core::Runtime rt(p, sched::make_scheduler("dmda"), options);
+    const workflow::Workflow wf = workflow::make_montage(10);
+    workflow::submit_workflow(rt, wf, workflow::CodeletLibrary::standard());
+    rt.wait_all();
+    EXPECT_EQ(rt.stats().tasks_completed, wf.tasks().size());
+    return trace::spans_to_csv(rt.tracer()) +
+           rt.recorder()->metrics().to_json_string();
+  };
+  EXPECT_EQ(run(), run());
+}
+
 // Explicit invalidation hook: invalidate_cost_cache() mid-stream must be
 // harmless when the platform is unchanged (the refilled cache holds the
 // same values), proven by comparing against an uninterrupted run.
@@ -200,6 +239,72 @@ TEST(CostMemoization, ExplicitInvalidationIsTransparent) {
     return trace::spans_to_csv(rt.tracer());
   };
   EXPECT_EQ(run(true), run(false));
+}
+
+// Blacklist transitions must invalidate the memo: quarantine
+// (Healthy -> Blacklisted), probation expiry (Blacklisted -> Probation)
+// and recovery (Probation -> Healthy) each drop the cache, so no
+// estimate computed against the pre-transition health state can be
+// served afterwards. The invalidation counter proves each transition
+// fired the hook; the stats cross-check proves transitions happened.
+TEST(CostMemoization, BlacklistTransitionsInvalidateCache) {
+  const hw::Platform p = hw::make_workstation();
+  core::RuntimeOptions options;
+  options.seed = 9;
+  options.failure_model.set_rate(hw::DeviceType::Gpu, 60.0);
+  options.failure_policy = core::FailurePolicy::Reschedule;
+  options.max_attempts = 500;
+  options.retry.blacklist_after = 2;
+  options.retry.probation_s = 2.0;
+  options.memoize_costs = true;
+  core::Runtime rt(p, sched::make_scheduler("mct"), options);
+  const std::uint64_t before = rt.cost_cache().invalidations();
+  for (int i = 0; i < 40; ++i) {
+    rt.submit("t" + std::to_string(i), hetflow::testing::cpu_gpu_codelet(),
+              4e9, {});
+  }
+  rt.wait_all();
+  ASSERT_GT(rt.stats().blacklist_events, 0u);
+  // Every quarantine invalidates once, and its matching probation /
+  // recovery transition invalidates again — strictly more invalidations
+  // than blacklist events.
+  EXPECT_GT(rt.cost_cache().invalidations(),
+            before + rt.stats().blacklist_events);
+}
+
+// The regression the hook closes: a memoized blacklist-heavy run must
+// stay byte-identical to the direct-recompute path through quarantine,
+// probation and recovery — a stale memo surviving a health transition
+// would diverge in the decision log or span stream.
+TEST(CostMemoization, MemoizedMatchesDirectUnderBlacklisting) {
+  const auto run = [](bool memoize) {
+    const hw::Platform p = hw::make_workstation();
+    core::RuntimeOptions options;
+    options.metrics = true;
+    options.seed = 19;
+    options.noise_cv = 0.2;
+    options.failure_model.set_rate(hw::DeviceType::Gpu, 60.0);
+    options.failure_policy = core::FailurePolicy::Reschedule;
+    options.max_attempts = 500;
+    options.retry.blacklist_after = 2;
+    options.retry.probation_s = 2.0;
+    options.use_history_model = true;
+    options.memoize_costs = memoize;
+    core::Runtime rt(p, sched::make_scheduler("dmda"), options);
+    for (int i = 0; i < 40; ++i) {
+      rt.submit("t" + std::to_string(i), hetflow::testing::cpu_gpu_codelet(),
+                4e9, {});
+    }
+    rt.wait_all();
+    Artifacts out;
+    out.spans_csv = trace::spans_to_csv(rt.tracer());
+    out.metrics_json = rt.recorder()->metrics().to_json_string();
+    out.metrics_csv = rt.recorder()->metrics().to_csv();
+    out.chrome_trace = obs::chrome_trace_json(rt.tracer(), p, rt.recorder());
+    out.decisions = rt.recorder()->decisions_jsonl(p);
+    return out;
+  };
+  EXPECT_TRUE(run(true) == run(false));
 }
 
 // Capacity hints are pure reservation: a run with

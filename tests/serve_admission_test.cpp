@@ -1,0 +1,220 @@
+// Serve policy units: admission decisions, the fair-share release rule
+// (heap implementation vs a reference linear scan), and the JSONL
+// protocol parser.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/fair_share.hpp"
+#include "serve/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace hetflow::serve {
+namespace {
+
+TEST(Admission, TenantCapRejectsBeforeGlobalPolicy) {
+  AdmissionController::Limits limits;
+  limits.max_pending = 100;
+  limits.policy = BackpressurePolicy::Defer;
+  const AdmissionController admission(limits);
+  // Tenant already at its cap: rejected even though the system has room.
+  EXPECT_EQ(admission.decide(4, 4, 10, 0), AdmissionDecision::Rejected);
+  EXPECT_EQ(admission.decide(3, 4, 10, 0), AdmissionDecision::Admitted);
+}
+
+TEST(Admission, GlobalCapDefersThenRejectsWhenOverflowFills) {
+  AdmissionController::Limits limits;
+  limits.max_pending = 10;
+  limits.defer_cap = 2;
+  limits.policy = BackpressurePolicy::Defer;
+  const AdmissionController admission(limits);
+  EXPECT_EQ(admission.decide(0, 4, 9, 0), AdmissionDecision::Admitted);
+  EXPECT_EQ(admission.decide(0, 4, 10, 0), AdmissionDecision::Deferred);
+  EXPECT_EQ(admission.decide(0, 4, 10, 1), AdmissionDecision::Deferred);
+  EXPECT_EQ(admission.decide(0, 4, 10, 2), AdmissionDecision::Rejected);
+}
+
+TEST(Admission, RejectPolicyNeverDefers) {
+  AdmissionController::Limits limits;
+  limits.max_pending = 10;
+  limits.defer_cap = 1000;
+  limits.policy = BackpressurePolicy::Reject;
+  const AdmissionController admission(limits);
+  EXPECT_EQ(admission.decide(0, 4, 10, 0), AdmissionDecision::Rejected);
+}
+
+TenantSpec spec_of(double weight, int priority, std::size_t cap = 100,
+                   std::size_t in_flight = 100) {
+  TenantSpec spec;
+  spec.weight = weight;
+  spec.priority = priority;
+  spec.backlog_cap = cap;
+  spec.max_in_flight = in_flight;
+  return spec;
+}
+
+TEST(FairShare, PriorityTiersReleaseStrictlyFirst) {
+  FairShareQueue queue;
+  const TenantId lo = queue.add_tenant(spec_of(1.0, 0));
+  const TenantId hi = queue.add_tenant(spec_of(1.0, 5));
+  queue.push(lo, 0);
+  queue.push(hi, 1);
+  queue.push(hi, 2);
+  queue.begin_batch();
+  EXPECT_EQ(queue.next_tenant(), hi);
+  EXPECT_EQ(queue.pop(hi), 1u);
+  EXPECT_EQ(queue.next_tenant(), hi);
+  EXPECT_EQ(queue.pop(hi), 2u);
+  EXPECT_EQ(queue.next_tenant(), lo);
+}
+
+TEST(FairShare, WeightedDeficitPicksLeastNormalizedConsumption) {
+  FairShareQueue queue;
+  const TenantId heavy = queue.add_tenant(spec_of(2.0, 0));
+  const TenantId light = queue.add_tenant(spec_of(1.0, 0));
+  queue.note_consumed(heavy, 4.0);  // normalized 2.0
+  queue.note_consumed(light, 3.0);  // normalized 3.0
+  queue.push(heavy, 0);
+  queue.push(light, 1);
+  queue.begin_batch();
+  EXPECT_EQ(queue.next_tenant(), heavy);
+  EXPECT_DOUBLE_EQ(queue.normalized_consumption(heavy), 2.0);
+  EXPECT_DOUBLE_EQ(queue.normalized_consumption(light), 3.0);
+}
+
+TEST(FairShare, IdBreaksExactTies) {
+  FairShareQueue queue;
+  const TenantId a = queue.add_tenant(spec_of(1.0, 0));
+  const TenantId b = queue.add_tenant(spec_of(1.0, 0));
+  queue.push(b, 0);
+  queue.push(a, 1);
+  queue.begin_batch();
+  EXPECT_EQ(queue.next_tenant(), a);
+}
+
+TEST(FairShare, MaxInFlightCapsPerBatchAndResetsNextBatch) {
+  FairShareQueue queue;
+  const TenantId t = queue.add_tenant(spec_of(1.0, 0, 100, 2));
+  queue.push(t, 0);
+  queue.push(t, 1);
+  queue.push(t, 2);
+  queue.begin_batch();
+  EXPECT_EQ(queue.pop(queue.next_tenant()), 0u);
+  EXPECT_EQ(queue.pop(queue.next_tenant()), 1u);
+  EXPECT_EQ(queue.next_tenant(), kInvalidTenant);  // capped for this batch
+  EXPECT_FALSE(queue.any_eligible());
+  EXPECT_EQ(queue.total_backlog(), 1u);
+  queue.begin_batch();
+  EXPECT_EQ(queue.pop(queue.next_tenant()), 2u);
+  EXPECT_EQ(queue.total_backlog(), 0u);
+}
+
+/// Reference implementation of the release rule: linear scan for the
+/// lexicographic argmin. The heap in FairShareQueue must agree with this
+/// on every query of a randomized push/pop/consume sequence.
+TenantId linear_argmin(const FairShareQueue& queue) {
+  TenantId best = kInvalidTenant;
+  for (TenantId t = 0; t < queue.tenant_count(); ++t) {
+    if (queue.backlog_size(t) == 0 ||
+        queue.released_in_batch(t) >= queue.spec(t).max_in_flight) {
+      continue;
+    }
+    if (best == kInvalidTenant ||
+        queue.spec(t).priority > queue.spec(best).priority ||
+        (queue.spec(t).priority == queue.spec(best).priority &&
+         queue.normalized_consumption(t) <
+             queue.normalized_consumption(best))) {
+      best = t;
+    }
+  }
+  return best;
+}
+
+TEST(FairShare, HeapAgreesWithLinearReferenceUnderRandomLoad) {
+  util::Rng rng(2026);
+  FairShareQueue queue;
+  for (int i = 0; i < 17; ++i) {
+    queue.add_tenant(spec_of(1.0 + (i % 4), i % 3, 8, 1 + (i % 3)));
+  }
+  JobRef next_job = 0;
+  for (int batch = 0; batch < 50; ++batch) {
+    for (int i = 0; i < 30; ++i) {
+      const auto t = static_cast<TenantId>(rng.uniform_int(0, 16));
+      if (queue.backlog_size(t) < queue.spec(t).backlog_cap) {
+        queue.push(t, next_job++);
+      }
+    }
+    queue.begin_batch();
+    std::size_t released = 0;
+    while (released < 20) {
+      const TenantId expected = linear_argmin(queue);
+      ASSERT_EQ(queue.next_tenant(), expected) << "batch " << batch;
+      if (expected == kInvalidTenant) {
+        break;
+      }
+      queue.pop(expected);
+      ++released;
+      if (rng.uniform_int(0, 3) == 0) {
+        queue.note_consumed(expected, rng.uniform(0.1, 2.0));
+      }
+    }
+  }
+}
+
+TEST(Protocol, ParsesScriptAndAssignsDefaults) {
+  const ServeScript script = parse_script(
+      "# comment\n"
+      "{\"op\":\"tenant\",\"name\":\"lab\",\"weight\":2.5,\"priority\":1}\n"
+      "\n"
+      "{\"op\":\"submit\",\"tenant\":0,\"shape\":\"fanout\",\"tasks\":8,"
+      "\"count\":3}\n"
+      "{\"op\":\"batch\"}\n"
+      "{\"op\":\"drain\"}\n");
+  ASSERT_EQ(script.size(), 4u);
+  EXPECT_EQ(script[0].kind, ScriptOp::Kind::Tenant);
+  EXPECT_EQ(script[0].tenant.name, "lab");
+  EXPECT_DOUBLE_EQ(script[0].tenant.weight, 2.5);
+  EXPECT_EQ(script[0].tenant.priority, 1);
+  EXPECT_EQ(script[1].kind, ScriptOp::Kind::Submit);
+  EXPECT_EQ(script[1].target, 0u);
+  EXPECT_EQ(script[1].job.shape, JobShape::Fanout);
+  EXPECT_EQ(script[1].job.tasks, 8u);
+  EXPECT_EQ(script[1].count, 3u);
+  EXPECT_EQ(script[2].kind, ScriptOp::Kind::Batch);
+  EXPECT_EQ(script[3].kind, ScriptOp::Kind::Drain);
+}
+
+TEST(Protocol, MalformedLineReportsItsNumber) {
+  try {
+    parse_script("{\"op\":\"batch\"}\n{\"op\":\"warp\"}\n");
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Protocol, OpsRoundTripThroughJson) {
+  const ServeScript script = parse_script(
+      "{\"op\":\"tenant\",\"name\":\"a\",\"weight\":2}\n"
+      "{\"op\":\"submit\",\"tenant\":0,\"shape\":\"diamond\",\"tasks\":5,"
+      "\"flops\":2e9,\"bytes\":4096,\"count\":2}\n"
+      "{\"op\":\"drain\"}\n");
+  std::string text;
+  for (const ScriptOp& op : script) {
+    text += op_to_json(op).dump();
+    text += '\n';
+  }
+  const ServeScript reparsed = parse_script(text);
+  ASSERT_EQ(reparsed.size(), script.size());
+  EXPECT_EQ(reparsed[1].job.shape, JobShape::Diamond);
+  EXPECT_EQ(reparsed[1].job.tasks, 5u);
+  EXPECT_DOUBLE_EQ(reparsed[1].job.flops, 2e9);
+  EXPECT_EQ(reparsed[1].job.bytes, 4096u);
+  EXPECT_EQ(reparsed[1].count, 2u);
+}
+
+}  // namespace
+}  // namespace hetflow::serve

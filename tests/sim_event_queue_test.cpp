@@ -488,6 +488,95 @@ TEST(EventQueueDrain, FullRunMatchesStepLoopEventForEvent) {
   EXPECT_FALSE(stepped.empty());
 }
 
+TEST(EventQueueDrain, MutualCancellationRacesWithinOneBatch) {
+  // Both directions of the watchdog/completion race at one timestamp:
+  // pair A's first-by-seq member cancels its partner ahead in the batch,
+  // pair B's first member cancels a partner that sits even further down.
+  // Whichever side fires first must win, and the loser must never
+  // deliver — across several pairs in a single drained batch.
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids(6);
+  ids[0] = q.schedule_at(2.0, [&] {  // "completion" A cancels watchdog A
+    fired.push_back(0);
+    EXPECT_TRUE(q.cancel(ids[1]));
+  });
+  ids[1] = q.schedule_at(2.0, [&] { fired.push_back(-1); });
+  ids[2] = q.schedule_at(2.0, [&] {  // "watchdog" B cancels completion B
+    fired.push_back(2);
+    EXPECT_TRUE(q.cancel(ids[3]));
+  });
+  ids[3] = q.schedule_at(2.0, [&] { fired.push_back(-3); });
+  ids[4] = q.schedule_at(2.0, [&] {  // cancel of an already-run event: no-op
+    fired.push_back(4);
+    EXPECT_FALSE(q.cancel(ids[0]));
+  });
+  ids[5] = q.schedule_at(2.0, [&] { fired.push_back(5); });
+  EXPECT_EQ(q.drain_ready(), 4u);
+  EXPECT_EQ(fired, (std::vector<int>{0, 2, 4, 5}));
+  EXPECT_EQ(q.now(), 2.0);
+  EXPECT_TRUE(q.debug_consistent());
+}
+
+TEST(EventQueueDrain, MidBatchCancelStormTriggersCompactionSafely) {
+  // A batch member cancels a large population of future events, tripping
+  // the carcass-ratio compaction *inside* the drain loop. The remaining
+  // same-timestamp members must still run FIFO and later events survive.
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> future;
+  for (int i = 0; i < 64; ++i) {
+    future.push_back(
+        q.schedule_at(5.0, [&fired, i] { fired.push_back(100 + i); }));
+  }
+  q.schedule_at(1.0, [&] {
+    fired.push_back(0);
+    for (std::size_t i = 0; i < future.size(); i += 2) {
+      EXPECT_TRUE(q.cancel(future[i]));  // 32 cancels -> compact() fires
+    }
+  });
+  q.schedule_at(1.0, [&] { fired.push_back(1); });
+  q.schedule_at(1.0, [&] { fired.push_back(2); });
+  EXPECT_EQ(q.drain_ready(), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(q.debug_consistent());
+  EXPECT_EQ(q.drain_ready(), 32u);  // surviving half of the future batch
+  EXPECT_EQ(q.now(), 5.0);
+  EXPECT_TRUE(q.debug_consistent());
+}
+
+TEST(EventQueueDrain, ConsistencyHoldsThroughCancelHeavyDrainLoop) {
+  // Property: a drain loop over a schedule dense with same-time ties,
+  // pre-drain cancels and in-batch cancels keeps the slab/heap/carcass
+  // accounting consistent after every single drain_ready call.
+  EventQueue q;
+  std::vector<EventId> ids;
+  std::size_t ran = 0;
+  for (int i = 0; i < 400; ++i) {
+    const double t = static_cast<double>(i % 5) + 1.0;
+    ids.push_back(q.schedule_at(t, [&q, &ids, &ran, i] {
+      ++ran;
+      // Every third callback cancels a later sibling (some already dead:
+      // cancel() returning false on those must stay harmless).
+      if (i % 3 == 0) {
+        q.cancel(ids[static_cast<std::size_t>((i + 7) % 400)]);
+      }
+    }));
+  }
+  for (int i = 0; i < 400; i += 4) {
+    q.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  ASSERT_TRUE(q.debug_consistent());
+  std::size_t total = 0;
+  while (std::size_t n = q.drain_ready()) {
+    total += n;
+    ASSERT_TRUE(q.debug_consistent());
+  }
+  EXPECT_EQ(total, ran);
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
 // Slab slot reuse must never resurrect a cancelled id: the generation
 // stamp in the EventId changes when the slot is recycled.
 TEST(EventQueue, RecycledSlotDoesNotResurrectOldId) {

@@ -1,14 +1,19 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_core.json files and report per-shape throughput deltas.
+"""Compare two BENCH_*.json files and report per-row metric deltas.
 
 Usage: bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
+                     [--key FIELDS] [--value FIELD]
 
-Rows are matched on (shape, tasks); rows present in only one file (e.g. a
-smoke run diffed against a full run, or a newly added shape) are listed
-but never fail the comparison. With --threshold, exits 1 when any matched
-row's tasks/s regressed by more than PCT percent; without it the tool is
-purely informational. ci/check.sh runs it advisory (no threshold) so a
-slow CI machine cannot fail the gate on noise.
+Rows are matched on a key tuple (default: per-bench, e.g. (shape, tasks)
+for core_overhead, (tenants,) for serve_load) and compared on one metric
+(tasks_per_s, submissions_per_s, ...). Rows present in only one file —
+a smoke run diffed against a full run, a newly added shape or scale
+point — are reported as "baseline only" / "candidate only" and never
+fail the comparison; rows missing the key or metric fields are listed as
+skipped rather than aborting the diff. With --threshold, exits 1 when
+any matched row's metric regressed by more than PCT percent; without it
+the tool is purely informational. ci/check.sh runs it advisory (no
+threshold) so a slow CI machine cannot fail the gate on noise.
 
 Stdlib only by design — the CI image has no third-party Python packages.
 """
@@ -16,80 +21,190 @@ Stdlib only by design — the CI image has no third-party Python packages.
 import argparse
 import json
 import sys
+import tempfile
+
+# Per-bench defaults: "bench" field -> (key fields, metric field). Unknown
+# bench names fall back to the core_overhead schema; --key/--value always
+# win.
+SCHEMAS = {
+    "core_overhead": (("shape", "tasks"), "tasks_per_s"),
+    "serve_load": (("tenants",), "submissions_per_s"),
+    "fault_tolerance": (("workflow", "rate"), "makespan_s"),
+}
+DEFAULT_SCHEMA = SCHEMAS["core_overhead"]
 
 
-def load_runs(path):
-    """Returns {(shape, tasks): tasks_per_s} for one BENCH_core.json."""
+def load_doc(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
         sys.exit(f"bench_diff: cannot read {path}: {err}")
-    runs = doc.get("runs")
-    if not isinstance(runs, list):
-        sys.exit(f"bench_diff: {path}: no 'runs' array (not a BENCH_core.json?)")
-    out = {}
-    for row in runs:
+    if not isinstance(doc.get("runs"), list):
+        sys.exit(f"bench_diff: {path}: no 'runs' array (not a BENCH json?)")
+    return doc
+
+
+def extract_rows(doc, path, key_fields, value_field):
+    """Returns ({key_tuple: metric}, [skipped_row_reprs])."""
+    rows, skipped = {}, []
+    for row in doc["runs"]:
         try:
-            out[(row["shape"], int(row["tasks"]))] = float(row["tasks_per_s"])
+            key = tuple(row[f] for f in key_fields)
+            rows[key] = float(row[value_field])
         except (KeyError, TypeError, ValueError):
-            sys.exit(f"bench_diff: {path}: malformed run row: {row!r}")
-    return out
+            skipped.append(repr(row)[:70])
+    if skipped and not rows:
+        # A different-bench file or wrong --key/--value: every row lacks
+        # the fields. Advisory like any other shape-set disagreement —
+        # the zero-match diff below says so without aborting.
+        print(f"bench_diff: {path}: no row carries fields "
+              f"{key_fields} + '{value_field}' (different bench or wrong "
+              f"--key/--value?)")
+        return {}, []
+    return rows, skipped
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="Per-shape tasks/s deltas between two BENCH_core.json files.")
-    parser.add_argument("baseline", help="baseline BENCH_core.json")
-    parser.add_argument("candidate", help="candidate BENCH_core.json")
-    parser.add_argument(
-        "--threshold", type=float, default=None, metavar="PCT",
-        help="fail (exit 1) if any matched row regresses by more than PCT%% "
-             "(default: report only)")
-    args = parser.parse_args()
+def fmt_key(key):
+    return " ".join(f"{part!s:>9}" for part in key)
 
-    base = load_runs(args.baseline)
-    cand = load_runs(args.candidate)
+
+def diff(base_doc, cand_doc, base_path, cand_path, key_fields, value_field,
+         threshold):
+    base, base_skipped = extract_rows(base_doc, base_path, key_fields,
+                                      value_field)
+    cand, cand_skipped = extract_rows(cand_doc, cand_path, key_fields,
+                                      value_field)
     matched = sorted(set(base) & set(cand))
     only_base = sorted(set(base) - set(cand))
     only_cand = sorted(set(cand) - set(base))
 
-    if not matched:
-        print("bench_diff: no (shape, tasks) rows in common — nothing to "
-              "compare (smoke vs full run?)")
-        for key in only_base:
-            print(f"  baseline only:  {key[0]:<10} {key[1]:>9}")
-        for key in only_cand:
-            print(f"  candidate only: {key[0]:<10} {key[1]:>9}")
-        return 0
+    for what, skipped in (("baseline", base_skipped),
+                          ("candidate", cand_skipped)):
+        for row in skipped:
+            print(f"  skipped {what} row (missing fields): {row}")
 
-    header = (f"{'shape':<10} {'tasks':>9} {'base tasks/s':>14} "
-              f"{'cand tasks/s':>14} {'delta':>8}")
-    print(header)
-    print("-" * len(header))
     worst = None  # (delta_pct, key)
-    for key in matched:
-        shape, tasks = key
-        b, c = base[key], cand[key]
-        delta_pct = (c - b) / b * 100.0 if b > 0.0 else float("inf")
-        print(f"{shape:<10} {tasks:>9} {b:>14,.0f} {c:>14,.0f} "
-              f"{delta_pct:>+7.1f}%")
-        if worst is None or delta_pct < worst[0]:
-            worst = (delta_pct, key)
+    if matched:
+        key_head = " ".join(f"{f:>9}" for f in key_fields)
+        header = (f"{key_head} {'base ' + value_field:>18} "
+                  f"{'cand ' + value_field:>18} {'delta':>8}")
+        print(header)
+        print("-" * len(header))
+        for key in matched:
+            b, c = base[key], cand[key]
+            delta_pct = (c - b) / b * 100.0 if b > 0.0 else float("inf")
+            print(f"{fmt_key(key)} {b:>18,.0f} {c:>18,.0f} "
+                  f"{delta_pct:>+7.1f}%")
+            if worst is None or delta_pct < worst[0]:
+                worst = (delta_pct, key)
+    else:
+        print("bench_diff: no rows in common — nothing to compare "
+              "(smoke vs full run?)")
     for key in only_base:
-        print(f"{key[0]:<10} {key[1]:>9} {'(baseline only)':>14}")
+        print(f"  baseline only:  {fmt_key(key)}")
     for key in only_cand:
-        print(f"{key[0]:<10} {key[1]:>9} {'(candidate only)':>37}")
+        print(f"  candidate only: {fmt_key(key)}")
 
-    if args.threshold is not None and worst is not None:
+    if threshold is not None and worst is not None:
         delta_pct, key = worst
-        if delta_pct < -args.threshold:
-            print(f"\nFAIL: {key[0]} @ {key[1]} regressed {delta_pct:+.1f}% "
-                  f"(threshold -{args.threshold:.1f}%)")
+        if delta_pct < -threshold:
+            print(f"\nFAIL: {fmt_key(key).strip()} regressed "
+                  f"{delta_pct:+.1f}% (threshold -{threshold:.1f}%)")
             return 1
         print(f"\nok: worst delta {delta_pct:+.1f}% within "
-              f"-{args.threshold:.1f}% threshold")
+              f"-{threshold:.1f}% threshold")
     return 0
+
+
+def selftest():
+    """Exercises matching, disjoint sets, schema fallback and the
+    threshold gate on synthetic documents; exits non-zero on any miss."""
+    core_a = {"bench": "core_overhead", "runs": [
+        {"shape": "chain", "tasks": 100, "tasks_per_s": 1000.0},
+        {"shape": "fanout", "tasks": 100, "tasks_per_s": 2000.0},
+        {"malformed": True}]}
+    core_b = {"bench": "core_overhead", "runs": [
+        {"shape": "chain", "tasks": 100, "tasks_per_s": 500.0},
+        {"shape": "burst", "tasks": 100, "tasks_per_s": 3000.0}]}
+    serve_a = {"bench": "serve_load", "runs": [
+        {"tenants": 1000, "submissions_per_s": 50000.0},
+        {"tenants": 10000, "submissions_per_s": 40000.0}]}
+    serve_b = {"bench": "serve_load", "runs": [
+        {"tenants": 1000, "submissions_per_s": 55000.0},
+        {"tenants": 100000, "submissions_per_s": 30000.0}]}
+
+    def run(base_doc, cand_doc, extra):
+        with tempfile.NamedTemporaryFile("w", suffix=".json") as fb, \
+                tempfile.NamedTemporaryFile("w", suffix=".json") as fc:
+            json.dump(base_doc, fb)
+            json.dump(cand_doc, fc)
+            fb.flush()
+            fc.flush()
+            return main([fb.name, fc.name] + extra)
+
+    checks = [
+        # Disagreeing shape sets + a malformed row: advisory exit 0.
+        ("core advisory", run(core_a, core_b, []), 0),
+        # The 50% chain regression must trip a 10% threshold.
+        ("core threshold", run(core_a, core_b, ["--threshold", "10"]), 1),
+        # serve_load schema is picked up from the bench field.
+        ("serve advisory", run(serve_a, serve_b, []), 0),
+        # +10% on the only matched serve row passes a threshold.
+        ("serve threshold", run(serve_a, serve_b, ["--threshold", "5"]), 0),
+        # Explicit --key/--value override the schema table.
+        ("explicit fields",
+         run(serve_a, serve_b,
+             ["--key", "tenants", "--value", "submissions_per_s"]), 0),
+        # Cross-bench diff: zero common rows is advisory, not a crash.
+        ("cross bench", run(core_a, serve_b, []), 0),
+    ]
+    ok = True
+    for name, got, want in checks:
+        good = got == want
+        ok &= good
+        print(f"  {'pass' if good else 'FAIL'}  {name}: exit {got} "
+              f"(want {want})")
+    print("selftest " + ("passed" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Per-row metric deltas between two BENCH_*.json files.")
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH json")
+    parser.add_argument("candidate", nargs="?", help="candidate BENCH json")
+    parser.add_argument(
+        "--threshold", type=float, default=None, metavar="PCT",
+        help="fail (exit 1) if any matched row regresses by more than PCT%% "
+             "(default: report only)")
+    parser.add_argument(
+        "--key", default=None, metavar="FIELDS",
+        help="comma-separated row-matching fields (default: per-bench)")
+    parser.add_argument(
+        "--value", default=None, metavar="FIELD",
+        help="metric field to compare (default: per-bench)")
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="verify the tool against synthetic documents and exit")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate files are required")
+
+    base_doc = load_doc(args.baseline)
+    cand_doc = load_doc(args.candidate)
+    # The baseline names the schema; a cross-bench diff just ends up with
+    # zero matched rows, which is advisory by design.
+    schema_key, schema_value = SCHEMAS.get(base_doc.get("bench"),
+                                           DEFAULT_SCHEMA)
+    key_fields = (tuple(f.strip() for f in args.key.split(","))
+                  if args.key else schema_key)
+    value_field = args.value if args.value else schema_value
+    return diff(base_doc, cand_doc, args.baseline, args.candidate,
+                key_fields, value_field, args.threshold)
 
 
 if __name__ == "__main__":

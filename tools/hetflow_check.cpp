@@ -21,6 +21,7 @@
 #include "check/race.hpp"
 #include "core/runtime.hpp"
 #include "sched/registry.hpp"
+#include "serve/audit.hpp"
 #include "sim/event_queue.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -215,7 +216,76 @@ int selftest() {
     }
     ok &= expect(found, "span ending before start -> time-monotonicity");
   }
-  // 5. event-queue bookkeeping: cancel-heavy traffic must keep the lazy-
+  // 5. serve fairness: the monitor's mirror must flag a release that
+  // skips the lexicographic argmin, a batch that released nothing with
+  // work pending, a drain that ends non-empty, and per-batch accounting
+  // drift — and accept a sequence that follows the rule.
+  {
+    serve::FairnessMonitor clean;
+    clean.add_tenant(2.0, 0, 4);
+    clean.add_tenant(1.0, 0, 4);
+    clean.on_admit(0);
+    clean.on_admit(1);
+    clean.begin_batch();
+    clean.on_release(0);  // ids tie on zero consumption -> tenant 0
+    clean.on_release(1);
+    clean.end_batch(2, 2);
+    clean.on_consume(0, 1.0);
+    clean.on_consume(1, 1.0);
+    clean.reconcile_batch(2, 2, 2.0, 2.0);
+    clean.on_drained(0);
+    ok &= expect(clean.passed(), "rule-following serve run accepted");
+
+    serve::FairnessMonitor unfair;
+    unfair.add_tenant(1.0, 0, 4);
+    unfair.add_tenant(1.0, 5, 4);  // higher tier must release first
+    unfair.on_admit(0);
+    unfair.on_admit(1);
+    unfair.begin_batch();
+    unfair.on_release(0);
+    ok &= expect(
+        unfair.report().count(check::ViolationKind::FairShare) == 1,
+        "release skipping the priority tier -> fair-share");
+
+    serve::FairnessMonitor wedged;
+    wedged.add_tenant(1.0, 0, 4);
+    wedged.on_admit(0);
+    wedged.begin_batch();
+    wedged.end_batch(0, 1);
+    wedged.on_drained(1);
+    ok &= expect(
+        wedged.report().count(check::ViolationKind::AdmissionWedge) == 2,
+        "empty batch with backlog + non-empty drain -> admission-wedge");
+
+    serve::FairnessMonitor drifted;
+    drifted.reconcile_batch(3, 3, 1.0, 1.5);
+    ok &= expect(
+        drifted.report().count(check::ViolationKind::TenantAccounting) == 1,
+        "device-seconds drift -> tenant-accounting");
+
+    // Starvation: two same-tier tenants stay continuously backlogged
+    // while only one is ever served, so their weighted consumptions
+    // drift past the bounded-deficit limit.
+    serve::FairnessMonitor starved;
+    starved.add_tenant(1.0, 0, 1);
+    starved.add_tenant(1.0, 0, 1);
+    for (int batch = 0; batch < 8; ++batch) {
+      // Both tenants keep work queued at every batch boundary (the
+      // starvation window requires it), but the biased feed releases and
+      // credits only tenant 0 — a sequence the real engine never emits.
+      starved.on_admit(0);
+      starved.on_admit(0);
+      starved.on_admit(1);
+      starved.begin_batch();
+      starved.on_release(0);
+      starved.end_batch(1, 3);
+      starved.on_consume(0, 1.0);
+    }
+    ok &= expect(
+        starved.report().count(check::ViolationKind::Starvation) > 0,
+        "one-sided service under shared backlog -> starvation");
+  }
+  // 6. event-queue bookkeeping: cancel-heavy traffic must keep the lazy-
   // deletion heap consistent and bounded (carcasses are compacted away
   // once they outnumber half the live events).
   {
